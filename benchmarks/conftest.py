@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark is a pytest-benchmark test (run them with
+``pytest benchmarks/ --benchmark-only``). Heavy synthesis calls are
+wrapped in ``benchmark.pedantic(rounds=1)`` — the paper's experiments
+are single solver runs, not micro-benchmarks.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TIME_LIMIT`` — per-solve time limit in seconds
+  (default 60; the paper let Gurobi run for hours).
+* ``REPRO_BENCH_FULL=1`` — run the full-size experiments (complete
+  90-case suite, the 9-flow Table 4.2 case, unfixed ChIP sw.2, ...).
+
+Each experiment writes its paper-style table to
+``benchmarks/output/<experiment>.txt`` so results survive the run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import SynthesisOptions
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_time_limit() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "60"))
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def bench_options(**kw) -> SynthesisOptions:
+    kw.setdefault("time_limit", bench_time_limit())
+    return SynthesisOptions(**kw)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_report(output_dir: Path, name: str, text: str) -> None:
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}] report written to {path}\n{text}")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a solver-scale function exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""§4.2 — the 90 artificial flow-scheduling cases.
+
+Paper observations reproduced here:
+
+* every generated case is scheduled successfully under *some* policy,
+  and the unfixed policy always finds a solution;
+* restricted policies (fixed/clockwise) may fail only on cases with
+  contamination constraints;
+* for the same case, the 8-pin switch beats the 12-pin switch on
+  runtime and channel length, while scheduling quality (#s) is
+  unaffected by the starting size.
+
+By default a stratified 18-case subset runs; ``REPRO_BENCH_FULL=1``
+runs all 90.
+"""
+
+import pytest
+
+from conftest import bench_options, full_mode, run_once, write_report
+from repro.analysis import format_table
+from repro.cases import generate_case, suite_90
+from repro.core import BindingPolicy, SynthesisStatus, synthesize
+from repro.core.verify import verify_result
+
+_summary = {"solved": 0, "failed": 0, "fail_policies": set(), "rows": []}
+
+
+def _suite():
+    specs = suite_90()
+    if full_mode():
+        return specs
+    return specs[::5]  # stratified 18-case subset
+
+
+def test_artificial_suite(benchmark, output_dir):
+    specs = _suite()
+
+    def run_all():
+        results = []
+        for spec in specs:
+            results.append((spec, synthesize(spec, bench_options(time_limit=20))))
+        return results
+
+    results = run_once(benchmark, run_all)
+
+    for spec, res in results:
+        row = res.table_row()
+        _summary["rows"].append(row)
+        if res.status.solved:
+            _summary["solved"] += 1
+            verify_result(res)
+        else:
+            _summary["failed"] += 1
+            _summary["fail_policies"].add(spec.binding.value)
+            # paper: failures happen only under restricted policies on
+            # conflict-constrained cases
+            assert spec.binding is not BindingPolicy.UNFIXED or \
+                res.status is SynthesisStatus.TIMEOUT, spec.name
+            if res.status is SynthesisStatus.NO_SOLUTION:
+                assert spec.conflicts, spec.name
+
+    assert _summary["solved"] > 0
+    write_report(output_dir, "artificial_cases",
+                 format_table(_summary["rows"])
+                 + f"\n\nsolved: {_summary['solved']}, "
+                   f"failed: {_summary['failed']} "
+                   f"(policies: {sorted(_summary['fail_policies'])})")
+
+
+def test_8pin_vs_12pin_same_case(benchmark, output_dir):
+    """Same input on both switch sizes: the smaller one is at least as
+    fast and never longer (paper's size-comparison finding)."""
+    pairs = []
+    for seed in (11, 22, 33):
+        small = generate_case(seed=seed, switch_size=8, n_flows=3, n_inlets=2,
+                              n_conflicts=1, binding=BindingPolicy.UNFIXED)
+        large = generate_case(seed=seed, switch_size=12, n_flows=3, n_inlets=2,
+                              n_conflicts=1, binding=BindingPolicy.UNFIXED)
+        pairs.append((small, large))
+
+    def run_all():
+        return [(synthesize(s, bench_options(time_limit=60)),
+                 synthesize(l, bench_options(time_limit=60)))
+                for s, l in pairs]
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for (res_s, res_l) in results:
+        assert res_s.status.solved and res_l.status.solved
+        rows.append({
+            "case": res_s.spec.name,
+            "8pin T(s)": round(res_s.runtime, 2),
+            "12pin T(s)": round(res_l.runtime, 2),
+            "8pin L": round(res_s.flow_channel_length, 1),
+            "12pin L": round(res_l.flow_channel_length, 1),
+            "8pin #s": res_s.num_flow_sets,
+            "12pin #s": res_l.num_flow_sets,
+        })
+        assert res_s.flow_channel_length <= res_l.flow_channel_length + 1e-6
+        # scheduling performance unaffected by the starting size
+        assert res_s.num_flow_sets == res_l.num_flow_sets
+    write_report(output_dir, "artificial_8_vs_12", format_table(rows))
+    # runtime: smaller model at least as fast on aggregate
+    total_s = sum(r["8pin T(s)"] for r in rows)
+    total_l = sum(r["12pin T(s)"] for r in rows)
+    assert total_s <= total_l * 1.5

@@ -1,0 +1,63 @@
+"""Control-layer benches (beyond the paper's scope, §3.5 motivation).
+
+* GRU as-drawn control channels violate the 100 µm spacing rule
+  (§2.1's fourth criticism) while the lane router keeps every
+  reduced-switch valve set clean;
+* pressure sharing vs direct vs multiplexed control on a synthesized
+  switch, in control inputs, inlet area and actuation counts — the
+  numbers behind the paper's "control inlets take considerable chip
+  area" argument.
+"""
+
+import pytest
+
+from conftest import bench_options, run_once, write_report
+from repro.analysis import format_table
+from repro.cases import chip_sw1
+from repro.control import compile_program, control_strategy_rows, route_control
+from repro.core import BindingPolicy, synthesize
+from repro.switches import GRUSwitch
+from repro.switches.base import segment_key
+
+_rows = []
+
+
+def test_gru_control_drc(benchmark, output_dir):
+    gru = GRUSwitch(8)
+    stubs = [segment_key(p, next(iter(gru.graph.neighbors(p))))
+             for p in gru.pins]
+
+    def audit():
+        drawn = route_control(gru, stubs, strategy="perpendicular")
+        fixed = route_control(gru, stubs, strategy="lanes")
+        return drawn.violations(), fixed.violations()
+
+    drawn_violations, lane_violations = run_once(benchmark, audit)
+    assert drawn_violations      # the paper's criticism, measured
+    assert not lane_violations   # and a constructive fix
+    _rows.append({
+        "subject": "GRU control DRC",
+        "as drawn": f"{len(drawn_violations)} violations",
+        "lane-routed": "clean",
+    })
+
+
+def test_control_strategies_on_chip(benchmark, output_dir):
+    result = synthesize(chip_sw1(BindingPolicy.FIXED), bench_options())
+    assert result.status.solved and result.valves.essential
+
+    def compare():
+        return control_strategy_rows(result), compile_program(result)
+
+    rows, program = run_once(benchmark, compare)
+    direct = next(r for r in rows if r["strategy"].startswith("direct"))
+    shared = next(r for r in rows if r["strategy"].startswith("pressure"))
+    mux = next(r for r in rows if r["strategy"].startswith("multiplexer"))
+    # pressure sharing shrinks inlet area (the §3.5 motivation)
+    assert shared["inlet area (mm^2)"] < direct["inlet area (mm^2)"]
+    # the mux trades inputs for serial actuations
+    assert mux["actuations"] >= shared["actuations"]
+    assert program.num_steps == result.num_flow_sets
+
+    report = format_table(_rows) + "\n\n" + format_table(rows)
+    write_report(output_dir, "control_strategies", report)

@@ -1,0 +1,41 @@
+"""Figure 4.3 — scalable (Columba-S-compatible) ChIP switches.
+
+The same ChIP case synthesized on the scalable switch variant, whose
+pins escape horizontally to the side borders, under each binding
+policy. The contamination guarantee must carry over unchanged; the
+channel length grows relative to the plain variant because of the
+escape lanes.
+"""
+
+import pytest
+
+from conftest import bench_options, run_once, write_report
+from repro.analysis import analyze_contamination, format_table
+from repro.cases import chip_sw1
+from repro.core import BindingPolicy, synthesize
+from repro.render import render_result, save_svg
+
+_rows = []
+
+
+@pytest.mark.parametrize(
+    "policy", [BindingPolicy.FIXED, BindingPolicy.CLOCKWISE, BindingPolicy.UNFIXED],
+    ids=lambda p: p.value,
+)
+def test_fig_4_3_scalable_panels(benchmark, output_dir, policy):
+    spec = chip_sw1(policy, scalable=True)
+    result = run_once(benchmark, synthesize, spec, bench_options())
+    assert result.status.solved
+
+    report = analyze_contamination(spec.switch, result.flow_paths, spec.conflicts)
+    assert report.is_contamination_free
+    _rows.append(result.table_row())
+    save_svg(render_result(result),
+             output_dir / f"fig_4_3_scalable_{policy.value}.svg")
+
+
+def test_fig_4_3_report(benchmark, output_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("panels did not run")
+    write_report(output_dir, "fig_4_3", format_table(_rows))

@@ -1,0 +1,91 @@
+"""§3.5 / Figure 3.2 — pressure sharing via minimum clique cover.
+
+Benchmarks the exact clique-cover ILP against the greedy baseline on
+(a) the literal Figure 3.2 examples, (b) the valve tables of the
+synthesized application switches, and (c) random status tables of
+growing size.
+"""
+
+import random
+
+import pytest
+
+from conftest import bench_options, run_once, write_report
+from repro.analysis import format_table
+from repro.cases import chip_sw1
+from repro.core import BindingPolicy, share_pressure, synthesize
+
+_rows = []
+
+
+def test_figure_3_2_examples(benchmark):
+    status_a = {
+        ("v", "a"): ["O", "X", "C"],
+        ("v", "b"): ["X", "O", "C"],
+        ("v", "c"): ["O", "O", "C"],
+    }
+    status_b = {
+        ("v", "a"): ["X", "X"],
+        ("v", "b"): ["O", "C"],
+        ("v", "c"): ["C", "O"],
+    }
+
+    def solve_both():
+        return (share_pressure(status_a, method="ilp"),
+                share_pressure(status_b, method="ilp"))
+
+    res_a, res_b = run_once(benchmark, solve_both)
+    assert res_a.num_control_inlets == 1  # Fig 3.2(a): one clique
+    assert res_b.num_control_inlets == 2  # Fig 3.2(b): two cliques
+
+
+def test_pressure_sharing_on_synthesized_switch(benchmark, output_dir):
+    """Pressure sharing on a real synthesized valve table: the ILP never
+    needs more inlets than greedy, and both never more than #valves."""
+    spec = chip_sw1(BindingPolicy.FIXED)
+    result = synthesize(spec, bench_options())
+    assert result.status.solved
+
+    if not result.valves.essential:
+        pytest.skip("case produced no essential valves")
+
+    valves = sorted(result.valves.essential)
+
+    def solve():
+        ilp = share_pressure(result.valves.status, valves=valves, method="ilp")
+        greedy = share_pressure(result.valves.status, valves=valves,
+                                method="greedy")
+        return ilp, greedy
+
+    ilp, greedy = run_once(benchmark, solve)
+    _rows.append({
+        "source": "ChIP sw.1 (fixed)",
+        "#valves": len(valves),
+        "ILP inlets": ilp.num_control_inlets,
+        "greedy inlets": greedy.num_control_inlets,
+    })
+    assert ilp.num_control_inlets <= greedy.num_control_inlets <= len(valves)
+
+
+@pytest.mark.parametrize("n_valves", [6, 10, 14])
+def test_clique_cover_scaling(benchmark, output_dir, n_valves):
+    """ILP vs greedy on random O/C/X tables of growing size."""
+    rng = random.Random(n_valves)
+    status = {
+        (f"v{i}", f"w{i}"): [rng.choice("OCX") for _ in range(4)]
+        for i in range(n_valves)
+    }
+
+    def solve():
+        return (share_pressure(status, method="ilp"),
+                share_pressure(status, method="greedy"))
+
+    ilp, greedy = run_once(benchmark, solve)
+    _rows.append({
+        "source": f"random[{n_valves} valves]",
+        "#valves": n_valves,
+        "ILP inlets": ilp.num_control_inlets,
+        "greedy inlets": greedy.num_control_inlets,
+    })
+    assert ilp.num_control_inlets <= greedy.num_control_inlets
+    write_report(output_dir, "pressure_sharing", format_table(_rows))

@@ -1,0 +1,48 @@
+"""§2.1 — quantitative routing-space comparison of the three designs.
+
+The paper argues the GRU switch "provides insufficient routing space"
+and that the spine is worse still; this bench turns the argument into
+numbers: attachment-node connectivity statistics over all pin pairs and
+disjoint-transport capacity on a matched workload.
+"""
+
+import pytest
+
+from conftest import run_once, write_report
+from repro.analysis import (
+    disjoint_transport_capacity,
+    format_table,
+    routing_space_report,
+)
+from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
+
+_rows = []
+
+
+@pytest.mark.parametrize("switch_cls", [CrossbarSwitch, GRUSwitch, SpineSwitch],
+                         ids=lambda c: c.__name__)
+def test_routing_space_survey(benchmark, switch_cls):
+    switch = switch_cls(8)
+    report = run_once(benchmark, routing_space_report, switch)
+    _rows.append(report.row())
+
+
+def test_matched_parallel_transport_capacity(benchmark, output_dir):
+    """Two same-side inlets to the opposite side: crossbar 2, GRU 1."""
+    crossbar = CrossbarSwitch(8)
+    gru = GRUSwitch(8)
+
+    def capacities():
+        return (
+            disjoint_transport_capacity(crossbar, [("T1", "B1"), ("T2", "B2")]),
+            disjoint_transport_capacity(gru, [("TL", "BL"), ("T", "B")]),
+        )
+
+    cap_crossbar, cap_gru = run_once(benchmark, capacities)
+    assert cap_crossbar == 2
+    assert cap_gru == 1
+    _rows.append({"switch": "matched 2-transport workload",
+                  "min connectivity": None, "mean connectivity": None,
+                  "single-node pin pairs":
+                      f"capacity: crossbar={cap_crossbar}, gru={cap_gru}"})
+    write_report(output_dir, "routing_space", format_table(_rows))

@@ -1,0 +1,76 @@
+"""Table 4.3 — binding-policy comparison.
+
+Cases: ChIP sw.1/sw.2 and kinase activity sw.1/sw.2, each under the
+clockwise, fixed and unfixed policies.
+
+Expected shape (paper):
+* fixed yields the largest (or equal) channel length L — it trades
+  routing freedom for speed;
+* clockwise and unfixed reach the same (optimal) L;
+* fixed runs much faster than the free policies;
+* runtime grows with the number of connected modules.
+
+ChIP sw.2 under the free policies is the heaviest case; it runs with a
+time limit and is only asserted when it solves to proven optimality.
+"""
+
+import pytest
+
+from conftest import bench_options, full_mode, run_once, write_report
+from repro.analysis import format_table
+from repro.cases import chip_sw1, chip_sw2, kinase_sw1, kinase_sw2
+from repro.core import BindingPolicy, SynthesisStatus, synthesize
+
+CASES = [kinase_sw1, kinase_sw2, chip_sw1, chip_sw2]
+POLICIES = [BindingPolicy.CLOCKWISE, BindingPolicy.FIXED, BindingPolicy.UNFIXED]
+
+_results = {}
+
+
+def _heavy(factory, policy):
+    return factory is chip_sw2 and policy is not BindingPolicy.FIXED
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("factory", CASES, ids=lambda f: f.__name__)
+def test_table_4_3(benchmark, factory, policy):
+    if _heavy(factory, policy) and not full_mode():
+        pytest.skip("ChIP sw.2 free policies: set REPRO_BENCH_FULL=1")
+    spec = factory(policy)
+    result = run_once(benchmark, synthesize, spec, bench_options())
+    _results[(spec.name, policy.value)] = result
+    assert result.status.solved, f"{spec.name}/{policy.value}: {result.status.value}"
+
+
+def test_table_4_3_report(benchmark, output_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _results:
+        pytest.skip("individual rows did not run")
+    rows = [r.table_row() for r in _results.values()]
+    write_report(output_dir, "table_4_3", format_table(rows))
+
+    by_case = {}
+    for (case, policy), res in _results.items():
+        by_case.setdefault(case, {})[policy] = res
+
+    for case, runs in by_case.items():
+        if {"fixed", "unfixed"} <= set(runs):
+            fixed, unfixed = runs["fixed"], runs["unfixed"]
+            # fixed trades length for speed
+            assert fixed.runtime <= unfixed.runtime, case
+            if unfixed.status is SynthesisStatus.OPTIMAL:
+                assert (unfixed.flow_channel_length
+                        <= fixed.flow_channel_length + 1e-6), case
+        if {"clockwise", "unfixed"} <= set(runs):
+            cw, uf = runs["clockwise"], runs["unfixed"]
+            if (cw.status is SynthesisStatus.OPTIMAL
+                    and uf.status is SynthesisStatus.OPTIMAL):
+                # unfixed explores a superset of clockwise solutions
+                assert uf.objective <= cw.objective + 1e-6, case
+
+    # runtime grows with module count within the kinase pair (paper: T
+    # increases with application complexity) — compare like policies
+    k1 = _results.get(("kinase activity sw.1", "unfixed"))
+    k2 = _results.get(("kinase activity sw.2", "unfixed"))
+    if k1 and k2:
+        assert k2.runtime >= k1.runtime * 0.2  # monotone up to solver noise

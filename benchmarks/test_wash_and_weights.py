@@ -1,0 +1,67 @@
+"""Wash-fallback and objective-weight benches (paper contrasts).
+
+* Wash fallback: the restricted-policy "no solution" rows of Table 4.1
+  become feasible-with-washing designs; the contamination-free switch
+  needs zero washes — the quantitative contrast with the washing
+  school (the paper's reference [9]).
+* Objective weights: sweeping α/β around the paper's (1, 100) setting
+  shows the α-term acting as the set-count tiebreaker.
+"""
+
+import pytest
+
+from conftest import bench_options, run_once, write_report
+from repro.analysis import format_table, weight_sweep
+from repro.cases import generate_case, nucleic_acid
+from repro.core import (
+    BindingPolicy,
+    SynthesisOptions,
+    synthesize_with_wash_fallback,
+)
+
+_rows = []
+
+
+def test_wash_fallback_contrast(benchmark, output_dir):
+    def run_both():
+        free = synthesize_with_wash_fallback(
+            nucleic_acid(BindingPolicy.UNFIXED), bench_options())
+        washed = synthesize_with_wash_fallback(
+            nucleic_acid(BindingPolicy.FIXED), bench_options())
+        return free, washed
+
+    free, washed = run_once(benchmark, run_both)
+    assert free.contamination_free and free.washes.is_wash_free
+    assert washed.used_fallback and washed.washes.num_phases >= 1
+    _rows.append({"experiment": "nucleic acid / unfixed",
+                  "design": "contamination-free",
+                  "wash phases": 0})
+    _rows.append({"experiment": "nucleic acid / fixed",
+                  "design": "wash fallback",
+                  "wash phases": washed.washes.num_phases})
+
+
+def test_weight_sweep(benchmark, output_dir):
+    spec_factory = lambda: generate_case(
+        seed=0, switch_size=8, n_flows=3, n_inlets=2, n_conflicts=0,
+        binding=BindingPolicy.FIXED)
+
+    def sweep():
+        return weight_sweep(
+            spec_factory(),
+            weights=[(1.0, 100.0), (1000.0, 1.0), (0.0, 1.0)],
+            options=SynthesisOptions(time_limit=30, path_slack=4.0),
+        )
+
+    result = run_once(benchmark, sweep)
+    solved = result.solved()
+    assert solved
+    set_dominant = min(p.num_sets for p in solved)
+    for p in solved:
+        _rows.append({"experiment": f"weights a={p.alpha} b={p.beta}",
+                      "design": f"#s={p.num_sets} L={p.length_mm:.1f}",
+                      "wash phases": None})
+    # with alpha present the set count reaches the sweep's minimum
+    paper_point = next(p for p in solved if (p.alpha, p.beta) == (1.0, 100.0))
+    assert paper_point.num_sets == set_dominant
+    write_report(output_dir, "wash_and_weights", format_table(_rows))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Chip co-layout and control strategies around one synthesized switch.
+
+Shows what happens *around* the switch once it is synthesized:
+
+1. the connected modules (mixers, chambers, I/O ports) are placed on a
+   ring next to their bound pins and routed to them — the clockwise
+   binding policy exists precisely so this step nests without crossings;
+2. the essential valves get control channels escape-routed to the chip
+   border, with a design-rule audit;
+3. the valve schedule is compiled into a pneumatic actuation program,
+   and the three control strategies (direct, pressure-shared,
+   multiplexed à la Columba S) are compared.
+
+Run:  python examples/chip_colayout.py
+"""
+
+from repro import BindingPolicy, SynthesisOptions, synthesize
+from repro.analysis import format_table
+from repro.cases import chip_sw1
+from repro.chip import chip_layout
+from repro.control import compile_program, control_strategy_rows, route_control
+from repro.render import render_chip, save_svg
+
+
+def main() -> None:
+    spec = chip_sw1(BindingPolicy.FIXED)
+    result = synthesize(spec, SynthesisOptions(time_limit=120))
+    print(f"{spec.name}: {result.status.value}, "
+          f"L={result.flow_channel_length:.1f} mm, "
+          f"#v={result.num_valves}, #s={result.num_flow_sets}")
+
+    # 1. module placement + pin routing
+    layout = chip_layout(result)
+    print(f"\nchip co-layout: {layout.summary()}")
+    out = "examples/output/chip_colayout.svg"
+    save_svg(render_chip(layout, result), out)
+    print(f"layout rendered to {out}")
+
+    # 2. control-channel escape routing
+    valves = sorted(result.valves.essential)
+    groups = None
+    if result.pressure is not None:
+        groups = {v: result.pressure.group_of(v) for v in valves}
+    plan = route_control(spec.switch, valves, groups=groups, strategy="lanes")
+    verdict = "clean" if plan.is_clean else f"{len(plan.violations())} violation(s)"
+    print(f"\ncontrol escape routing: {len(plan.channels)} channels, "
+          f"{plan.total_length:.1f} mm, {plan.num_inlets} inlet(s), DRC {verdict}")
+    area = plan.area()
+    print(f"control area: channels {area['channel']:.2f} mm^2 + "
+          f"inlets {area['inlets']:.1f} mm^2")
+
+    # 3. actuation program + strategy comparison
+    program = compile_program(result)
+    print(f"\n{program.pretty()}")
+    print(f"inlet level transitions across the run: {program.transitions()}")
+
+    print("\ncontrol strategy comparison:")
+    print(format_table(control_strategy_rows(result)))
+
+
+if __name__ == "__main__":
+    main()

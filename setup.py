@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and has no ``wheel`` package,
+so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` use the legacy
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""Contamination-free switch design and synthesis for microfluidic LSI.
+
+A faithful open-source reproduction of *"Contamination-Free Switch
+Design and Synthesis for Microfluidic Large-Scale Integration"*
+(TU München / DATE 2022): reconfigurable crossbar switch models,
+IQP-based synthesis with contamination avoidance, flow scheduling,
+three module-to-pin binding policies, and pressure sharing via minimum
+clique cover — plus the spine/GRU baselines, analysis, rendering and
+the complete experiment harness.
+
+Quickstart::
+
+    from repro import Flow, SwitchSpec, BindingPolicy, synthesize
+    from repro.switches import CrossbarSwitch
+
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["sample", "buffer", "mix1", "mix2"],
+        flows=[Flow(1, "sample", "mix1"), Flow(2, "buffer", "mix2")],
+        conflicts={frozenset({1, 2})},
+        binding=BindingPolicy.UNFIXED,
+    )
+    result = synthesize(spec)
+    print(result.table_row())
+"""
+
+from repro.core import (
+    BindingPolicy,
+    ConflictForm,
+    Flow,
+    NodePolicy,
+    SchedulingForm,
+    SwitchSpec,
+    SynthesisOptions,
+    SynthesisResult,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+    synthesize_greedy,
+    verify_result,
+)
+from repro.switches import (
+    CrossbarSwitch,
+    GRUSwitch,
+    ScalableCrossbarSwitch,
+    SpineSwitch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flow",
+    "SwitchSpec",
+    "conflict_pair",
+    "BindingPolicy",
+    "NodePolicy",
+    "ConflictForm",
+    "SchedulingForm",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "SynthesisStatus",
+    "synthesize",
+    "synthesize_greedy",
+    "verify_result",
+    "CrossbarSwitch",
+    "ScalableCrossbarSwitch",
+    "SpineSwitch",
+    "GRUSwitch",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Analysis utilities: contamination reports, metrics, design comparisons."""
+
+from repro.analysis.compare import (
+    DesignComparison,
+    baseline_report,
+    compare_designs,
+)
+from repro.analysis.contamination import (
+    ContaminationReport,
+    analyze_contamination,
+    route_shortest,
+    spine_pollution_profile,
+)
+from repro.analysis.metrics import area_estimate, format_table, result_rows
+from repro.analysis.sensitivity import (
+    PAPER_WEIGHTS,
+    WeightSweep,
+    WeightSweepPoint,
+    weight_sweep,
+)
+from repro.analysis.routing_space import (
+    RoutingSpaceReport,
+    disjoint_transport_capacity,
+    forced_through_single_node,
+    pin_connectivity,
+    routing_space_report,
+)
+from repro.analysis.washing import WashPhase, WashPlan, wash_plan, wash_plan_for_result
+
+__all__ = [
+    "ContaminationReport",
+    "analyze_contamination",
+    "route_shortest",
+    "spine_pollution_profile",
+    "DesignComparison",
+    "compare_designs",
+    "baseline_report",
+    "area_estimate",
+    "format_table",
+    "result_rows",
+    "WashPlan",
+    "WashPhase",
+    "wash_plan",
+    "wash_plan_for_result",
+    "RoutingSpaceReport",
+    "routing_space_report",
+    "pin_connectivity",
+    "forced_through_single_node",
+    "disjoint_transport_capacity",
+    "weight_sweep",
+    "WeightSweep",
+    "WeightSweepPoint",
+    "PAPER_WEIGHTS",
+]

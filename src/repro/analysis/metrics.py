@@ -1,0 +1,67 @@
+"""Result metrics and table formatting.
+
+Collects the quantities the paper's tables report (runtime T, channel
+length L, valve count #v, flow set count #s) plus chip-area estimates
+derived from the design rules, and renders lists of result rows as
+aligned text tables for the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.solution import SynthesisResult
+from repro.geometry import STANFORD_FOUNDRY, DesignRules
+
+
+def area_estimate(result: SynthesisResult,
+                  rules: DesignRules = STANFORD_FOUNDRY) -> Dict[str, float]:
+    """Approximate chip area consumed by the synthesized switch (mm²).
+
+    ``flow`` is channel footprint (length × width); ``control`` is the
+    control-inlet footprint (1 mm² each). With pressure sharing the
+    inlet count is the number of pressure groups, otherwise one inlet
+    per essential valve.
+    """
+    inlets = result.num_control_inlets
+    if inlets is None:
+        inlets = result.num_valves
+    flow = rules.flow_area(result.flow_channel_length)
+    control = rules.control_area(inlets)
+    return {"flow": flow, "control": control, "total": flow + control}
+
+
+def result_rows(results: Iterable[SynthesisResult]) -> List[Dict[str, object]]:
+    """Table rows (dicts) for a batch of synthesis results."""
+    return [r.table_row() for r in results]
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(_cell(row.get(c))))
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(" | ".join(_cell(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

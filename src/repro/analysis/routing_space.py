@@ -1,0 +1,172 @@
+"""Routing-space analysis: how much disjoint routing a switch offers.
+
+§2.1 argues qualitatively that the GRU switch "provides insufficient
+routing space for contamination avoidance" while the crossbar provides
+more. This module makes the claim quantitative:
+
+* **pin connectivity** — the number of internally vertex-disjoint paths
+  between two pins (Menger's theorem, computed via max-flow on the
+  switch graph). Contamination avoidance for two conflicting flows
+  through the same region needs ≥ 2.
+* **conflict capacity** — the largest set of pairwise vertex-disjoint
+  pin-to-pin transports the switch can carry at once, for a given set
+  of terminal pairs.
+* **pin isolation** — whether a pin pair is forced through a single
+  node (the GRU's TL/T → N weakness).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.switches.base import SwitchModel
+
+
+def _split_graph(switch: SwitchModel, keep: Set[str]) -> nx.DiGraph:
+    """Vertex-splitting transform: node capacities via in/out arcs.
+
+    Pins in ``keep`` stay whole (they are terminals); every other
+    vertex v becomes v_in → v_out with capacity 1, so max-flow counts
+    vertex-disjoint paths.
+    """
+    g = nx.DiGraph()
+    for v in switch.graph.nodes:
+        if v in keep:
+            g.add_node(v)
+        else:
+            g.add_edge(f"{v}__in", f"{v}__out", capacity=1)
+    for a, b in switch.graph.edges:
+        for u, w in ((a, b), (b, a)):
+            src = u if u in keep else f"{u}__out"
+            dst = w if w in keep else f"{w}__in"
+            g.add_edge(src, dst, capacity=1)
+    return g
+
+
+def pin_connectivity(switch: SwitchModel, pin_a: str, pin_b: str) -> int:
+    """Disjoint routing options between two pins' attachment nodes.
+
+    Pins have degree 1, so the interesting quantity is the number of
+    internally vertex-disjoint routes between the nodes the pins attach
+    to. Two pins attached to the *same* node (the GRU's TL/T → N case)
+    have connectivity 0 — conflicting fluids entering there can never
+    be kept apart.
+    """
+    for p in (pin_a, pin_b):
+        if not switch.is_pin(p):
+            raise ReproError(f"{p!r} is not a pin of {switch.name}")
+    if pin_a == pin_b:
+        raise ReproError("need two distinct pins")
+    (na,) = switch.graph.neighbors(pin_a)
+    (nb,) = switch.graph.neighbors(pin_b)
+    if na == nb:
+        return 0
+    g = _split_graph(switch, {na, nb})
+    # pins are degree-1 leaves; drop them so they don't act as detours
+    for pin in switch.pins:
+        for suffixed in (f"{pin}__in", f"{pin}__out", pin):
+            if suffixed in g and suffixed not in (na, nb):
+                g.remove_node(suffixed)
+    return nx.maximum_flow_value(g, na, nb)
+
+
+def forced_through_single_node(switch: SwitchModel,
+                               pin_a: str, pin_b: str) -> Optional[str]:
+    """The articulation node both pins depend on, if any.
+
+    Returns the name of a single internal node through which *every*
+    route of both pins passes (the GRU's N for pins TL and T), or None
+    when no such bottleneck exists.
+    """
+    (na,) = switch.graph.neighbors(pin_a)
+    (nb,) = switch.graph.neighbors(pin_b)
+    if na == nb:
+        return na
+    return None
+
+
+def disjoint_transport_capacity(
+    switch: SwitchModel,
+    pairs: Sequence[Tuple[str, str]],
+) -> int:
+    """Largest subset of the terminal pairs routable pairwise
+    vertex-disjointly (exhaustive over subsets — intended for the ≤5
+    conflicting transports of the application cases)."""
+    if len(pairs) > 6:
+        raise ReproError("capacity analysis is exhaustive; pass at most 6 pairs")
+    best = 0
+    for r in range(len(pairs), 0, -1):
+        for subset in itertools.combinations(pairs, r):
+            if _routable_disjointly(switch, list(subset)):
+                return r
+    return best
+
+
+def _routable_disjointly(switch: SwitchModel,
+                         pairs: List[Tuple[str, str]]) -> bool:
+    """Whether all pairs admit pairwise vertex-disjoint routes.
+
+    Backtracking over simple paths, shortest candidates first.
+    """
+    def paths_for(a: str, b: str) -> List[List[str]]:
+        found = list(nx.all_simple_paths(switch.graph, a, b))
+        found = [p for p in found
+                 if all(not switch.is_pin(v) for v in p[1:-1])]
+        found.sort(key=len)
+        return found
+
+    candidates = [paths_for(a, b) for a, b in pairs]
+    order = sorted(range(len(pairs)), key=lambda i: len(candidates[i]))
+
+    def backtrack(idx: int, used: Set[str]) -> bool:
+        if idx == len(order):
+            return True
+        for path in candidates[order[idx]]:
+            interior = set(path[1:-1])
+            if interior & used:
+                continue
+            if backtrack(idx + 1, used | interior):
+                return True
+        return False
+
+    return backtrack(0, set())
+
+
+@dataclass
+class RoutingSpaceReport:
+    """Comparative routing-space metrics for one switch."""
+
+    switch_name: str
+    min_pin_connectivity: int
+    mean_pin_connectivity: float
+    single_node_pin_pairs: List[Tuple[str, str, str]]  # (pin, pin, node)
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "switch": self.switch_name,
+            "min connectivity": self.min_pin_connectivity,
+            "mean connectivity": round(self.mean_pin_connectivity, 2),
+            "single-node pin pairs": len(self.single_node_pin_pairs),
+        }
+
+
+def routing_space_report(switch: SwitchModel) -> RoutingSpaceReport:
+    """Connectivity statistics over all pin pairs of a switch."""
+    values = []
+    singles = []
+    for a, b in itertools.combinations(switch.pins, 2):
+        values.append(pin_connectivity(switch, a, b))
+        node = forced_through_single_node(switch, a, b)
+        if node is not None:
+            singles.append((a, b, node))
+    return RoutingSpaceReport(
+        switch_name=switch.name,
+        min_pin_connectivity=min(values),
+        mean_pin_connectivity=sum(values) / len(values),
+        single_node_pin_pairs=singles,
+    )

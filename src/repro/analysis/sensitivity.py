@@ -1,0 +1,107 @@
+"""Objective-weight sensitivity (eq. 3.7's α/β trade-off).
+
+The paper minimizes ``α·N_sets + β·L_flow`` with α=1, β=100 — a
+length-dominant weighting. This module sweeps the weights and records
+how the optimum trades flow sets against channel length, exposing the
+Pareto front between control effort (fewer sets, eq. 3.7's motivation)
+and chip area (shorter channels).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.spec import SwitchSpec
+from repro.core.synthesizer import SynthesisOptions, synthesize
+from repro.errors import ReproError
+
+#: The paper's default weighting.
+PAPER_WEIGHTS = (1.0, 100.0)
+
+
+@dataclass
+class WeightSweepPoint:
+    """One solved weighting of the objective."""
+
+    alpha: float
+    beta: float
+    num_sets: Optional[int]
+    length_mm: Optional[float]
+    status: str
+    runtime_s: float
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "#s": self.num_sets,
+            "L(mm)": None if self.length_mm is None else round(self.length_mm, 2),
+            "status": self.status,
+            "T(s)": round(self.runtime_s, 2),
+        }
+
+
+@dataclass
+class WeightSweep:
+    """All points of one sweep plus derived views."""
+
+    points: List[WeightSweepPoint] = field(default_factory=list)
+
+    def solved(self) -> List[WeightSweepPoint]:
+        return [p for p in self.points if p.num_sets is not None]
+
+    def pareto_front(self) -> List[Tuple[int, float]]:
+        """Non-dominated (#sets, length) outcomes, sets ascending."""
+        outcomes = sorted({(p.num_sets, round(p.length_mm, 6))
+                           for p in self.solved()})
+        front: List[Tuple[int, float]] = []
+        best_len = float("inf")
+        for sets, length in outcomes:
+            if length < best_len - 1e-9:
+                front.append((sets, length))
+                best_len = length
+        return front
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [p.row() for p in self.points]
+
+
+def _respec(spec: SwitchSpec, alpha: float, beta: float) -> SwitchSpec:
+    clone = copy.copy(spec)
+    clone.alpha = alpha
+    clone.beta = beta
+    # conflicts/flows are shared immutably; validation already ran
+    return clone
+
+
+def weight_sweep(
+    spec: SwitchSpec,
+    weights: Sequence[Tuple[float, float]] = (
+        (1.0, 100.0),   # the paper's setting: length-dominant
+        (1.0, 1.0),     # balanced
+        (100.0, 1.0),   # set-dominant: minimize control effort first
+        (1.0, 0.0),     # sets only
+        (0.0, 1.0),     # length only
+    ),
+    options: Optional[SynthesisOptions] = None,
+) -> WeightSweep:
+    """Solve the same case under several objective weightings."""
+    if not weights:
+        raise ReproError("need at least one weight pair")
+    options = options or SynthesisOptions()
+    sweep = WeightSweep()
+    for alpha, beta in weights:
+        result = synthesize(_respec(spec, alpha, beta), options)
+        if result.status.solved:
+            sweep.points.append(WeightSweepPoint(
+                alpha, beta, result.num_flow_sets,
+                result.flow_channel_length, result.status.value,
+                result.runtime,
+            ))
+        else:
+            sweep.points.append(WeightSweepPoint(
+                alpha, beta, None, None, result.status.value, result.runtime,
+            ))
+    return sweep

@@ -1,0 +1,35 @@
+"""Reconstructed application cases and artificial case generation."""
+
+from repro.cases.artificial import generate_case, suite_90
+from repro.cases.builder import CaseBuilder
+from repro.cases.chip import chip_sw1, chip_sw2
+from repro.cases.example_case import EXAMPLE_FLOW_TABLE, example_4_2
+from repro.cases.kinase import kinase_sw1, kinase_sw2
+from repro.cases.mrna import mrna_isolation
+from repro.cases.nucleic_acid import nucleic_acid
+
+#: Registry of named application cases (factories taking a binding policy).
+CASE_REGISTRY = {
+    "chip_sw1": chip_sw1,
+    "chip_sw2": chip_sw2,
+    "nucleic_acid": nucleic_acid,
+    "mrna_isolation": mrna_isolation,
+    "kinase_sw1": kinase_sw1,
+    "kinase_sw2": kinase_sw2,
+    "example_4_2": example_4_2,
+}
+
+__all__ = [
+    "chip_sw1",
+    "chip_sw2",
+    "nucleic_acid",
+    "mrna_isolation",
+    "kinase_sw1",
+    "kinase_sw2",
+    "example_4_2",
+    "EXAMPLE_FLOW_TABLE",
+    "generate_case",
+    "suite_90",
+    "CaseBuilder",
+    "CASE_REGISTRY",
+]

@@ -1,0 +1,105 @@
+"""Artificial switch-input generator (the 90-case suite of §4.2).
+
+The paper evaluates flow scheduling on 90 generated cases varying the
+switch size, number of flows, number of connected modules, number of
+conflicting constraints and binding policy. :func:`generate_case`
+produces one reproducible case from a seed; :func:`suite_90` spans the
+same feature grid (2 sizes × 3 flow counts × 3 policies × 5 seeds,
+with the conflict count derived from the seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.spec import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.errors import SpecError
+from repro.switches import CrossbarSwitch
+
+
+def generate_case(
+    seed: int,
+    switch_size: int = 8,
+    n_flows: int = 3,
+    n_inlets: int = 2,
+    n_conflicts: int = 0,
+    binding: BindingPolicy = BindingPolicy.UNFIXED,
+    **overrides,
+) -> SwitchSpec:
+    """One random-but-reproducible switch case.
+
+    Each flow gets a random inlet (all inlets used at least once when
+    possible) and its own dedicated outlet; conflicts are sampled among
+    flow pairs with different inlets. Module count is
+    ``n_inlets + n_flows`` and must fit the switch.
+    """
+    rng = random.Random(seed)
+    n_modules = n_inlets + n_flows
+    switch = CrossbarSwitch(switch_size)
+    if n_modules > switch.n_pins:
+        raise SpecError(
+            f"case needs {n_modules} modules but the {switch_size}-pin switch "
+            f"has only {switch.n_pins} pins"
+        )
+    inlets = [f"in{i + 1}" for i in range(n_inlets)]
+    outlets = [f"out{i + 1}" for i in range(n_flows)]
+
+    # Round-robin base assignment guarantees every inlet is used, then
+    # shuffle the surplus flows across inlets.
+    sources = [inlets[i % n_inlets] for i in range(n_flows)]
+    rng.shuffle(sources)
+    flows = [Flow(i + 1, sources[i], outlets[i]) for i in range(n_flows)]
+
+    candidates = [
+        conflict_pair(a.id, b.id)
+        for i, a in enumerate(flows)
+        for b in flows[i + 1:]
+        if a.source != b.source
+    ]
+    rng.shuffle(candidates)
+    conflicts = set(candidates[:min(n_conflicts, len(candidates))])
+
+    modules = inlets + outlets
+    kwargs = dict(
+        switch=switch,
+        modules=modules,
+        flows=flows,
+        conflicts=conflicts,
+        binding=binding,
+        name=(
+            f"artificial[s={seed},{switch_size}pin,f={n_flows},"
+            f"i={n_inlets},c={len(conflicts)},{binding.value}]"
+        ),
+    )
+    if binding is BindingPolicy.FIXED:
+        pins = list(switch.pins)
+        rng.shuffle(pins)
+        kwargs["fixed_binding"] = {m: pins[i] for i, m in enumerate(modules)}
+    elif binding is BindingPolicy.CLOCKWISE:
+        order = list(modules)
+        rng.shuffle(order)
+        kwargs["module_order"] = order
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)
+
+
+def suite_90(**overrides) -> List[SwitchSpec]:
+    """The 90-case grid of §4.2 (2 × 3 × 3 × 5)."""
+    specs: List[SwitchSpec] = []
+    for switch_size in (8, 12):
+        for n_flows in (3, 4, 5):
+            for binding in (BindingPolicy.FIXED, BindingPolicy.CLOCKWISE,
+                            BindingPolicy.UNFIXED):
+                for seed in range(5):
+                    specs.append(generate_case(
+                        seed=seed * 1000 + switch_size * 10 + n_flows,
+                        switch_size=switch_size,
+                        n_flows=n_flows,
+                        n_inlets=2 if n_flows < 5 else 3,
+                        n_conflicts=seed % 3,
+                        binding=binding,
+                        **overrides,
+                    ))
+    assert len(specs) == 90
+    return specs

@@ -1,0 +1,143 @@
+"""Fluent builder for switch cases.
+
+Writing a :class:`~repro.core.spec.SwitchSpec` by hand means repeating
+module lists and flow ids; the builder derives them::
+
+    spec = (CaseBuilder("my assay", switch_size=8)
+            .flow("sample", "mixer1")
+            .flow("buffer", "mixer2")
+            .conflict("sample", "buffer")     # by module or by flow id
+            .clockwise("sample", "mixer1", "buffer", "mixer2")
+            .build())
+
+Flows get sequential ids; modules are registered on first mention;
+conflicts may name two inlet modules (all their flow pairs conflict —
+the fluid-level semantics) or two flow ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.spec import (
+    BindingPolicy,
+    ConflictForm,
+    Flow,
+    NodePolicy,
+    SchedulingForm,
+    SwitchSpec,
+    conflict_pair,
+)
+from repro.errors import SpecError
+from repro.switches import CrossbarSwitch, ScalableCrossbarSwitch, SwitchModel
+
+
+class CaseBuilder:
+    """Accumulates a switch case and validates it on :meth:`build`."""
+
+    def __init__(self, name: str = "custom-case",
+                 switch_size: int = 8,
+                 switch: Optional[SwitchModel] = None,
+                 scalable: bool = False) -> None:
+        if switch is not None:
+            self._switch = switch
+        else:
+            cls = ScalableCrossbarSwitch if scalable else CrossbarSwitch
+            self._switch = cls(switch_size)
+        self._name = name
+        self._modules: List[str] = []
+        self._flows: List[Flow] = []
+        self._conflicts: Set[frozenset] = set()
+        self._module_conflicts: List[Tuple[str, str]] = []
+        self._binding = BindingPolicy.UNFIXED
+        self._fixed: Optional[Dict[str, str]] = None
+        self._order: Optional[List[str]] = None
+        self._extra: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def module(self, name: str) -> "CaseBuilder":
+        """Register a module explicitly (flows register theirs)."""
+        if name not in self._modules:
+            self._modules.append(name)
+        return self
+
+    def flow(self, source: str, target: str) -> "CaseBuilder":
+        """Add a transport; modules are registered automatically."""
+        self.module(source)
+        self.module(target)
+        self._flows.append(Flow(len(self._flows) + 1, source, target))
+        return self
+
+    def conflict(self, a: Union[str, int], b: Union[str, int]) -> "CaseBuilder":
+        """Mark two flows (by id) or two inlets (by name) conflicting."""
+        if isinstance(a, int) and isinstance(b, int):
+            self._conflicts.add(conflict_pair(a, b))
+        elif isinstance(a, str) and isinstance(b, str):
+            self._module_conflicts.append((a, b))
+        else:
+            raise SpecError("conflict() takes two flow ids or two module names")
+        return self
+
+    def fixed(self, **module_to_pin: str) -> "CaseBuilder":
+        """Use the fixed policy with the given module→pin map."""
+        self._binding = BindingPolicy.FIXED
+        self._fixed = dict(module_to_pin)
+        return self
+
+    def clockwise(self, *order: str) -> "CaseBuilder":
+        """Use the clockwise policy with the given module order."""
+        self._binding = BindingPolicy.CLOCKWISE
+        self._order = list(order) if order else None
+        return self
+
+    def unfixed(self) -> "CaseBuilder":
+        self._binding = BindingPolicy.UNFIXED
+        return self
+
+    def weights(self, alpha: float, beta: float) -> "CaseBuilder":
+        self._extra["alpha"] = alpha
+        self._extra["beta"] = beta
+        return self
+
+    def max_sets(self, n: int) -> "CaseBuilder":
+        self._extra["max_sets"] = n
+        return self
+
+    def node_policy(self, policy: NodePolicy) -> "CaseBuilder":
+        self._extra["node_policy"] = policy
+        return self
+
+    def scheduling_form(self, form: SchedulingForm) -> "CaseBuilder":
+        self._extra["scheduling_form"] = form
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> SwitchSpec:
+        """Assemble and validate the spec."""
+        conflicts = set(self._conflicts)
+        for mod_a, mod_b in self._module_conflicts:
+            pairs_a = [f.id for f in self._flows if f.source == mod_a]
+            pairs_b = [f.id for f in self._flows if f.source == mod_b]
+            if not pairs_a or not pairs_b:
+                raise SpecError(
+                    f"conflict between {mod_a!r} and {mod_b!r}: both must be "
+                    "inlets of at least one flow"
+                )
+            for fa in pairs_a:
+                for fb in pairs_b:
+                    conflicts.add(conflict_pair(fa, fb))
+
+        kwargs: Dict[str, object] = dict(
+            switch=self._switch,
+            modules=list(self._modules),
+            flows=list(self._flows),
+            conflicts=conflicts,
+            binding=self._binding,
+            name=self._name,
+        )
+        if self._binding is BindingPolicy.FIXED:
+            kwargs["fixed_binding"] = self._fixed
+        elif self._binding is BindingPolicy.CLOCKWISE:
+            kwargs["module_order"] = self._order or list(self._modules)
+        kwargs.update(self._extra)
+        return SwitchSpec(**kwargs)

@@ -1,0 +1,100 @@
+"""Chromatin immunoprecipitation (ChIP) switch cases.
+
+Reconstructed from §4.1/§4.3: the first ChIP switch connects 9 modules
+on a 12-pin switch, with conflicts between the flows from inlets
+``i_10`` and ``i_11`` — the flow from ``i_10`` feeds mixer ``M1`` while
+``i_11`` distributes to mixers ``M2``–``M4``. The second ChIP switch
+connects 10 modules with no conflicting flows (Table 4.3).
+
+The original Columba input files are not available offline; these specs
+encode exactly the structural facts the paper states (module counts,
+switch sizes, conflict pattern), as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.spec import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.switches import CrossbarSwitch, ScalableCrossbarSwitch
+
+#: Fixed binding used by the paper-style "fixed" policy runs. The map is
+#: intentionally *not* length-optimal (i_10's flow crosses the top row)
+#: so that, as in Table 4.1, the fixed policy trades channel length for
+#: its much smaller runtime.
+CHIP_SW1_FIXED = {
+    "i_10": "T1", "M1": "T4",
+    "i_11": "B1", "M2": "B2", "M3": "B3", "M4": "B4",
+    "i_3": "L1", "o_7": "L2", "o_8": "R1",
+}
+
+#: Clockwise module order for the "clockwise" policy runs.
+CHIP_SW1_ORDER = ["i_10", "M1", "i_11", "M2", "M3", "M4", "i_3", "o_7", "o_8"]
+
+
+def chip_sw1(binding: BindingPolicy = BindingPolicy.UNFIXED,
+             scalable: bool = False, **overrides) -> SwitchSpec:
+    """ChIP switch 1: 9 modules, 12-pin, conflicting inlets i_10/i_11."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(12)
+    flows = [
+        Flow(1, "i_10", "M1"),
+        Flow(2, "i_11", "M2"),
+        Flow(3, "i_11", "M3"),
+        Flow(4, "i_11", "M4"),
+        Flow(5, "i_3", "o_7"),
+        Flow(6, "i_3", "o_8"),
+    ]
+    conflicts = {conflict_pair(1, 2), conflict_pair(1, 3), conflict_pair(1, 4)}
+    kwargs = dict(
+        switch=switch,
+        modules=list(CHIP_SW1_ORDER),
+        flows=flows,
+        conflicts=conflicts,
+        binding=binding,
+        name="ChIP sw.1" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(CHIP_SW1_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(CHIP_SW1_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)
+
+
+CHIP_SW2_FIXED = {
+    "i_1": "T1", "o_1": "T2", "o_2": "T3", "o_3": "T4", "o_4": "R1",
+    "i_2": "B1", "o_5": "B2", "o_6": "B3", "o_7": "B4", "o_8": "R2",
+}
+
+CHIP_SW2_ORDER = ["i_1", "o_1", "o_2", "o_3", "o_4",
+                  "i_2", "o_5", "o_6", "o_7", "o_8"]
+
+
+def chip_sw2(binding: BindingPolicy = BindingPolicy.UNFIXED,
+             scalable: bool = False, **overrides) -> SwitchSpec:
+    """ChIP switch 2: 10 modules, 12-pin, two inlets, no conflicts."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(12)
+    flows = [
+        Flow(1, "i_1", "o_1"),
+        Flow(2, "i_1", "o_2"),
+        Flow(3, "i_1", "o_3"),
+        Flow(4, "i_1", "o_4"),
+        Flow(5, "i_2", "o_5"),
+        Flow(6, "i_2", "o_6"),
+        Flow(7, "i_2", "o_7"),
+        Flow(8, "i_2", "o_8"),
+    ]
+    kwargs = dict(
+        switch=switch,
+        modules=list(CHIP_SW2_ORDER),
+        flows=flows,
+        conflicts=set(),
+        binding=binding,
+        name="ChIP sw.2" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(CHIP_SW2_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(CHIP_SW2_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)

@@ -1,0 +1,72 @@
+"""Kinase-activity radioassay switch cases (Table 4.3).
+
+Two conflict-free switches from the kinase activity platform: sw.1
+connects 4 modules (two independent transports) and sw.2 connects 6
+modules (two inlets fanning out to two outlets each), both on 12-pin
+switches. The fixed maps are chosen length-optimal, so — as in Table
+4.3 — all three policies reach the same channel length while the fixed
+policy is by far the fastest.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import BindingPolicy, Flow, SwitchSpec
+
+from repro.switches import CrossbarSwitch, ScalableCrossbarSwitch
+
+KINASE_SW1_FIXED = {"i_1": "T1", "o_1": "L1", "i_2": "R1", "o_2": "T4"}
+KINASE_SW1_ORDER = ["i_1", "o_1", "i_2", "o_2"]
+
+
+def kinase_sw1(binding: BindingPolicy = BindingPolicy.UNFIXED,
+               scalable: bool = False, **overrides) -> SwitchSpec:
+    """Kinase activity sw.1: 4 modules, 12-pin, two independent flows."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(12)
+    flows = [Flow(1, "i_1", "o_1"), Flow(2, "i_2", "o_2")]
+    kwargs = dict(
+        switch=switch,
+        modules=list(KINASE_SW1_ORDER),
+        flows=flows,
+        conflicts=set(),
+        binding=binding,
+        name="kinase activity sw.1" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(KINASE_SW1_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(KINASE_SW1_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)
+
+
+KINASE_SW2_FIXED = {
+    "i_1": "T1", "o_1": "L1", "o_2": "T2",
+    "i_2": "B1", "o_3": "L2", "o_4": "B2",
+}
+KINASE_SW2_ORDER = ["i_1", "o_1", "o_2", "i_2", "o_3", "o_4"]
+
+
+def kinase_sw2(binding: BindingPolicy = BindingPolicy.UNFIXED,
+               scalable: bool = False, **overrides) -> SwitchSpec:
+    """Kinase activity sw.2: 6 modules, 12-pin, two 1→2 fan-outs."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(12)
+    flows = [
+        Flow(1, "i_1", "o_1"),
+        Flow(2, "i_1", "o_2"),
+        Flow(3, "i_2", "o_3"),
+        Flow(4, "i_2", "o_4"),
+    ]
+    kwargs = dict(
+        switch=switch,
+        modules=list(KINASE_SW2_ORDER),
+        flows=flows,
+        conflicts=set(),
+        binding=binding,
+        name="kinase activity sw.2" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(KINASE_SW2_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(KINASE_SW2_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)

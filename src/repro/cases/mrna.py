@@ -1,0 +1,53 @@
+"""Single-cell mRNA isolation switch case (§4.1, third test case).
+
+Chambers RC1–RC4 each send fluid to a dedicated outlet p_c1–p_c4; the
+four flows must stay apart. 10 modules on a 12-pin switch. As with the
+nucleic-acid case, the fixed map and the clockwise order interleave the
+chambers with their outlets, making the restricted policies infeasible
+(Table 4.1's "no solution" rows) while the unfixed policy solves.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.switches import CrossbarSwitch, ScalableCrossbarSwitch
+
+MRNA_FIXED = {
+    "RC1": "T1", "RC2": "T2", "RC3": "T3", "RC4": "T4",
+    "p_c1": "R1", "p_c2": "B4", "p_c3": "B3", "p_c4": "B2",
+    "lysis": "B1", "waste": "L2",
+}
+
+MRNA_ORDER = ["RC1", "RC2", "RC3", "RC4",
+              "p_c1", "p_c2", "p_c3", "p_c4", "lysis", "waste"]
+
+
+def mrna_isolation(binding: BindingPolicy = BindingPolicy.UNFIXED,
+                   scalable: bool = False, **overrides) -> SwitchSpec:
+    """mRNA isolation: 10 modules, 12-pin, four conflicting flows."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(12)
+    flows = [
+        Flow(1, "RC1", "p_c1"),
+        Flow(2, "RC2", "p_c2"),
+        Flow(3, "RC3", "p_c3"),
+        Flow(4, "RC4", "p_c4"),
+        Flow(5, "lysis", "waste"),
+    ]
+    conflicts = {
+        conflict_pair(a, b)
+        for a in range(1, 5) for b in range(a + 1, 5)
+    }
+    kwargs = dict(
+        switch=switch,
+        modules=list(MRNA_ORDER),
+        flows=flows,
+        conflicts=conflicts,
+        binding=binding,
+        name="mRNA isolation" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(MRNA_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(MRNA_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)

@@ -1,0 +1,53 @@
+"""Nucleic-acid processor switch case (§4.1, second test case).
+
+"The mixture from each mixer should be sent to a dedicated reaction
+chamber. If any mixtures pollute each other, the single-cell experiment
+is a failure." — three pairwise-conflicting flows M1→RC1, M2→RC2,
+M3→RC3 on an 8-pin switch with 7 connected modules.
+
+The fixed map and the clockwise order *interleave* mixers and chambers
+around the switch: any two of the (vertex-disjoint-required) flows then
+have interleaved endpoints on the outer face of the planar switch graph
+and must share a node — so both restricted policies are provably
+infeasible, exactly the "no solution" entries of Table 4.1, while the
+unfixed policy re-orders the modules and solves.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.switches import CrossbarSwitch, ScalableCrossbarSwitch
+
+NUCLEIC_FIXED = {
+    "M1": "T1", "M2": "T2", "M3": "R1",
+    "RC1": "R2", "RC2": "B2", "RC3": "B1",
+    "waste": "L2",
+}
+
+NUCLEIC_ORDER = ["M1", "M2", "M3", "RC1", "RC2", "RC3", "waste"]
+
+
+def nucleic_acid(binding: BindingPolicy = BindingPolicy.UNFIXED,
+                 scalable: bool = False, **overrides) -> SwitchSpec:
+    """Nucleic-acid processor: 7 modules, 8-pin, all flows conflicting."""
+    switch = (ScalableCrossbarSwitch if scalable else CrossbarSwitch)(8)
+    flows = [
+        Flow(1, "M1", "RC1"),
+        Flow(2, "M2", "RC2"),
+        Flow(3, "M3", "RC3"),
+    ]
+    conflicts = {conflict_pair(1, 2), conflict_pair(1, 3), conflict_pair(2, 3)}
+    kwargs = dict(
+        switch=switch,
+        modules=list(NUCLEIC_ORDER),
+        flows=flows,
+        conflicts=conflicts,
+        binding=binding,
+        name="nucleic acid processor" + (" (scalable)" if scalable else ""),
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = dict(NUCLEIC_FIXED)
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = list(NUCLEIC_ORDER)
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)

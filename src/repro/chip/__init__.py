@@ -1,0 +1,27 @@
+"""Chip-level co-layout around synthesized switches (mini-Columba)."""
+
+from repro.chip.layout import (
+    ChipLayout,
+    Connection,
+    PlacedModule,
+    chip_layout,
+)
+from repro.chip.modules import (
+    DEFAULT_FOOTPRINTS,
+    ModuleShape,
+    default_shape,
+    infer_kind,
+    shapes_for,
+)
+
+__all__ = [
+    "chip_layout",
+    "ChipLayout",
+    "PlacedModule",
+    "Connection",
+    "ModuleShape",
+    "default_shape",
+    "infer_kind",
+    "shapes_for",
+    "DEFAULT_FOOTPRINTS",
+]

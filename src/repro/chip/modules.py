@@ -1,0 +1,78 @@
+"""Module shape library (Columba-style component footprints).
+
+Columba's top-down flow keeps a library of module models (mixers,
+reaction chambers, inlets, ...) whose footprints the placer arranges
+around the switch. We model just what chip-level layout needs: a named
+rectangle with one flow port.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ModuleShape:
+    """A placeable module footprint, dimensions in millimetres."""
+
+    name: str
+    width: float
+    height: float
+    kind: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ReproError(f"module {self.name!r} must have positive size")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+#: Default footprints per recognizable module kind (mm). Sizes follow
+#: the ballpark of Columba's library: ring mixers are the big
+#: components, chambers mid-sized, I/O ports tiny.
+DEFAULT_FOOTPRINTS: Dict[str, tuple] = {
+    "mixer": (3.0, 2.0),
+    "chamber": (2.0, 2.0),
+    "inlet": (0.6, 0.6),
+    "outlet": (0.6, 0.6),
+    "generic": (1.5, 1.5),
+}
+
+_KIND_PATTERNS = [
+    ("mixer", re.compile(r"^(m|mix|mixer)[_\d]", re.IGNORECASE)),
+    ("chamber", re.compile(r"^(rc|chamber|cell)[_\d]?", re.IGNORECASE)),
+    ("inlet", re.compile(r"^(i|in|inlet|lys)[_\d]?", re.IGNORECASE)),
+    ("outlet", re.compile(r"^(o|out|outlet|p_c|w|waste)[_\d]?", re.IGNORECASE)),
+]
+
+
+def infer_kind(module_name: str) -> str:
+    """Best-effort module kind from its name (mirrors the case naming)."""
+    for kind, pattern in _KIND_PATTERNS:
+        if pattern.match(module_name):
+            return kind
+    return "generic"
+
+
+def default_shape(module_name: str) -> ModuleShape:
+    """A footprint for a module, inferred from its name."""
+    kind = infer_kind(module_name)
+    width, height = DEFAULT_FOOTPRINTS[kind]
+    return ModuleShape(module_name, width, height, kind)
+
+
+def shapes_for(modules, overrides: Optional[Dict[str, ModuleShape]] = None
+               ) -> Dict[str, ModuleShape]:
+    """Footprints for a module list, with optional explicit overrides."""
+    result = {m: default_shape(m) for m in modules}
+    for name, shape in (overrides or {}).items():
+        if name not in result:
+            raise ReproError(f"override for unknown module {name!r}")
+        result[name] = shape
+    return result

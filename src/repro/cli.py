@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+::
+
+    python -m repro cases                       # list built-in cases
+    python -m repro show-switch 8               # print switch structure
+    python -m repro synthesize chip_sw1 --policy fixed --svg out.svg
+    python -m repro synthesize my_case.json --json result.json
+    python -m repro export-case chip_sw1 --policy fixed -o case.json
+    python -m repro compare nucleic_acid        # vs spine / GRU baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import compare_designs, format_table
+from repro.cases import CASE_REGISTRY
+from repro.core import BindingPolicy, SwitchSpec, SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.io import load_spec, save_result, save_spec
+from repro.render import render_result, render_switch, save_svg
+from repro.switches import CrossbarSwitch
+
+
+def _resolve_spec(target: str, policy: Optional[str]) -> SwitchSpec:
+    """A case name from the registry, or a path to a JSON spec."""
+    if target in CASE_REGISTRY:
+        binding = BindingPolicy(policy) if policy else BindingPolicy.UNFIXED
+        return CASE_REGISTRY[target](binding)
+    path = Path(target)
+    if path.exists():
+        spec = load_spec(path)
+        if policy:
+            raise ReproError(
+                "--policy applies to registry cases only; edit the JSON's "
+                "'binding' field instead"
+            )
+        return spec
+    raise ReproError(
+        f"unknown case {target!r}: not in the registry "
+        f"({', '.join(sorted(CASE_REGISTRY))}) and not a file"
+    )
+
+
+def cmd_cases(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in sorted(CASE_REGISTRY.items()):
+        spec = factory(BindingPolicy.UNFIXED)
+        rows.append({
+            "case": name,
+            "#m": len(spec.modules),
+            "#flows": len(spec.flows),
+            "#conflicts": len(spec.conflicts),
+            "switch": spec.switch.size_label,
+        })
+    print(format_table(rows))
+    return 0
+
+
+def cmd_show_switch(args: argparse.Namespace) -> int:
+    switch = CrossbarSwitch(args.pins)
+    print(f"{switch.name}: {switch.n_pins} pins, {len(switch.nodes)} nodes, "
+          f"{len(switch.segments)} segments, "
+          f"total L={switch.total_length():.1f} mm")
+    print("pins (clockwise):", ", ".join(switch.pins))
+    print("nodes:", ", ".join(switch.nodes))
+    if args.svg:
+        save_svg(render_switch(switch), args.svg)
+        print(f"structure rendered to {args.svg}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.case, args.policy)
+    options = SynthesisOptions(
+        backend=args.backend,
+        time_limit=args.time_limit,
+        pressure_method=args.pressure,
+    )
+    print(f"synthesizing {spec.summary()} ...")
+    result = synthesize(spec, options)
+    print(format_table([result.table_row()]))
+    if not result.status.solved:
+        return 1
+    print(f"binding: {result.binding}")
+    for fid, path in sorted(result.flow_paths.items()):
+        print(f"  flow {fid} (set {result.set_of_flow(fid)}): {path}")
+    if result.pressure:
+        print(f"control inlets after pressure sharing: "
+              f"{result.pressure.num_control_inlets}")
+    if args.svg:
+        save_svg(render_result(result), args.svg)
+        print(f"layout rendered to {args.svg}")
+    if args.json:
+        save_result(result, args.json)
+        print(f"result written to {args.json}")
+    return 0
+
+
+def cmd_export_case(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.case, args.policy)
+    save_spec(spec, args.output)
+    print(f"spec written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args.case, args.policy)
+    comparison = compare_designs(
+        spec, SynthesisOptions(time_limit=args.time_limit)
+    )
+    print(format_table(comparison.rows()))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import estimate_execution_time, simulate, stuck_open
+
+    spec = _resolve_spec(args.case, args.policy)
+    result = synthesize(spec, SynthesisOptions(time_limit=args.time_limit))
+    if not result.status.solved:
+        print(f"{spec.name}: {result.status.value}")
+        return 1
+    report = simulate(result)
+    print(f"{spec.name}: {report.summary()}")
+    print(f"estimated routing time: "
+          f"{estimate_execution_time(result).summary()}")
+    if args.faults and result.valves.essential:
+        print("\nstuck-open fault sweep over essential valves:")
+        for key in sorted(result.valves.essential):
+            faulty = simulate(result, faults=[stuck_open(*key)])
+            verdict = "clean" if faulty.is_clean else faulty.summary()
+            print(f"  {key[0]}-{key[1]}: {verdict}")
+    return 0 if report.is_clean else 1
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    from repro.chip import chip_layout
+    from repro.render import render_chip
+
+    spec = _resolve_spec(args.case, args.policy)
+    result = synthesize(spec, SynthesisOptions(time_limit=args.time_limit))
+    if not result.status.solved:
+        print(f"{spec.name}: {result.status.value}")
+        return 1
+    layout = chip_layout(result)
+    print(f"{spec.name}: {layout.summary()}")
+    if args.svg:
+        save_svg(render_chip(layout, result), args.svg)
+        print(f"chip layout rendered to {args.svg}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contamination-free microfluidic switch synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cases", help="list built-in application cases")
+    p.set_defaults(func=cmd_cases)
+
+    p = sub.add_parser("show-switch", help="describe a switch model")
+    p.add_argument("pins", type=int, choices=[8, 12, 16])
+    p.add_argument("--svg", help="render the structure to this SVG file")
+    p.set_defaults(func=cmd_show_switch)
+
+    p = sub.add_parser("synthesize", help="synthesize a case or JSON spec")
+    p.add_argument("case", help="registry case name or path to a JSON spec")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy],
+                   help="binding policy (registry cases)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "highs", "branch_bound", "backtrack"])
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--pressure", default="ilp", choices=["ilp", "greedy"])
+    p.add_argument("--svg", help="render the result to this SVG file")
+    p.add_argument("--json", help="write the result to this JSON file")
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("export-case", help="write a registry case as JSON")
+    p.add_argument("case")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_export_case)
+
+    p = sub.add_parser("compare", help="compare against spine/GRU baselines")
+    p.add_argument("case")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("simulate",
+                       help="synthesize then execute in the simulator")
+    p.add_argument("case")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--faults", action="store_true",
+                   help="also sweep stuck-open faults over essential valves")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("layout", help="chip co-layout around the switch")
+    p.add_argument("case")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--svg", help="render the chip to this SVG file")
+    p.set_defaults(func=cmd_layout)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Control layer: escape routing, actuation programs, multiplexing."""
+
+from repro.control.mux import MuxPlan, control_strategy_rows
+from repro.control.program import (
+    HIGH,
+    LOW,
+    ActuationProgram,
+    ActuationStep,
+    compile_program,
+)
+from repro.control.routing import (
+    BORDER_MARGIN,
+    ControlChannel,
+    ControlPlan,
+    route_control,
+)
+
+__all__ = [
+    "route_control",
+    "ControlPlan",
+    "ControlChannel",
+    "BORDER_MARGIN",
+    "compile_program",
+    "ActuationProgram",
+    "ActuationStep",
+    "HIGH",
+    "LOW",
+    "MuxPlan",
+    "control_strategy_rows",
+]

@@ -1,0 +1,101 @@
+"""Microfluidic multiplexer control (the Columba S approach).
+
+Columba S makes module models scalable by driving valves through a
+binary multiplexer instead of one inlet per valve: a mux over ``n``
+lines needs ``2*ceil(log2 n)`` address inputs (each address bit has a
+pair of complementary control lines) plus one pressure source, at the
+cost of *serial* actuation — valves are addressed one at a time and
+latched.
+
+This module models that trade-off so the control strategies can be
+compared quantitatively on synthesized switches:
+
+========================  ===========================  =================
+strategy                  control inputs               actuations / set
+========================  ===========================  =================
+direct (1 inlet/valve)    ``n``                        1 (parallel)
+pressure sharing (paper)  ``#cliques``                 1 (parallel)
+multiplexer (Columba S)   ``2*ceil(log2 n) + 1``       changed valves
+========================  ===========================  =================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.program import ActuationProgram, compile_program
+from repro.core.solution import SynthesisResult
+from repro.errors import ReproError
+
+Valve = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class MuxPlan:
+    """A binary multiplexer addressing ``num_lines`` latched valves."""
+
+    num_lines: int
+
+    def __post_init__(self) -> None:
+        if self.num_lines < 1:
+            raise ReproError("a multiplexer needs at least one line")
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.num_lines)))
+
+    @property
+    def num_control_inputs(self) -> int:
+        """Two complementary lines per address bit plus the source."""
+        return 2 * self.address_bits + 1
+
+    def actuations_for(self, program: ActuationProgram) -> int:
+        """Serial addressing operations needed to play a program.
+
+        The first step sets every driven line; each later step re-
+        addresses only the lines whose level changed.
+        """
+        if not program.steps:
+            return 0
+        total = len(program.steps[0].levels)
+        total += program.transitions()
+        return total
+
+
+def control_strategy_rows(result: SynthesisResult) -> List[Dict[str, object]]:
+    """Compare direct / pressure-shared / multiplexed control for one
+    synthesized switch (inputs, chip area, actuation counts)."""
+    if not result.status.solved or result.valves is None:
+        raise ReproError("need a solved synthesis result")
+    rules = result.spec.switch.rules
+    n_valves = len(result.valves.essential)
+    if n_valves == 0:
+        return [{"strategy": "none needed", "control inputs": 0,
+                 "inlet area (mm^2)": 0.0, "actuations": 0}]
+    program = compile_program(result)
+    n_steps = len(result.flow_sets)
+
+    rows = [{
+        "strategy": "direct (1 inlet/valve)",
+        "control inputs": n_valves,
+        "inlet area (mm^2)": rules.control_area(n_valves),
+        "actuations": n_steps,
+    }]
+    if result.pressure is not None:
+        rows.append({
+            "strategy": "pressure sharing (paper)",
+            "control inputs": result.pressure.num_control_inlets,
+            "inlet area (mm^2)": rules.control_area(
+                result.pressure.num_control_inlets),
+            "actuations": n_steps,
+        })
+    mux = MuxPlan(program.num_inlets)
+    rows.append({
+        "strategy": "multiplexer (Columba S)",
+        "control inputs": mux.num_control_inputs,
+        "inlet area (mm^2)": rules.control_area(mux.num_control_inputs),
+        "actuations": mux.actuations_for(program),
+    })
+    return rows

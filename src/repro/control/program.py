@@ -1,0 +1,172 @@
+"""Pneumatic actuation programs.
+
+A synthesized switch is operated by applying pressure vectors to its
+control inlets, one vector per flow set. This module compiles a
+:class:`~repro.core.solution.SynthesisResult` into that program:
+
+* each pressure-sharing group becomes one control inlet;
+* for every flow set, each inlet is driven HIGH (valve closed) or LOW
+  (valve open) — *don't care* valves follow their group's requirement,
+  defaulting LOW when the whole group is indifferent;
+* a consistency check proves that driving each group with one line
+  reproduces exactly the per-valve O/C schedule the synthesis demanded.
+
+The compiled program is a plain data structure, exportable as JSON and
+replayable in the execution simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.solution import PressureSharingResult, SynthesisResult
+from repro.core.valves import CLOSED, DONT_CARE, OPEN
+from repro.errors import ReproError
+
+Valve = Tuple[str, str]
+
+#: Pneumatic levels. HIGH pressurizes the control line, squeezing the
+#: membrane and *closing* the valve; LOW vents it, opening the valve.
+HIGH = "HIGH"
+LOW = "LOW"
+
+
+@dataclass
+class ActuationStep:
+    """One flow set's pressure vector, inlet index → level."""
+
+    step: int
+    levels: Dict[int, str]
+
+    def level_of(self, inlet: int) -> str:
+        return self.levels[inlet]
+
+
+@dataclass
+class ActuationProgram:
+    """The full pneumatic program for one synthesized switch."""
+
+    case_name: str
+    inlets: List[List[Valve]]          # inlet index -> valves it drives
+    steps: List[ActuationStep] = field(default_factory=list)
+
+    @property
+    def num_inlets(self) -> int:
+        return len(self.inlets)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def inlet_of(self, valve: Valve) -> int:
+        for idx, group in enumerate(self.inlets):
+            if valve in group:
+                return idx
+        raise KeyError(f"valve {valve} is not driven by any inlet")
+
+    def valve_state(self, valve: Valve, step: int) -> str:
+        """'O' or 'C' realized by the program for a valve at a step."""
+        level = self.steps[step].levels[self.inlet_of(valve)]
+        return CLOSED if level == HIGH else OPEN
+
+    def transitions(self) -> int:
+        """Total inlet level changes across the program — the control
+        effort the paper's set-count objective is a proxy for."""
+        count = 0
+        for prev, cur in zip(self.steps, self.steps[1:]):
+            count += sum(
+                1 for inlet in cur.levels
+                if cur.levels[inlet] != prev.levels[inlet]
+            )
+        return count
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "case": self.case_name,
+            "inlets": [
+                [f"{a}-{b}" for a, b in group] for group in self.inlets
+            ],
+            "steps": [
+                {"step": s.step,
+                 "levels": {str(i): lvl for i, lvl in sorted(s.levels.items())}}
+                for s in self.steps
+            ],
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                              encoding="utf-8")
+
+    def pretty(self) -> str:
+        lines = [f"actuation program for {self.case_name}: "
+                 f"{self.num_inlets} control inlet(s), {self.num_steps} step(s)"]
+        for idx, group in enumerate(self.inlets):
+            names = ", ".join(f"{a}-{b}" for a, b in group)
+            lines.append(f"  inlet {idx}: {names}")
+        for step in self.steps:
+            vec = " ".join(
+                f"P{i}={step.levels[i]}" for i in sorted(step.levels)
+            )
+            lines.append(f"  set {step.step}: {vec}")
+        return "\n".join(lines)
+
+
+def compile_program(result: SynthesisResult) -> ActuationProgram:
+    """Compile a solved synthesis result into its actuation program.
+
+    Raises :class:`~repro.errors.ReproError` if any pressure group's
+    members disagree (which the clique cover construction precludes —
+    the check makes the compiled artifact self-validating).
+    """
+    if not result.status.solved:
+        raise ReproError("cannot compile a program for an unsolved result")
+    if result.valves is None:
+        raise ReproError("synthesis result lacks a valve analysis")
+
+    valves = sorted(result.valves.essential)
+    if result.pressure is not None:
+        inlets = [list(group) for group in result.pressure.groups]
+    else:
+        inlets = [[v] for v in valves]
+
+    program = ActuationProgram(case_name=result.spec.name, inlets=inlets)
+    n_steps = len(result.flow_sets)
+    for step in range(n_steps):
+        levels: Dict[int, str] = {}
+        for idx, group in enumerate(inlets):
+            demand: Optional[str] = None
+            for valve in group:
+                state = result.valves.status[valve][step]
+                if state == DONT_CARE:
+                    continue
+                if demand is None:
+                    demand = state
+                elif demand != state:
+                    raise ReproError(
+                        f"pressure group {idx} is inconsistent at step {step}: "
+                        f"{valve} wants {state}, group wants {demand}"
+                    )
+            levels[idx] = HIGH if demand == CLOSED else LOW
+        program.steps.append(ActuationStep(step=step, levels=levels))
+
+    _check_program(result, program)
+    return program
+
+
+def _check_program(result: SynthesisResult, program: ActuationProgram) -> None:
+    """Every O/C demand of the schedule is realized by the program."""
+    for valve in sorted(result.valves.essential):
+        sequence = result.valves.status[valve]
+        for step, state in enumerate(sequence):
+            if state == DONT_CARE:
+                continue
+            realized = program.valve_state(valve, step)
+            if realized != state:
+                raise ReproError(
+                    f"program drives valve {valve} to {realized} at step "
+                    f"{step}, schedule demands {state}"
+                )

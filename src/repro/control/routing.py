@@ -1,0 +1,310 @@
+"""Control-layer escape routing.
+
+The paper leaves full control-channel routing to future work but relies
+on three facts this module makes executable:
+
+* every valve is reachable by at least one control channel;
+* the *drawn* control channels of the prior GRU design violate the
+  100 µm spacing rule (§2.1's fourth criticism);
+* pressure sharing shrinks the number of control inlets, hence chip
+  area (§3.5 motivation).
+
+Two routing strategies are provided:
+
+``"lanes"``
+    Constructive Columba-S-style escape routing: each valve's control
+    channel rises (or drops) vertically to the nearest horizontal
+    border, with greedy lane assignment — adjacent channels get small
+    lateral jogs so centerlines keep ``control width + spacing``
+    clearance.
+
+``"perpendicular"``
+    As-drawn analysis: each control channel leaves the valve
+    perpendicular to its flow segment, straight to the border. On the
+    45° GRU geometry adjacent channels converge and cross — exactly the
+    violation the paper points out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.geometry import Point
+from repro.geometry.lines import segment_segment_distance
+from repro.switches.base import SwitchModel, segment_key
+
+SegKey = Tuple[str, str]
+
+#: Extra clearance between the switch bounding box and the chip border.
+BORDER_MARGIN = 0.5
+
+
+@dataclass
+class ControlChannel:
+    """One routed control channel: valve tap → border inlet."""
+
+    valve: SegKey
+    points: List[Point]
+    group: int = 0  # pressure-sharing group (one inlet per group)
+
+    @property
+    def length(self) -> float:
+        return sum(a.manhattan_to(b) for a, b in zip(self.points, self.points[1:]))
+
+    @property
+    def inlet(self) -> Point:
+        return self.points[-1]
+
+    def polyline_segments(self) -> List[Tuple[Point, Point]]:
+        return list(zip(self.points, self.points[1:]))
+
+
+@dataclass
+class ControlPlan:
+    """A full control-layer plan plus its design-rule audit."""
+
+    switch: SwitchModel
+    channels: List[ControlChannel]
+    strategy: str
+
+    @property
+    def total_length(self) -> float:
+        return sum(c.length for c in self.channels)
+
+    @property
+    def num_inlets(self) -> int:
+        """One control inlet per pressure group."""
+        return len({c.group for c in self.channels}) if self.channels else 0
+
+    def area(self) -> Dict[str, float]:
+        rules = self.switch.rules
+        channel = self.total_length * rules.control_channel_width
+        inlets = rules.control_area(self.num_inlets)
+        return {"channel": channel, "inlets": inlets, "total": channel + inlets}
+
+    def violations(self) -> List[str]:
+        """Spacing violations between channels of different groups.
+
+        Channels sharing a pressure group are allowed to touch — they
+        connect to the same inlet by construction.
+        """
+        rules = self.switch.rules
+        min_clear = rules.control_channel_width + rules.min_channel_spacing
+        found: List[str] = []
+        for i, ca in enumerate(self.channels):
+            for cb in self.channels[i + 1:]:
+                if ca.group == cb.group:
+                    continue
+                dist = min(
+                    segment_segment_distance(p1, p2, q1, q2)
+                    for p1, p2 in ca.polyline_segments()
+                    for q1, q2 in cb.polyline_segments()
+                )
+                if dist < min_clear - 1e-9:
+                    found.append(
+                        f"control channels of valves {ca.valve} and {cb.valve} "
+                        f"are {dist * 1000:.0f} um apart "
+                        f"(minimum {min_clear * 1000:.0f} um)"
+                    )
+        return found
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.violations()
+
+
+def _valve_midpoint(switch: SwitchModel, key: SegKey) -> Point:
+    a, b = key
+    pa, pb = switch.coords[a], switch.coords[b]
+    return Point((pa.x + pb.x) / 2, (pa.y + pb.y) / 2)
+
+
+def route_control(
+    switch: SwitchModel,
+    valves: Sequence[SegKey],
+    groups: Optional[Dict[SegKey, int]] = None,
+    strategy: str = "lanes",
+) -> ControlPlan:
+    """Route one control channel per valve to the chip border.
+
+    ``groups`` maps valves to pressure-sharing groups (defaults to one
+    group per valve = no sharing).
+    """
+    keys = [segment_key(*v) for v in valves]
+    for key in keys:
+        if key not in switch.segments:
+            raise ReproError(f"no segment {key} on {switch.name}")
+    if groups is None:
+        group_of = {key: idx for idx, key in enumerate(keys)}
+    else:
+        group_of = {segment_key(*k): g for k, g in groups.items()}
+        missing = [k for k in keys if k not in group_of]
+        if missing:
+            raise ReproError(f"valves missing a pressure group: {missing}")
+
+    if strategy == "lanes":
+        channels = _route_lanes(switch, keys, group_of)
+    elif strategy == "perpendicular":
+        channels = _route_perpendicular(switch, keys, group_of)
+    else:
+        raise ReproError(f"unknown control routing strategy {strategy!r}")
+    return ControlPlan(switch=switch, channels=channels, strategy=strategy)
+
+
+# ----------------------------------------------------------------------
+def _route_lanes(switch, keys, group_of) -> List[ControlChannel]:
+    """Escape routing with a jog zone.
+
+    Per border side (north/south), each channel runs: tap → (optional
+    tap-level stub to a free start column) → vertical to its private
+    *jog track* → horizontal to its *lane* → vertical to the border.
+
+    Cleanliness argument: start columns are unique per side (same-x tap
+    stacks get offset columns, processed outermost-first so stubs never
+    cross an earlier vertical); lanes are pitch-separated and
+    monotonically follow the column order; jog tracks sit in a zone
+    beyond every tap and are ordered *inversely* to the columns, so a
+    later channel's vertical (at a column right of an earlier lane
+    start) never pierces an earlier, higher jog.
+    """
+    lo, hi = switch.bounding_box()
+    pitch = switch.rules.control_channel_width + switch.rules.min_channel_spacing
+    taps = {key: _valve_midpoint(switch, key) for key in keys}
+
+    # Border assignment: a control channel leaves its valve
+    # perpendicular to the flow segment (it must cross it), so valves on
+    # vertical segments escape east/west and valves on horizontal
+    # segments escape north/south; diagonal segments (GRU) go to the
+    # nearest border. Within the preferred pair, pick the nearer side.
+    sides = _assign_sides(switch, keys, taps, lo, hi, pitch)
+
+    channels: List[ControlChannel] = []
+    for side, side_keys in sides.items():
+        if not side_keys:
+            continue
+        vertical_escape = side in ("N", "S")
+        sign = 1.0 if side in ("N", "E") else -1.0
+        extreme = (hi.y if side == "N" else lo.y) if vertical_escape else \
+                  (hi.x if side == "E" else lo.x)
+
+        def along(p: Point) -> float:
+            """Coordinate across the escape direction (the lane axis)."""
+            return p.x if vertical_escape else p.y
+
+        def toward(p: Point) -> float:
+            """Coordinate along the escape direction."""
+            return p.y if vertical_escape else p.x
+
+        def make_point(lane: float, escape: float) -> Point:
+            return Point(lane, escape) if vertical_escape else Point(escape, lane)
+
+        # unique start column per channel; same-column stacks resolved
+        # outermost-tap-first so stubs never cross an earlier vertical
+        used_cols: List[float] = []
+        start_col: Dict[object, float] = {}
+        for key in sorted(side_keys,
+                          key=lambda k: (round(along(taps[k]), 9),
+                                         -sign * toward(taps[k]))):
+            col = along(taps[key])
+            while any(abs(col - u) < pitch - 1e-12 for u in used_cols):
+                col += pitch
+            used_cols.append(col)
+            start_col[key] = col
+
+        ordered = sorted(side_keys,
+                         key=lambda k: (start_col[k], -sign * toward(taps[k])))
+        n = len(ordered)
+        jog_base = extreme + sign * BORDER_MARGIN
+        border = jog_base + sign * (n + 1) * pitch
+
+        last_lane = -math.inf
+        for rank, key in enumerate(ordered):
+            tap = taps[key]
+            col = start_col[key]
+            lane = max(col, last_lane + pitch)
+            last_lane = lane
+            jog = jog_base + sign * (n - 1 - rank) * pitch
+            points = [tap]
+            if abs(col - along(tap)) > 1e-12:
+                points.append(make_point(col, toward(tap)))  # tap-level stub
+            points.append(make_point(col, jog))               # rise to jog track
+            if abs(lane - col) > 1e-12:
+                points.append(make_point(lane, jog))          # jog to the lane
+            points.append(make_point(lane, border))           # escape
+            channels.append(ControlChannel(key, points, group_of[key]))
+    return channels
+
+
+def _assign_sides(switch, keys, taps, lo, hi, pitch) -> Dict[str, List[SegKey]]:
+    """Greedy conflict-aware border assignment.
+
+    Each channel's in-switch portion is (approximately) a straight ray
+    from its valve tap to one of the four borders. Taps are processed
+    closest-to-border first; each takes the nearest border whose ray
+    keeps ``pitch`` clearance from every ray placed so far, falling
+    back to the least-conflicting border. Escape routing over a dense
+    tap field can be genuinely infeasible on one layer — the plan's
+    :meth:`ControlPlan.violations` audit reports whatever remains.
+    """
+    margin = BORDER_MARGIN
+
+    def ray(tap: Point, side: str) -> Tuple[Point, Point]:
+        if side == "N":
+            return tap, Point(tap.x, hi.y + margin)
+        if side == "S":
+            return tap, Point(tap.x, lo.y - margin)
+        if side == "E":
+            return tap, Point(hi.x + margin, tap.y)
+        return tap, Point(lo.x - margin, tap.y)
+
+    def border_distance(tap: Point, side: str) -> float:
+        return {"N": hi.y - tap.y, "S": tap.y - lo.y,
+                "E": hi.x - tap.x, "W": tap.x - lo.x}[side]
+
+    placed: List[Tuple[Point, Point]] = []
+    sides: Dict[str, List[SegKey]] = {"N": [], "S": [], "E": [], "W": []}
+    ordered = sorted(
+        keys, key=lambda k: min(border_distance(taps[k], s) for s in "NSEW")
+    )
+    for key in ordered:
+        tap = taps[key]
+        options = sorted("NSEW", key=lambda s: border_distance(tap, s))
+        chosen = None
+        for side in options:
+            a, b = ray(tap, side)
+            clear = all(
+                segment_segment_distance(a, b, p, q) >= pitch - 1e-9
+                for p, q in placed
+            )
+            if clear:
+                chosen = side
+                break
+        if chosen is None:
+            chosen = options[0]
+        placed.append(ray(tap, chosen))
+        sides[chosen].append(key)
+    return sides
+
+
+def _route_perpendicular(switch, keys, group_of) -> List[ControlChannel]:
+    lo, hi = switch.bounding_box()
+    reach = max(hi.x - lo.x, hi.y - lo.y) + 2 * BORDER_MARGIN
+    cx, cy = (lo.x + hi.x) / 2, (lo.y + hi.y) / 2
+
+    channels: List[ControlChannel] = []
+    for key in keys:
+        a, b = key
+        pa, pb = switch.coords[a], switch.coords[b]
+        tap = _valve_midpoint(switch, key)
+        dx, dy = pb.x - pa.x, pb.y - pa.y
+        norm = math.hypot(dx, dy)
+        perp = (-dy / norm, dx / norm)
+        # escape away from the switch centre
+        if perp[0] * (tap.x - cx) + perp[1] * (tap.y - cy) < 0:
+            perp = (-perp[0], -perp[1])
+        end = Point(tap.x + perp[0] * reach, tap.y + perp[1] * reach)
+        channels.append(ControlChannel(key, [tap, end], group_of[key]))
+    return channels

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: contamination-free switch synthesis."""
+
+from repro.core.builder import BuiltModel, SynthesisModelBuilder
+from repro.core.pressure import (
+    clique_cover_greedy,
+    clique_cover_ilp,
+    compatibility_graph,
+    sequences_compatible,
+    share_pressure,
+)
+from repro.core.solution import (
+    PressureSharingResult,
+    SynthesisResult,
+    SynthesisStatus,
+    ValveAnalysis,
+)
+from repro.core.spec import (
+    BindingPolicy,
+    ConflictForm,
+    Flow,
+    NodePolicy,
+    SchedulingForm,
+    SwitchSpec,
+    conflict_pair,
+)
+from repro.core.heuristic import synthesize_greedy
+from repro.core.set_ordering import (
+    best_set_order,
+    count_valve_transitions,
+    optimize_set_order,
+    reorder_sets,
+)
+from repro.core.synthesizer import SynthesisOptions, build_catalog, synthesize
+from repro.core.wash_fallback import WashFallbackResult, synthesize_with_wash_fallback
+from repro.core.valves import analyze_valves
+from repro.core.verify import verify_result
+
+__all__ = [
+    "Flow",
+    "SwitchSpec",
+    "conflict_pair",
+    "BindingPolicy",
+    "NodePolicy",
+    "ConflictForm",
+    "SchedulingForm",
+    "SynthesisModelBuilder",
+    "BuiltModel",
+    "SynthesisOptions",
+    "synthesize",
+    "synthesize_greedy",
+    "synthesize_with_wash_fallback",
+    "WashFallbackResult",
+    "best_set_order",
+    "count_valve_transitions",
+    "optimize_set_order",
+    "reorder_sets",
+    "build_catalog",
+    "SynthesisResult",
+    "SynthesisStatus",
+    "ValveAnalysis",
+    "PressureSharingResult",
+    "analyze_valves",
+    "share_pressure",
+    "sequences_compatible",
+    "compatibility_graph",
+    "clique_cover_ilp",
+    "clique_cover_greedy",
+    "verify_result",
+]

@@ -1,0 +1,180 @@
+"""Greedy heuristic synthesizer (baseline for the IQP ablations).
+
+A fast, non-optimal counterpart of :func:`repro.core.synthesizer.synthesize`:
+
+1. **Binding** — fixed: as given; clockwise: modules spread over the
+   pins in the given order; unfixed: flow endpoints paired onto
+   adjacent pins (source next to its first target), remaining modules
+   filled in.
+2. **Routing** — flows routed one by one on the shortest path that
+   avoids the sites already claimed by conflicting flows.
+3. **Scheduling** — first-fit coloring of the collision graph
+   (two flows collide when they come from different inlets and their
+   routed paths share a site).
+
+The result is verified with the same independent verifier as the exact
+synthesizer, so when the heuristic returns a solution it is a *valid*
+one — just not necessarily minimal in channel length or set count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.solution import SynthesisResult, SynthesisStatus
+from repro.core.spec import BindingPolicy, NodePolicy, SwitchSpec
+from repro.core.valves import analyze_valves
+from repro.core.pressure import share_pressure
+from repro.core.verify import verify_result
+from repro.switches.base import segment_key
+from repro.switches.paths import Path
+from repro.switches.reduce import reduce_switch
+
+
+def synthesize_greedy(spec: SwitchSpec, verify: bool = True,
+                      pressure_sharing: bool = True) -> SynthesisResult:
+    """Greedy synthesis; returns NO_SOLUTION when the heuristic fails.
+
+    Failure does not prove infeasibility — it only means the greedy
+    choices dead-ended (the exact synthesizer may still succeed).
+    """
+    start = time.perf_counter()
+    binding = _greedy_binding(spec)
+    if binding is None:
+        return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                               runtime=time.perf_counter() - start, solver="greedy")
+
+    flow_paths = _greedy_routing(spec, binding)
+    if flow_paths is None:
+        return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                               runtime=time.perf_counter() - start, solver="greedy")
+
+    flow_sets = _greedy_schedule(spec, flow_paths)
+    used: Set[Tuple[str, str]] = set()
+    for path in flow_paths.values():
+        used.update(path.segments)
+
+    result = SynthesisResult(
+        spec=spec,
+        status=SynthesisStatus.FEASIBLE,
+        runtime=time.perf_counter() - start,
+        binding=binding,
+        flow_paths=flow_paths,
+        flow_sets=flow_sets,
+        used_segments=used,
+        solver="greedy",
+    )
+    result.valves = analyze_valves(spec.switch, flow_paths, flow_sets)
+    result.reduced = reduce_switch(spec.switch, used, result.valves.essential)
+    if pressure_sharing and result.valves.essential:
+        result.pressure = share_pressure(
+            result.valves.status, valves=sorted(result.valves.essential),
+            method="greedy",
+        )
+    if verify:
+        verify_result(result)
+    return result
+
+
+# ----------------------------------------------------------------------
+def _greedy_binding(spec: SwitchSpec) -> Optional[Dict[str, str]]:
+    pins = spec.switch.pins
+    if spec.binding is BindingPolicy.FIXED:
+        return dict(spec.fixed_binding or {})
+    if spec.binding is BindingPolicy.CLOCKWISE:
+        order = spec.module_order or spec.modules
+        # spread the modules evenly around the pin cycle
+        step = len(pins) / len(order)
+        binding = {}
+        taken: Set[str] = set()
+        for idx, m in enumerate(order):
+            pin = pins[int(idx * step) % len(pins)]
+            if pin in taken:
+                return None
+            binding[m] = pin
+            taken.add(pin)
+        return binding
+    # unfixed: put each source right before its targets around the cycle
+    ordered: List[str] = []
+    for f in spec.flows:
+        if f.source not in ordered:
+            ordered.append(f.source)
+        if f.target not in ordered:
+            ordered.append(f.target)
+    for m in spec.modules:
+        if m not in ordered:
+            ordered.append(m)
+    return {m: pins[i] for i, m in enumerate(ordered)}
+
+
+def _constraint_nodes(spec: SwitchSpec, vertices) -> Set[str]:
+    switch = spec.switch
+    nodes = {v for v in vertices if not switch.is_pin(v)}
+    if spec.node_policy is NodePolicy.PAPER:
+        from repro.switches.base import MAJOR_KINDS
+        nodes = {n for n in nodes if switch.kinds[n] in MAJOR_KINDS}
+    return nodes
+
+
+def _greedy_routing(spec: SwitchSpec,
+                    binding: Dict[str, str]) -> Optional[Dict[int, Path]]:
+    switch = spec.switch
+    flow_paths: Dict[int, Path] = {}
+    counter = itertools.count(10_000)  # synthetic path indices, unique per flow
+    for f in spec.flows:
+        src, dst = binding[f.source], binding[f.target]
+        graph = switch.graph.copy()
+        # forbid sites already claimed by conflicting flows
+        for other in spec.conflicts_of(f.id):
+            if other not in flow_paths:
+                continue
+            other_path = flow_paths[other]
+            for n in _constraint_nodes(spec, other_path.vertices):
+                if n in graph and n not in (src, dst):
+                    graph.remove_node(n)
+            for a, b in other_path.segments:
+                if graph.has_edge(a, b):
+                    graph.remove_edge(a, b)
+        # pins other than the endpoints are dead ends anyway (degree 1)
+        try:
+            vertices = nx.shortest_path(graph, src, dst, weight="length")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+        segs = frozenset(segment_key(a, b) for a, b in zip(vertices, vertices[1:]))
+        flow_paths[f.id] = Path(
+            index=next(counter),
+            source_pin=src,
+            target_pin=dst,
+            vertices=tuple(vertices),
+            nodes=frozenset(v for v in vertices if not switch.is_pin(v)),
+            segments=segs,
+            length=sum(switch.segments[k].length for k in segs),
+        )
+    return flow_paths
+
+
+def _greedy_schedule(spec: SwitchSpec,
+                     flow_paths: Dict[int, Path]) -> List[List[int]]:
+    source_of = {f.id: f.source for f in spec.flows}
+
+    def collide(i: int, j: int) -> bool:
+        if source_of[i] == source_of[j]:
+            return False
+        pi, pj = flow_paths[i], flow_paths[j]
+        if _constraint_nodes(spec, pi.vertices) & _constraint_nodes(spec, pj.vertices):
+            return True
+        return bool(set(pi.segments) & set(pj.segments))
+
+    sets: List[List[int]] = []
+    for f in spec.flows:
+        for group in sets:
+            if all(not collide(f.id, other) for other in group):
+                group.append(f.id)
+                break
+        else:
+            sets.append([f.id])
+    return [sorted(g) for g in sets]

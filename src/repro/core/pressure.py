@@ -1,0 +1,156 @@
+"""Pressure sharing by minimum clique cover (§3.5, eqs. 3.14–3.17).
+
+Control inlets are expensive (≈1 mm² each versus 0.1 mm-wide channels),
+so valves whose pressure schedules never disagree can share one inlet.
+Two status sequences are *compatible* when no flow set has one valve
+open and the other closed (X is compatible with everything). Pairwise
+compatibility is transitive enough for groups: at any time step a
+pairwise-compatible group contains no O together with a C, so the whole
+group can follow one pressure sequence — a clique in the compatibility
+graph is exactly a shareable group.
+
+The minimum number of groups is a minimum clique cover, solved with the
+paper's ILP (binary ``z[v,c]`` membership, ``clique_c`` occupancy
+indicators and the pairwise exclusion (3.16)); a greedy baseline is
+provided for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.solution import PressureSharingResult
+from repro.core.valves import CLOSED, OPEN
+from repro.errors import ReproError
+from repro.opt import Model, quicksum
+
+Valve = Tuple[str, str]
+
+
+def sequences_compatible(seq_a: Sequence[str], seq_b: Sequence[str]) -> bool:
+    """Whether two O/C/X status sequences can share a pressure source."""
+    if len(seq_a) != len(seq_b):
+        raise ReproError("valve status sequences must cover the same flow sets")
+    for sa, sb in zip(seq_a, seq_b):
+        if {sa, sb} == {OPEN, CLOSED}:
+            return False
+    return True
+
+
+def compatibility_graph(status: Dict[Valve, List[str]],
+                        valves: Optional[Sequence[Valve]] = None) -> nx.Graph:
+    """Graph with an edge between every pressure-compatible valve pair."""
+    nodes = list(valves) if valves is not None else sorted(status)
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    for i, v1 in enumerate(nodes):
+        for v2 in nodes[i + 1:]:
+            if sequences_compatible(status[v1], status[v2]):
+                g.add_edge(v1, v2)
+    return g
+
+
+def clique_cover_ilp(
+    graph: nx.Graph,
+    backend: str = "auto",
+    time_limit: Optional[float] = None,
+) -> List[List[Valve]]:
+    """Minimum clique cover via the paper's ILP (3.14)–(3.17).
+
+    ``Cliques`` starts with one candidate clique per valve; symmetry is
+    broken by ordering occupied cliques first and restricting valve *i*
+    to cliques 0..i.
+    """
+    valves = sorted(graph.nodes)
+    if not valves:
+        return []
+    n = len(valves)
+    model = Model("clique-cover")
+    z: Dict[Tuple[int, int], object] = {}
+    clique = [model.add_binary(f"clique_{c}") for c in range(n)]
+    for vi in range(n):
+        for c in range(vi + 1):  # symmetry: valve i only in cliques <= i
+            z[(vi, c)] = model.add_binary(f"z_v{vi}_c{c}")
+    # (3.14) every valve in exactly one clique
+    for vi in range(n):
+        model.add_constr(
+            quicksum(z[(vi, c)] for c in range(vi + 1)) == 1, f"cover_v{vi}"
+        )
+    # (3.15) occupied-clique indicator
+    for (vi, c), var in z.items():
+        model.add_constr(clique[c] >= var, f"occ_v{vi}_c{c}")
+    # (3.16) incompatible valves never share a clique
+    for i in range(n):
+        for j in range(i + 1, n):
+            if graph.has_edge(valves[i], valves[j]):
+                continue  # ps = 1: compatible, no restriction
+            for c in range(i + 1):  # j can only join cliques <= j anyway
+                model.add_constr(z[(i, c)] + z[(j, c)] <= 1, f"excl_{i}_{j}_c{c}")
+    # symmetry: occupied cliques form a prefix
+    for c in range(n - 1):
+        model.add_constr(clique[c] >= clique[c + 1], f"cliq_ord_{c}")
+    # (3.17) minimize the number of control inlets
+    model.set_objective(quicksum(clique), "min")
+
+    sol = model.solve(backend=backend, time_limit=time_limit)
+    if not sol.has_solution:
+        raise ReproError(f"clique cover ILP failed: {sol.status.value}")
+    groups: Dict[int, List[Valve]] = {}
+    for (vi, c), var in z.items():
+        if sol.value(var) > 0.5:
+            groups.setdefault(c, []).append(valves[vi])
+    return [sorted(groups[c]) for c in sorted(groups)]
+
+
+def clique_cover_greedy(graph: nx.Graph) -> List[List[Valve]]:
+    """First-fit clique cover (== greedy coloring of the complement).
+
+    Linear-time baseline; never better than the ILP, used to quantify
+    how much the exact formulation saves.
+    """
+    groups: List[List[Valve]] = []
+    for v in sorted(graph.nodes):
+        for group in groups:
+            if all(graph.has_edge(v, member) for member in group):
+                group.append(v)
+                break
+        else:
+            groups.append([v])
+    return [sorted(g) for g in groups]
+
+
+def share_pressure(
+    status: Dict[Valve, List[str]],
+    valves: Optional[Sequence[Valve]] = None,
+    method: str = "ilp",
+    backend: str = "auto",
+    time_limit: Optional[float] = None,
+) -> PressureSharingResult:
+    """Group valves into a minimum number of pressure-shareable sets.
+
+    ``valves`` restricts the grouping (normally to the essential
+    valves); ``method`` is ``"ilp"`` (exact, the paper's model) or
+    ``"greedy"``.
+    """
+    graph = compatibility_graph(status, valves)
+    if method == "ilp":
+        groups = clique_cover_ilp(graph, backend=backend, time_limit=time_limit)
+    elif method == "greedy":
+        groups = clique_cover_greedy(graph)
+    else:
+        raise ReproError(f"unknown pressure sharing method {method!r}")
+    _check_cover(graph, groups)
+    return PressureSharingResult(groups=groups, method=method)
+
+
+def _check_cover(graph: nx.Graph, groups: List[List[Valve]]) -> None:
+    covered = [v for group in groups for v in group]
+    if sorted(covered) != sorted(graph.nodes):
+        raise ReproError("clique cover does not partition the valves")
+    for group in groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if not graph.has_edge(a, b):
+                    raise ReproError(f"valves {a} and {b} grouped but incompatible")

@@ -1,0 +1,269 @@
+"""Synthesis input specification (the paper's problem input, §2.3).
+
+A :class:`SwitchSpec` carries exactly what the paper's formulation
+takes as input:
+
+* all flows to be executed (source module → target module),
+* the conflicting flow pairs,
+* the binding policy (fixed / clockwise / unfixed) plus its data
+  (fixed module→pin map, or the clockwise module order),
+* the switch model to synthesize from, and
+* the objective weights α (number of flow sets) and β (channel length).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import SpecError
+from repro.switches import CrossbarSwitch, SwitchModel
+
+
+class BindingPolicy(enum.Enum):
+    """Module-to-pin binding policies (§3.4)."""
+
+    FIXED = "fixed"
+    CLOCKWISE = "clockwise"
+    UNFIXED = "unfixed"
+
+
+class NodePolicy(enum.Enum):
+    """Which intersections count as nodes for the constraints.
+
+    ``PAPER`` restricts to the major nodes the paper names (centers and
+    arms, e.g. ``{C, T, R, B, L}`` on the 8-pin switch). ``ALL``
+    additionally counts the corner intersections — the strict (default)
+    interpretation, since corners are genuine channel crossings.
+    """
+
+    PAPER = "paper"
+    ALL = "all"
+
+
+class ConflictForm(enum.Enum):
+    """How eq. (3.3) is stated.
+
+    ``PAIRWISE`` forbids each conflicting *pair* from sharing a site —
+    the stated semantics and our default. ``AGGREGATE`` is the literal
+    formula of the thesis (a single sum over the union of all
+    conflicting flows), which is stricter than the stated semantics.
+    """
+
+    PAIRWISE = "pairwise"
+    AGGREGATE = "aggregate"
+
+
+class SchedulingForm(enum.Enum):
+    """Encoding of the flow-set constraints (§3.3).
+
+    ``PAPER`` implements the K / k / q′ counter construction of
+    eqs. (3.4)–(3.6); ``COMPACT`` uses an equivalent, smaller indicator
+    encoding (one binary per inlet/site/set). Both give identical
+    optima; the benchmark suite compares their solve times.
+    """
+
+    PAPER = "paper"
+    COMPACT = "compact"
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A fluid transportation task through the switch."""
+
+    id: int
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise SpecError(f"flow {self.id}: source and target module are identical")
+
+    def __str__(self) -> str:
+        return f"flow{self.id}({self.source}->{self.target})"
+
+
+def conflict_pair(a: int, b: int) -> FrozenSet[int]:
+    """Canonical unordered conflict pair of two flow ids."""
+    if a == b:
+        raise SpecError(f"flow {a} cannot conflict with itself")
+    return frozenset((a, b))
+
+
+@dataclass
+class SwitchSpec:
+    """Full synthesis input. Validated eagerly via :meth:`validate`."""
+
+    switch: SwitchModel
+    modules: List[str]
+    flows: List[Flow]
+    conflicts: Set[FrozenSet[int]] = field(default_factory=set)
+    binding: BindingPolicy = BindingPolicy.UNFIXED
+    fixed_binding: Optional[Dict[str, str]] = None       # module -> pin
+    module_order: Optional[List[str]] = None             # clockwise policy
+    alpha: float = 1.0
+    beta: float = 100.0
+    max_sets: Optional[int] = None
+    node_policy: NodePolicy = NodePolicy.ALL
+    conflict_form: ConflictForm = ConflictForm.PAIRWISE
+    scheduling_form: SchedulingForm = SchedulingForm.PAPER
+    #: Flows from one inlet module carry the same physical fluid, so a
+    #: conflict between two flows is really a conflict between their
+    #: fluids. When True (default) the conflict set is closed over
+    #: inlets — if any flow of inlet A conflicts with any flow of inlet
+    #: B, all A-B flow pairs conflict. Disable for the paper's literal
+    #: flow-pair semantics (the execution simulator will then flag the
+    #: physically inconsistent solutions such inputs permit).
+    enforce_fluid_consistency: bool = True
+    name: str = "switch-case"
+
+    def __post_init__(self) -> None:
+        if self.enforce_fluid_consistency:
+            self.conflicts = self._closed_conflicts()
+        self.validate()
+
+    def _closed_conflicts(self) -> Set[FrozenSet[int]]:
+        by_id = {f.id: f for f in self.flows}
+        inlet_pairs: Set[FrozenSet[str]] = set()
+        for pair in self.conflicts:
+            ids = sorted(pair)
+            if len(ids) != 2 or any(i not in by_id for i in ids):
+                return set(self.conflicts)  # let validate() report it
+            inlet_pairs.add(frozenset((by_id[ids[0]].source,
+                                       by_id[ids[1]].source)))
+        closed: Set[FrozenSet[int]] = set(self.conflicts)
+        for a in self.flows:
+            for b in self.flows:
+                if a.id < b.id and frozenset((a.source, b.source)) in inlet_pairs:
+                    closed.add(frozenset((a.id, b.id)))
+        return closed
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if len(set(self.modules)) != len(self.modules):
+            raise SpecError("module names must be unique")
+        if len(self.modules) > self.switch.n_pins:
+            raise SpecError(
+                f"{len(self.modules)} modules exceed the {self.switch.n_pins} pins "
+                f"of {self.switch.name}"
+            )
+        known = set(self.modules)
+        ids = [f.id for f in self.flows]
+        if len(set(ids)) != len(ids):
+            raise SpecError("flow ids must be unique")
+
+        sources: Set[str] = set()
+        targets: Set[str] = set()
+        for f in self.flows:
+            for end in (f.source, f.target):
+                if end not in known:
+                    raise SpecError(f"{f} references unknown module {end!r}")
+            sources.add(f.source)
+            targets.add(f.target)
+        # The paper's default settings (§4.2): a module is either an
+        # inlet or an outlet of the switch, and each outlet is accessed
+        # at most once.
+        both = sources & targets
+        if both:
+            raise SpecError(
+                f"modules {sorted(both)} are used both as inlet and outlet; "
+                "the switch model requires each module to be one or the other"
+            )
+        seen_targets: Set[str] = set()
+        for f in self.flows:
+            if f.target in seen_targets:
+                raise SpecError(
+                    f"outlet module {f.target!r} receives more than one flow; "
+                    "each outlet pin can be accessed at most once"
+                )
+            seen_targets.add(f.target)
+
+        by_id = {f.id: f for f in self.flows}
+        for pair in self.conflicts:
+            if len(pair) != 2:
+                raise SpecError(f"conflict {set(pair)} must contain exactly two flow ids")
+            for fid in pair:
+                if fid not in by_id:
+                    raise SpecError(f"conflict references unknown flow id {fid}")
+            a, b = sorted(pair)
+            if by_id[a].source == by_id[b].source:
+                raise SpecError(
+                    f"flows {a} and {b} conflict but share inlet {by_id[a].source!r}: "
+                    "branches of the same fluid cannot contaminate each other"
+                )
+
+        if self.binding is BindingPolicy.FIXED:
+            if not self.fixed_binding:
+                raise SpecError("fixed binding policy requires a module->pin map")
+            if set(self.fixed_binding) != known:
+                raise SpecError("fixed binding must map every connected module")
+            pins = list(self.fixed_binding.values())
+            if len(set(pins)) != len(pins):
+                raise SpecError("fixed binding assigns one pin to several modules")
+            for pin in pins:
+                if not self.switch.is_pin(pin):
+                    raise SpecError(f"fixed binding references unknown pin {pin!r}")
+        elif self.binding is BindingPolicy.CLOCKWISE:
+            if not self.module_order:
+                raise SpecError("clockwise binding policy requires a module order")
+            if sorted(self.module_order) != sorted(self.modules):
+                raise SpecError("clockwise module order must be a permutation of the modules")
+
+        if self.alpha < 0 or self.beta < 0:
+            raise SpecError("objective weights must be non-negative")
+        if self.max_sets is not None and self.max_sets < 1 and self.flows:
+            raise SpecError("max_sets must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def flow_ids(self) -> List[int]:
+        return [f.id for f in self.flows]
+
+    @property
+    def inlet_modules(self) -> List[str]:
+        """Source modules in first-appearance order."""
+        seen: List[str] = []
+        for f in self.flows:
+            if f.source not in seen:
+                seen.append(f.source)
+        return seen
+
+    @property
+    def outlet_modules(self) -> List[str]:
+        seen: List[str] = []
+        for f in self.flows:
+            if f.target not in seen:
+                seen.append(f.target)
+        return seen
+
+    def flow(self, fid: int) -> Flow:
+        for f in self.flows:
+            if f.id == fid:
+                return f
+        raise SpecError(f"no flow with id {fid}")
+
+    def conflicts_of(self, fid: int) -> List[int]:
+        """Ids of flows conflicting with the given flow."""
+        out = []
+        for pair in self.conflicts:
+            if fid in pair:
+                out.append(next(iter(pair - {fid})))
+        return sorted(out)
+
+    def effective_max_sets(self) -> int:
+        """Upper bound on the number of flow sets in the model.
+
+        One set per flow is always sufficient (each flow alone is
+        trivially collision-free), so the model never needs more.
+        """
+        if self.max_sets is not None:
+            return min(self.max_sets, max(len(self.flows), 1))
+        return max(len(self.flows), 1)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {len(self.modules)} modules, {len(self.flows)} flows, "
+            f"{len(self.conflicts)} conflicts, {self.switch.size_label}, "
+            f"{self.binding.value} binding"
+        )

@@ -1,0 +1,80 @@
+"""Essential-valve identification and valve status sequences (§3.5).
+
+A valve's status in a flow set is determined by the routed paths:
+
+* **O (open)** — some flow of the set traverses the valve's segment;
+* **C (closed)** — no flow of the set traverses the segment, but some
+  flow passes one of its endpoint vertices, so the valve must close to
+  keep fluid from leaking into the segment;
+* **X (don't care)** — no flow of the set comes near the segment.
+
+A valve whose sequence never contains C "can always be at the open
+status": removing it does not affect routing, so it is *unnecessary*
+(the paper's C-R example in Figure 3.1b). The remaining valves are the
+*essential* ones kept in the application-specific switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.solution import ValveAnalysis
+from repro.switches.base import SwitchModel, segment_key
+from repro.switches.paths import Path
+
+OPEN = "O"
+CLOSED = "C"
+DONT_CARE = "X"
+
+
+def analyze_valves(
+    switch: SwitchModel,
+    flow_paths: Dict[int, Path],
+    flow_sets: List[List[int]],
+) -> ValveAnalysis:
+    """Compute status sequences and the essential-valve set.
+
+    Only valves on *used* segments are considered; valves on removed
+    segments disappear together with their channel.
+    """
+    used: Set[Tuple[str, str]] = set()
+    for path in flow_paths.values():
+        used.update(path.segments)
+
+    analysis = ValveAnalysis()
+    for key in sorted(used):
+        if key not in switch.valves:
+            continue  # segment drawn without a valve (e.g. a spine)
+        sequence = []
+        a, b = key
+        for group in flow_sets:
+            paths = [flow_paths[fid] for fid in group]
+            if any(key in p.segments for p in paths):
+                sequence.append(OPEN)
+            elif any(a in p.vertices or b in p.vertices for p in paths):
+                sequence.append(CLOSED)
+            else:
+                sequence.append(DONT_CARE)
+        analysis.status[key] = sequence
+        if CLOSED in sequence:
+            analysis.essential.add(key)
+    return analysis
+
+
+def carried_inlets(
+    switch: SwitchModel,
+    flow_paths: Dict[int, Path],
+    sources: Dict[int, str],
+    key: Tuple[str, str],
+) -> Set[str]:
+    """Inlet modules whose flows the valve on ``key`` carries.
+
+    This is the quantity the paper's §3.5 narrative uses ("the valve on
+    segment C-R carries the flows 2 and 3, coming from the inlet pins
+    R2 and L1"); exposed for analyses and tests.
+    """
+    return {
+        sources[fid]
+        for fid, path in flow_paths.items()
+        if segment_key(*key) in path.segments
+    }

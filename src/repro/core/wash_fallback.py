@@ -1,0 +1,139 @@
+"""Wash-fallback synthesis: a constructive answer to "no solution".
+
+Table 4.1 reports *no solution* for the restricted binding policies on
+the conflict-heavy cases — the switch simply cannot keep those fluids
+apart. The alternative school (the paper's reference [9]) accepts
+shared channels and inserts *wash operations* between conflicting uses.
+
+:func:`synthesize_with_wash_fallback` combines both: it first runs the
+exact contamination-free synthesis; only if that is infeasible does it
+re-solve *without* the contamination constraints, fully serializes the
+conflicting flows, and derives the wash phases that make the shared
+channels safe. The result quantifies exactly what the proposed switch
+saves: a contamination-free design needs zero washes, the fallback
+needs ``wash_plan.num_phases`` of them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.washing import WashPlan, wash_plan
+from repro.core.solution import SynthesisResult, SynthesisStatus
+from repro.core.spec import SwitchSpec
+from repro.core.synthesizer import SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.sim.engine import fluid_conflicts_of
+
+
+@dataclass
+class WashFallbackResult:
+    """Outcome of contamination-free-first, wash-fallback-second."""
+
+    result: SynthesisResult
+    used_fallback: bool
+    washes: WashPlan
+
+    @property
+    def contamination_free(self) -> bool:
+        return not self.used_fallback
+
+    def summary(self) -> str:
+        if not self.result.status.solved:
+            return f"{self.result.spec.name}: {self.result.status.value}"
+        if self.contamination_free:
+            return (f"{self.result.spec.name}: contamination-free design, "
+                    f"0 wash operations needed")
+        return (f"{self.result.spec.name}: wash-fallback design, "
+                f"{self.washes.num_phases} wash phase(s) over "
+                f"{self.washes.total_washed_sites} site(s)")
+
+
+def _relaxed_spec(spec: SwitchSpec) -> SwitchSpec:
+    """The same case without contamination constraints.
+
+    Scheduling still applies (flows from different inlets never run in
+    parallel over shared sites), so the only remaining hazard is the
+    residue between sets — which washing addresses.
+    """
+    clone = copy.copy(spec)
+    clone.conflicts = set()
+    return clone
+
+
+def _serialize_conflicting(result: SynthesisResult,
+                           spec: SwitchSpec) -> None:
+    """Split sets so conflicting flows never execute together.
+
+    The relaxed model may have grouped conflicting flows whose paths
+    happen to be disjoint; washing only helps *between* executions, so
+    each conflicting flow gets its own slot within its set.
+    """
+    new_sets = []
+    for group in result.flow_sets:
+        remaining = list(group)
+        while remaining:
+            slot = []
+            for fid in list(remaining):
+                if all(frozenset((fid, other)) not in spec.conflicts
+                       for other in slot):
+                    slot.append(fid)
+                    remaining.remove(fid)
+            new_sets.append(sorted(slot))
+    result.flow_sets = new_sets
+
+
+def synthesize_with_wash_fallback(
+    spec: SwitchSpec,
+    options: Optional[SynthesisOptions] = None,
+) -> WashFallbackResult:
+    """Exact contamination-free synthesis, wash-based plan B."""
+    options = options or SynthesisOptions()
+    exact = synthesize(spec, options)
+    if exact.status.solved:
+        plan = wash_plan(
+            exact.flow_paths, exact.flow_sets,
+            {f.id: f.source for f in spec.flows},
+            fluid_conflicts_of(spec),
+        )
+        if not plan.is_wash_free:
+            raise ReproError("contamination-free synthesis needed washes")
+        return WashFallbackResult(exact, used_fallback=False, washes=plan)
+    if exact.status is not SynthesisStatus.NO_SOLUTION:
+        return WashFallbackResult(exact, used_fallback=False,
+                                  washes=WashPlan())
+
+    relaxed = synthesize(_relaxed_spec(spec), options)
+    if not relaxed.status.solved:
+        return WashFallbackResult(relaxed, used_fallback=True,
+                                  washes=WashPlan())
+    _serialize_conflicting(relaxed, spec)
+    # the split schedule changes which valves must close: recompute the
+    # valve analysis, reduction and pressure sharing for the new sets
+    from repro.core.pressure import share_pressure
+    from repro.core.valves import analyze_valves
+    from repro.core.verify import verify_result
+    from repro.switches.reduce import reduce_switch
+
+    relaxed.valves = analyze_valves(relaxed.spec.switch, relaxed.flow_paths,
+                                    relaxed.flow_sets)
+    relaxed.reduced = reduce_switch(relaxed.spec.switch,
+                                    relaxed.used_segments,
+                                    relaxed.valves.essential)
+    if options.pressure_sharing and relaxed.valves.essential:
+        relaxed.pressure = share_pressure(
+            relaxed.valves.status, valves=sorted(relaxed.valves.essential),
+            method=options.pressure_method, backend=options.backend,
+        )
+    else:
+        relaxed.pressure = None
+    if options.verify:
+        verify_result(relaxed)
+    plan = wash_plan(
+        relaxed.flow_paths, relaxed.flow_sets,
+        {f.id: f.source for f in spec.flows},
+        fluid_conflicts_of(spec),
+    )
+    return WashFallbackResult(relaxed, used_fallback=True, washes=plan)

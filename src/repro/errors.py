@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish modeling mistakes from solver outcomes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """An optimization model was constructed or used incorrectly.
+
+    Examples: adding a variable twice, constraining a variable that
+    belongs to a different model, or requesting the value of an
+    expression before the model was solved.
+    """
+
+
+class LinearizationError(ModelError):
+    """A quadratic term could not be linearized exactly.
+
+    Products are linearized exactly only when at least one factor is
+    binary (or both factors are bounded integers); anything else is
+    rejected rather than approximated.
+    """
+
+
+class SolverError(ReproError):
+    """A solver backend failed unexpectedly (not mere infeasibility)."""
+
+
+class InfeasibleError(SolverError):
+    """Raised by convenience APIs when a model is proven infeasible."""
+
+
+class SwitchModelError(ReproError):
+    """A switch structure was specified or queried incorrectly."""
+
+
+class SpecError(ReproError):
+    """A synthesis input specification is inconsistent.
+
+    Examples: a flow referencing an unknown module, a fixed binding
+    that names a pin not present on the selected switch model, or more
+    connected modules than the switch has pins.
+    """
+
+
+class VerificationError(ReproError):
+    """An independently-checked solution invariant was violated.
+
+    The verifier in :mod:`repro.core.verify` re-checks every claim the
+    synthesizer makes (contamination freedom, schedule validity,
+    binding validity); any violation raises this error.
+    """

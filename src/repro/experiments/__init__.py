@@ -1,0 +1,29 @@
+"""User-facing experiment runners for the paper's tables and figures."""
+
+from repro.experiments.batch import BatchResult, load_csv, run_batch
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runners import (
+    RUNNERS,
+    run_artificial,
+    run_dynamic_validation,
+    run_figures_4_1_4_2,
+    run_routing_space,
+    run_table_4_1,
+    run_table_4_2,
+    run_table_4_3,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "BatchResult",
+    "run_batch",
+    "load_csv",
+    "RUNNERS",
+    "run_table_4_1",
+    "run_table_4_2",
+    "run_table_4_3",
+    "run_figures_4_1_4_2",
+    "run_artificial",
+    "run_routing_space",
+    "run_dynamic_validation",
+]

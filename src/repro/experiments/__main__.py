@@ -1,0 +1,36 @@
+"""CLI for the experiment runners: ``python -m repro.experiments``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runners import RUNNERS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the paper's tables and figures",
+    )
+    parser.add_argument("experiment", choices=sorted(RUNNERS) + ["all"])
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="seconds per solver call where applicable")
+    parser.add_argument("-o", "--outdir", default="experiment_output",
+                        help="directory for reports and SVG artifacts")
+    args = parser.parse_args(argv)
+
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = RUNNERS[name]
+        kwargs = {"outdir": args.outdir}
+        if "time_limit" in runner.__code__.co_varnames:
+            kwargs["time_limit"] = args.time_limit
+        report = runner(**kwargs)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

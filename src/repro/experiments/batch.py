@@ -1,0 +1,107 @@
+"""Batch sweeps with CSV export.
+
+For larger studies than the paper's tables: run a grid of artificial
+cases (or any list of specs), collect one row per run, and write a CSV
+that survives the session — the raw material for scaling plots and
+statistical summaries.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.spec import BindingPolicy, SwitchSpec
+from repro.core.synthesizer import SynthesisOptions, synthesize
+from repro.errors import ReproError
+
+CSV_COLUMNS = [
+    "case", "binding", "switch", "modules", "flows", "conflicts",
+    "status", "runtime_s", "objective", "length_mm", "num_sets",
+    "num_valves", "num_control_inlets",
+]
+
+
+@dataclass
+class BatchResult:
+    """All rows of one batch run."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for r in self.rows if r["status"] in ("optimal", "feasible"))
+
+    @property
+    def failed(self) -> int:
+        return len(self.rows) - self.solved
+
+    def summary(self) -> str:
+        return f"{len(self.rows)} runs: {self.solved} solved, {self.failed} not"
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({k: row.get(k) for k in CSV_COLUMNS})
+        return path
+
+    def group_mean(self, key: str, value: str) -> Dict[object, float]:
+        """Mean of a numeric column per value of a grouping column."""
+        groups: Dict[object, List[float]] = {}
+        for row in self.rows:
+            v = row.get(value)
+            if v is None:
+                continue
+            groups.setdefault(row.get(key), []).append(float(v))
+        return {k: sum(vals) / len(vals) for k, vals in groups.items()}
+
+
+def run_batch(
+    specs: Iterable[SwitchSpec],
+    options: Optional[SynthesisOptions] = None,
+    on_result: Optional[Callable] = None,
+) -> BatchResult:
+    """Synthesize every spec and collect one CSV row per run."""
+    options = options or SynthesisOptions()
+    batch = BatchResult()
+    for spec in specs:
+        result = synthesize(spec, options)
+        row: Dict[str, object] = {
+            "case": spec.name,
+            "binding": spec.binding.value,
+            "switch": spec.switch.size_label,
+            "modules": len(spec.modules),
+            "flows": len(spec.flows),
+            "conflicts": len(spec.conflicts),
+            "status": result.status.value,
+            "runtime_s": round(result.runtime, 4),
+        }
+        if result.status.solved:
+            row.update({
+                "objective": result.objective,
+                "length_mm": round(result.flow_channel_length, 4),
+                "num_sets": result.num_flow_sets,
+                "num_valves": result.num_valves,
+                "num_control_inlets": result.num_control_inlets,
+            })
+        batch.rows.append(row)
+        if on_result is not None:
+            on_result(spec, result)
+    return batch
+
+
+def load_csv(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """Read a batch CSV back (strings; callers convert as needed)."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no batch CSV at {path}")
+    with path.open(newline="", encoding="utf-8") as fh:
+        return list(csv.DictReader(fh))

@@ -1,0 +1,43 @@
+"""Experiment report container used by the runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis import format_table
+
+
+@dataclass
+class ExperimentReport:
+    """Rows plus free-text notes for one reproduced table/figure."""
+
+    name: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)   # written files
+
+    def add_row(self, **row: object) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        if self.artifacts:
+            parts.append("artifacts: " + ", ".join(self.artifacts))
+        return "\n".join(parts)
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.txt"
+        path.write_text(self.render() + "\n", encoding="utf-8")
+        return path

@@ -1,0 +1,6 @@
+"""Physical geometry primitives and foundry design rules."""
+
+from repro.geometry.design_rules import DesignRules, STANFORD_FOUNDRY
+from repro.geometry.point import Point, manhattan_distance
+
+__all__ = ["Point", "manhattan_distance", "DesignRules", "STANFORD_FOUNDRY"]

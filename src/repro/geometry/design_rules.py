@@ -1,0 +1,42 @@
+"""Foundry design rules used by the switch models.
+
+The paper follows the Stanford Foundry basic design rules: flow channel
+width and valve length 100 µm, control (valve) channel width 300 µm,
+minimum spacing between channels 100 µm, and ~1 mm² control inlets.
+All quantities here are in millimetres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """A set of physical design rules, in millimetres."""
+
+    flow_channel_width: float = 0.1
+    valve_length: float = 0.1
+    control_channel_width: float = 0.3
+    min_channel_spacing: float = 0.1
+    control_inlet_area: float = 1.0  # mm^2 per control inlet
+
+    def validate_spacing(self, distance: float) -> bool:
+        """Whether a channel-to-channel distance satisfies the rules."""
+        return distance >= self.min_channel_spacing - 1e-9
+
+    def control_area(self, num_inlets: int) -> float:
+        """Chip area (mm^2) consumed by ``num_inlets`` control inlets."""
+        if num_inlets < 0:
+            raise ValueError("number of control inlets cannot be negative")
+        return num_inlets * self.control_inlet_area
+
+    def flow_area(self, total_length_mm: float) -> float:
+        """Chip area (mm^2) of flow channel of the given total length."""
+        if total_length_mm < 0:
+            raise ValueError("channel length cannot be negative")
+        return total_length_mm * self.flow_channel_width
+
+
+#: The rule set quoted by the paper (Stanford Foundry basic rules).
+STANFORD_FOUNDRY = DesignRules()

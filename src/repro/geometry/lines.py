@@ -1,0 +1,63 @@
+"""Line-segment geometry used by the control-layer design-rule checks."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.point import Point
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from point ``p`` to the segment ``a``–``b``."""
+    ab = (b.x - a.x, b.y - a.y)
+    denom = ab[0] ** 2 + ab[1] ** 2
+    if denom == 0:
+        return p.euclidean_to(a)
+    t = _clamp(((p.x - a.x) * ab[0] + (p.y - a.y) * ab[1]) / denom, 0.0, 1.0)
+    closest = Point(a.x + t * ab[0], a.y + t * ab[1])
+    return p.euclidean_to(closest)
+
+
+def _orientation(a: Point, b: Point, c: Point) -> float:
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool:
+    """Whether two closed segments share at least one point."""
+    d1 = _orientation(b1, b2, a1)
+    d2 = _orientation(b1, b2, a2)
+    d3 = _orientation(a1, a2, b1)
+    d4 = _orientation(a1, a2, b2)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)):
+        return True
+    # collinear / touching cases
+    def on(a: Point, b: Point, c: Point) -> bool:
+        return (min(a.x, b.x) - 1e-12 <= c.x <= max(a.x, b.x) + 1e-12
+                and min(a.y, b.y) - 1e-12 <= c.y <= max(a.y, b.y) + 1e-12)
+
+    if abs(d1) < 1e-12 and on(b1, b2, a1):
+        return True
+    if abs(d2) < 1e-12 and on(b1, b2, a2):
+        return True
+    if abs(d3) < 1e-12 and on(a1, a2, b1):
+        return True
+    if abs(d4) < 1e-12 and on(a1, a2, b2):
+        return True
+    return False
+
+
+def segment_segment_distance(a1: Point, a2: Point, b1: Point, b2: Point) -> float:
+    """Minimum distance between two closed segments (0 when crossing)."""
+    if segments_intersect(a1, a2, b1, b2):
+        return 0.0
+    return min(
+        point_segment_distance(a1, b1, b2),
+        point_segment_distance(a2, b1, b2),
+        point_segment_distance(b1, a1, a2),
+        point_segment_distance(b2, a1, a2),
+    )

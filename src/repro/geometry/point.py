@@ -1,0 +1,34 @@
+"""2-D points for switch layouts.
+
+All coordinates are in millimetres; flow channels in the crossbar
+switches are axis-aligned, so channel lengths are Manhattan distances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """An (x, y) position in millimetres."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float) -> "Point":
+        return Point(self.x * factor, self.y * factor)
+
+    def manhattan_to(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+def manhattan_distance(a: Point, b: Point) -> float:
+    """Manhattan distance between two points in millimetres."""
+    return a.manhattan_to(b)

@@ -1,0 +1,22 @@
+"""JSON interchange for specs and results."""
+
+from repro.io.result_json import result_to_dict, save_result
+from repro.io.spec_json import (
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+    switch_from_dict,
+    switch_to_dict,
+)
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "save_spec",
+    "load_spec",
+    "switch_to_dict",
+    "switch_from_dict",
+    "result_to_dict",
+    "save_result",
+]

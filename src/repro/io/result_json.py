@@ -1,0 +1,67 @@
+"""JSON serialization of synthesis results.
+
+Results are exported (not re-imported — a result is only meaningful
+together with its spec and switch geometry) so downstream tools can
+consume the synthesis outcome: binding, routes, schedule, kept valves,
+pressure groups, and the headline metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.solution import SynthesisResult
+
+
+def result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
+    """Serialize a synthesis result to a JSON-compatible dictionary."""
+    data: Dict[str, Any] = {
+        "case": result.spec.name,
+        "status": result.status.value,
+        "runtime_s": round(result.runtime, 4),
+        "solver": result.solver,
+    }
+    if not result.status.solved:
+        return data
+    data.update({
+        "objective": result.objective,
+        "binding": dict(result.binding),
+        "flows": [
+            {
+                "id": fid,
+                "route": list(path.vertices),
+                "length_mm": round(path.length, 4),
+                "flow_set": result.set_of_flow(fid),
+            }
+            for fid, path in sorted(result.flow_paths.items())
+        ],
+        "flow_sets": [list(group) for group in result.flow_sets],
+        "used_segments": sorted(list(k) for k in result.used_segments),
+        "flow_channel_length_mm": round(result.flow_channel_length, 4),
+        "num_flow_sets": result.num_flow_sets,
+        "num_valves": result.num_valves,
+    })
+    if result.valves is not None:
+        data["valves"] = {
+            f"{a}-{b}": "".join(seq)
+            for (a, b), seq in sorted(result.valves.status.items())
+        }
+        data["essential_valves"] = sorted(
+            f"{a}-{b}" for a, b in result.valves.essential
+        )
+    if result.pressure is not None:
+        data["pressure_groups"] = [
+            sorted(f"{a}-{b}" for a, b in group)
+            for group in result.pressure.groups
+        ]
+        data["num_control_inlets"] = result.pressure.num_control_inlets
+    return data
+
+
+def save_result(result: SynthesisResult, path: Union[str, Path]) -> None:
+    """Write a result as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,144 @@
+"""JSON (de)serialization of switch specs.
+
+Cloud Columba distributes switch inputs as structured files; this
+module defines the equivalent interchange format for this library so
+cases can live outside Python code::
+
+    {
+      "name": "ChIP sw.1",
+      "switch": {"family": "crossbar", "pins": 12, "scalable": false},
+      "modules": ["i_10", "M1", ...],
+      "flows": [{"id": 1, "source": "i_10", "target": "M1"}, ...],
+      "conflicts": [[1, 2], [1, 3]],
+      "binding": "clockwise",
+      "module_order": ["i_10", ...],        // clockwise only
+      "fixed_binding": {"i_10": "T1", ...}, // fixed only
+      "alpha": 1.0, "beta": 100.0,
+      "max_sets": null,
+      "node_policy": "all",
+      "conflict_form": "pairwise",
+      "scheduling_form": "paper"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.spec import (
+    BindingPolicy,
+    ConflictForm,
+    Flow,
+    NodePolicy,
+    SchedulingForm,
+    SwitchSpec,
+)
+from repro.errors import SpecError
+from repro.switches import (
+    CrossbarSwitch,
+    GRUSwitch,
+    ScalableCrossbarSwitch,
+    SpineSwitch,
+    SwitchModel,
+)
+
+_FAMILIES = {
+    "crossbar": CrossbarSwitch,
+    "scalable-crossbar": ScalableCrossbarSwitch,
+    "spine": SpineSwitch,
+    "gru": GRUSwitch,
+}
+
+
+def switch_to_dict(switch: SwitchModel) -> Dict[str, Any]:
+    """Describe a switch model by family and size."""
+    if isinstance(switch, ScalableCrossbarSwitch):
+        family = "scalable-crossbar"
+    elif isinstance(switch, CrossbarSwitch):
+        family = "crossbar"
+    elif isinstance(switch, SpineSwitch):
+        family = "spine"
+    elif isinstance(switch, GRUSwitch):
+        family = "gru"
+    else:
+        raise SpecError(f"cannot serialize switch type {type(switch).__name__}")
+    return {"family": family, "pins": switch.n_pins}
+
+
+def switch_from_dict(data: Dict[str, Any]) -> SwitchModel:
+    family = data.get("family", "crossbar")
+    if family not in _FAMILIES:
+        raise SpecError(f"unknown switch family {family!r}")
+    pins = int(data.get("pins", 8))
+    return _FAMILIES[family](pins)
+
+
+def spec_to_dict(spec: SwitchSpec) -> Dict[str, Any]:
+    """Serialize a spec to a JSON-compatible dictionary."""
+    data: Dict[str, Any] = {
+        "name": spec.name,
+        "switch": switch_to_dict(spec.switch),
+        "modules": list(spec.modules),
+        "flows": [
+            {"id": f.id, "source": f.source, "target": f.target}
+            for f in spec.flows
+        ],
+        "conflicts": sorted(sorted(pair) for pair in spec.conflicts),
+        "binding": spec.binding.value,
+        "alpha": spec.alpha,
+        "beta": spec.beta,
+        "max_sets": spec.max_sets,
+        "node_policy": spec.node_policy.value,
+        "conflict_form": spec.conflict_form.value,
+        "scheduling_form": spec.scheduling_form.value,
+    }
+    if spec.fixed_binding is not None:
+        data["fixed_binding"] = dict(spec.fixed_binding)
+    if spec.module_order is not None:
+        data["module_order"] = list(spec.module_order)
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> SwitchSpec:
+    """Build (and validate) a spec from a parsed dictionary."""
+    try:
+        flows = [Flow(int(f["id"]), f["source"], f["target"])
+                 for f in data.get("flows", [])]
+        conflicts = {frozenset(int(x) for x in pair)
+                     for pair in data.get("conflicts", [])}
+        return SwitchSpec(
+            switch=switch_from_dict(data.get("switch", {})),
+            modules=list(data["modules"]),
+            flows=flows,
+            conflicts=conflicts,
+            binding=BindingPolicy(data.get("binding", "unfixed")),
+            fixed_binding=data.get("fixed_binding"),
+            module_order=data.get("module_order"),
+            alpha=float(data.get("alpha", 1.0)),
+            beta=float(data.get("beta", 100.0)),
+            max_sets=data.get("max_sets"),
+            node_policy=NodePolicy(data.get("node_policy", "all")),
+            conflict_form=ConflictForm(data.get("conflict_form", "pairwise")),
+            scheduling_form=SchedulingForm(data.get("scheduling_form", "paper")),
+            name=data.get("name", "switch-case"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecError(f"malformed spec document: {exc}") from exc
+
+
+def save_spec(spec: SwitchSpec, path: Union[str, Path]) -> None:
+    """Write a spec as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(spec_to_dict(spec), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_spec(path: Union[str, Path]) -> SwitchSpec:
+    """Read and validate a spec from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: invalid JSON: {exc}") from exc
+    return spec_from_dict(data)

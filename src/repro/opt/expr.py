@@ -1,0 +1,424 @@
+"""Algebraic expressions for integer (quadratic) programs.
+
+This module provides the small expression language used to state the
+synthesis models: decision variables (:class:`Var`), affine expressions
+(:class:`LinExpr`), and quadratic expressions (:class:`QuadExpr`).
+Expressions support the natural Python operators, and comparisons
+(``<=``, ``>=``, ``==``) produce :class:`Constraint` objects that can be
+added to a :class:`repro.opt.model.Model`.
+
+The design mirrors the modeling layers of Gurobi / PuLP so the
+constraint code in :mod:`repro.core` reads like the equations in the
+paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+
+#: Anything acceptable on either side of an arithmetic operator.
+ExprLike = Union["Var", "LinExpr", "QuadExpr", int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    BINARY = "B"
+    INTEGER = "I"
+    CONTINUOUS = "C"
+
+
+class Sense(enum.Enum):
+    """Direction of a constraint relation."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Var:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.opt.model.Model.add_var`
+    (never directly), which assigns the model-unique ``index`` used by
+    the solver backends.
+    """
+
+    __slots__ = ("name", "vtype", "lb", "ub", "index", "_model_id")
+
+    def __init__(
+        self,
+        name: str,
+        vtype: VarType,
+        lb: Number,
+        ub: Number,
+        index: int,
+        model_id: int,
+    ) -> None:
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} > upper bound {ub}")
+        if vtype is VarType.BINARY and (lb < 0 or ub > 1):
+            raise ModelError(f"binary variable {name!r} must have bounds within [0, 1]")
+        self.name = name
+        self.vtype = vtype
+        self.lb = lb
+        self.ub = ub
+        self.index = index
+        self._model_id = model_id
+
+    # -- conversions ---------------------------------------------------
+    def to_linexpr(self) -> "LinExpr":
+        """Return this variable as a one-term linear expression."""
+        return LinExpr({self: 1.0}, 0.0)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: ExprLike) -> ExprLike:
+        return self.to_linexpr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> ExprLike:
+        return self.to_linexpr() - other
+
+    def __rsub__(self, other: ExprLike) -> ExprLike:
+        return (-self.to_linexpr()) + other
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({self: -1.0}, 0.0)
+
+    def __mul__(self, other: ExprLike) -> ExprLike:
+        if isinstance(other, (int, float)):
+            return LinExpr({self: float(other)}, 0.0)
+        if isinstance(other, Var):
+            return QuadExpr({_key(self, other): 1.0}, {}, 0.0)
+        if isinstance(other, (LinExpr, QuadExpr)):
+            return self.to_linexpr() * other
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return self.to_linexpr() <= other
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return self.to_linexpr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (int, float, Var, LinExpr, QuadExpr)):
+            return self.to_linexpr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Identity hash: Var objects are unique per (model, index), and an
+        # id-based hash guarantees dict lookups never fall back to __eq__
+        # (which builds a Constraint rather than returning a bool).
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+def _key(a: Var, b: Var) -> Tuple[Var, Var]:
+    """Canonical (sorted) key for the product of two variables."""
+    return (a, b) if a.index <= b.index else (b, a)
+
+
+def _as_quad(value: ExprLike) -> "QuadExpr":
+    """Coerce any expression-like value into a QuadExpr."""
+    if isinstance(value, QuadExpr):
+        return value
+    if isinstance(value, LinExpr):
+        return QuadExpr({}, dict(value.terms), value.constant)
+    if isinstance(value, Var):
+        return QuadExpr({}, {value: 1.0}, 0.0)
+    if isinstance(value, (int, float)):
+        return QuadExpr({}, {}, float(value))
+    raise TypeError(f"cannot interpret {value!r} as an expression")
+
+
+def _as_lin(value: ExprLike) -> "LinExpr":
+    """Coerce any linear expression-like value into a LinExpr."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Var):
+        return value.to_linexpr()
+    if isinstance(value, (int, float)):
+        return LinExpr({}, float(value))
+    if isinstance(value, QuadExpr):
+        if value.quad_terms:
+            raise ModelError("expression is quadratic where a linear one is required")
+        return LinExpr(dict(value.lin_terms), value.constant)
+    raise TypeError(f"cannot interpret {value!r} as a linear expression")
+
+
+class LinExpr:
+    """An affine expression ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Var, float] | None = None, constant: Number = 0.0):
+        self.terms: Dict[Var, float] = {v: float(c) for v, c in (terms or {}).items() if c != 0}
+        self.constant = float(constant)
+
+    # -- helpers ---------------------------------------------------------
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    def value(self, assignment: Mapping[Var, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(c * assignment[v] for v, c in self.terms.items())
+
+    def bounds(self) -> Tuple[float, float]:
+        """Interval bound of the expression implied by variable bounds."""
+        lo = hi = self.constant
+        for v, c in self.terms.items():
+            if c >= 0:
+                lo += c * v.lb
+                hi += c * v.ub
+            else:
+                lo += c * v.ub
+                hi += c * v.lb
+        return lo, hi
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: ExprLike) -> ExprLike:
+        if isinstance(other, (int, float)):
+            return LinExpr(dict(self.terms), self.constant + other)
+        if isinstance(other, Var):
+            other = other.to_linexpr()
+        if isinstance(other, LinExpr):
+            terms = dict(self.terms)
+            for v, c in other.terms.items():
+                terms[v] = terms.get(v, 0.0) + c
+            return LinExpr(terms, self.constant + other.constant)
+        if isinstance(other, QuadExpr):
+            return other + self
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> ExprLike:
+        return self + (-1 * _as_quad(other) if isinstance(other, QuadExpr) else -1 * _as_lin(other))
+
+    def __rsub__(self, other: ExprLike) -> ExprLike:
+        return (-1 * self) + other
+
+    def __neg__(self) -> "LinExpr":
+        return -1 * self
+
+    def __mul__(self, other: ExprLike) -> ExprLike:
+        if isinstance(other, (int, float)):
+            return LinExpr({v: c * other for v, c in self.terms.items()}, self.constant * other)
+        if isinstance(other, Var):
+            other = other.to_linexpr()
+        if isinstance(other, LinExpr):
+            quad: Dict[Tuple[Var, Var], float] = {}
+            lin: Dict[Var, float] = {}
+            for va, ca in self.terms.items():
+                for vb, cb in other.terms.items():
+                    k = _key(va, vb)
+                    quad[k] = quad.get(k, 0.0) + ca * cb
+                if other.constant:
+                    lin[va] = lin.get(va, 0.0) + ca * other.constant
+            if self.constant:
+                for vb, cb in other.terms.items():
+                    lin[vb] = lin.get(vb, 0.0) + cb * self.constant
+            return QuadExpr(quad, lin, self.constant * other.constant)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # -- comparisons -------------------------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _promote(other), Sense.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _promote(other), Sense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (int, float, Var, LinExpr, QuadExpr)):
+            return Constraint(self - _promote(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # LinExpr is mutable-ish; identity hash is fine
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*{v.name}" for v, c in self.terms.items()]
+        parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class QuadExpr:
+    """A quadratic expression: bilinear terms + linear terms + constant."""
+
+    __slots__ = ("quad_terms", "lin_terms", "constant")
+
+    def __init__(
+        self,
+        quad_terms: Mapping[Tuple[Var, Var], float] | None = None,
+        lin_terms: Mapping[Var, float] | None = None,
+        constant: Number = 0.0,
+    ):
+        self.quad_terms: Dict[Tuple[Var, Var], float] = {
+            k: float(c) for k, c in (quad_terms or {}).items() if c != 0
+        }
+        self.lin_terms: Dict[Var, float] = {v: float(c) for v, c in (lin_terms or {}).items() if c != 0}
+        self.constant = float(constant)
+
+    def is_linear(self) -> bool:
+        return not self.quad_terms
+
+    def value(self, assignment: Mapping[Var, float]) -> float:
+        total = self.constant
+        total += sum(c * assignment[v] for v, c in self.lin_terms.items())
+        total += sum(c * assignment[a] * assignment[b] for (a, b), c in self.quad_terms.items())
+        return total
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "QuadExpr":
+        other_q = _as_quad(other)
+        quad = dict(self.quad_terms)
+        for k, c in other_q.quad_terms.items():
+            quad[k] = quad.get(k, 0.0) + c
+        lin = dict(self.lin_terms)
+        for v, c in other_q.lin_terms.items():
+            lin[v] = lin.get(v, 0.0) + c
+        return QuadExpr(quad, lin, self.constant + other_q.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "QuadExpr":
+        return self + (-1 * _as_quad(other))
+
+    def __rsub__(self, other: ExprLike) -> "QuadExpr":
+        return (-1 * self) + _as_quad(other)
+
+    def __neg__(self) -> "QuadExpr":
+        return -1 * self
+
+    def __mul__(self, other: ExprLike) -> "QuadExpr":
+        if not isinstance(other, (int, float)):
+            raise ModelError("only scalar multiplication is supported for quadratic expressions")
+        return QuadExpr(
+            {k: c * other for k, c in self.quad_terms.items()},
+            {v: c * other for v, c in self.lin_terms.items()},
+            self.constant * other,
+        )
+
+    __rmul__ = __mul__
+
+    # -- comparisons ---------------------------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _as_quad(other), Sense.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _as_quad(other), Sense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (int, float, Var, LinExpr, QuadExpr)):
+            return Constraint(self - _as_quad(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        q = [f"{c:+g}*{a.name}*{b.name}" for (a, b), c in self.quad_terms.items()]
+        l = [f"{c:+g}*{v.name}" for v, c in self.lin_terms.items()]
+        return "QuadExpr(" + " ".join(q + l + [f"{self.constant:+g}"]) + ")"
+
+
+def _promote(value: ExprLike) -> ExprLike:
+    """Return value unchanged if it is an expression, else wrap a scalar."""
+    if isinstance(value, (int, float)):
+        return LinExpr({}, float(value))
+    if isinstance(value, Var):
+        return value.to_linexpr()
+    return value
+
+
+class Constraint:
+    """A relational constraint ``expr (<=|>=|==) 0``.
+
+    The expression is normalized so the right-hand side is zero; the
+    original right-hand side constant is folded into ``expr.constant``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: ExprLike, sense: Sense, name: str = ""):
+        if isinstance(expr, Var):
+            expr = expr.to_linexpr()
+        if not isinstance(expr, (LinExpr, QuadExpr)):
+            raise ModelError(f"constraint body must be an expression, got {type(expr)!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    def is_linear(self) -> bool:
+        return isinstance(self.expr, LinExpr) or (
+            isinstance(self.expr, QuadExpr) and self.expr.is_linear()
+        )
+
+    def satisfied(self, assignment: Mapping[Var, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under a complete variable assignment."""
+        val = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return val <= tol
+        if self.sense is Sense.GE:
+            return val >= -tol
+        return abs(val) <= tol
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense.value} 0, name={self.name!r})"
+
+
+def quicksum(items: Iterable[ExprLike]) -> ExprLike:
+    """Sum an iterable of expressions efficiently.
+
+    Unlike the builtin :func:`sum`, this accumulates into a single
+    mutable term dictionary, avoiding quadratic copying for long sums,
+    and returns a :class:`LinExpr` (or :class:`QuadExpr` if any term is
+    quadratic). An empty sum yields ``LinExpr() == 0``.
+    """
+    lin: Dict[Var, float] = {}
+    quad: Dict[Tuple[Var, Var], float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, (int, float)):
+            constant += item
+        elif isinstance(item, Var):
+            lin[item] = lin.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            for v, c in item.terms.items():
+                lin[v] = lin.get(v, 0.0) + c
+            constant += item.constant
+        elif isinstance(item, QuadExpr):
+            for k, c in item.quad_terms.items():
+                quad[k] = quad.get(k, 0.0) + c
+            for v, c in item.lin_terms.items():
+                lin[v] = lin.get(v, 0.0) + c
+            constant += item.constant
+        else:
+            raise TypeError(f"cannot sum {item!r}")
+    if quad:
+        return QuadExpr(quad, lin, constant)
+    return LinExpr(lin, constant)
+
+
+def is_integral(value: float, tol: float = 1e-6) -> bool:
+    """Whether a float is within tolerance of an integer."""
+    return abs(value - round(value)) <= tol
+
+
+def ceil_with_tol(value: float, tol: float = 1e-9) -> int:
+    """Ceiling that forgives tiny floating point overshoot."""
+    return math.ceil(value - tol)

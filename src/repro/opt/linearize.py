@@ -1,0 +1,124 @@
+"""Exact linearization of integer quadratic programs.
+
+The paper formulates switch synthesis as an IQP whose only quadratic
+terms are products of binary decision variables (e.g. the
+flow-set/path-choice products ``w[i,s] * x[i,d]``). Such products admit
+an *exact* linearization with one auxiliary variable per distinct
+product:
+
+* ``z = a * b`` with ``a, b`` binary::
+
+      z <= a,   z <= b,   z >= a + b - 1,   z in {0, 1}
+
+* ``z = a * y`` with ``a`` binary and ``y`` a bounded integer
+  (``lo <= y <= hi``), the standard big-M form::
+
+      z <= hi * a,          z >= lo * a,
+      z <= y - lo * (1-a),  z >= y - hi * (1-a)
+
+Products of two unbounded/continuous variables are rejected — the
+library never approximates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.errors import LinearizationError
+from repro.opt.expr import LinExpr, QuadExpr, Sense, Var, VarType
+from repro.opt.model import Constraint, Model
+
+
+def _is_binary(v: Var) -> bool:
+    return v.vtype is VarType.BINARY or (
+        v.vtype is VarType.INTEGER and v.lb >= 0 and v.ub <= 1
+    )
+
+
+def _is_bounded_integer(v: Var) -> bool:
+    return v.vtype in (VarType.INTEGER, VarType.BINARY) and math.isfinite(v.lb) and math.isfinite(v.ub)
+
+
+def linearize(model: Model) -> Tuple[Model, Dict[Tuple[Var, Var], Var]]:
+    """Return an equivalent MILP and the product→auxiliary-variable map.
+
+    The returned model shares the original :class:`Var` objects for all
+    original variables, so solutions of the linearized model evaluate
+    original expressions directly.
+    """
+    lin = Model(f"{model.name}_lin")
+    # Adopt the original variables wholesale: same objects, same indices.
+    lin.variables = list(model.variables)
+    lin._names = dict(model._names)
+    # Auxiliary variables must continue the index sequence and carry the
+    # *linearized* model's ownership checks; reuse the original model id
+    # so original Vars and aux Vars can mix inside one expression.
+    lin._id = model._id
+
+    product_vars: Dict[Tuple[Var, Var], Var] = {}
+
+    def aux_for(a: Var, b: Var) -> Var:
+        key = (a, b) if a.index <= b.index else (b, a)
+        if key in product_vars:
+            return product_vars[key]
+        a, b = key
+        if a is b:
+            # a binary squared is itself; bounded-int squares are not needed
+            # by the synthesis models and are rejected for safety.
+            if _is_binary(a):
+                product_vars[key] = a
+                return a
+            raise LinearizationError(f"cannot linearize square of non-binary {a.name!r}")
+        if _is_binary(a) and _is_binary(b):
+            z = lin.add_var(f"_lin_{a.name}*{b.name}", VarType.BINARY)
+            lin.add_constr(Constraint(z.to_linexpr() - a, Sense.LE), f"_lz1_{z.name}")
+            lin.add_constr(Constraint(z.to_linexpr() - b, Sense.LE), f"_lz2_{z.name}")
+            lin.add_constr(
+                Constraint(z.to_linexpr() - a - b + 1, Sense.GE), f"_lz3_{z.name}"
+            )
+        else:
+            # Ensure `a` is the binary factor.
+            if not _is_binary(a):
+                a, b = b, a
+            if not _is_binary(a) or not _is_bounded_integer(b):
+                raise LinearizationError(
+                    f"cannot exactly linearize product {a.name!r} * {b.name!r}: "
+                    "need binary*binary or binary*bounded-integer"
+                )
+            lo, hi = b.lb, b.ub
+            z = lin.add_var(f"_lin_{a.name}*{b.name}", VarType.INTEGER, min(lo, 0), max(hi, 0))
+            lin.add_constr(Constraint(z - hi * a.to_linexpr(), Sense.LE), f"_lz1_{z.name}")
+            lin.add_constr(Constraint(z - lo * a.to_linexpr(), Sense.GE), f"_lz2_{z.name}")
+            lin.add_constr(
+                Constraint(z - (b.to_linexpr() - lo * (1 - a.to_linexpr())), Sense.LE),
+                f"_lz3_{z.name}",
+            )
+            lin.add_constr(
+                Constraint(z - (b.to_linexpr() - hi * (1 - a.to_linexpr())), Sense.GE),
+                f"_lz4_{z.name}",
+            )
+        product_vars[key] = z
+        return z
+
+    def to_linear(expr) -> LinExpr:
+        if isinstance(expr, LinExpr):
+            return expr
+        assert isinstance(expr, QuadExpr)
+        terms: Dict[Var, float] = dict(expr.lin_terms)
+        for (a, b), coef in expr.quad_terms.items():
+            z = aux_for(a, b)
+            terms[z] = terms.get(z, 0.0) + coef
+        return LinExpr(terms, expr.constant)
+
+    for c in model.constraints:
+        lin.add_constr(Constraint(to_linear(c.expr), c.sense), c.name)
+
+    obj = model.objective
+    if isinstance(obj, QuadExpr) and obj.quad_terms:
+        lin.set_objective(to_linear(obj), "min" if model.minimize else "max")
+    else:
+        lin.objective = obj
+        lin.minimize = model.minimize
+
+    return lin, product_vars

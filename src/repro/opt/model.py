@@ -1,0 +1,267 @@
+"""The optimization model container.
+
+:class:`Model` collects variables, (possibly quadratic) constraints and
+an objective, and dispatches to a solver backend. Quadratic models are
+linearized exactly before solving (see :mod:`repro.opt.linearize`), so
+every backend only ever sees a mixed-integer *linear* program.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ModelError, SolverError
+from repro.opt.expr import (
+    Constraint,
+    ExprLike,
+    LinExpr,
+    QuadExpr,
+    Sense,
+    Var,
+    VarType,
+    quicksum,
+)
+from repro.opt.result import Solution, SolveStatus
+
+_model_counter = itertools.count()
+
+
+class Model:
+    """A mixed-integer (quadratic) program.
+
+    Typical usage::
+
+        m = Model("demo")
+        x = m.add_var("x", VarType.BINARY)
+        y = m.add_var("y", VarType.BINARY)
+        m.add_constr(x + y <= 1, "pick_one")
+        m.set_objective(x + 2 * y, sense="max")
+        sol = m.solve()
+        sol.value(x)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._id = next(_model_counter)
+        self.variables: List[Var] = []
+        self.constraints: List[Constraint] = []
+        self.objective: ExprLike = LinExpr()
+        self.minimize = True
+        self._names: Dict[str, Var] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        vtype: VarType = VarType.CONTINUOUS,
+        lb: float = 0.0,
+        ub: Optional[float] = None,
+    ) -> Var:
+        """Create and register a new decision variable.
+
+        ``ub=None`` means 1 for binaries and +inf otherwise. Variable
+        names must be unique within the model.
+        """
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if vtype is VarType.BINARY:
+            lb, ub = 0, 1
+        elif ub is None:
+            ub = float("inf")
+        var = Var(name, vtype, lb, ub, index=len(self.variables), model_id=self._id)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Var:
+        """Shorthand for :meth:`add_var` with a binary domain."""
+        return self.add_var(name, VarType.BINARY)
+
+    def add_integer(self, name: str, lb: float = 0.0, ub: Optional[float] = None) -> Var:
+        """Shorthand for :meth:`add_var` with an integer domain."""
+        return self.add_var(name, VarType.INTEGER, lb, ub)
+
+    def var_by_name(self, name: str) -> Var:
+        """Look up a variable by its unique name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r}") from None
+
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint (did the comparison return a bool?)"
+            )
+        self._check_ownership(constraint.expr)
+        if name:
+            constraint.name = name
+        elif not constraint.name:
+            constraint.name = f"c{len(self.constraints)}"
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> List[Constraint]:
+        """Register several constraints, auto-numbering their names."""
+        added = []
+        for i, c in enumerate(constraints):
+            added.append(self.add_constr(c, f"{prefix}{i}" if prefix else ""))
+        return added
+
+    def set_objective(self, expr: ExprLike, sense: str = "min") -> None:
+        """Set the objective. ``sense`` is ``"min"`` or ``"max"``."""
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        if isinstance(expr, Var):
+            expr = expr.to_linexpr()
+        if isinstance(expr, (int, float)):
+            expr = LinExpr({}, float(expr))
+        self._check_ownership(expr)
+        self.objective = expr
+        self.minimize = sense == "min"
+
+    def _check_ownership(self, expr: ExprLike) -> None:
+        if isinstance(expr, LinExpr):
+            vars_ = expr.terms.keys()
+        elif isinstance(expr, QuadExpr):
+            vars_ = list(expr.lin_terms.keys()) + [v for pair in expr.quad_terms for v in pair]
+        else:
+            return
+        for v in vars_:
+            if v._model_id != self._id:
+                raise ModelError(
+                    f"variable {v.name!r} belongs to a different model than {self.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def is_linear(self) -> bool:
+        """Whether the model (objective and all constraints) is linear."""
+        obj_linear = not (isinstance(self.objective, QuadExpr) and self.objective.quad_terms)
+        return obj_linear and all(c.is_linear() for c in self.constraints)
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics: variable counts by type, constraint counts
+        by sense, and the number of distinct quadratic products."""
+        by_type = {"binary": 0, "integer": 0, "continuous": 0}
+        for v in self.variables:
+            if v.vtype is VarType.BINARY:
+                by_type["binary"] += 1
+            elif v.vtype is VarType.INTEGER:
+                by_type["integer"] += 1
+            else:
+                by_type["continuous"] += 1
+        by_sense = {"<=": 0, ">=": 0, "==": 0}
+        nonzeros = 0
+        products = set()
+        for c in self.constraints:
+            by_sense[c.sense.value] += 1
+            expr = c.expr
+            if isinstance(expr, QuadExpr):
+                nonzeros += len(expr.lin_terms) + len(expr.quad_terms)
+                products.update(expr.quad_terms)
+            else:
+                nonzeros += len(expr.terms)
+        obj = self.objective
+        if isinstance(obj, QuadExpr):
+            products.update(obj.quad_terms)
+        return {
+            "variables": self.num_vars,
+            **by_type,
+            "constraints": self.num_constraints,
+            "le": by_sense["<="],
+            "ge": by_sense[">="],
+            "eq": by_sense["=="],
+            "nonzeros": nonzeros,
+            "quadratic_products": len(products),
+        }
+
+    def check_assignment(
+        self, assignment: Dict[Var, float], tol: float = 1e-6
+    ) -> List[Constraint]:
+        """Return the constraints violated by a complete assignment."""
+        return [c for c in self.constraints if not c.satisfied(assignment, tol)]
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: str = "auto",
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        """Solve the model and return a :class:`Solution`.
+
+        ``backend`` is one of ``"auto"``, ``"highs"``, ``"branch_bound"``
+        or ``"backtrack"``. ``"auto"`` picks HiGHS when scipy provides
+        it and falls back to the built-in branch-and-bound otherwise.
+        Quadratic models are linearized exactly first; the reported
+        solution only contains the original variables.
+        """
+        from repro.opt.linearize import linearize
+        from repro.opt.solvers import get_backend
+
+        start = time.perf_counter()
+        if self.is_linear():
+            work_model, back_map = self, None
+        else:
+            work_model, back_map = linearize(self)
+
+        solver = get_backend(backend)
+        solution = solver.solve(work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose)
+
+        if back_map is not None and solution.values is not None:
+            solution = solution.restrict(set(self.variables))
+        solution.runtime = time.perf_counter() - start
+        solution.model_name = self.name
+
+        if solution.status is SolveStatus.OPTIMAL and solution.values is not None:
+            violated = self.check_assignment(
+                {v: solution.values[v] for v in self.variables}, tol=1e-5
+            )
+            if violated:
+                raise SolverError(
+                    f"solver returned an assignment violating {len(violated)} constraint(s); "
+                    f"first: {violated[0]!r}"
+                )
+        return solution
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        kind = "MILP" if self.is_linear() else "MIQP"
+        return (
+            f"Model({self.name!r}, {kind}, vars={self.num_vars}, "
+            f"constraints={self.num_constraints})"
+        )
+
+
+__all__ = [
+    "Model",
+    "Var",
+    "VarType",
+    "Constraint",
+    "Sense",
+    "LinExpr",
+    "QuadExpr",
+    "quicksum",
+    "Solution",
+    "SolveStatus",
+]

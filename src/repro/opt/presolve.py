@@ -1,0 +1,213 @@
+"""Presolve: cheap model reductions before the search.
+
+Three classic, always-safe reductions, iterated to a fixed point:
+
+1. **singleton fixing** — an equality with one variable fixes it;
+2. **bound tightening** — every constraint row implies bounds on each
+   of its variables given the bounds of the others (for integers the
+   implied bounds round inwards);
+3. **constraint elimination** — rows whose interval evaluation can
+   never be violated are dropped; rows that can never be *satisfied*
+   prove infeasibility immediately.
+
+The pass returns a reduced model plus the set of fixed assignments; it
+never changes the feasible set. It is used by the built-in
+branch-and-bound and backtracking backends (HiGHS has its own presolve)
+and is directly useful on the synthesis models, where the coupling
+equalities fix large blocks of ``x`` under the fixed binding policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.opt.expr import Constraint, LinExpr, QuadExpr, Sense, Var, VarType
+from repro.opt.model import Model
+
+_TOL = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of a presolve pass."""
+
+    model: Model                      # reduced model (shares Var objects)
+    fixed: Dict[Var, float] = field(default_factory=dict)
+    proven_infeasible: bool = False
+    rounds: int = 0
+    dropped_constraints: int = 0
+
+    def extend_solution(self, values: Dict[Var, float]) -> Dict[Var, float]:
+        """Add the presolve-fixed variables back into a solution."""
+        merged = dict(values)
+        merged.update(self.fixed)
+        return merged
+
+
+def _terms(expr) -> Tuple[Dict[Var, float], float]:
+    if isinstance(expr, QuadExpr):
+        if expr.quad_terms:
+            raise ModelError("presolve requires a linear model; linearize first")
+        return dict(expr.lin_terms), expr.constant
+    return dict(expr.terms), expr.constant
+
+
+def _is_int(v: Var) -> bool:
+    return v.vtype is not VarType.CONTINUOUS
+
+
+def presolve(model: Model, max_rounds: int = 20) -> PresolveResult:
+    """Run the reduction loop on a linear model."""
+    lb: Dict[Var, float] = {v: v.lb for v in model.variables}
+    ub: Dict[Var, float] = {v: v.ub for v in model.variables}
+    rows: List[Tuple[Dict[Var, float], float, Sense, str]] = []
+    for c in model.constraints:
+        terms, const = _terms(c.expr)
+        rows.append((terms, const, c.sense, c.name))
+
+    result = PresolveResult(model=Model(f"{model.name}_presolved"))
+    changed = True
+    rounds = 0
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        survivors = []
+        for terms, const, sense, name in rows:
+            # substitute variables already fixed to a point
+            live: Dict[Var, float] = {}
+            base = const
+            for v, coef in terms.items():
+                if lb[v] == ub[v]:
+                    base += coef * lb[v]
+                else:
+                    live[v] = coef
+
+            lo = base + sum(c * (lb[v] if c >= 0 else ub[v])
+                            for v, c in live.items())
+            hi = base + sum(c * (ub[v] if c >= 0 else lb[v])
+                            for v, c in live.items())
+
+            if _row_infeasible(sense, lo, hi):
+                result.proven_infeasible = True
+                result.fixed = {v: lb[v] for v in model.variables
+                                if lb[v] == ub[v]}
+                result.rounds = rounds
+                return result
+            if _row_redundant(sense, lo, hi):
+                result.dropped_constraints += 1
+                changed = True
+                continue
+
+            # singleton equality fixes its variable
+            if sense is Sense.EQ and len(live) == 1:
+                (v, coef), = live.items()
+                value = -base / coef
+                if _is_int(v) and abs(value - round(value)) > 1e-6:
+                    result.proven_infeasible = True
+                    result.rounds = rounds
+                    return result
+                value = float(round(value)) if _is_int(v) else value
+                if value < lb[v] - _TOL or value > ub[v] + _TOL:
+                    result.proven_infeasible = True
+                    result.rounds = rounds
+                    return result
+                lb[v] = ub[v] = value
+                changed = True
+                result.dropped_constraints += 1
+                continue
+
+            # bound tightening on every live variable
+            for v, coef in live.items():
+                rest_lo = lo - (coef * (lb[v] if coef >= 0 else ub[v]))
+                rest_hi = hi - (coef * (ub[v] if coef >= 0 else lb[v]))
+                if sense in (Sense.LE, Sense.EQ):
+                    # coef*v <= -rest_lo
+                    limit = -rest_lo
+                    if coef > 0:
+                        new_ub = limit / coef
+                        if _is_int(v):
+                            new_ub = math.floor(new_ub + 1e-9)
+                        if new_ub < ub[v] - _TOL:
+                            ub[v] = new_ub
+                            changed = True
+                    else:
+                        new_lb = limit / coef
+                        if _is_int(v):
+                            new_lb = math.ceil(new_lb - 1e-9)
+                        if new_lb > lb[v] + _TOL:
+                            lb[v] = new_lb
+                            changed = True
+                if sense in (Sense.GE, Sense.EQ):
+                    # coef*v >= -rest_hi
+                    limit = -rest_hi
+                    if coef > 0:
+                        new_lb = limit / coef
+                        if _is_int(v):
+                            new_lb = math.ceil(new_lb - 1e-9)
+                        if new_lb > lb[v] + _TOL:
+                            lb[v] = new_lb
+                            changed = True
+                    else:
+                        new_ub = limit / coef
+                        if _is_int(v):
+                            new_ub = math.floor(new_ub + 1e-9)
+                        if new_ub < ub[v] - _TOL:
+                            ub[v] = new_ub
+                            changed = True
+                if lb[v] > ub[v] + _TOL:
+                    result.proven_infeasible = True
+                    result.rounds = rounds
+                    return result
+            survivors.append((terms, const, sense, name))
+        rows = survivors
+
+    # assemble the reduced model
+    reduced = result.model
+    keep: Dict[Var, Var] = {}
+    for v in model.variables:
+        if lb[v] == ub[v]:
+            result.fixed[v] = lb[v]
+        else:
+            nv = reduced.add_var(v.name, v.vtype, lb[v], ub[v])
+            keep[v] = nv
+
+    def rebuild(terms: Dict[Var, float], const: float) -> LinExpr:
+        out: Dict[Var, float] = {}
+        base = const
+        for v, coef in terms.items():
+            if v in result.fixed:
+                base += coef * result.fixed[v]
+            else:
+                out[keep[v]] = out.get(keep[v], 0.0) + coef
+        return LinExpr(out, base)
+
+    for terms, const, sense, name in rows:
+        expr = rebuild(terms, const)
+        if not expr.terms:
+            continue  # fully fixed row; feasibility was checked above
+        reduced.add_constr(Constraint(expr, sense), name)
+
+    obj_terms, obj_const = _terms(model.objective)
+    reduced.set_objective(rebuild(obj_terms, obj_const),
+                          "min" if model.minimize else "max")
+    result.rounds = rounds
+    return result
+
+
+def _row_infeasible(sense: Sense, lo: float, hi: float) -> bool:
+    if sense is Sense.LE:
+        return lo > _TOL
+    if sense is Sense.GE:
+        return hi < -_TOL
+    return lo > _TOL or hi < -_TOL
+
+
+def _row_redundant(sense: Sense, lo: float, hi: float) -> bool:
+    if sense is Sense.LE:
+        return hi <= _TOL
+    if sense is Sense.GE:
+        return lo >= -_TOL
+    return abs(lo) <= _TOL and abs(hi) <= _TOL and lo == hi

@@ -1,0 +1,97 @@
+"""Solver result types."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set, Union
+
+from repro.errors import ModelError
+from repro.opt.expr import LinExpr, QuadExpr, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # a solution was found but optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"  # time limit hit with no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+class Solution:
+    """A solver outcome: status, objective, and variable values.
+
+    ``values`` is ``None`` when no feasible assignment was found.
+    """
+
+    def __init__(
+        self,
+        status: SolveStatus,
+        objective: Optional[float] = None,
+        values: Optional[Dict[Var, float]] = None,
+        runtime: float = 0.0,
+        solver: str = "",
+        gap: Optional[float] = None,
+        message: str = "",
+    ) -> None:
+        self.status = status
+        self.objective = objective
+        self.values = values
+        self.runtime = runtime
+        self.solver = solver
+        self.gap = gap
+        self.message = message
+        self.model_name = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        return self.status.has_solution and self.values is not None
+
+    def value(self, expr: Union[Var, LinExpr, QuadExpr, int, float]) -> float:
+        """Evaluate a variable or expression under this solution."""
+        if self.values is None:
+            raise ModelError(f"no solution available (status={self.status.value})")
+        if isinstance(expr, (int, float)):
+            return float(expr)
+        if isinstance(expr, Var):
+            return self.values[expr]
+        return expr.value(self.values)
+
+    def int_value(self, expr: Union[Var, LinExpr], tol: float = 1e-5) -> int:
+        """Evaluate and round an integral expression, checking tolerance."""
+        raw = self.value(expr)
+        rounded = round(raw)
+        if abs(raw - rounded) > tol:
+            raise ModelError(f"expression value {raw} is not integral within {tol}")
+        return int(rounded)
+
+    def restrict(self, variables: Set[Var]) -> "Solution":
+        """Return a copy whose values only cover ``variables``.
+
+        Used to strip auxiliary linearization variables before handing a
+        solution back to the caller.
+        """
+        values = None
+        if self.values is not None:
+            values = {v: x for v, x in self.values.items() if v in variables}
+        clone = Solution(
+            self.status, self.objective, values, self.runtime, self.solver, self.gap, self.message
+        )
+        clone.model_name = self.model_name
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Solution(status={self.status.value}, objective={self.objective}, "
+            f"solver={self.solver!r}, runtime={self.runtime:.3f}s)"
+        )

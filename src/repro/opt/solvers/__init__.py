@@ -1,0 +1,57 @@
+"""Solver backend registry.
+
+Three exact backends are provided:
+
+* ``"highs"`` — scipy's HiGHS MILP interface (default when available);
+* ``"branch_bound"`` — our own best-first branch-and-bound over scipy
+  LP relaxations;
+* ``"backtrack"`` — a pure-Python exhaustive CP search for small
+  all-integer models (numerics-free oracle).
+
+``"auto"`` resolves to HiGHS when scipy provides it, else branch-and-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SolverError
+from repro.opt.solvers.backtrack import BacktrackBackend
+from repro.opt.solvers.base import SolverBackend
+from repro.opt.solvers.branch_bound import BranchBoundBackend
+
+
+def _highs_available() -> bool:
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def get_backend(name: str = "auto") -> SolverBackend:
+    """Instantiate a solver backend by name."""
+    if name == "auto":
+        name = "highs" if _highs_available() else "branch_bound"
+    if name == "highs":
+        from repro.opt.solvers.highs import HighsBackend
+
+        return HighsBackend()
+    if name == "branch_bound":
+        return BranchBoundBackend()
+    if name == "backtrack":
+        return BacktrackBackend()
+    raise SolverError(f"unknown solver backend {name!r}")
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of backend name to availability on this machine."""
+    return {
+        "highs": _highs_available(),
+        "branch_bound": True,
+        "backtrack": True,
+    }
+
+
+__all__ = ["get_backend", "available_backends", "SolverBackend",
+           "BranchBoundBackend", "BacktrackBackend"]

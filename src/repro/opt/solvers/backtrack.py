@@ -1,0 +1,184 @@
+"""A pure-Python backtracking (CP-style) solver for small integer models.
+
+No LP relaxation, no numpy: plain depth-first search over the integer
+variable domains with interval-arithmetic pruning on every constraint
+and objective-bound pruning against the incumbent. Exhaustive, hence
+exact — used as an independent oracle in the test suite to validate the
+other backends on small instances, and to solve tiny models (e.g. the
+pressure-sharing clique cover of a reduced switch) without numerics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.opt.expr import LinExpr, QuadExpr, Sense, Var, VarType
+from repro.opt.model import Model
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers.base import SolverBackend
+
+
+class BacktrackBackend(SolverBackend):
+    """Exhaustive DFS with bound propagation for all-integer models."""
+
+    name = "backtrack"
+
+    def __init__(self, max_domain: int = 1000, use_presolve: bool = True) -> None:
+        self.max_domain = max_domain
+        self.use_presolve = use_presolve
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        if self.use_presolve:
+            from repro.opt.presolve import presolve
+            from repro.opt.solvers.branch_bound import _map_back
+
+            reduction = presolve(model)
+            if reduction.proven_infeasible:
+                return Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                                message="presolve proved infeasibility")
+            inner = BacktrackBackend(self.max_domain, use_presolve=False)
+            sol = inner.solve(reduction.model, time_limit, mip_gap, verbose)
+            return _map_back(sol, model, reduction, self.name)
+
+        for v in model.variables:
+            if v.vtype is VarType.CONTINUOUS:
+                raise ModelError("backtrack backend supports only integer/binary variables")
+            if not (math.isfinite(v.lb) and math.isfinite(v.ub)):
+                raise ModelError(f"variable {v.name!r} must have finite bounds")
+            if v.ub - v.lb > self.max_domain:
+                raise ModelError(f"variable {v.name!r} domain too large for backtracking")
+
+        variables = list(model.variables)
+        obj_terms, obj_const = _as_terms(model.objective)
+        obj_sign = 1.0 if model.minimize else -1.0
+        obj = {v: obj_sign * c for v, c in obj_terms.items()}
+
+        constraints: List[Tuple[Dict[Var, float], float, Sense]] = []
+        for c in model.constraints:
+            terms, const = _as_terms(c.expr)
+            constraints.append((terms, const, c.sense))
+
+        # Order variables: those appearing in many constraints first
+        # (fail-first), ties broken by smaller domain.
+        occurrence: Dict[Var, int] = {v: 0 for v in variables}
+        for terms, _, _ in constraints:
+            for v in terms:
+                occurrence[v] += 1
+        variables.sort(key=lambda v: (-occurrence[v], v.ub - v.lb, v.index))
+        order_of = {v: i for i, v in enumerate(variables)}
+
+        # Pre-split each constraint's terms by assignment order so the
+        # residual interval of unassigned variables is cheap to compute.
+        split_constraints = []
+        for terms, const, sense in constraints:
+            items = sorted(terms.items(), key=lambda vc: order_of[vc[0]])
+            split_constraints.append((items, const, sense))
+        obj_items = sorted(obj.items(), key=lambda vc: order_of[vc[0]])
+
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+        best_val = math.inf
+        best_assignment: Optional[Dict[Var, float]] = None
+        assignment: Dict[Var, float] = {}
+        timed_out = False
+
+        def residual_interval(items, from_pos: int) -> Tuple[float, float]:
+            lo = hi = 0.0
+            for v, coef in items:
+                if order_of[v] < from_pos:
+                    continue
+                if coef >= 0:
+                    lo += coef * v.lb
+                    hi += coef * v.ub
+                else:
+                    lo += coef * v.ub
+                    hi += coef * v.lb
+            return lo, hi
+
+        def feasible_so_far(pos: int) -> bool:
+            """Interval check: can constraints still be satisfied?"""
+            for items, const, sense in split_constraints:
+                fixed = const
+                for v, coef in items:
+                    if order_of[v] < pos:
+                        fixed += coef * assignment[v]
+                lo, hi = residual_interval(items, pos)
+                if sense is Sense.LE and fixed + lo > 1e-9:
+                    return False
+                if sense is Sense.GE and fixed + hi < -1e-9:
+                    return False
+                if sense is Sense.EQ and (fixed + lo > 1e-9 or fixed + hi < -1e-9):
+                    return False
+            return True
+
+        def objective_lower_bound(pos: int) -> float:
+            total = 0.0
+            for v, coef in obj_items:
+                if order_of[v] < pos:
+                    total += coef * assignment[v]
+                elif coef >= 0:
+                    total += coef * v.lb
+                else:
+                    total += coef * v.ub
+            return total
+
+        def dfs(pos: int) -> None:
+            nonlocal best_val, best_assignment, timed_out
+            if timed_out:
+                return
+            if deadline is not None and time.perf_counter() > deadline:
+                timed_out = True
+                return
+            if objective_lower_bound(pos) >= best_val - 1e-9:
+                return
+            if pos == len(variables):
+                val = sum(coef * assignment[v] for v, coef in obj_items)
+                if val < best_val:
+                    best_val = val
+                    best_assignment = dict(assignment)
+                return
+            var = variables[pos]
+            for value in range(int(var.lb), int(var.ub) + 1):
+                assignment[var] = float(value)
+                if feasible_so_far(pos + 1):
+                    dfs(pos + 1)
+                if timed_out:
+                    break
+            assignment.pop(var, None)
+
+        dfs(0)
+
+        if best_assignment is None:
+            if timed_out:
+                return Solution(SolveStatus.TIME_LIMIT, solver=self.name)
+            return Solution(SolveStatus.INFEASIBLE, solver=self.name)
+        objective = obj_sign * best_val + _objective_constant(model)
+        status = SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL
+        values = {v: best_assignment[v] for v in model.variables}
+        return Solution(status, objective, values, solver=self.name)
+
+
+def _as_terms(expr) -> Tuple[Dict[Var, float], float]:
+    if isinstance(expr, LinExpr):
+        return expr.terms, expr.constant
+    if isinstance(expr, QuadExpr):
+        if expr.quad_terms:
+            raise ModelError("backtrack backend requires a linearized model")
+        return expr.lin_terms, expr.constant
+    raise ModelError(f"unexpected expression type {type(expr)!r}")
+
+
+def _objective_constant(model: Model) -> float:
+    obj = model.objective
+    if isinstance(obj, (LinExpr, QuadExpr)):
+        return obj.constant
+    return 0.0

@@ -1,0 +1,105 @@
+"""Common interface and utilities for MILP solver backends."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.opt.expr import LinExpr, QuadExpr, Sense, VarType
+from repro.opt.model import Model
+from repro.opt.result import Solution
+
+
+class SolverBackend:
+    """Interface every backend implements."""
+
+    name = "base"
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        raise NotImplementedError
+
+
+class StandardForm:
+    """A model flattened to matrix form.
+
+    ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``,
+    ``A_eq @ x == b_eq``, ``lb <= x <= ub``, with ``integrality`` flags
+    (1 = integer, 0 = continuous). The objective is always stated as a
+    minimization; ``obj_sign`` records the flip needed to report the
+    original objective value, and ``obj_offset`` the constant term.
+    """
+
+    def __init__(self, model: Model) -> None:
+        if not model.is_linear():
+            raise ModelError("StandardForm requires a linear model; linearize first")
+        n = model.num_vars
+        self.variables = list(model.variables)
+        self.n = n
+
+        obj = model.objective
+        if isinstance(obj, QuadExpr):
+            obj = LinExpr(dict(obj.lin_terms), obj.constant)
+        c = np.zeros(n)
+        for v, coef in obj.terms.items():
+            c[v.index] += coef
+        self.obj_offset = obj.constant
+        self.obj_sign = 1.0
+        if not model.minimize:
+            c = -c
+            self.obj_sign = -1.0
+        self.c = c
+
+        ub_rows: List[Tuple[dict, float]] = []
+        eq_rows: List[Tuple[dict, float]] = []
+        for constr in model.constraints:
+            expr = constr.expr
+            if isinstance(expr, QuadExpr):
+                expr = LinExpr(dict(expr.lin_terms), expr.constant)
+            row = {v.index: coef for v, coef in expr.terms.items()}
+            rhs = -expr.constant
+            if constr.sense is Sense.LE:
+                ub_rows.append((row, rhs))
+            elif constr.sense is Sense.GE:
+                ub_rows.append(({i: -coef for i, coef in row.items()}, -rhs))
+            else:
+                eq_rows.append((row, rhs))
+
+        self.A_ub, self.b_ub = _rows_to_dense(ub_rows, n)
+        self.A_eq, self.b_eq = _rows_to_dense(eq_rows, n)
+
+        self.lb = np.array([v.lb for v in self.variables], dtype=float)
+        self.ub = np.array([v.ub for v in self.variables], dtype=float)
+        self.integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
+        )
+
+    def report_objective(self, min_value: float) -> float:
+        """Convert an internal minimization value to the user objective.
+
+        The sign flip applies only to the variable part (the constant
+        term was never negated when building ``c``).
+        """
+        return self.obj_sign * min_value + self.obj_offset
+
+    def solution_dict(self, x: np.ndarray) -> dict:
+        return {v: float(x[v.index]) for v in self.variables}
+
+
+def _rows_to_dense(rows: List[Tuple[dict, float]], n: int):
+    if not rows:
+        return np.zeros((0, n)), np.zeros(0)
+    a = np.zeros((len(rows), n))
+    b = np.zeros(len(rows))
+    for r, (row, rhs) in enumerate(rows):
+        for idx, coef in row.items():
+            a[r, idx] = coef
+        b[r] = rhs
+    return a, b

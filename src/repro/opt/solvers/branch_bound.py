@@ -1,0 +1,211 @@
+"""A self-contained branch-and-bound MILP solver.
+
+This backend exists so the library has a fully-inspectable exact solver
+that does not depend on HiGHS's branch-and-cut: LP relaxations are
+solved with :func:`scipy.optimize.linprog` (simplex/IPM via HiGHS LP,
+which scipy always ships), and the integer search is our own best-first
+branch-and-bound with most-fractional branching and incumbent rounding.
+
+It is intended for small-to-medium models (hundreds of variables) and
+as a cross-check oracle in tests; the HiGHS MILP backend remains the
+default for the large synthesis models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.opt.model import Model
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers.base import SolverBackend, StandardForm
+
+_INT_TOL = 1e-6
+
+
+class _Node:
+    """A branch-and-bound node: extra bounds layered on the root LP."""
+
+    __slots__ = ("lb", "ub", "bound")
+
+    def __init__(self, lb: np.ndarray, ub: np.ndarray, bound: float) -> None:
+        self.lb = lb
+        self.ub = ub
+        self.bound = bound
+
+
+class BranchBoundBackend(SolverBackend):
+    """Best-first branch-and-bound over scipy LP relaxations."""
+
+    name = "branch_bound"
+
+    def __init__(self, max_nodes: int = 200_000, use_presolve: bool = True) -> None:
+        self.max_nodes = max_nodes
+        self.use_presolve = use_presolve
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        if self.use_presolve:
+            from repro.opt.presolve import presolve
+
+            reduction = presolve(model)
+            if reduction.proven_infeasible:
+                return Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                                message="presolve proved infeasibility")
+            inner = BranchBoundBackend(self.max_nodes, use_presolve=False)
+            sol = inner.solve(reduction.model, time_limit, mip_gap, verbose)
+            return _map_back(sol, model, reduction, self.name)
+
+        if model.num_vars == 0:
+            obj = model.objective
+            const = getattr(obj, "constant", 0.0)
+            return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
+        form = StandardForm(model)
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+
+        int_idx = np.where(form.integrality == 1)[0]
+
+        def relax(lb: np.ndarray, ub: np.ndarray):
+            res = linprog(
+                form.c,
+                A_ub=form.A_ub if form.A_ub.size else None,
+                b_ub=form.b_ub if form.b_ub.size else None,
+                A_eq=form.A_eq if form.A_eq.size else None,
+                b_eq=form.b_eq if form.b_eq.size else None,
+                bounds=np.column_stack([lb, ub]),
+                method="highs",
+            )
+            return res
+
+        root = relax(form.lb, form.ub)
+        if root.status == 2:
+            return Solution(SolveStatus.INFEASIBLE, solver=self.name)
+        if root.status == 3:
+            return Solution(SolveStatus.UNBOUNDED, solver=self.name)
+        if root.status != 0:
+            return Solution(SolveStatus.ERROR, solver=self.name, message=root.message)
+
+        incumbent_x: Optional[np.ndarray] = None
+        incumbent_val = math.inf
+        counter = itertools.count()
+        heap: List[Tuple[float, int, _Node, np.ndarray]] = []
+        heapq.heappush(
+            heap, (root.fun, next(counter), _Node(form.lb.copy(), form.ub.copy(), root.fun), root.x)
+        )
+        nodes_explored = 0
+        hit_limit = False
+
+        def cutoff() -> float:
+            """Prune threshold; +inf while no incumbent exists."""
+            if math.isinf(incumbent_val):
+                return math.inf
+            return incumbent_val - mip_gap * max(1.0, abs(incumbent_val))
+
+        while heap:
+            bound, _, node, x = heapq.heappop(heap)
+            if bound >= cutoff():
+                continue
+            nodes_explored += 1
+            if nodes_explored > self.max_nodes:
+                hit_limit = True
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                hit_limit = True
+                break
+
+            frac_i = self._most_fractional(x, int_idx)
+            if frac_i is None:
+                # Integral relaxation solution: new incumbent.
+                if bound < incumbent_val:
+                    incumbent_val = bound
+                    incumbent_x = x
+                continue
+
+            xf = x[frac_i]
+            for direction in ("down", "up"):
+                lb = node.lb.copy()
+                ub = node.ub.copy()
+                if direction == "down":
+                    ub[frac_i] = math.floor(xf)
+                else:
+                    lb[frac_i] = math.ceil(xf)
+                if lb[frac_i] > ub[frac_i]:
+                    continue
+                res = relax(lb, ub)
+                if res.status != 0:
+                    continue  # infeasible or failed child: prune
+                child_bound = res.fun
+                child_x = res.x
+                child_frac = self._most_fractional(child_x, int_idx)
+                if child_frac is None:
+                    if child_bound < incumbent_val:
+                        incumbent_val = child_bound
+                        incumbent_x = child_x
+                elif child_bound < cutoff():
+                    heapq.heappush(
+                        heap, (child_bound, next(counter), _Node(lb, ub, child_bound), child_x)
+                    )
+
+        if incumbent_x is None:
+            if hit_limit:
+                return Solution(SolveStatus.TIME_LIMIT, solver=self.name,
+                                message=f"stopped after {nodes_explored} nodes")
+            return Solution(SolveStatus.INFEASIBLE, solver=self.name)
+
+        x = incumbent_x.copy()
+        x[int_idx] = np.round(x[int_idx])
+        status = SolveStatus.FEASIBLE if hit_limit and heap else SolveStatus.OPTIMAL
+        return Solution(
+            status,
+            form.report_objective(float(form.c @ x)),
+            form.solution_dict(x),
+            solver=self.name,
+            message=f"{nodes_explored} nodes explored",
+        )
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, int_idx: np.ndarray) -> Optional[int]:
+        """Index of the integer variable farthest from integrality."""
+        if int_idx.size == 0:
+            return None
+        vals = x[int_idx]
+        frac = np.abs(vals - np.round(vals))
+        worst = int(np.argmax(frac))
+        if frac[worst] <= _INT_TOL:
+            return None
+        return int(int_idx[worst])
+
+
+def _map_back(sol: Solution, original: Model, reduction, solver_name: str
+              ) -> Solution:
+    """Translate a reduced-model solution back to the original model.
+
+    Reduced variables share names with the originals; presolve-fixed
+    variables are re-inserted. The objective value is identical because
+    presolve folds fixed contributions into the reduced objective.
+    """
+    if not sol.has_solution:
+        sol.solver = solver_name
+        return sol
+    by_name = {v.name: val for v, val in sol.values.items()}
+    values = {}
+    for v in original.variables:
+        if v in reduction.fixed:
+            values[v] = reduction.fixed[v]
+        else:
+            values[v] = by_name[v.name]
+    return Solution(sol.status, sol.objective, values,
+                    runtime=sol.runtime, solver=solver_name,
+                    gap=sol.gap, message=sol.message)

@@ -1,0 +1,141 @@
+"""MILP backend using scipy's HiGHS interface (:func:`scipy.optimize.milp`).
+
+This is the primary backend: HiGHS is an exact branch-and-cut MILP
+solver, playing the role Gurobi plays in the paper. Matrices are built
+sparse so the large linearized scheduling models stay tractable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.errors import ModelError
+from repro.opt.expr import LinExpr, QuadExpr, Sense, VarType
+from repro.opt.model import Model
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers.base import SolverBackend
+
+
+def _linear_terms(expr) -> Tuple[dict, float]:
+    if isinstance(expr, QuadExpr):
+        if expr.quad_terms:
+            raise ModelError("HiGHS backend requires a linearized model")
+        return expr.lin_terms, expr.constant
+    return expr.terms, expr.constant
+
+
+class HighsBackend(SolverBackend):
+    """Solve MILPs with HiGHS via :func:`scipy.optimize.milp`."""
+
+    name = "highs"
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        n = model.num_vars
+        if n == 0:
+            _, const = _linear_terms(model.objective)
+            return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
+
+        obj_terms, obj_const = _linear_terms(model.objective)
+        c = np.zeros(n)
+        for v, coef in obj_terms.items():
+            c[v.index] += coef
+        sign = 1.0
+        if not model.minimize:
+            c = -c
+            sign = -1.0
+
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        lo: List[float] = []
+        hi: List[float] = []
+        for r, constr in enumerate(model.constraints):
+            terms, const = _linear_terms(constr.expr)
+            for v, coef in terms.items():
+                rows.append(r)
+                cols.append(v.index)
+                data.append(coef)
+            rhs = -const
+            if constr.sense is Sense.LE:
+                lo.append(-np.inf)
+                hi.append(rhs)
+            elif constr.sense is Sense.GE:
+                lo.append(rhs)
+                hi.append(np.inf)
+            else:
+                lo.append(rhs)
+                hi.append(rhs)
+
+        constraints = []
+        if model.constraints:
+            a = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(len(model.constraints), n)
+            )
+            constraints = [LinearConstraint(a, np.array(lo), np.array(hi))]
+
+        bounds = Bounds(
+            np.array([v.lb for v in model.variables], dtype=float),
+            np.array([v.ub for v in model.variables], dtype=float),
+        )
+        integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in model.variables]
+        )
+
+        options = {"disp": verbose, "mip_rel_gap": mip_gap}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+
+        res = milp(
+            c=c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=integrality,
+            options=options,
+        )
+
+        return self._interpret(res, model, sign, obj_const)
+
+    def _interpret(self, res, model: Model, sign: float, obj_const: float) -> Solution:
+        # scipy milp status codes: 0 optimal, 1 iteration/time limit,
+        # 2 infeasible, 3 unbounded, 4 other.
+        if res.status == 0 and res.x is not None:
+            values = self._rounded_values(model, res.x)
+            # res.fun is the (possibly sign-flipped) minimization value.
+            objective = sign * float(res.fun) + obj_const
+            gap = float(res.mip_gap) if getattr(res, "mip_gap", None) is not None else None
+            return Solution(SolveStatus.OPTIMAL, objective, values, solver=self.name, gap=gap)
+        if res.status == 1:
+            if res.x is not None:
+                values = self._rounded_values(model, res.x)
+                objective = sign * float(res.fun) + obj_const
+                return Solution(
+                    SolveStatus.FEASIBLE, objective, values, solver=self.name,
+                    message="time limit reached with incumbent",
+                )
+            return Solution(SolveStatus.TIME_LIMIT, solver=self.name, message=res.message)
+        if res.status == 2:
+            return Solution(SolveStatus.INFEASIBLE, solver=self.name, message=res.message)
+        if res.status == 3:
+            return Solution(SolveStatus.UNBOUNDED, solver=self.name, message=res.message)
+        return Solution(SolveStatus.ERROR, solver=self.name, message=res.message)
+
+    @staticmethod
+    def _rounded_values(model: Model, x: np.ndarray) -> dict:
+        """Snap integer variables to exact integers (HiGHS returns floats)."""
+        values = {}
+        for v in model.variables:
+            raw = float(x[v.index])
+            if v.vtype is not VarType.CONTINUOUS:
+                raw = float(round(raw))
+            values[v] = raw
+        return values

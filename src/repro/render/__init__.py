@@ -1,0 +1,25 @@
+"""Figure generation: SVG rendering of switches, results and chips."""
+
+from repro.render.ascii_art import AsciiGrid, ascii_switch
+from repro.render.chip_svg import ChipRenderer, render_chip
+from repro.render.svg import (
+    SvgCanvas,
+    SwitchRenderer,
+    render_result,
+    render_switch,
+    save_svg,
+)
+from repro.render.timeline_svg import render_valve_timeline
+
+__all__ = [
+    "SvgCanvas",
+    "SwitchRenderer",
+    "render_switch",
+    "render_result",
+    "save_svg",
+    "ChipRenderer",
+    "render_chip",
+    "ascii_switch",
+    "AsciiGrid",
+    "render_valve_timeline",
+]

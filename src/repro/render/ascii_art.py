@@ -1,0 +1,104 @@
+"""Terminal (ASCII) rendering of switch structures and results.
+
+For quick inspection in a shell: flow channels drawn on a character
+grid, pins and nodes labelled, used channels emphasized. Not a
+measurement tool — the SVG renderer is the faithful one — but handy in
+logs, doctests and CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.solution import SynthesisResult
+from repro.switches.base import SwitchModel
+
+#: Characters per millimetre, horizontal and vertical.
+CHAR_SCALE_X = 6
+CHAR_SCALE_Y = 3
+
+UNUSED = "."
+USED = "#"
+VALVE = "V"
+
+
+class AsciiGrid:
+    """A character canvas with (0,0) at the bottom-left."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._rows: List[List[str]] = [
+            [" "] * width for _ in range(height)
+        ]
+
+    def put(self, x: int, y: int, ch: str) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._rows[y][x] = ch
+
+    def text(self, x: int, y: int, label: str) -> None:
+        for i, ch in enumerate(label):
+            self.put(x + i, y, ch)
+
+    def hline(self, x0: int, x1: int, y: int, ch: str) -> None:
+        for x in range(min(x0, x1), max(x0, x1) + 1):
+            self.put(x, y, ch)
+
+    def vline(self, x: int, y0: int, y1: int, ch: str) -> None:
+        for y in range(min(y0, y1), max(y0, y1) + 1):
+            self.put(x, y, ch)
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in reversed(self._rows))
+
+
+def _grid_pos(switch: SwitchModel, name: str, lo, scale=(CHAR_SCALE_X, CHAR_SCALE_Y)
+              ) -> Tuple[int, int]:
+    p = switch.coords[name]
+    return (round((p.x - lo.x) * scale[0]) + 2,
+            round((p.y - lo.y) * scale[1]) + 1)
+
+
+def ascii_switch(switch: SwitchModel,
+                 result: Optional[SynthesisResult] = None) -> str:
+    """Draw a switch (optionally highlighting a result's used channels).
+
+    Channels render as ``.`` (unused) or ``#`` (used); essential valves
+    as ``V``; vertices carry their names.
+    """
+    lo, hi = switch.bounding_box()
+    grid = AsciiGrid(
+        round((hi.x - lo.x) * CHAR_SCALE_X) + 10,
+        round((hi.y - lo.y) * CHAR_SCALE_Y) + 3,
+    )
+
+    used: Optional[Set] = None
+    valves: Set = set()
+    if result is not None:
+        used = set(result.used_segments)
+        if result.valves is not None:
+            valves = set(result.valves.essential)
+
+    for key, seg in sorted(switch.segments.items()):
+        ax, ay = _grid_pos(switch, seg.a, lo)
+        bx, by = _grid_pos(switch, seg.b, lo)
+        ch = USED if (used is not None and key in used) else UNUSED
+        if ax == bx:
+            grid.vline(ax, ay, by, ch)
+        elif ay == by:
+            grid.hline(ax, bx, ay, ch)
+        else:  # L-shaped or diagonal channel: draw as an L
+            grid.hline(ax, bx, ay, ch)
+            grid.vline(bx, ay, by, ch)
+        if key in valves:
+            grid.put((ax + bx) // 2, (ay + by) // 2, VALVE)
+
+    for name in switch.nodes:
+        x, y = _grid_pos(switch, name, lo)
+        grid.put(x, y, "+")
+    for pin in switch.pins:
+        x, y = _grid_pos(switch, pin, lo)
+        grid.put(x, y, "o")
+        grid.text(x + 1, y, pin)
+
+    return grid.render()

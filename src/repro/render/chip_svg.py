@@ -1,0 +1,76 @@
+"""SVG rendering of chip-level co-layouts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chip.layout import ChipLayout
+from repro.core.solution import SynthesisResult
+from repro.render.svg import MARGIN, SCALE, SwitchRenderer
+
+MODULE_FILL = {
+    "mixer": "#cfe3f5",
+    "chamber": "#d9f2d9",
+    "inlet": "#f5e6c8",
+    "outlet": "#f0d5d5",
+    "generic": "#e8e8e8",
+}
+CONNECTION_COLOR = "#6a7f96"
+
+
+class ChipRenderer(SwitchRenderer):
+    """Extends the switch renderer with module footprints and routes."""
+
+    def __init__(self, layout: ChipLayout) -> None:
+        super().__init__(layout.switch)
+        self.layout = layout
+        # widen the canvas to cover the module ring
+        lo, hi = layout.bounding_box()
+        self._lo = lo
+        self._hi = hi
+        self.canvas.width = (hi.x - lo.x) * SCALE + 2 * MARGIN
+        self.canvas.height = (hi.y - lo.y) * SCALE + 2 * MARGIN
+
+    def draw_modules(self) -> None:
+        for name, placed in sorted(self.layout.modules.items()):
+            cx, cy = self._xy_point(placed.center)
+            self.canvas.rect(
+                (cx, cy),
+                placed.shape.width * SCALE,
+                placed.shape.height * SCALE,
+                MODULE_FILL.get(placed.shape.kind, MODULE_FILL["generic"]),
+            )
+            self.canvas.text((cx, cy + 4), name, size=12)
+            px, py = self._xy_point(placed.port)
+            self.canvas.circle((px, py), 3.0, "#444444")
+
+    def draw_connections(self) -> None:
+        for conn in self.layout.connections:
+            pts = [self._xy_point(p) for p in conn.points]
+            for a, b in zip(pts, pts[1:]):
+                self.canvas.line(a, b, CONNECTION_COLOR, 2.0, dash="6,3")
+
+    def _xy_point(self, p) -> tuple:
+        return (
+            (p.x - self._lo.x) * SCALE + MARGIN,
+            (self._hi.y - p.y) * SCALE + MARGIN,
+        )
+
+    # the base class looks vertices up by name; route through _xy_point
+    def _xy(self, name: str):  # type: ignore[override]
+        return self._xy_point(self.switch.coords[name])
+
+
+def render_chip(layout: ChipLayout,
+                result: Optional[SynthesisResult] = None) -> str:
+    """Render a chip co-layout; overlay flows when a result is given."""
+    r = ChipRenderer(layout)
+    used = set(result.used_segments) if result is not None else None
+    r.draw_structure(used=used)
+    if result is not None:
+        r.draw_flows(result)
+        r.draw_valves(result)
+    r.draw_connections()
+    r.draw_modules()
+    r.draw_vertices()
+    return r.to_svg()

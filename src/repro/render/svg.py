@@ -1,0 +1,212 @@
+"""SVG rendering of switch structures and synthesis results.
+
+Regenerates the style of the paper's figures: flow channels in blue,
+synthesized flow paths colored per flow set, essential valves as
+rectangles (colored per pressure-sharing group), pins labelled with the
+bound modules. Output is a standalone ``.svg`` string — no plotting
+dependency required.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.solution import SynthesisResult
+from repro.geometry import Point
+from repro.switches.base import SwitchModel, segment_key
+
+#: Pixels per millimetre.
+SCALE = 60.0
+MARGIN = 50.0
+
+#: Per-flow-set stroke colors (cycled), following the paper's figures
+#: (green / yellow / blue flow sets).
+SET_COLORS = ["#2e8b57", "#d4a017", "#1f6fb2", "#b23a48", "#7b4fa6", "#2aa198"]
+#: Per-pressure-group valve fills.
+VALVE_COLORS = ["#e07b39", "#8e44ad", "#16a085", "#c0392b", "#2980b9", "#f1c40f"]
+CHANNEL_COLOR = "#9db8d2"
+REMOVED_COLOR = "#e3e8ee"
+
+
+class SvgCanvas:
+    """Minimal SVG document builder."""
+
+    def __init__(self, width: float, height: float) -> None:
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def line(self, a: Tuple[float, float], b: Tuple[float, float],
+             color: str, width: float, dash: Optional[str] = None,
+             opacity: float = 1.0) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{a[0]:.1f}" y1="{a[1]:.1f}" x2="{b[0]:.1f}" y2="{b[1]:.1f}" '
+            f'stroke="{color}" stroke-width="{width:.1f}" stroke-linecap="round"'
+            f'{dash_attr} opacity="{opacity}"/>'
+        )
+
+    def rect(self, center: Tuple[float, float], w: float, h: float,
+             fill: str, angle: float = 0.0) -> None:
+        x, y = center[0] - w / 2, center[1] - h / 2
+        transform = (
+            f' transform="rotate({angle:.1f} {center[0]:.1f} {center[1]:.1f})"'
+            if angle else ""
+        )
+        self._elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="#333" stroke-width="0.8"{transform}/>'
+        )
+
+    def circle(self, center: Tuple[float, float], r: float, fill: str) -> None:
+        self._elements.append(
+            f'<circle cx="{center[0]:.1f}" cy="{center[1]:.1f}" r="{r:.1f}" '
+            f'fill="{fill}" stroke="#333" stroke-width="0.6"/>'
+        )
+
+    def text(self, pos: Tuple[float, float], content: str,
+             size: float = 12.0, color: str = "#222",
+             anchor: str = "middle") -> None:
+        self._elements.append(
+            f'<text x="{pos[0]:.1f}" y="{pos[1]:.1f}" font-size="{size:.0f}" '
+            f'fill="{color}" text-anchor="{anchor}" '
+            f'font-family="Helvetica, sans-serif">{html.escape(content)}</text>'
+        )
+
+    def to_svg(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+class SwitchRenderer:
+    """Draws a switch model, optionally overlaying a synthesis result."""
+
+    def __init__(self, switch: SwitchModel) -> None:
+        self.switch = switch
+        lo, hi = switch.bounding_box()
+        self._lo = lo
+        self.canvas = SvgCanvas(
+            (hi.x - lo.x) * SCALE + 2 * MARGIN,
+            (hi.y - lo.y) * SCALE + 2 * MARGIN,
+        )
+        self._hi = hi
+
+    def _xy(self, name: str) -> Tuple[float, float]:
+        p = self.switch.coords[name]
+        # flip y so "+y up" geometry renders naturally
+        return (
+            (p.x - self._lo.x) * SCALE + MARGIN,
+            (self._hi.y - p.y) * SCALE + MARGIN,
+        )
+
+    # ------------------------------------------------------------------
+    def draw_structure(self, used: Optional[set] = None) -> None:
+        """Channels; when ``used`` is given, unused ones are ghosted."""
+        for key, seg in sorted(self.switch.segments.items()):
+            color, width = CHANNEL_COLOR, 5.0
+            if used is not None and key not in used:
+                color, width = REMOVED_COLOR, 3.0
+            self.canvas.line(self._xy(seg.a), self._xy(seg.b), color, width)
+
+    def draw_vertices(self) -> None:
+        for node in self.switch.nodes:
+            self.canvas.circle(self._xy(node), 4.0, "#ffffff")
+            x, y = self._xy(node)
+            self.canvas.text((x + 8, y - 6), node, size=10, color="#555", anchor="start")
+        for pin in self.switch.pins:
+            self.canvas.circle(self._xy(pin), 5.0, "#dddddd")
+
+    def draw_pin_labels(self, binding: Optional[Dict[str, str]] = None) -> None:
+        bound = {p: m for m, p in (binding or {}).items()}
+        for pin in self.switch.pins:
+            x, y = self._xy(pin)
+            label = pin if pin not in bound else f"{pin}:{bound[pin]}"
+            self.canvas.text((x, y - 10), label, size=11, color="#111")
+
+    def draw_flows(self, result: SynthesisResult) -> None:
+        """Flow paths colored per flow set, slightly offset per flow."""
+        for set_idx, group in enumerate(result.flow_sets):
+            color = SET_COLORS[set_idx % len(SET_COLORS)]
+            for slot, fid in enumerate(group):
+                path = result.flow_paths[fid]
+                offset = (slot - (len(group) - 1) / 2) * 3.0
+                pts = [self._xy(v) for v in path.vertices]
+                for a, b in zip(pts, pts[1:]):
+                    self.canvas.line(
+                        (a[0] + offset, a[1] + offset),
+                        (b[0] + offset, b[1] + offset),
+                        color, 2.5,
+                    )
+
+    def draw_valves(self, result: Optional[SynthesisResult] = None) -> None:
+        """Essential valves as rectangles, filled per pressure group."""
+        if result is None or result.valves is None:
+            keys = sorted(self.switch.valves)
+            groups = {k: 0 for k in keys}
+        else:
+            keys = sorted(result.valves.essential)
+            groups = {}
+            for k in keys:
+                if result.pressure is not None:
+                    groups[k] = result.pressure.group_of(k)
+                else:
+                    groups[k] = 0
+        for key in keys:
+            a, b = key
+            xa, ya = self._xy(a)
+            xb, yb = self._xy(b)
+            mid = ((xa + xb) / 2, (ya + yb) / 2)
+            horizontal = abs(xa - xb) >= abs(ya - yb)
+            w, h = (10.0, 18.0) if horizontal else (18.0, 10.0)
+            fill = VALVE_COLORS[groups[key] % len(VALVE_COLORS)]
+            self.canvas.rect(mid, w, h, fill)
+
+    def draw_legend(self, result: SynthesisResult) -> None:
+        x, y = 10.0, 16.0
+        for set_idx, group in enumerate(result.flow_sets):
+            color = SET_COLORS[set_idx % len(SET_COLORS)]
+            self.canvas.line((x, y - 4), (x + 22, y - 4), color, 3.0)
+            flows = ", ".join(str(f) for f in group)
+            self.canvas.text((x + 28, y), f"set {set_idx}: flows {flows}",
+                             size=11, anchor="start")
+            y += 16.0
+
+    def to_svg(self) -> str:
+        return self.canvas.to_svg()
+
+
+def render_switch(switch: SwitchModel) -> str:
+    """The bare general switch structure (Figures 2.3/2.4 style)."""
+    r = SwitchRenderer(switch)
+    r.draw_structure()
+    r.draw_valves()
+    r.draw_vertices()
+    r.draw_pin_labels()
+    return r.to_svg()
+
+
+def render_result(result: SynthesisResult) -> str:
+    """A synthesized application-specific switch (Figures 4.1/4.2 style)."""
+    if not result.status.solved:
+        raise ValueError("cannot render an unsolved synthesis result")
+    r = SwitchRenderer(result.spec.switch)
+    r.draw_structure(used=set(result.used_segments))
+    r.draw_flows(result)
+    r.draw_valves(result)
+    r.draw_vertices()
+    r.draw_pin_labels(result.binding)
+    r.draw_legend(result)
+    return r.to_svg()
+
+
+def save_svg(svg: str, path) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)

@@ -1,0 +1,69 @@
+"""Valve-schedule timeline rendering (Gantt-style, §3.5 artifact).
+
+One row per essential valve, one column per flow set; cells show the
+O/C/X status; rows are grouped and colored by pressure-sharing group so
+the clique structure of Figure 3.2 is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.solution import SynthesisResult
+from repro.core.valves import CLOSED, DONT_CARE, OPEN
+from repro.render.svg import SvgCanvas, VALVE_COLORS
+
+CELL_W = 54.0
+CELL_H = 26.0
+LEFT = 150.0
+TOP = 50.0
+
+STATUS_FILL = {OPEN: "#d9f2d9", CLOSED: "#f0d5d5", DONT_CARE: "#f2f2f2"}
+
+
+def render_valve_timeline(result: SynthesisResult) -> str:
+    """Render the O/C/X schedule of a solved result as an SVG table."""
+    if not result.status.solved or result.valves is None:
+        raise ValueError("need a solved result with a valve analysis")
+    valves = sorted(result.valves.essential)
+    n_steps = len(result.flow_sets)
+
+    # order rows by pressure group so cliques sit together
+    def group_of(key) -> int:
+        if result.pressure is None:
+            return 0
+        return result.pressure.group_of(key)
+
+    valves.sort(key=lambda k: (group_of(k), k))
+
+    canvas = SvgCanvas(
+        LEFT + n_steps * CELL_W + 40,
+        TOP + max(len(valves), 1) * CELL_H + 40,
+    )
+    canvas.text((LEFT / 2, TOP - 24), "valve", size=12)
+    for s in range(n_steps):
+        canvas.text((LEFT + (s + 0.5) * CELL_W, TOP - 24), f"set {s}", size=12)
+
+    for row, key in enumerate(valves):
+        y = TOP + row * CELL_H
+        color = VALVE_COLORS[group_of(key) % len(VALVE_COLORS)]
+        canvas.rect((LEFT - 90, y + CELL_H / 2), 12, 12, color)
+        canvas.text((LEFT - 76, y + CELL_H / 2 + 4),
+                    f"{key[0]}-{key[1]}", size=11, anchor="start")
+        sequence = result.valves.status[key]
+        for s in range(n_steps):
+            cx = LEFT + (s + 0.5) * CELL_W
+            cy = y + CELL_H / 2
+            canvas.rect((cx, cy), CELL_W - 6, CELL_H - 6,
+                        STATUS_FILL[sequence[s]])
+            canvas.text((cx, cy + 4), sequence[s], size=12)
+
+    if result.pressure is not None:
+        canvas.text(
+            (LEFT, TOP + len(valves) * CELL_H + 22),
+            f"{len(valves)} essential valve(s) -> "
+            f"{result.pressure.num_control_inlets} control inlet(s) "
+            f"via pressure sharing",
+            size=12, anchor="start",
+        )
+    return canvas.to_svg()

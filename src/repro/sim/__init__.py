@@ -1,0 +1,33 @@
+"""Dynamic execution simulation of synthesized switches."""
+
+from repro.sim.engine import (
+    SimulationReport,
+    SwitchSimulator,
+    fluid_conflicts_of,
+    simulate,
+    simulate_program,
+)
+from repro.sim.events import EventKind, SimEvent
+from repro.sim.faults import FaultKind, ValveFault, stuck_closed, stuck_open
+from repro.sim.timing import (
+    ExecutionTimeEstimate,
+    TimingModel,
+    estimate_execution_time,
+)
+
+__all__ = [
+    "TimingModel",
+    "ExecutionTimeEstimate",
+    "estimate_execution_time",
+    "simulate",
+    "simulate_program",
+    "SwitchSimulator",
+    "SimulationReport",
+    "fluid_conflicts_of",
+    "SimEvent",
+    "EventKind",
+    "ValveFault",
+    "FaultKind",
+    "stuck_open",
+    "stuck_closed",
+]

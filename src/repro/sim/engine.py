@@ -1,0 +1,312 @@
+"""Execution simulator for synthesized (or baseline) switches.
+
+The simulator executes a flow schedule the way the physical chip would:
+
+1. per flow set, every valve takes its scheduled state (open / closed;
+   *don't care* defaults to closed), faults override;
+2. each inlet's fluid **flood-fills** every channel reachable through
+   open segments from its pin — pressure-driven flow does not follow a
+   path, it fills whatever is open, which is exactly why leak valves
+   and scheduling matter;
+3. residues persist across sets; a fluid meeting a conflicting residue
+   is a contamination event, two fluids meeting in the same set is a
+   collision, fluid arriving at a foreign pin is a misroute;
+4. every flow of the set must see its fluid reach its outlet pin.
+
+A synthesis result that passes the optimizer and the static verifier
+must also execute cleanly here — the simulator is a third, dynamic
+line of defence, and the fault-injection hook makes the essential-valve
+claim falsifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.solution import SynthesisResult
+from repro.core.spec import SwitchSpec
+from repro.core.valves import CLOSED, OPEN
+from repro.errors import ReproError
+from repro.sim.events import EventKind, SimEvent
+from repro.sim.faults import FaultKind, ValveFault
+from repro.switches.base import SwitchModel, segment_key
+from repro.switches.paths import Path
+
+SegKey = Tuple[str, str]
+
+
+@dataclass
+class SimulationReport:
+    """Everything observed while executing the schedule."""
+
+    events: List[SimEvent] = field(default_factory=list)
+    delivered: Set[int] = field(default_factory=set)
+    undelivered: Set[int] = field(default_factory=set)
+
+    def of_kind(self, kind: EventKind) -> List[SimEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    @property
+    def contamination_events(self) -> List[SimEvent]:
+        return self.of_kind(EventKind.CONTAMINATION)
+
+    @property
+    def misroutes(self) -> List[SimEvent]:
+        return self.of_kind(EventKind.MISROUTE)
+
+    @property
+    def collisions(self) -> List[SimEvent]:
+        return self.of_kind(EventKind.COLLISION)
+
+    @property
+    def is_clean(self) -> bool:
+        """All flows delivered; no contamination, collision or misroute."""
+        return (not self.undelivered and not self.contamination_events
+                and not self.misroutes and not self.collisions)
+
+    def summary(self) -> str:
+        return (
+            f"delivered {len(self.delivered)} flow(s), "
+            f"{len(self.undelivered)} undelivered, "
+            f"{len(self.contamination_events)} contamination, "
+            f"{len(self.collisions)} collision(s), "
+            f"{len(self.misroutes)} misroute(s)"
+        )
+
+
+class SwitchSimulator:
+    """Flood-fill executor over a (reduced) switch structure."""
+
+    def __init__(
+        self,
+        switch: SwitchModel,
+        used_segments: Iterable[SegKey],
+        valve_status: Dict[SegKey, List[str]],
+        flow_paths: Dict[int, Path],
+        flow_sets: List[List[int]],
+        sources: Dict[int, str],          # flow id -> fluid (inlet module)
+        binding: Dict[str, str],          # module -> pin
+        fluid_conflicts: Set[FrozenSet[str]],
+        faults: Sequence[ValveFault] = (),
+        dont_care_open: bool = False,
+    ) -> None:
+        self.switch = switch
+        self.used_segments = {segment_key(*k) for k in used_segments}
+        self.valve_status = {segment_key(*k): v for k, v in valve_status.items()}
+        self.flow_paths = flow_paths
+        self.flow_sets = flow_sets
+        self.sources = sources
+        self.binding = binding
+        self.fluid_conflicts = fluid_conflicts
+        self.faults = list(faults)
+        self.dont_care_open = dont_care_open
+
+        for key in self.valve_status:
+            if key not in self.used_segments:
+                raise ReproError(f"valve status for unused segment {key}")
+        self._pin_of_module = dict(binding)
+        self._module_of_pin = {p: m for m, p in binding.items()}
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        report = SimulationReport()
+        residue: Dict[object, Set[str]] = {}
+
+        for step, group in enumerate(self.flow_sets):
+            open_segments = self._valve_states(step, report)
+            adjacency = self._adjacency(open_segments)
+
+            fills: Dict[object, Set[str]] = {}
+            for inlet in sorted({self.sources[fid] for fid in group}):
+                fluid = inlet
+                start_pin = self._pin_of_module[inlet]
+                visited_v, visited_e = self._flood(start_pin, adjacency)
+                self._record_fill(report, step, fluid, visited_v, visited_e,
+                                  fills, residue)
+                self._check_pins(report, step, group, fluid, visited_v)
+
+            for fid in group:
+                fluid = self.sources[fid]
+                target_pin = self.flow_paths[fid].target_pin
+                if fluid in fills.get(("v", target_pin), set()):
+                    report.delivered.add(fid)
+                    report.events.append(SimEvent(
+                        EventKind.DELIVERY, step, site=target_pin,
+                        fluid=fluid, flow_id=fid))
+                else:
+                    report.undelivered.add(fid)
+                    report.events.append(SimEvent(
+                        EventKind.UNDELIVERED, step, site=target_pin,
+                        fluid=fluid, flow_id=fid))
+
+            # residues persist into the following sets
+            for site, fluids in fills.items():
+                residue.setdefault(site, set()).update(fluids)
+
+        return report
+
+    # ------------------------------------------------------------------
+    def _valve_states(self, step: int, report: SimulationReport) -> Set[SegKey]:
+        """Segments passable in this step (valve open or absent)."""
+        open_segments: Set[SegKey] = set()
+        for key in self.used_segments:
+            status = self.valve_status.get(key)
+            if status is None:
+                is_open = True  # no (essential) valve on this channel
+            else:
+                state = status[step]
+                if state == OPEN:
+                    is_open = True
+                elif state == CLOSED:
+                    is_open = False
+                else:
+                    is_open = self.dont_care_open
+                report.events.append(SimEvent(
+                    EventKind.VALVE_SET, step, site=key,
+                    fluid="open" if is_open else "closed"))
+            for fault in self.faults:
+                if fault.applies_to(key):
+                    is_open = fault.kind is FaultKind.STUCK_OPEN
+            if is_open:
+                open_segments.add(key)
+        return open_segments
+
+    def _adjacency(self, open_segments: Set[SegKey]) -> Dict[str, List[str]]:
+        adj: Dict[str, List[str]] = {}
+        for a, b in open_segments:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        return adj
+
+    @staticmethod
+    def _flood(start: str, adjacency: Dict[str, List[str]]):
+        visited_v: Set[str] = set()
+        visited_e: Set[SegKey] = set()
+        stack = [start]
+        if start in adjacency:
+            visited_v.add(start)
+        while stack:
+            vertex = stack.pop()
+            for nbr in adjacency.get(vertex, []):
+                visited_e.add(segment_key(vertex, nbr))
+                if nbr not in visited_v:
+                    visited_v.add(nbr)
+                    stack.append(nbr)
+        return visited_v, visited_e
+
+    def _conflicting(self, fluid_a: str, fluid_b: str) -> bool:
+        return frozenset((fluid_a, fluid_b)) in self.fluid_conflicts
+
+    def _record_fill(self, report, step, fluid, visited_v, visited_e,
+                     fills, residue) -> None:
+        sites = [("v", v) for v in visited_v] + [("e", e) for e in visited_e]
+        for site in sites:
+            previous = fills.setdefault(site, set())
+            for other in previous:
+                if other == fluid:
+                    continue
+                kind = (EventKind.CONTAMINATION
+                        if self._conflicting(fluid, other)
+                        else EventKind.COLLISION)
+                report.events.append(SimEvent(
+                    kind, step, site=site[1], fluid=fluid, other=other))
+            for old in residue.get(site, set()):
+                if old != fluid and self._conflicting(fluid, old):
+                    report.events.append(SimEvent(
+                        EventKind.CONTAMINATION, step, site=site[1],
+                        fluid=fluid, other=old))
+            previous.add(fluid)
+        for e in sorted(visited_e):
+            report.events.append(SimEvent(
+                EventKind.FLUID_FILL, step, site=e, fluid=fluid))
+
+    def _check_pins(self, report, step, group, fluid, visited_v) -> None:
+        """Fluid reaching any pin other than its own inlet or one of its
+        scheduled outlets this step is a misroute."""
+        legitimate = {self._pin_of_module[fluid]}
+        for fid in group:
+            if self.sources[fid] == fluid:
+                legitimate.add(self.flow_paths[fid].target_pin)
+        for pin in visited_v:
+            if not self.switch.is_pin(pin) or pin in legitimate:
+                continue
+            report.events.append(SimEvent(
+                EventKind.MISROUTE, step, site=pin, fluid=fluid,
+                other=self._module_of_pin.get(pin)))
+
+
+# ----------------------------------------------------------------------
+def fluid_conflicts_of(spec: SwitchSpec) -> Set[FrozenSet[str]]:
+    """Lift flow-level conflicts to fluid (inlet-module) conflicts."""
+    pairs: Set[FrozenSet[str]] = set()
+    for pair in spec.conflicts:
+        i, j = sorted(pair)
+        pairs.add(frozenset((spec.flow(i).source, spec.flow(j).source)))
+    return pairs
+
+
+def simulate_program(result: SynthesisResult, program,
+                     faults: Sequence[ValveFault] = ()) -> SimulationReport:
+    """Execute a compiled actuation program on the reduced switch.
+
+    Unlike :func:`simulate`, the valve states come from the pneumatic
+    program (which resolves every *don't care* to a concrete level via
+    its pressure group), so this validates the artifact a lab would
+    actually run.
+    """
+    if not result.status.solved or result.valves is None:
+        raise ReproError("cannot replay a program for an unsolved result")
+    n_steps = len(result.flow_sets)
+    if program.num_steps != n_steps:
+        raise ReproError(
+            f"program has {program.num_steps} step(s), schedule has {n_steps}"
+        )
+    spec = result.spec
+    status = {
+        valve: [program.valve_state(valve, s) for s in range(n_steps)]
+        for valve in sorted(result.valves.essential)
+    }
+    sim = SwitchSimulator(
+        switch=spec.switch,
+        used_segments=result.used_segments,
+        valve_status=status,
+        flow_paths=result.flow_paths,
+        flow_sets=result.flow_sets,
+        sources={f.id: f.source for f in spec.flows},
+        binding=result.binding,
+        fluid_conflicts=fluid_conflicts_of(spec),
+        faults=faults,
+    )
+    return sim.run()
+
+
+def simulate(result: SynthesisResult,
+             faults: Sequence[ValveFault] = (),
+             dont_care_open: bool = False) -> SimulationReport:
+    """Execute a synthesis result on its reduced switch.
+
+    Valve statuses come from the result's essential-valve analysis;
+    segments whose valve was removed as unnecessary are permanently
+    open, exactly as on the fabricated chip.
+    """
+    if not result.status.solved:
+        raise ReproError("cannot simulate an unsolved synthesis result")
+    if result.valves is None:
+        raise ReproError("synthesis result lacks a valve analysis")
+    spec = result.spec
+    status = {k: v for k, v in result.valves.status.items()
+              if k in result.valves.essential}
+    sim = SwitchSimulator(
+        switch=spec.switch,
+        used_segments=result.used_segments,
+        valve_status=status,
+        flow_paths=result.flow_paths,
+        flow_sets=result.flow_sets,
+        sources={f.id: f.source for f in spec.flows},
+        binding=result.binding,
+        fluid_conflicts=fluid_conflicts_of(spec),
+        faults=faults,
+        dont_care_open=dont_care_open,
+    )
+    return sim.run()

@@ -1,0 +1,49 @@
+"""Event types emitted by the switch execution simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """What happened during simulated execution."""
+
+    VALVE_SET = "valve_set"              # a valve actuated for a flow set
+    FLUID_FILL = "fluid_fill"            # a fluid filled a channel site
+    DELIVERY = "delivery"                # a flow's fluid reached its outlet
+    MISROUTE = "misroute"                # fluid reached a foreign pin
+    COLLISION = "collision"              # two fluids met in the same step
+    CONTAMINATION = "contamination"      # fluid met a conflicting residue
+    UNDELIVERED = "undelivered"          # a scheduled flow never arrived
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One simulator observation.
+
+    ``site`` is a vertex name or a segment key depending on the event;
+    ``fluid`` names the fluid (= inlet module) involved; ``other`` the
+    second fluid for contamination events; ``flow_id`` ties delivery
+    and undelivered events to a flow; ``step`` is the flow-set index.
+    """
+
+    kind: EventKind
+    step: int
+    site: object = None
+    fluid: Optional[str] = None
+    other: Optional[str] = None
+    flow_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [f"[set {self.step}] {self.kind.value}"]
+        if self.site is not None:
+            parts.append(f"at {self.site}")
+        if self.fluid:
+            parts.append(f"fluid={self.fluid}")
+        if self.other:
+            parts.append(f"vs {self.other}")
+        if self.flow_id is not None:
+            parts.append(f"flow={self.flow_id}")
+        return " ".join(parts)

@@ -1,0 +1,45 @@
+"""Valve fault models for simulation-based robustness analysis.
+
+The essential-valve analysis claims that removed ("unnecessary") valves
+are never needed, while the kept ones are load-bearing. Fault injection
+makes that claim falsifiable: a valve stuck open where the schedule
+demands *closed* should produce misroutes or contamination, while a
+fault on an unnecessary valve's segment should change nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.switches.base import segment_key
+
+
+class FaultKind(enum.Enum):
+    STUCK_OPEN = "stuck_open"
+    STUCK_CLOSED = "stuck_closed"
+
+
+@dataclass(frozen=True)
+class ValveFault:
+    """A persistent valve failure on one segment."""
+
+    segment: Tuple[str, str]
+    kind: FaultKind
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segment", segment_key(*self.segment))
+
+    def applies_to(self, segment: Tuple[str, str]) -> bool:
+        return segment_key(*segment) == self.segment
+
+
+def stuck_open(a: str, b: str) -> ValveFault:
+    """The valve on segment a-b can no longer close."""
+    return ValveFault((a, b), FaultKind.STUCK_OPEN)
+
+
+def stuck_closed(a: str, b: str) -> ValveFault:
+    """The valve on segment a-b can no longer open."""
+    return ValveFault((a, b), FaultKind.STUCK_CLOSED)

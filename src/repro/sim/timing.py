@@ -1,0 +1,114 @@
+"""Execution-time estimation for synthesized switch schedules.
+
+The paper motivates minimizing the number of flow sets with routing
+time and control effort: "a smaller number of flow set indicates less
+changing of valve status, and thus decreased controlling effort". This
+module turns that motivation into numbers with a simple first-order
+fluidic timing model:
+
+* flows within one set run in parallel; the set's transport time is the
+  slowest flow's path length divided by the flow velocity;
+* between sets, every valve that changes state costs one actuation
+  interval (actuations within a transition happen in parallel on a
+  pressure manifold, so the transition costs one interval when anything
+  switches);
+* total routing time = Σ set makespans + Σ transition overheads.
+
+Defaults are in the ballpark of pressure-driven PDMS devices (a few
+millimetres per second, tens of milliseconds per valve actuation); both
+are parameters, and only *ratios* between schedules matter for the
+comparisons the benchmarks make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.solution import SynthesisResult
+from repro.core.valves import CLOSED, DONT_CARE, OPEN
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """First-order timing parameters."""
+
+    flow_velocity_mm_s: float = 2.0       # transport speed in channels
+    valve_actuation_s: float = 0.05       # one pneumatic switching step
+    set_setup_s: float = 0.1              # pressure settling per flow set
+
+    def __post_init__(self) -> None:
+        if self.flow_velocity_mm_s <= 0:
+            raise ReproError("flow velocity must be positive")
+        if self.valve_actuation_s < 0 or self.set_setup_s < 0:
+            raise ReproError("timing overheads cannot be negative")
+
+
+@dataclass
+class ExecutionTimeEstimate:
+    """Break-down of the estimated routing time for one schedule."""
+
+    set_makespans_s: List[float]
+    transition_overheads_s: List[float]
+    setup_s: float
+
+    @property
+    def transport_s(self) -> float:
+        return sum(self.set_makespans_s)
+
+    @property
+    def control_s(self) -> float:
+        return sum(self.transition_overheads_s) + self.setup_s
+
+    @property
+    def total_s(self) -> float:
+        return self.transport_s + self.control_s
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_s:.2f} s total = {self.transport_s:.2f} s transport "
+            f"({len(self.set_makespans_s)} set(s)) + "
+            f"{self.control_s:.2f} s control"
+        )
+
+
+def estimate_execution_time(
+    result: SynthesisResult,
+    model: Optional[TimingModel] = None,
+) -> ExecutionTimeEstimate:
+    """Estimate the wall-clock routing time of a solved schedule."""
+    if not result.status.solved:
+        raise ReproError("cannot time an unsolved synthesis result")
+    model = model or TimingModel()
+
+    makespans: List[float] = []
+    for group in result.flow_sets:
+        longest = max(result.flow_paths[fid].length for fid in group)
+        makespans.append(longest / model.flow_velocity_mm_s)
+
+    transitions: List[float] = []
+    if result.valves is not None and result.flow_sets:
+        n_steps = len(result.flow_sets)
+        # initial configuration counts as one actuation interval if any
+        # valve starts closed
+        prev: Dict = {}
+        for step in range(n_steps):
+            changed = False
+            for key, seq in result.valves.status.items():
+                if key not in result.valves.essential:
+                    continue
+                state = seq[step]
+                effective = CLOSED if state == CLOSED else OPEN
+                if prev.get(key, OPEN) != effective:
+                    changed = True
+                prev[key] = effective
+            if changed:
+                transitions.append(model.valve_actuation_s)
+
+    setup = model.set_setup_s * len(result.flow_sets)
+    return ExecutionTimeEstimate(
+        set_makespans_s=makespans,
+        transition_overheads_s=transitions,
+        setup_s=setup,
+    )

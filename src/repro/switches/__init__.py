@@ -1,0 +1,40 @@
+"""Switch structure library: the proposed crossbar family and baselines."""
+
+from repro.switches.base import (
+    MAJOR_KINDS,
+    NodeKind,
+    Segment,
+    SwitchModel,
+    Valve,
+    segment_key,
+)
+from repro.switches.crossbar import CrossbarSwitch, make_switch, smallest_switch_for
+from repro.switches.gru import GRUSwitch
+from repro.switches.paths import Path, PathCatalog, enumerate_paths
+from repro.switches.reduce import ReducedSwitch, reduce_switch
+from repro.switches.scalable import ScalableCrossbarSwitch, make_scalable_switch
+from repro.switches.spine import SpineSwitch
+from repro.switches.validate import assert_valid_switch, validate_switch
+
+__all__ = [
+    "SwitchModel",
+    "NodeKind",
+    "MAJOR_KINDS",
+    "Segment",
+    "Valve",
+    "segment_key",
+    "CrossbarSwitch",
+    "make_switch",
+    "smallest_switch_for",
+    "ScalableCrossbarSwitch",
+    "make_scalable_switch",
+    "SpineSwitch",
+    "GRUSwitch",
+    "Path",
+    "PathCatalog",
+    "enumerate_paths",
+    "ReducedSwitch",
+    "reduce_switch",
+    "validate_switch",
+    "assert_valid_switch",
+]

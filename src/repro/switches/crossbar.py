@@ -1,0 +1,199 @@
+"""The paper's reconfigurable crossbar-like switch family.
+
+The thesis provides the switch in three sizes — 8-pin, 12-pin and
+16-pin (Figures 2.3 and 2.4). We reconstruct the family parametrically
+as an *m-center linear crossbar* (m = 1, 2, 3):
+
+* centers ``C`` / ``C1..Cm`` on a horizontal axis, adjacent centers
+  connected (the ``C1-C2`` segment referenced in the ChIP discussion);
+* one top and one bottom *arm* node per center, plus ``L`` / ``R`` arm
+  nodes at the ends;
+* *corner* nodes on the border (``TL``, ``TM…``, ``TR``, ``BL``,
+  ``BM…``, ``BR``) linking adjacent arms;
+* two pins per corner, ``4m + 4`` pins total.
+
+This reproduces every structural fact the text states for the 8-pin
+model: pins ``{T1,T2,R1,R2,B2,B1,L2,L1}``, major nodes
+``{C,T,R,B,L}``, exactly 20 flow segments (``11m + 9``), and the named
+segments ``T1-TL``, ``TL-T`` and ``TR-R``.
+
+One valve sits on every flow segment of the general model; synthesis
+reduces the switch to the application-specific subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SwitchModelError
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY
+from repro.switches.base import NodeKind, SwitchModel
+
+#: Grid pitch between a center and its arm nodes, in millimetres.
+ARM_PITCH = 1.0
+#: Horizontal pitch between adjacent centers, in millimetres.
+CENTER_PITCH = 2.0
+#: Length of a pin stub that leaves a corner straight, in millimetres.
+PIN_STUB = 0.7
+#: Lateral offset of the twin pins on a middle (TM/BM) corner, mm.
+MID_PIN_OFFSET = 0.3
+
+#: Supported switch sizes → number of crossbar centers.
+SIZES: Dict[int, int] = {8: 1, 12: 2, 16: 3}
+
+
+class CrossbarSwitch(SwitchModel):
+    """The proposed reconfigurable switch, sizes 8-, 12- and 16-pin."""
+
+    def __init__(self, n_pins: int = 8, rules: DesignRules = STANFORD_FOUNDRY,
+                 _centers: Optional[int] = None) -> None:
+        if _centers is not None:
+            if _centers < 1:
+                raise SwitchModelError("a crossbar needs at least one center")
+            n_pins = 4 * _centers + 4
+        elif n_pins not in SIZES:
+            raise SwitchModelError(
+                f"unsupported switch size {n_pins}-pin; choose one of {sorted(SIZES)}"
+            )
+        super().__init__(f"crossbar-{n_pins}pin", rules)
+        self.m = _centers if _centers is not None else SIZES[n_pins]
+        # The 8-pin switch is 4-fold rotationally symmetric; the wider
+        # models only survive a 180° rotation.
+        self.rotation_order = 4 if self.m == 1 else 2
+        self._build(self.m)
+        self._finalize()
+
+    @classmethod
+    def with_centers(cls, m: int,
+                     rules: DesignRules = STANFORD_FOUNDRY) -> "CrossbarSwitch":
+        """Extension beyond the paper: a crossbar with ``m`` centers.
+
+        The thesis ships 8/12/16-pin models (m = 1, 2, 3) and names more
+        flexible structures as future work; the parametric family
+        extends naturally — ``with_centers(m)`` yields a ``4m + 4``-pin
+        switch with ``11m + 9`` segments.
+        """
+        return cls(_centers=m, rules=rules)
+
+    # ------------------------------------------------------------------
+    def _build(self, m: int) -> None:
+        # Internal nodes -------------------------------------------------
+        centers = ["C"] if m == 1 else [f"C{i + 1}" for i in range(m)]
+        top_arms = ["T"] if m == 1 else [f"T{chr(ord('a') + i)}" for i in range(m)]
+        bot_arms = ["B"] if m == 1 else [f"B{chr(ord('a') + i)}" for i in range(m)]
+        self.centers = centers
+        self.top_arms = top_arms
+        self.bottom_arms = bot_arms
+
+        for i, c in enumerate(centers):
+            self._add_node(c, NodeKind.CENTER, Point(CENTER_PITCH * i, 0.0))
+            self._add_node(top_arms[i], NodeKind.ARM, Point(CENTER_PITCH * i, ARM_PITCH))
+            self._add_node(bot_arms[i], NodeKind.ARM, Point(CENTER_PITCH * i, -ARM_PITCH))
+        x_right = CENTER_PITCH * (m - 1) + ARM_PITCH
+        self._add_node("L", NodeKind.ARM, Point(-ARM_PITCH, 0.0))
+        self._add_node("R", NodeKind.ARM, Point(x_right, 0.0))
+
+        top_mids = (
+            [] if m == 1 else (["TM"] if m == 2 else [f"TM{i + 1}" for i in range(m - 1)])
+        )
+        bot_mids = (
+            [] if m == 1 else (["BM"] if m == 2 else [f"BM{i + 1}" for i in range(m - 1)])
+        )
+        self._add_node("TL", NodeKind.CORNER, Point(-ARM_PITCH, ARM_PITCH))
+        self._add_node("TR", NodeKind.CORNER, Point(x_right, ARM_PITCH))
+        self._add_node("BL", NodeKind.CORNER, Point(-ARM_PITCH, -ARM_PITCH))
+        self._add_node("BR", NodeKind.CORNER, Point(x_right, -ARM_PITCH))
+        for i, name in enumerate(top_mids):
+            self._add_node(name, NodeKind.CORNER, Point(CENTER_PITCH * i + ARM_PITCH, ARM_PITCH))
+        for i, name in enumerate(bot_mids):
+            self._add_node(name, NodeKind.CORNER, Point(CENTER_PITCH * i + ARM_PITCH, -ARM_PITCH))
+
+        # Pins (registered in clockwise order from the top-left) ----------
+        n_top = 2 * m  # pins on the top border (same on the bottom)
+        top_pins = [f"T{i + 1}" for i in range(n_top)]
+        bot_pins = [f"B{i + 1}" for i in range(n_top)]
+        y_pin = ARM_PITCH + PIN_STUB
+
+        pin_pos: Dict[str, Point] = {}
+        pin_corner: Dict[str, str] = {}
+
+        pin_pos[top_pins[0]] = Point(-ARM_PITCH, y_pin)
+        pin_corner[top_pins[0]] = "TL"
+        for i, mid in enumerate(top_mids):
+            xmid = CENTER_PITCH * i + ARM_PITCH
+            pin_pos[top_pins[2 * i + 1]] = Point(xmid - MID_PIN_OFFSET, y_pin)
+            pin_corner[top_pins[2 * i + 1]] = mid
+            pin_pos[top_pins[2 * i + 2]] = Point(xmid + MID_PIN_OFFSET, y_pin)
+            pin_corner[top_pins[2 * i + 2]] = mid
+        pin_pos[top_pins[-1]] = Point(x_right, y_pin)
+        pin_corner[top_pins[-1]] = "TR"
+
+        pin_pos[bot_pins[0]] = Point(-ARM_PITCH, -y_pin)
+        pin_corner[bot_pins[0]] = "BL"
+        for i, mid in enumerate(bot_mids):
+            xmid = CENTER_PITCH * i + ARM_PITCH
+            pin_pos[bot_pins[2 * i + 1]] = Point(xmid - MID_PIN_OFFSET, -y_pin)
+            pin_corner[bot_pins[2 * i + 1]] = mid
+            pin_pos[bot_pins[2 * i + 2]] = Point(xmid + MID_PIN_OFFSET, -y_pin)
+            pin_corner[bot_pins[2 * i + 2]] = mid
+        pin_pos[bot_pins[-1]] = Point(x_right, -y_pin)
+        pin_corner[bot_pins[-1]] = "BR"
+
+        side = {
+            "R1": ("TR", Point(x_right + PIN_STUB, ARM_PITCH)),
+            "R2": ("BR", Point(x_right + PIN_STUB, -ARM_PITCH)),
+            "L1": ("TL", Point(-ARM_PITCH - PIN_STUB, ARM_PITCH)),
+            "L2": ("BL", Point(-ARM_PITCH - PIN_STUB, -ARM_PITCH)),
+        }
+        for pin, (corner, pos) in side.items():
+            pin_pos[pin] = pos
+            pin_corner[pin] = corner
+
+        clockwise = (
+            top_pins + ["R1", "R2"] + list(reversed(bot_pins)) + ["L2", "L1"]
+        )
+        for pin in clockwise:
+            self._add_pin(pin, pin_pos[pin])
+        self.pin_corner = pin_corner
+
+        # Segments --------------------------------------------------------
+        for pin in clockwise:
+            self._add_segment(pin, pin_corner[pin])
+        # corner-to-arm links
+        self._add_segment("TL", "L")
+        self._add_segment("TL", top_arms[0])
+        self._add_segment("TR", top_arms[-1])
+        self._add_segment("TR", "R")
+        self._add_segment("BL", "L")
+        self._add_segment("BL", bot_arms[0])
+        self._add_segment("BR", bot_arms[-1])
+        self._add_segment("BR", "R")
+        for i, mid in enumerate(top_mids):
+            self._add_segment(mid, top_arms[i])
+            self._add_segment(mid, top_arms[i + 1])
+        for i, mid in enumerate(bot_mids):
+            self._add_segment(mid, bot_arms[i])
+            self._add_segment(mid, bot_arms[i + 1])
+        # arm-to-center spokes and the central spine
+        for i, c in enumerate(centers):
+            self._add_segment(top_arms[i], c)
+            self._add_segment(bot_arms[i], c)
+        self._add_segment("L", centers[0])
+        self._add_segment(centers[-1], "R")
+        for i in range(m - 1):
+            self._add_segment(centers[i], centers[i + 1])
+
+
+def make_switch(n_pins: int, rules: DesignRules = STANFORD_FOUNDRY) -> CrossbarSwitch:
+    """Convenience constructor for the proposed switch family."""
+    return CrossbarSwitch(n_pins, rules)
+
+
+def smallest_switch_for(n_modules: int) -> CrossbarSwitch:
+    """The smallest proposed switch with at least ``n_modules`` pins."""
+    for size in sorted(SIZES):
+        if size >= n_modules:
+            return CrossbarSwitch(size)
+    raise SwitchModelError(
+        f"no switch model supports {n_modules} connected modules (max 16)"
+    )

@@ -1,0 +1,108 @@
+"""GRU-based switch (the prior-study baseline of §2.1, Figure 2.2).
+
+Ma's switch builds on General Routing Units (GRUs): a unit has a
+center ``C``, four surrounding nodes ``N/E/S/W`` connected as a ring
+plus spokes to the center, and two pins per exposed node. A 12-pin
+switch chains two GRUs by bridging the first unit's ``E`` node to the
+second unit's ``W`` node.
+
+The paper criticizes this structure (each border node serves two pins,
+45° channel angles, control channels below minimum spacing); we rebuild
+it so the comparison experiments can demonstrate the first two issues
+quantitatively (routing-space analysis), and flag the geometric ones
+via the design-rule checker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import SwitchModelError
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY
+from repro.switches.base import NodeKind, SwitchModel
+
+#: Half-diagonal of one GRU (distance center → N/E/S/W node), mm.
+RADIUS = 1.0
+#: Pin stub length off a border node, mm.
+STUB = 0.7
+#: Horizontal pitch between the centers of chained GRUs, mm.
+UNIT_PITCH = 2.0 * RADIUS + 1.0
+
+
+class GRUSwitch(SwitchModel):
+    """An 8-pin (one GRU) or 12-pin (two GRU) switch after Ma.
+
+    Channel lengths use Euclidean distance because the GRU ring runs
+    diagonally (the 45° geometry the paper criticizes).
+    """
+
+    def __init__(self, n_pins: int = 8, rules: DesignRules = STANFORD_FOUNDRY) -> None:
+        if n_pins not in (8, 12):
+            raise SwitchModelError("GRU switches come in 8-pin (1 GRU) and 12-pin (2 GRUs)")
+        super().__init__(f"gru-{n_pins}pin", rules)
+        self.units = 1 if n_pins == 8 else 2
+        self.rotation_order = 4 if self.units == 1 else 2
+        self._build(self.units)
+        self._finalize()
+
+    def _euclid_segment(self, a: str, b: str, with_valve: bool = True) -> None:
+        self._add_segment(a, b, self.coords[a].euclidean_to(self.coords[b]), with_valve)
+
+    def _build(self, units: int) -> None:
+        for u in range(units):
+            suffix = "" if units == 1 else str(u + 1)
+            cx = UNIT_PITCH * u
+            self._add_node(f"C{suffix}", NodeKind.CENTER, Point(cx, 0.0))
+            self._add_node(f"N{suffix}", NodeKind.ARM, Point(cx, RADIUS))
+            self._add_node(f"S{suffix}", NodeKind.ARM, Point(cx, -RADIUS))
+            self._add_node(f"W{suffix}", NodeKind.ARM, Point(cx - RADIUS, 0.0))
+            self._add_node(f"E{suffix}", NodeKind.ARM, Point(cx + RADIUS, 0.0))
+            # ring (diagonal, 45° geometry) + spokes
+            for ring_a, ring_b in (("N", "E"), ("E", "S"), ("S", "W"), ("W", "N")):
+                self._euclid_segment(f"{ring_a}{suffix}", f"{ring_b}{suffix}")
+            for arm in ("N", "E", "S", "W"):
+                self._euclid_segment(f"{arm}{suffix}", f"C{suffix}")
+
+        if units == 2:
+            self._euclid_segment("E1", "W2")
+
+        # Two pins per exposed border node (the design flaw the paper
+        # highlights: e.g. pins TL and T both reach only node N).
+        def pin_pair(node: str, names: List[str], offsets: List[Point]) -> None:
+            base = self.coords[node]
+            for pname, off in zip(names, offsets):
+                self._add_pin(pname, Point(base.x + off.x, base.y + off.y))
+                self._euclid_segment(pname, node)
+
+        d = STUB / math.sqrt(2.0)
+        if units == 1:
+            # Pin names follow Figure 2.2(a) exactly.
+            pin_pair("N", ["TL", "T"], [Point(-d, d), Point(d, d)])
+            pin_pair("E", ["TR", "R"], [Point(d, d), Point(d, -d)])
+            pin_pair("S", ["BR", "B"], [Point(d, -d), Point(-d, -d)])
+            pin_pair("W", ["BL", "L"], [Point(-d, -d), Point(-d, d)])
+            self.pins = ["TL", "T", "TR", "R", "BR", "B", "BL", "L"]
+        else:
+            pin_pair("N1", ["TL", "T1"], [Point(-d, d), Point(d, d)])
+            pin_pair("N2", ["T2", "TR"], [Point(-d, d), Point(d, d)])
+            pin_pair("E2", ["R1", "R2"], [Point(d, d), Point(d, -d)])
+            pin_pair("S2", ["BR", "B2"], [Point(d, -d), Point(-d, -d)])
+            pin_pair("S1", ["B1", "BL"], [Point(d, -d), Point(-d, -d)])
+            pin_pair("W1", ["L2", "L1"], [Point(-d, -d), Point(-d, d)])
+            self.pins = ["TL", "T1", "T2", "TR", "R1", "R2",
+                         "BR", "B2", "B1", "BL", "L2", "L1"]
+
+    def pins_sharing_a_node(self) -> List[tuple]:
+        """Pin pairs forced through the same single node.
+
+        These are the pairs for which contamination cannot be avoided
+        when their fluids conflict — the paper's first criticism of the
+        GRU design ("pins TL and T are connected to the same and only
+        node N").
+        """
+        by_node = {}
+        for pin in self.pins:
+            node = next(iter(self.graph.neighbors(pin)))
+            by_node.setdefault(node, []).append(pin)
+        return [tuple(v) for v in by_node.values() if len(v) > 1]

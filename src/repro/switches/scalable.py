@@ -1,0 +1,88 @@
+"""Scalable switch variants compatible with Columba S.
+
+Columba S modifies module models so flow channels access a module
+*horizontally* and control channels access it *vertically* (its
+figures 2.5/2.6 draw the proposed switch in that style). The flow-layer
+*topology* is identical to :class:`repro.switches.crossbar.CrossbarSwitch`;
+what changes is the physical escape of the pins: every pin leaves the
+switch to the east or the west border on its own horizontal lane, so a
+synthesis tool can abut modules left and right of the switch and run
+control lines vertically over it.
+
+We therefore derive the scalable variant from the crossbar by
+re-routing each pin stub to a border lane; segment lengths are the
+Manhattan lengths of the re-routed stubs, so the synthesized channel
+lengths reflect the scalable layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY
+from repro.switches.base import segment_key
+from repro.switches.crossbar import ARM_PITCH, CENTER_PITCH, PIN_STUB, CrossbarSwitch
+
+#: Vertical distance between adjacent horizontal pin lanes (mm).
+#: Must exceed flow channel width + minimum spacing (0.2 mm).
+LANE_PITCH = 0.35
+
+
+class ScalableCrossbarSwitch(CrossbarSwitch):
+    """Crossbar switch drawn for Columba-S-style horizontal flow access.
+
+    Pins whose corner sits in the left half of the switch escape to the
+    west border, the rest to the east border; each escaping pin gets a
+    dedicated horizontal lane so the layout is design-rule clean.
+    """
+
+    #: Control channels run vertically in this layout (metadata for
+    #: downstream co-layout tools).
+    control_orientation = "vertical"
+
+    def __init__(self, n_pins: int = 8, rules: DesignRules = STANFORD_FOUNDRY) -> None:
+        super().__init__(n_pins, rules)
+        self.name = f"scalable-crossbar-{n_pins}pin"
+        # Per-pin escape lanes have distinct lengths, so rotations are
+        # no longer automorphisms of the weighted flow graph.
+        self.rotation_order = 1
+        self._reroute_pins()
+
+    def _reroute_pins(self) -> None:
+        mid_x = (CENTER_PITCH * (self.m - 1)) / 2.0
+        x_west = -ARM_PITCH - PIN_STUB
+        x_east = CENTER_PITCH * (self.m - 1) + ARM_PITCH + PIN_STUB
+
+        west = [p for p in self.pins if self.coords[self.pin_corner[p]].x <= mid_x]
+        east = [p for p in self.pins if p not in west]
+
+        lanes: Dict[str, float] = {}
+        for group in (west, east):
+            # Sort by the corner's vertical position so lanes don't cross.
+            group.sort(key=lambda p: (-self.coords[self.pin_corner[p]].y,
+                                      self.coords[p].x))
+            top = (len(group) - 1) / 2.0
+            for rank, pin in enumerate(group):
+                lanes[pin] = (top - rank) * LANE_PITCH + self._side_anchor_y(pin)
+
+        for pin in self.pins:
+            corner = self.pin_corner[pin]
+            border_x = x_west if pin in west else x_east
+            new_pos = Point(border_x, lanes[pin])
+            self.coords[pin] = new_pos
+            # Manhattan re-route: corner → lane y, then horizontal escape.
+            length = self.coords[corner].manhattan_to(new_pos)
+            key = segment_key(pin, corner)
+            old = self.segments[key]
+            self.segments[key] = type(old)(old.a, old.b, length)
+            self.graph.edges[old.a, old.b]["length"] = length
+
+    def _side_anchor_y(self, pin: str) -> float:
+        """Nominal lane centre: pins fan out around their corner row."""
+        return self.coords[self.pin_corner[pin]].y * 0.5
+
+
+def make_scalable_switch(n_pins: int,
+                         rules: DesignRules = STANFORD_FOUNDRY) -> ScalableCrossbarSwitch:
+    """Convenience constructor for the Columba-S-compatible variant."""
+    return ScalableCrossbarSwitch(n_pins, rules)

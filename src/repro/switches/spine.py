@@ -1,0 +1,82 @@
+"""Columba-style spine switch (the baseline of Figures 2.1, 4.1d, 4.2c/d).
+
+Columba's module library designs the switch as a horizontal *spine*
+with junctions: every pin hangs off the spine, and valves sit only at
+the pin stubs ("there are no valves except at the ends along the
+spine"). Consequently every flow traverses the shared spine, which is
+exactly the contamination weakness the paper attacks; we rebuild the
+structure so the comparison experiments can measure that weakness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SwitchModelError
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY
+from repro.switches.base import NodeKind, SwitchModel
+
+#: Horizontal pitch between adjacent spine junctions (mm).
+JUNCTION_PITCH = 1.0
+#: Length of a pin stub hanging off the spine (mm).
+STUB = 0.7
+
+
+class SpineSwitch(SwitchModel):
+    """A spine-with-junctions switch with ``n_pins`` pins.
+
+    Junctions are placed on a horizontal spine; pins alternate above and
+    below it, plus one pin at each spine end. Only pin stubs carry
+    valves — the spine itself is valve-free, as in Columba.
+    """
+
+    def __init__(self, n_pins: int = 8, rules: DesignRules = STANFORD_FOUNDRY) -> None:
+        if n_pins < 3:
+            raise SwitchModelError("a spine switch needs at least 3 pins")
+        super().__init__(f"spine-{n_pins}pin", rules)
+        self._build(n_pins)
+        self._finalize()
+
+    def _build(self, n_pins: int) -> None:
+        hanging = n_pins - 2  # pins not at the spine ends
+        n_junctions = (hanging + 1) // 2
+        junctions: List[str] = []
+        for j in range(n_junctions):
+            name = f"J{j + 1}"
+            junctions.append(name)
+            self._add_node(name, NodeKind.JUNCTION, Point(JUNCTION_PITCH * (j + 1), 0.0))
+        self.junctions = junctions
+
+        # End pins close the spine left and right; they carry valves.
+        right_x = JUNCTION_PITCH * n_junctions + STUB
+        self._add_pin("P_L", Point(JUNCTION_PITCH - STUB, 0.0))
+
+        top_pins, bottom_pins = [], []
+        for idx in range(hanging):
+            j = junctions[idx // 2]
+            jx = self.coords[j].x
+            if idx % 2 == 0:
+                name = f"P_T{idx // 2 + 1}"
+                top_pins.append(name)
+                self._add_pin(name, Point(jx, STUB))
+            else:
+                name = f"P_B{idx // 2 + 1}"
+                bottom_pins.append(name)
+                self._add_pin(name, Point(jx, -STUB))
+        self._add_pin("P_R", Point(right_x, 0.0))
+        # Re-order the pin list clockwise: top pins left→right, right end,
+        # bottom pins right→left, left end.
+        self.pins = top_pins + ["P_R"] + list(reversed(bottom_pins)) + ["P_L"]
+
+        # Segments: valved pin stubs, valve-free spine.
+        self._add_segment("P_L", junctions[0], with_valve=True)
+        self._add_segment("P_R", junctions[-1], with_valve=True)
+        for name in top_pins + bottom_pins:
+            j = junctions[(int(name.split("T")[-1].split("B")[-1]) - 1)]
+            self._add_segment(name, j, with_valve=True)
+        for a, b in zip(junctions, junctions[1:]):
+            self._add_segment(a, b, with_valve=False)
+
+    def spine_segments(self) -> List:
+        """The valve-free segments forming the shared spine."""
+        return [s for k, s in self.segments.items() if k not in self.valves]

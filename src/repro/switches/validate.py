@@ -1,0 +1,90 @@
+"""Structural validation for switch models.
+
+Anyone extending the library with a new topology (see
+docs/architecture.md) subclasses :class:`~repro.switches.base.SwitchModel`;
+this validator checks everything the synthesis pipeline silently
+assumes, and returns human-readable findings instead of failing deep
+inside a constraint builder.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+
+from repro.switches.base import SwitchModel
+
+
+def validate_switch(switch: SwitchModel) -> List[str]:
+    """Return every structural problem found (empty = good to use)."""
+    problems: List[str] = []
+
+    if not switch.pins:
+        problems.append("switch has no pins")
+    if len(set(switch.pins)) != len(switch.pins):
+        problems.append("duplicate pin names")
+    overlap = set(switch.pins) & set(switch.nodes)
+    if overlap:
+        problems.append(f"names used both as pin and node: {sorted(overlap)}")
+
+    for pin in switch.pins:
+        if pin not in switch.graph:
+            problems.append(f"pin {pin!r} missing from the flow graph")
+            continue
+        degree = switch.graph.degree[pin]
+        if degree != 1:
+            problems.append(
+                f"pin {pin!r} must attach to exactly one segment (degree {degree})"
+            )
+    for node in switch.nodes:
+        if node not in switch.graph:
+            problems.append(f"node {node!r} missing from the flow graph")
+        elif switch.graph.degree[node] < 2:
+            problems.append(
+                f"node {node!r} has degree {switch.graph.degree[node]}; "
+                "an intersection needs at least two segments"
+            )
+
+    if switch.graph.number_of_nodes() and not nx.is_connected(switch.graph):
+        problems.append("flow graph is not connected")
+
+    for key, seg in switch.segments.items():
+        if seg.length <= 0:
+            problems.append(f"segment {key} has non-positive length")
+        for end in key:
+            if end not in switch.coords:
+                problems.append(f"segment {key} endpoint {end!r} has no coordinates")
+    for key in switch.valves:
+        if key not in switch.segments:
+            problems.append(f"valve on unknown segment {key}")
+
+    # pins must be routable to each other
+    if switch.pins and nx.is_connected(switch.graph):
+        first = switch.pins[0]
+        for pin in switch.pins[1:]:
+            if not nx.has_path(switch.graph, first, pin):
+                problems.append(f"no route between pins {first!r} and {pin!r}")
+
+    # rotation_order must divide the pin count (the symmetry-breaking
+    # constraint partitions the pin cycle into equal arcs)
+    if switch.rotation_order > 1 and switch.n_pins % switch.rotation_order:
+        problems.append(
+            f"rotation_order {switch.rotation_order} does not divide "
+            f"{switch.n_pins} pins"
+        )
+
+    problems.extend(switch.check_design_rules())
+    return problems
+
+
+def assert_valid_switch(switch: SwitchModel) -> None:
+    """Raise with a full report if the structure is unusable."""
+    problems = validate_switch(switch)
+    if problems:
+        from repro.errors import SwitchModelError
+
+        raise SwitchModelError(
+            f"switch {switch.name!r} failed validation:\n  "
+            + "\n  ".join(problems)
+        )

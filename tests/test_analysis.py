@@ -1,0 +1,132 @@
+"""Tests for the analysis package (contamination reports, metrics, compare)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_contamination,
+    area_estimate,
+    baseline_report,
+    compare_designs,
+    format_table,
+    result_rows,
+    route_shortest,
+    spine_pollution_profile,
+)
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    conflict_pair,
+    synthesize,
+)
+from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
+
+
+@pytest.fixture()
+def conflict_spec():
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["M1", "M2", "RC1", "RC2"],
+        flows=[Flow(1, "M1", "RC1"), Flow(2, "M2", "RC2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.UNFIXED,
+        name="mini-conflict",
+    )
+
+
+def test_route_shortest_on_spine(conflict_spec):
+    spine = SpineSwitch(4)
+    binding = {"M1": spine.pins[0], "M2": spine.pins[1],
+               "RC1": spine.pins[2], "RC2": spine.pins[3]}
+    paths = route_shortest(spine, binding, conflict_spec.flows)
+    assert set(paths) == {1, 2}
+    for p in paths.values():
+        assert p.length > 0
+
+
+def test_spine_contaminates_conflicting_flows(conflict_spec):
+    """The paper's core claim about the spine: conflicting flows meet."""
+    report = baseline_report(SpineSwitch(4), conflict_spec)
+    assert not report.is_contamination_free
+    assert conflict_pair(1, 2) in report.contaminated_pairs
+    assert report.num_polluted_sites > 0
+
+
+def test_spine_unvalved_sharing_detected(conflict_spec):
+    # bind so both flows traverse the J1-J2 spine stretch
+    spine = SpineSwitch(6)
+    binding = {"M1": "P_T1", "RC1": "P_R", "M2": "P_B1", "RC2": "P_B2"}
+    report = baseline_report(spine, conflict_spec, binding=binding)
+    # the shared spine carries no valves
+    assert report.unvalved_shared_segments
+    assert ("J1", "J2") in report.unvalved_shared_segments
+
+
+def test_gru_adjacent_pins_contaminate():
+    """§2.1: conflicting flows from pins TL and T have only node N."""
+    gru = GRUSwitch(8)
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),  # placeholder; flows are what matter
+        modules=["a", "b", "oa", "ob"],
+        flows=[Flow(1, "a", "oa"), Flow(2, "b", "ob")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.UNFIXED,
+    )
+    binding = {"a": "TL", "b": "T", "oa": "R", "ob": "B"}
+    report = baseline_report(gru, spec, binding=binding)
+    assert not report.is_contamination_free
+    assert "N" in report.polluted_nodes
+
+
+def test_proposed_switch_contamination_free(conflict_spec):
+    res = synthesize(conflict_spec)
+    report = analyze_contamination(
+        conflict_spec.switch, res.flow_paths, conflict_spec.conflicts
+    )
+    assert report.is_contamination_free
+    assert "contamination-free" in report.summary()
+
+
+def test_compare_designs_rows(conflict_spec):
+    comparison = compare_designs(conflict_spec, SynthesisOptions(time_limit=60))
+    rows = comparison.rows()
+    designs = {r["design"] for r in rows}
+    assert "proposed (synthesized)" in designs
+    assert any("spine" in d for d in designs)
+    proposed_row = next(r for r in rows if r["design"] == "proposed (synthesized)")
+    assert proposed_row["contamination-free"] is True
+    spine_row = next(r for r in rows if "spine" in r["design"])
+    assert spine_row["contamination-free"] is False
+
+
+def test_spine_pollution_profile(conflict_spec):
+    spine = SpineSwitch(6)
+    binding = {"M1": "P_T1", "RC1": "P_R", "M2": "P_B1", "RC2": "P_B2"}
+    paths = route_shortest(spine, binding, conflict_spec.flows)
+    profile = spine_pollution_profile(spine, paths)
+    assert profile[("J1", "J2")] == 2  # the spine carries both flows
+
+
+def test_area_estimate(conflict_spec):
+    res = synthesize(conflict_spec)
+    area = area_estimate(res)
+    assert area["total"] == pytest.approx(area["flow"] + area["control"])
+    assert area["flow"] == pytest.approx(0.1 * res.flow_channel_length)
+
+
+def test_result_rows_and_format_table(conflict_spec):
+    res = synthesize(conflict_spec)
+    rows = result_rows([res])
+    text = format_table(rows)
+    assert "L(mm)" in text
+    assert "mini-conflict" in text
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": None}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert len({len(l) for l in lines}) == 1  # all lines equal width

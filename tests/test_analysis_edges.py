@@ -1,0 +1,64 @@
+"""Edge coverage for the analysis package."""
+
+import pytest
+
+from repro.analysis import analyze_contamination, route_shortest
+from repro.analysis.contamination import ContaminationReport
+from repro.core import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.errors import ReproError
+from repro.switches import CrossbarSwitch, SpineSwitch
+
+
+def test_route_shortest_missing_binding_entry():
+    sw = SpineSwitch(4)
+    with pytest.raises(KeyError):
+        route_shortest(sw, {}, [Flow(1, "a", "b")])
+
+
+def test_route_shortest_unknown_pin():
+    sw = SpineSwitch(4)
+    with pytest.raises(ReproError):
+        route_shortest(sw, {"a": "NOPE", "b": sw.pins[0]},
+                       [Flow(1, "a", "b")])
+
+
+def test_analyze_without_conflicts_is_clean():
+    sw = CrossbarSwitch(8)
+    binding = {"a": "T1", "b": "B1"}
+    paths = route_shortest(sw, binding, [Flow(1, "a", "b")])
+    report = analyze_contamination(sw, paths, set())
+    assert report.is_contamination_free
+    assert report.num_polluted_sites == 0
+
+
+def test_report_summary_strings():
+    clean = ContaminationReport("x", {})
+    assert "contamination-free" in clean.summary()
+    dirty = ContaminationReport("y", {})
+    dirty.polluted_nodes.add("C")
+    dirty.contaminated_pairs.add(frozenset({1, 2}))
+    assert "polluted" in dirty.summary()
+    assert not dirty.is_contamination_free
+
+
+def test_same_source_flows_never_flagged_unvalved_conflicting():
+    """Branches of one inlet share channels by design; only the
+    unvalved-sharing diagnostic may fire, never contamination."""
+    sw = CrossbarSwitch(8)
+    binding = {"src": "T1", "o1": "B1", "o2": "L2"}
+    flows = [Flow(1, "src", "o1"), Flow(2, "src", "o2")]
+    paths = route_shortest(sw, binding, flows)
+    report = analyze_contamination(sw, paths, set())
+    assert report.is_contamination_free
+
+
+def test_conflicting_same_channel_detected_on_crossbar_too():
+    """The analyzer is design-agnostic: force two conflicting flows
+    down the same crossbar corridor and it reports the sites."""
+    sw = CrossbarSwitch(8)
+    binding = {"a": "T1", "b": "L1", "oa": "B1", "ob": "L2"}
+    flows = [Flow(1, "a", "oa"), Flow(2, "b", "ob")]
+    paths = route_shortest(sw, binding, flows)
+    report = analyze_contamination(sw, paths, {conflict_pair(1, 2)})
+    assert not report.is_contamination_free
+    assert report.polluted_nodes  # TL / L / BL shared

@@ -1,0 +1,116 @@
+"""Tests for the fluent case builder (repro.cases.builder)."""
+
+import pytest
+
+from repro.cases import CaseBuilder
+from repro.core import BindingPolicy, NodePolicy, SchedulingForm, synthesize
+from repro.errors import SpecError
+
+
+def test_minimal_case():
+    spec = (CaseBuilder("mini")
+            .flow("a", "b")
+            .build())
+    assert spec.name == "mini"
+    assert spec.modules == ["a", "b"]
+    assert [f.id for f in spec.flows] == [1]
+    assert spec.binding is BindingPolicy.UNFIXED
+
+
+def test_modules_registered_once():
+    spec = (CaseBuilder()
+            .flow("src", "o1")
+            .flow("src", "o2")
+            .module("extra")
+            .build())
+    assert spec.modules == ["src", "o1", "o2", "extra"]
+
+
+def test_flow_ids_sequential():
+    spec = (CaseBuilder()
+            .flow("a", "x").flow("b", "y").flow("a", "z")
+            .build())
+    assert [f.id for f in spec.flows] == [1, 2, 3]
+
+
+def test_conflict_by_flow_ids():
+    spec = (CaseBuilder()
+            .flow("a", "x").flow("b", "y")
+            .conflict(1, 2)
+            .build())
+    assert frozenset({1, 2}) in spec.conflicts
+
+
+def test_conflict_by_inlet_names_expands_to_all_pairs():
+    spec = (CaseBuilder()
+            .flow("a", "x").flow("a", "y").flow("b", "z")
+            .conflict("a", "b")
+            .build())
+    assert frozenset({1, 3}) in spec.conflicts
+    assert frozenset({2, 3}) in spec.conflicts
+
+
+def test_conflict_with_non_inlet_rejected():
+    builder = CaseBuilder().flow("a", "x").flow("b", "y")
+    builder.conflict("a", "x")  # x is an outlet
+    with pytest.raises(SpecError):
+        builder.build()
+
+
+def test_mixed_conflict_arguments_rejected():
+    with pytest.raises(SpecError):
+        CaseBuilder().flow("a", "x").conflict("a", 1)
+
+
+def test_fixed_policy():
+    spec = (CaseBuilder(switch_size=8)
+            .flow("a", "b")
+            .fixed(a="T1", b="B1")
+            .build())
+    assert spec.binding is BindingPolicy.FIXED
+    assert spec.fixed_binding == {"a": "T1", "b": "B1"}
+
+
+def test_clockwise_policy_defaults_to_registration_order():
+    spec = (CaseBuilder(switch_size=8)
+            .flow("a", "b").flow("c", "d")
+            .clockwise()
+            .build())
+    assert spec.binding is BindingPolicy.CLOCKWISE
+    assert spec.module_order == ["a", "b", "c", "d"]
+    explicit = (CaseBuilder(switch_size=8)
+                .flow("a", "b").flow("c", "d")
+                .clockwise("d", "c", "b", "a")
+                .build())
+    assert explicit.module_order == ["d", "c", "b", "a"]
+
+
+def test_tuning_knobs():
+    spec = (CaseBuilder(switch_size=12)
+            .flow("a", "b")
+            .weights(alpha=5.0, beta=1.0)
+            .max_sets(2)
+            .node_policy(NodePolicy.PAPER)
+            .scheduling_form(SchedulingForm.COMPACT)
+            .build())
+    assert spec.alpha == 5.0 and spec.beta == 1.0
+    assert spec.max_sets == 2
+    assert spec.node_policy is NodePolicy.PAPER
+    assert spec.scheduling_form is SchedulingForm.COMPACT
+
+
+def test_scalable_switch():
+    spec = CaseBuilder(switch_size=8, scalable=True).flow("a", "b").build()
+    assert "scalable" in spec.switch.name
+
+
+def test_built_case_synthesizes():
+    spec = (CaseBuilder("e2e", switch_size=8)
+            .flow("sample", "mix1")
+            .flow("buffer", "mix2")
+            .conflict("sample", "buffer")
+            .build())
+    result = synthesize(spec)
+    assert result.status.solved
+    p1, p2 = result.flow_paths[1], result.flow_paths[2]
+    assert not (set(p1.nodes) & set(p2.nodes))

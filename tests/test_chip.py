@@ -1,0 +1,144 @@
+"""Tests for chip-level co-layout (repro.chip)."""
+
+import pytest
+
+from repro.chip import (
+    ChipLayout,
+    DEFAULT_FOOTPRINTS,
+    ModuleShape,
+    chip_layout,
+    default_shape,
+    infer_kind,
+    shapes_for,
+)
+from repro.core import BindingPolicy, Flow, SwitchSpec, SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.switches import CrossbarSwitch
+
+
+# ----------------------------------------------------------------------
+# module shapes
+# ----------------------------------------------------------------------
+def test_kind_inference():
+    assert infer_kind("M1") == "mixer"
+    assert infer_kind("mixer_3") == "mixer"
+    assert infer_kind("RC2") == "chamber"
+    assert infer_kind("i_10") == "inlet"
+    assert infer_kind("o_7") == "outlet"
+    assert infer_kind("p_c1") == "outlet"
+    assert infer_kind("waste") == "outlet"
+    assert infer_kind("somethingelse") == "generic"
+
+
+def test_default_shapes_positive():
+    for kind, (w, h) in DEFAULT_FOOTPRINTS.items():
+        assert w > 0 and h > 0
+    shape = default_shape("M1")
+    assert shape.kind == "mixer"
+    assert shape.area == pytest.approx(shape.width * shape.height)
+
+
+def test_shape_validation():
+    with pytest.raises(ReproError):
+        ModuleShape("bad", 0, 1)
+
+
+def test_shapes_for_overrides():
+    shapes = shapes_for(["M1", "RC1"], {"M1": ModuleShape("M1", 5, 5)})
+    assert shapes["M1"].width == 5
+    assert shapes["RC1"].kind == "chamber"
+    with pytest.raises(ReproError):
+        shapes_for(["M1"], {"zzz": ModuleShape("zzz", 1, 1)})
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def solved():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i_1", "i_2", "o_1", "o_2", "M1"],
+        flows=[Flow(1, "i_1", "o_1"), Flow(2, "i_2", "o_2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i_1": "T1", "o_1": "B1", "i_2": "T2",
+                       "o_2": "B2", "M1": "L1"},
+    )
+    res = synthesize(spec, SynthesisOptions(time_limit=60))
+    assert res.status.solved
+    return res
+
+
+def test_layout_places_every_module(solved):
+    layout = chip_layout(solved)
+    assert set(layout.modules) == set(solved.spec.modules)
+
+
+def test_no_module_overlaps(solved):
+    layout = chip_layout(solved)
+    assert layout.overlapping_modules() == []
+
+
+def test_connections_end_at_pins(solved):
+    layout = chip_layout(solved)
+    switch = solved.spec.switch
+    for conn in layout.connections:
+        assert conn.points[-1] == switch.coords[conn.pin]
+        assert conn.points[0] == layout.modules[conn.module].port
+        assert conn.length > 0
+
+
+def test_modules_outside_the_switch(solved):
+    layout = chip_layout(solved)
+    lo, hi = solved.spec.switch.bounding_box()
+    for placed in layout.modules.values():
+        inside_x = lo.x < placed.center.x < hi.x
+        inside_y = lo.y < placed.center.y < hi.y
+        assert not (inside_x and inside_y)
+
+
+def test_chip_area_covers_switch(solved):
+    layout = chip_layout(solved)
+    lo, hi = solved.spec.switch.bounding_box()
+    assert layout.chip_area >= (hi.x - lo.x) * (hi.y - lo.y)
+    assert "mm^2" in layout.summary()
+
+
+def test_unsolved_rejected(solved):
+    import copy
+    from repro.core import SynthesisStatus
+    bad = copy.copy(solved)
+    bad.status = SynthesisStatus.NO_SOLUTION
+    with pytest.raises(ReproError):
+        chip_layout(bad)
+
+
+def test_ordered_binding_avoids_crossings():
+    """When modules bind in placement order around the switch (the
+    clockwise policy's contract) the chip connections nest cleanly;
+    scrambling the same binding forces crossings."""
+    modules = ["a", "b", "c", "d"]
+    flows = [Flow(1, "a", "b"), Flow(2, "c", "d")]
+
+    def run(binding_map):
+        spec = SwitchSpec(
+            switch=CrossbarSwitch(8),
+            modules=modules,
+            flows=[Flow(1, "a", "b"), Flow(2, "c", "d")],
+            binding=BindingPolicy.FIXED,
+            fixed_binding=binding_map,
+        )
+        res = synthesize(spec, SynthesisOptions(time_limit=60))
+        assert res.status.solved
+        return chip_layout(res)
+
+    ordered = run({"a": "T1", "b": "T2", "c": "B2", "d": "B1"})
+    scrambled = run({"a": "T1", "b": "B2", "c": "T2", "d": "B1"})
+    assert ordered.crossings() <= scrambled.crossings()
+
+
+def test_custom_shapes_respected(solved):
+    big = ModuleShape("M1", 6.0, 6.0, "mixer")
+    layout = chip_layout(solved, shapes={"M1": big})
+    assert layout.modules["M1"].shape.width == 6.0
+    assert layout.overlapping_modules() == []

@@ -1,0 +1,162 @@
+"""Tests for control-layer routing (repro.control) and line geometry."""
+
+import pytest
+
+from repro.control import ControlPlan, route_control
+from repro.errors import ReproError
+from repro.geometry import Point
+from repro.geometry.lines import (
+    point_segment_distance,
+    segment_segment_distance,
+    segments_intersect,
+)
+from repro.switches import CrossbarSwitch, GRUSwitch
+from repro.switches.base import segment_key
+
+
+# ----------------------------------------------------------------------
+# geometry
+# ----------------------------------------------------------------------
+def test_point_segment_distance():
+    a, b = Point(0, 0), Point(10, 0)
+    assert point_segment_distance(Point(5, 3), a, b) == pytest.approx(3)
+    assert point_segment_distance(Point(-4, 0), a, b) == pytest.approx(4)
+    assert point_segment_distance(Point(13, 4), a, b) == pytest.approx(5)
+    # degenerate segment
+    assert point_segment_distance(Point(3, 4), a, a) == pytest.approx(5)
+
+
+def test_segments_intersect():
+    assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+    assert not segments_intersect(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+    # touching endpoint counts
+    assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+    # collinear overlap
+    assert segments_intersect(Point(0, 0), Point(3, 0), Point(2, 0), Point(5, 0))
+
+
+def test_segment_segment_distance():
+    assert segment_segment_distance(
+        Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)) == 0.0
+    assert segment_segment_distance(
+        Point(0, 0), Point(10, 0), Point(0, 3), Point(10, 3)) == pytest.approx(3)
+    assert segment_segment_distance(
+        Point(0, 0), Point(1, 0), Point(3, 0), Point(4, 0)) == pytest.approx(2)
+
+
+# ----------------------------------------------------------------------
+# control routing
+# ----------------------------------------------------------------------
+def _stub_valves(switch):
+    return [segment_key(p, next(iter(switch.graph.neighbors(p))))
+            for p in switch.pins]
+
+
+def test_gru_as_drawn_violates_spacing():
+    """§2.1 criticism 4: the GRU's control channels (perpendicular to
+    the 45° pin stubs) cross each other near the border nodes."""
+    gru = GRUSwitch(8)
+    plan = route_control(gru, _stub_valves(gru), strategy="perpendicular")
+    violations = plan.violations()
+    assert violations
+    assert not plan.is_clean
+    assert any("0 um apart" in v for v in violations)
+
+
+def test_lane_router_fixes_gru():
+    gru = GRUSwitch(8)
+    plan = route_control(gru, _stub_valves(gru), strategy="lanes")
+    assert plan.is_clean
+
+
+def test_lane_router_clean_on_full_8pin():
+    """All 20 valves of the unreduced 8-pin model escape-route cleanly."""
+    sw = CrossbarSwitch(8)
+    plan = route_control(sw, list(sw.valves), strategy="lanes")
+    assert plan.is_clean, plan.violations()[:3]
+    assert plan.num_inlets == len(sw.valves)
+    assert plan.total_length > 0
+
+
+@pytest.mark.parametrize("n_pins", [12, 16])
+def test_dense_models_report_their_violations(n_pins):
+    """The unreduced 12/16-pin valve fields are too dense for single-
+    layer escape routing (which is why Columba S controls valves through
+    multiplexers); the DRC must say so rather than pretend."""
+    sw = CrossbarSwitch(n_pins)
+    plan = route_control(sw, list(sw.valves), strategy="lanes")
+    assert not plan.is_clean
+    assert all("um apart" in v for v in plan.violations())
+
+
+def test_lane_router_clean_on_synthesized_essential_set():
+    """The application-specific (reduced) valve sets the paper actually
+    fabricates must escape-route cleanly."""
+    from repro.cases import chip_sw1
+    from repro.core import BindingPolicy, SynthesisOptions, synthesize
+
+    res = synthesize(chip_sw1(BindingPolicy.FIXED),
+                     SynthesisOptions(time_limit=60))
+    assert res.status.solved and res.valves.essential
+    plan = route_control(res.spec.switch, sorted(res.valves.essential),
+                         strategy="lanes")
+    assert plan.is_clean, plan.violations()
+
+
+def test_channels_reach_the_border():
+    sw = CrossbarSwitch(8)
+    plan = route_control(sw, [("C", "T"), ("B", "C")], strategy="lanes")
+    lo, hi = sw.bounding_box()
+    for channel in plan.channels:
+        assert channel.inlet.y > hi.y or channel.inlet.y < lo.y
+
+
+def test_pressure_groups_reduce_inlets_and_area():
+    sw = CrossbarSwitch(8)
+    valves = [segment_key(*v) for v in
+              [("T1", "TL"), ("TL", "T"), ("C", "T"), ("B", "C")]]
+    no_share = route_control(sw, valves, strategy="lanes")
+    groups = {valves[0]: 0, valves[1]: 0, valves[2]: 1, valves[3]: 1}
+    shared = route_control(sw, valves, groups=groups, strategy="lanes")
+    assert no_share.num_inlets == 4
+    assert shared.num_inlets == 2
+    assert shared.area()["inlets"] < no_share.area()["inlets"]
+    assert shared.area()["total"] == pytest.approx(
+        shared.area()["channel"] + shared.area()["inlets"])
+
+
+def test_same_group_channels_may_touch():
+    """Two channels of one pressure group connect to one inlet, so
+    their proximity is not a violation."""
+    sw = GRUSwitch(8)
+    valves = [segment_key("N", "TL"), segment_key("N", "T")]
+    groups = {valves[0]: 0, valves[1]: 0}
+    plan = route_control(sw, valves, groups=groups, strategy="perpendicular")
+    assert plan.is_clean  # crossing channels, same inlet
+
+
+def test_unknown_strategy_and_bad_inputs():
+    sw = CrossbarSwitch(8)
+    with pytest.raises(ReproError):
+        route_control(sw, [("C", "T")], strategy="diagonal")
+    with pytest.raises(ReproError):
+        route_control(sw, [("C", "nonexistent")])
+    with pytest.raises(ReproError):
+        route_control(sw, [("C", "T")], groups={})
+
+
+def test_channel_length_manhattan():
+    sw = CrossbarSwitch(8)
+    plan = route_control(sw, [("C", "T")], strategy="lanes")
+    (channel,) = plan.channels
+    expect = sum(a.manhattan_to(b)
+                 for a, b in zip(channel.points, channel.points[1:]))
+    assert channel.length == pytest.approx(expect)
+
+
+def test_empty_plan():
+    sw = CrossbarSwitch(8)
+    plan = route_control(sw, [])
+    assert plan.num_inlets == 0
+    assert plan.total_length == 0
+    assert plan.is_clean

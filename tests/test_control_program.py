@@ -1,0 +1,140 @@
+"""Tests for actuation programs and multiplexer control."""
+
+import json
+
+import pytest
+
+from repro.control import (
+    HIGH,
+    LOW,
+    ActuationProgram,
+    MuxPlan,
+    compile_program,
+    control_strategy_rows,
+)
+from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+from repro.core.valves import CLOSED, OPEN
+from repro.errors import ReproError
+from repro.sim import simulate
+from repro.switches import CrossbarSwitch
+
+
+@pytest.fixture(scope="module")
+def result():
+    """A two-set schedule with essential valves and shared pressure."""
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["acid", "base", "w1", "w2"],
+        flows=[Flow(1, "acid", "w1"), Flow(2, "base", "w2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"acid": "T1", "w1": "B1", "base": "L1", "w2": "B2"},
+        name="program-case",
+    )
+    res = synthesize(spec)
+    assert res.status.solved and res.valves.essential
+    return res
+
+
+def test_compile_structure(result):
+    program = compile_program(result)
+    assert program.num_steps == result.num_flow_sets
+    assert program.num_inlets == result.pressure.num_control_inlets
+    covered = {v for group in program.inlets for v in group}
+    assert covered == result.valves.essential
+    for step in program.steps:
+        assert set(step.levels) == set(range(program.num_inlets))
+        assert set(step.levels.values()) <= {HIGH, LOW}
+
+
+def test_program_realizes_schedule(result):
+    """Compilation cross-check: every O/C demand is reproduced."""
+    program = compile_program(result)
+    for valve in result.valves.essential:
+        for step, state in enumerate(result.valves.status[valve]):
+            if state in (OPEN, CLOSED):
+                assert program.valve_state(valve, step) == state
+
+
+def test_program_consistent_with_simulator(result):
+    """Driving don't-care valves to the program's level (open) still
+    executes cleanly — the don't-care semantics is real."""
+    report = simulate(result, dont_care_open=True)
+    assert report.is_clean
+
+
+def test_transitions_counted(result):
+    program = compile_program(result)
+    manual = 0
+    for a, b in zip(program.steps, program.steps[1:]):
+        manual += sum(1 for i in a.levels if a.levels[i] != b.levels[i])
+    assert program.transitions() == manual
+
+
+def test_program_export(result, tmp_path):
+    program = compile_program(result)
+    path = tmp_path / "program.json"
+    program.save(path)
+    data = json.loads(path.read_text())
+    assert data["case"] == "program-case"
+    assert len(data["steps"]) == program.num_steps
+    assert "inlet 0" in program.pretty()
+
+
+def test_unsolved_rejected():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"a": "T1", "b": "B1"},
+    )
+    res = synthesize(spec)
+    res.status = type(res.status).NO_SOLUTION
+    with pytest.raises(ReproError):
+        compile_program(res)
+
+
+# ----------------------------------------------------------------------
+# multiplexer
+# ----------------------------------------------------------------------
+def test_mux_input_counts():
+    assert MuxPlan(1).num_control_inputs == 3   # 1 bit (degenerate) + source
+    assert MuxPlan(2).num_control_inputs == 3
+    assert MuxPlan(4).num_control_inputs == 5
+    assert MuxPlan(5).num_control_inputs == 7
+    assert MuxPlan(16).num_control_inputs == 9
+    with pytest.raises(ReproError):
+        MuxPlan(0)
+
+
+def test_mux_actuations(result):
+    program = compile_program(result)
+    mux = MuxPlan(program.num_inlets)
+    expected = len(program.steps[0].levels) + program.transitions()
+    assert mux.actuations_for(program) == expected
+
+
+def test_control_strategy_rows(result):
+    rows = control_strategy_rows(result)
+    strategies = [r["strategy"] for r in rows]
+    assert "direct (1 inlet/valve)" in strategies
+    assert "pressure sharing (paper)" in strategies
+    assert "multiplexer (Columba S)" in strategies
+    direct = next(r for r in rows if r["strategy"].startswith("direct"))
+    shared = next(r for r in rows if r["strategy"].startswith("pressure"))
+    assert shared["control inputs"] <= direct["control inputs"]
+    # parallel strategies actuate once per flow set
+    assert direct["actuations"] == result.num_flow_sets
+
+
+def test_control_strategy_rows_no_valves():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"a": "T1", "b": "B1"},
+    )
+    res = synthesize(spec)
+    rows = control_strategy_rows(res)
+    assert rows[0]["strategy"] == "none needed"

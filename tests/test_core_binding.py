@@ -1,0 +1,111 @@
+"""Tests for the three binding policies (§3.4)."""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisStatus,
+    synthesize,
+)
+from repro.switches import CrossbarSwitch
+
+
+def spec_with(binding, modules, flows, **kw):
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=modules,
+        flows=flows,
+        binding=binding,
+        **kw,
+    )
+
+
+def test_fixed_binding_respected_exactly():
+    fixed = {"a": "R2", "b": "L1"}
+    spec = spec_with(BindingPolicy.FIXED, ["a", "b"], [Flow(1, "a", "b")],
+                     fixed_binding=fixed)
+    res = synthesize(spec)
+    assert res.binding == fixed
+
+
+def test_clockwise_binding_keeps_order():
+    order = ["a", "b", "c", "d"]
+    spec = spec_with(
+        BindingPolicy.CLOCKWISE, order,
+        [Flow(1, "a", "b"), Flow(2, "c", "d")],
+        module_order=order,
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    sw = spec.switch
+    indices = [sw.pin_index(res.binding[m]) for m in order]
+    descents = sum(
+        1 for i in range(len(indices))
+        if indices[i] >= indices[(i + 1) % len(indices)]
+    )
+    assert descents == 1  # a single wrap-around, as eq. (3.12)-(3.13) demand
+
+
+def test_clockwise_may_skip_pins():
+    """§2.2: the clockwise policy may skip pins; with 2 modules on an
+    8-pin switch most pins stay unbound."""
+    spec = spec_with(BindingPolicy.CLOCKWISE, ["a", "b"], [Flow(1, "a", "b")],
+                     module_order=["a", "b"])
+    res = synthesize(spec)
+    assert len(res.binding) == 2
+    assert res.binding["a"] != res.binding["b"]
+
+
+def test_unfixed_binding_chooses_adjacent_pins():
+    """With full freedom the optimizer should pick a cheapest pin pair:
+    two pins on the same corner (length 1.4 mm)."""
+    spec = spec_with(BindingPolicy.UNFIXED, ["a", "b"], [Flow(1, "a", "b")])
+    res = synthesize(spec)
+    assert res.flow_channel_length == pytest.approx(1.4)
+
+
+def test_unfixed_beats_or_ties_fixed():
+    flows = [Flow(1, "a", "b")]
+    fixed = spec_with(BindingPolicy.FIXED, ["a", "b"], flows,
+                      fixed_binding={"a": "T1", "b": "B2"})
+    unfixed = spec_with(BindingPolicy.UNFIXED, ["a", "b"],
+                        [Flow(1, "a", "b")])
+    res_f = synthesize(fixed)
+    res_u = synthesize(unfixed)
+    assert res_u.flow_channel_length <= res_f.flow_channel_length + 1e-9
+
+
+def test_clockwise_between_fixed_and_unfixed():
+    """Clockwise length is between unfixed (free) and a bad fixed map."""
+    flows = [Flow(1, "a", "b"), Flow(2, "c", "d")]
+    res_u = synthesize(spec_with(
+        BindingPolicy.UNFIXED, ["a", "b", "c", "d"],
+        [Flow(1, "a", "b"), Flow(2, "c", "d")]))
+    res_c = synthesize(spec_with(
+        BindingPolicy.CLOCKWISE, ["a", "b", "c", "d"],
+        [Flow(1, "a", "b"), Flow(2, "c", "d")],
+        module_order=["a", "b", "c", "d"]))
+    res_f = synthesize(spec_with(
+        BindingPolicy.FIXED, ["a", "b", "c", "d"],
+        [Flow(1, "a", "b"), Flow(2, "c", "d")],
+        fixed_binding={"a": "T1", "b": "B2", "c": "T2", "d": "B1"}))
+    assert res_u.flow_channel_length <= res_c.flow_channel_length + 1e-9
+    assert res_c.flow_channel_length <= res_f.flow_channel_length + 1e-9
+
+
+def test_unbound_modules_still_assigned():
+    """Modules without flows must still receive a unique pin (3.9/3.10)."""
+    spec = spec_with(BindingPolicy.UNFIXED, ["a", "b", "idle1", "idle2"],
+                     [Flow(1, "a", "b")])
+    res = synthesize(spec)
+    assert len(set(res.binding.values())) == 4
+
+
+def test_single_module_clockwise():
+    spec = spec_with(BindingPolicy.CLOCKWISE, ["only"], [],
+                     module_order=["only"])
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert "only" in res.binding

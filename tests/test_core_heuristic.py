@@ -1,0 +1,105 @@
+"""Tests for the greedy heuristic synthesizer (repro.core.heuristic)."""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+    synthesize_greedy,
+)
+from repro.core.verify import verify_result
+from repro.switches import CrossbarSwitch
+
+
+def simple_spec(binding=BindingPolicy.UNFIXED, **kw):
+    kwargs = dict(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        binding=binding,
+    )
+    if binding is BindingPolicy.FIXED:
+        kwargs["fixed_binding"] = {"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"}
+    elif binding is BindingPolicy.CLOCKWISE:
+        kwargs["module_order"] = ["i1", "o1", "i2", "o2"]
+    kwargs.update(kw)
+    return SwitchSpec(**kwargs)
+
+
+@pytest.mark.parametrize("binding", list(BindingPolicy))
+def test_greedy_produces_verified_solutions(binding):
+    res = synthesize_greedy(simple_spec(binding))
+    assert res.status is SynthesisStatus.FEASIBLE
+    verify_result(res)  # double verification
+
+
+def test_greedy_respects_conflicts():
+    spec = simple_spec(BindingPolicy.FIXED, conflicts={conflict_pair(1, 2)})
+    res = synthesize_greedy(spec)
+    assert res.status is SynthesisStatus.FEASIBLE
+    p1, p2 = res.flow_paths[1], res.flow_paths[2]
+    assert not (set(p1.nodes) & set(p2.nodes))
+
+
+def test_greedy_never_better_than_exact():
+    """On solvable cases the exact objective is <= the greedy one."""
+    spec_g = simple_spec(BindingPolicy.FIXED, conflicts={conflict_pair(1, 2)})
+    spec_e = simple_spec(BindingPolicy.FIXED, conflicts={conflict_pair(1, 2)})
+    greedy = synthesize_greedy(spec_g)
+    exact = synthesize(spec_e)
+    g_obj = (spec_g.alpha * greedy.num_flow_sets
+             + spec_g.beta * greedy.flow_channel_length)
+    assert exact.objective <= g_obj + 1e-6
+
+
+def test_greedy_reports_failure_not_crash():
+    """Interleaved pairwise-conflicting fixed binding is infeasible; the
+    greedy must report NO_SOLUTION."""
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["m1", "m2", "m3", "r1", "r2", "r3"],
+        flows=[Flow(1, "m1", "r1"), Flow(2, "m2", "r2"), Flow(3, "m3", "r3")],
+        conflicts={conflict_pair(1, 2), conflict_pair(1, 3), conflict_pair(2, 3)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"m1": "T1", "m2": "T2", "m3": "R1",
+                       "r1": "R2", "r2": "B2", "r3": "B1"},
+    )
+    res = synthesize_greedy(spec)
+    assert res.status is SynthesisStatus.NO_SOLUTION
+
+
+def test_greedy_same_inlet_flows_share_set():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["src", "o1", "o2"],
+        flows=[Flow(1, "src", "o1"), Flow(2, "src", "o2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"src": "T1", "o1": "B1", "o2": "B2"},
+    )
+    res = synthesize_greedy(spec)
+    assert res.num_flow_sets == 1
+
+
+def test_greedy_pressure_sharing_present():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B2", "i2": "L1", "o2": "B1"},
+    )
+    res = synthesize_greedy(spec)
+    assert res.status is SynthesisStatus.FEASIBLE
+    if res.valves.essential:
+        assert res.pressure is not None
+        assert res.pressure.method == "greedy"
+
+
+def test_greedy_is_fast():
+    spec = simple_spec(BindingPolicy.UNFIXED)
+    res = synthesize_greedy(spec)
+    assert res.runtime < 1.0

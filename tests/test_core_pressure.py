@@ -1,0 +1,143 @@
+"""Tests for pressure sharing via clique cover (repro.core.pressure)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pressure import (
+    clique_cover_greedy,
+    clique_cover_ilp,
+    compatibility_graph,
+    sequences_compatible,
+    share_pressure,
+)
+from repro.errors import ReproError
+
+V = lambda i: (f"a{i}", f"b{i}")  # synthetic valve keys
+
+
+def test_sequence_compatibility_rules():
+    assert sequences_compatible(["O", "X", "C"], ["X", "O", "C"])
+    assert sequences_compatible(["X", "X"], ["O", "C"])
+    assert not sequences_compatible(["O"], ["C"])
+    assert not sequences_compatible(["O", "C"], ["O", "O"])
+    with pytest.raises(ReproError):
+        sequences_compatible(["O"], ["O", "C"])
+
+
+def test_figure_3_2a_single_clique():
+    """Fig 3.2(a): (O,X,C), (X,O,C), (O,O,C) all share one source."""
+    status = {
+        V(1): ["O", "X", "C"],
+        V(2): ["X", "O", "C"],
+        V(3): ["O", "O", "C"],
+    }
+    result = share_pressure(status, method="ilp")
+    assert result.num_control_inlets == 1
+    assert sorted(result.groups[0]) == sorted(status)
+
+
+def test_figure_3_2b_two_cliques():
+    """Fig 3.2(b): a pairs with b or c, but b and c clash -> 2 cliques."""
+    status = {
+        V(1): ["X", "X"],   # a: compatible with both
+        V(2): ["O", "C"],   # b
+        V(3): ["C", "O"],   # c
+    }
+    result = share_pressure(status, method="ilp")
+    assert result.num_control_inlets == 2
+
+
+def test_group_of_lookup():
+    status = {V(1): ["O"], V(2): ["C"]}
+    result = share_pressure(status, method="ilp")
+    assert result.group_of(V(1)) != result.group_of(V(2))
+    with pytest.raises(KeyError):
+        result.group_of(("zz", "zz"))
+
+
+def test_restrict_to_subset():
+    status = {V(1): ["O"], V(2): ["C"], V(3): ["X"]}
+    result = share_pressure(status, valves=[V(1), V(3)], method="ilp")
+    covered = {v for g in result.groups for v in g}
+    assert covered == {V(1), V(3)}
+
+
+def test_greedy_never_beats_ilp():
+    status = {
+        V(1): ["O", "X", "X"],
+        V(2): ["X", "O", "X"],
+        V(3): ["C", "X", "O"],
+        V(4): ["X", "C", "O"],
+        V(5): ["O", "O", "C"],
+    }
+    ilp = share_pressure(status, method="ilp")
+    greedy = share_pressure(status, method="greedy")
+    assert ilp.num_control_inlets <= greedy.num_control_inlets
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ReproError):
+        share_pressure({V(1): ["O"]}, method="magic")
+
+
+def test_empty_status():
+    result = share_pressure({}, method="ilp")
+    assert result.num_control_inlets == 0
+
+
+def test_incompatible_all_pairwise():
+    status = {V(1): ["O", "C"], V(2): ["C", "O"], V(3): ["O", "O"]}
+    # 1-2 clash; 1-3 clash (pos 2); 2-3 clash (pos 1) -> three cliques
+    result = share_pressure(status, method="ilp")
+    assert result.num_control_inlets == 3
+
+
+def test_compatibility_graph_shape():
+    status = {V(1): ["O"], V(2): ["X"], V(3): ["C"]}
+    g = compatibility_graph(status)
+    assert g.has_edge(V(1), V(2))
+    assert g.has_edge(V(2), V(3))
+    assert not g.has_edge(V(1), V(3))
+
+
+def test_clique_cover_on_raw_graph():
+    g = nx.Graph()
+    g.add_nodes_from([V(1), V(2), V(3), V(4)])
+    g.add_edges_from([(V(1), V(2)), (V(3), V(4))])
+    groups = clique_cover_ilp(g)
+    assert len(groups) == 2
+    greedy = clique_cover_greedy(g)
+    assert len(greedy) >= 2
+
+
+@st.composite
+def random_status_tables(draw):
+    n_valves = draw(st.integers(min_value=1, max_value=6))
+    n_sets = draw(st.integers(min_value=1, max_value=4))
+    table = {}
+    for i in range(n_valves):
+        table[V(i)] = [
+            draw(st.sampled_from(["O", "C", "X"])) for _ in range(n_sets)
+        ]
+    return table
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_status_tables())
+def test_cover_properties(status):
+    """Property: ILP cover is a valid partition into compatible groups,
+    never larger than greedy, and group count bounds are respected."""
+    ilp = share_pressure(status, method="ilp")
+    greedy = share_pressure(status, method="greedy")
+    # partition
+    covered = sorted(v for g in ilp.groups for v in g)
+    assert covered == sorted(status)
+    # compatibility inside groups
+    for group in ilp.groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                assert sequences_compatible(status[a], status[b])
+    # optimality relative to greedy, trivial bounds
+    assert 1 <= ilp.num_control_inlets <= len(status)
+    assert ilp.num_control_inlets <= greedy.num_control_inlets

@@ -1,0 +1,140 @@
+"""Tests for the synthesis input specification (repro.core.spec)."""
+
+import pytest
+
+from repro.core import BindingPolicy, Flow, SwitchSpec, conflict_pair
+from repro.errors import SpecError
+from repro.switches import CrossbarSwitch
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b", "c", "d"],
+        flows=[Flow(1, "a", "b"), Flow(2, "c", "d")],
+        binding=BindingPolicy.UNFIXED,
+    )
+    kwargs.update(overrides)
+    return SwitchSpec(**kwargs)
+
+
+def test_valid_spec_builds():
+    spec = make_spec()
+    assert spec.flow_ids == [1, 2]
+    assert spec.inlet_modules == ["a", "c"]
+    assert spec.outlet_modules == ["b", "d"]
+
+
+def test_flow_self_loop_rejected():
+    with pytest.raises(SpecError):
+        Flow(1, "a", "a")
+
+
+def test_duplicate_modules_rejected():
+    with pytest.raises(SpecError):
+        make_spec(modules=["a", "a", "b", "c"])
+
+
+def test_too_many_modules_rejected():
+    with pytest.raises(SpecError):
+        make_spec(modules=[f"m{i}" for i in range(9)], flows=[])
+
+
+def test_unknown_flow_module_rejected():
+    with pytest.raises(SpecError):
+        make_spec(flows=[Flow(1, "a", "zzz")])
+
+
+def test_duplicate_flow_ids_rejected():
+    with pytest.raises(SpecError):
+        make_spec(flows=[Flow(1, "a", "b"), Flow(1, "c", "d")])
+
+
+def test_module_as_inlet_and_outlet_rejected():
+    with pytest.raises(SpecError):
+        make_spec(flows=[Flow(1, "a", "b"), Flow(2, "b", "c")])
+
+
+def test_outlet_accessed_twice_rejected():
+    """§4.2 default: each outlet pin can be accessed at most once."""
+    with pytest.raises(SpecError):
+        make_spec(flows=[Flow(1, "a", "b"), Flow(2, "c", "b")])
+
+
+def test_conflict_pair_canonicalization():
+    assert conflict_pair(2, 1) == frozenset({1, 2})
+    with pytest.raises(SpecError):
+        conflict_pair(3, 3)
+
+
+def test_conflict_unknown_flow_rejected():
+    with pytest.raises(SpecError):
+        make_spec(conflicts={conflict_pair(1, 9)})
+
+
+def test_same_inlet_conflict_rejected():
+    flows = [Flow(1, "a", "b"), Flow(2, "a", "d")]
+    with pytest.raises(SpecError):
+        make_spec(flows=flows, conflicts={conflict_pair(1, 2)})
+
+
+def test_fixed_requires_complete_injective_map():
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.FIXED)  # no map
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.FIXED,
+                  fixed_binding={"a": "T1", "b": "B1", "c": "T2"})  # d missing
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.FIXED,
+                  fixed_binding={"a": "T1", "b": "T1", "c": "T2", "d": "B1"})
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.FIXED,
+                  fixed_binding={"a": "T1", "b": "NOPE", "c": "T2", "d": "B1"})
+    spec = make_spec(binding=BindingPolicy.FIXED,
+                     fixed_binding={"a": "T1", "b": "B1", "c": "T2", "d": "B2"})
+    assert spec.binding is BindingPolicy.FIXED
+
+
+def test_clockwise_requires_permutation_order():
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.CLOCKWISE)
+    with pytest.raises(SpecError):
+        make_spec(binding=BindingPolicy.CLOCKWISE, module_order=["a", "b"])
+    spec = make_spec(binding=BindingPolicy.CLOCKWISE,
+                     module_order=["d", "c", "b", "a"])
+    assert spec.module_order == ["d", "c", "b", "a"]
+
+
+def test_negative_weights_rejected():
+    with pytest.raises(SpecError):
+        make_spec(alpha=-1)
+    with pytest.raises(SpecError):
+        make_spec(beta=-0.5)
+
+
+def test_conflicts_of():
+    spec = make_spec(conflicts={conflict_pair(1, 2)})
+    assert spec.conflicts_of(1) == [2]
+    assert spec.conflicts_of(2) == [1]
+
+
+def test_effective_max_sets():
+    spec = make_spec()
+    assert spec.effective_max_sets() == 2
+    spec2 = make_spec(max_sets=10)
+    assert spec2.effective_max_sets() == 2  # capped by flow count
+    spec3 = make_spec(max_sets=1)
+    assert spec3.effective_max_sets() == 1
+
+
+def test_flow_lookup_and_summary():
+    spec = make_spec()
+    assert spec.flow(1).target == "b"
+    with pytest.raises(SpecError):
+        spec.flow(99)
+    assert "8-pin" in spec.summary()
+
+
+def test_empty_flows_allowed():
+    spec = make_spec(flows=[])
+    assert spec.effective_max_sets() == 1

@@ -1,0 +1,235 @@
+"""Integration tests for the synthesizer on small cases.
+
+All cases here are deliberately tiny (8-pin, ≤4 flows, mostly fixed
+binding) so each solve stays in the tens of milliseconds.
+"""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    ConflictForm,
+    Flow,
+    NodePolicy,
+    SchedulingForm,
+    SwitchSpec,
+    SynthesisOptions,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+    verify_result,
+)
+from repro.switches import CrossbarSwitch
+
+
+def fixed_spec(flows, conflicts=frozenset(), fixed=None, modules=None, **kw):
+    modules = modules or sorted({f.source for f in flows} | {f.target for f in flows})
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=modules,
+        flows=flows,
+        conflicts=set(conflicts),
+        binding=BindingPolicy.FIXED,
+        fixed_binding=fixed,
+        name="test-case",
+        **kw,
+    )
+
+
+def test_single_flow():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"})
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert res.num_flow_sets == 1
+    assert res.flow_paths[1].source_pin == "T1"
+    assert res.flow_paths[1].target_pin == "B1"
+    # shortest T1->B1 route measures 0.7 + 1 + 1 + 0.7
+    assert res.flow_channel_length == pytest.approx(3.4)
+
+
+def test_no_flows_binding_only():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b"],
+        flows=[],
+        binding=BindingPolicy.UNFIXED,
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert res.num_flow_sets == 0
+    assert res.flow_channel_length == 0
+    assert set(res.binding) == {"a", "b"}
+
+
+def test_conflicting_flows_routed_apart():
+    spec = fixed_spec(
+        [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        fixed={"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"},
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    p1, p2 = res.flow_paths[1], res.flow_paths[2]
+    assert not (set(p1.nodes) & set(p2.nodes))
+    assert not (set(p1.segments) & set(p2.segments))
+
+
+def test_impossible_conflict_is_no_solution():
+    """Three pairwise-conflicting flows with interleaved fixed pins must
+    cross on a planar switch -> provably infeasible."""
+    spec = fixed_spec(
+        [Flow(1, "m1", "r1"), Flow(2, "m2", "r2"), Flow(3, "m3", "r3")],
+        conflicts={conflict_pair(1, 2), conflict_pair(1, 3), conflict_pair(2, 3)},
+        fixed={"m1": "T1", "m2": "T2", "m3": "R1",
+               "r1": "R2", "r2": "B2", "r3": "B1"},
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.NO_SOLUTION
+
+
+def test_same_inlet_flows_share_one_set():
+    """Branching flows from one inlet always fit into a single set."""
+    spec = fixed_spec(
+        [Flow(1, "src", "o1"), Flow(2, "src", "o2"), Flow(3, "src", "o3")],
+        fixed={"src": "T1", "o1": "B1", "o2": "B2", "o3": "R2"},
+    )
+    res = synthesize(spec)
+    assert res.num_flow_sets == 1
+
+
+def test_colliding_inlets_split_into_sets():
+    """Two flows from different inlets forced through the same corridor
+    must land in different flow sets."""
+    spec = fixed_spec(
+        [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        # both enter at the top-left corner region: T1->L1 and L1?? use
+        # pins that force sharing the TL corner: T1->L2 and L1->B1
+        fixed={"i1": "T1", "o1": "L2", "i2": "L1", "o2": "B1"},
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    p1, p2 = res.flow_paths[1], res.flow_paths[2]
+    if set(p1.nodes) & set(p2.nodes):
+        assert res.num_flow_sets == 2
+        assert res.set_of_flow(1) != res.set_of_flow(2)
+
+
+def test_objective_composition():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"},
+                      alpha=1.0, beta=100.0)
+    res = synthesize(spec)
+    assert res.objective == pytest.approx(
+        1.0 * res.num_flow_sets + 100.0 * res.flow_channel_length
+    )
+
+
+def test_alpha_zero_still_solves():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"},
+                      alpha=0.0)
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+
+
+def test_result_verifies(tmp_path):
+    spec = fixed_spec(
+        [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        fixed={"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"},
+    )
+    res = synthesize(spec, SynthesisOptions(verify=False))
+    verify_result(res)  # explicit second pass
+
+
+def test_used_segments_match_paths():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "R1"})
+    res = synthesize(spec)
+    derived = set()
+    for p in res.flow_paths.values():
+        derived |= set(p.segments)
+    assert derived == set(res.used_segments)
+    assert res.reduced is not None
+    assert set(res.reduced.used_segments) == derived
+
+
+def test_table_row_shapes():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"})
+    row = synthesize(spec).table_row()
+    assert {"case", "#m", "sw. size", "binding", "T(s)", "L(mm)", "#v", "#s"} <= set(row)
+    bad = fixed_spec(
+        [Flow(1, "m1", "r1"), Flow(2, "m2", "r2"), Flow(3, "m3", "r3")],
+        conflicts={conflict_pair(1, 2), conflict_pair(1, 3), conflict_pair(2, 3)},
+        fixed={"m1": "T1", "m2": "T2", "m3": "R1",
+               "r1": "R2", "r2": "B2", "r3": "B1"},
+    )
+    row2 = synthesize(bad).table_row()
+    assert row2["result"] == "no solution"
+
+
+@pytest.mark.parametrize("form", [SchedulingForm.PAPER, SchedulingForm.COMPACT])
+def test_scheduling_forms_equivalent(form):
+    """The paper's K/k/q' encoding and the compact indicator encoding
+    must produce identical optimal objectives."""
+    spec = fixed_spec(
+        [Flow(1, "i1", "o1"), Flow(2, "i2", "o2"), Flow(3, "i1", "o3")],
+        fixed={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "B2", "o3": "R2"},
+        scheduling_form=form,
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    # stash for cross-check
+    test_scheduling_forms_equivalent.results[form] = res.objective
+
+
+test_scheduling_forms_equivalent.results = {}
+
+
+def test_scheduling_forms_same_objective():
+    results = test_scheduling_forms_equivalent.results
+    if len(results) == 2:
+        a, b = results.values()
+        assert a == pytest.approx(b)
+
+
+@pytest.mark.parametrize("policy", [NodePolicy.ALL, NodePolicy.PAPER])
+def test_node_policies_solve(policy):
+    spec = fixed_spec(
+        [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        fixed={"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"},
+        node_policy=policy,
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+
+
+def test_aggregate_conflict_form_is_stricter():
+    """With AGGREGATE even non-paired flows in CF may not share sites,
+    so the objective can only get worse (here: same or infeasible)."""
+    # flow 1 (T1->B1) and flow 3 (L1->L2) share the left corridor but do
+    # not conflict pairwise; under AGGREGATE they may no longer share it,
+    # and flow 1's unique shortest path makes that infeasible.
+    flows = [Flow(1, "i1", "o1"), Flow(2, "i2", "o2"), Flow(3, "i3", "o3")]
+    fixed = {"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2", "i3": "L1", "o3": "L2"}
+    pair_spec = fixed_spec(flows, {conflict_pair(1, 2), conflict_pair(2, 3)},
+                           fixed=fixed, conflict_form=ConflictForm.PAIRWISE)
+    agg_spec = fixed_spec(flows, {conflict_pair(1, 2), conflict_pair(2, 3)},
+                          fixed=fixed, conflict_form=ConflictForm.AGGREGATE)
+    res_pair = synthesize(pair_spec)
+    res_agg = synthesize(agg_spec)
+    assert res_pair.status is SynthesisStatus.OPTIMAL
+    if res_agg.status.solved:
+        assert res_agg.objective >= res_pair.objective - 1e-6
+
+
+def test_backtrack_backend_on_tiny_case():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"})
+    res = synthesize(spec, SynthesisOptions(backend="backtrack"))
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert res.flow_channel_length == pytest.approx(3.4)
+
+
+def test_branch_bound_backend_on_tiny_case():
+    spec = fixed_spec([Flow(1, "src", "dst")], fixed={"src": "T1", "dst": "B1"})
+    res = synthesize(spec, SynthesisOptions(backend="branch_bound"))
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert res.flow_channel_length == pytest.approx(3.4)

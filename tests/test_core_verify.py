@@ -1,0 +1,180 @@
+"""Tests for the independent verifier — it must catch corrupted results."""
+
+import copy
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+)
+from repro.core.verify import (
+    verify_binding,
+    verify_contamination_freedom,
+    verify_paths,
+    verify_result,
+    verify_schedule,
+    verify_used_segments,
+)
+from repro.errors import VerificationError
+from repro.switches import CrossbarSwitch
+from repro.switches.base import segment_key
+from repro.switches.paths import Path
+
+
+@pytest.fixture()
+def solved():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"},
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    return res
+
+
+def _mk_path(sw, vertices, index):
+    segs = frozenset(segment_key(a, b) for a, b in zip(vertices, vertices[1:]))
+    return Path(
+        index=index, source_pin=vertices[0], target_pin=vertices[-1],
+        vertices=tuple(vertices),
+        nodes=frozenset(v for v in vertices if not sw.is_pin(v)),
+        segments=segs,
+        length=sum(sw.segments[k].length for k in segs),
+    )
+
+
+def test_clean_result_passes(solved):
+    verify_result(solved)
+
+
+def test_unsolved_result_rejected(solved):
+    bad = copy.copy(solved)
+    bad.status = SynthesisStatus.NO_SOLUTION
+    with pytest.raises(VerificationError):
+        verify_result(bad)
+
+
+def test_binding_must_cover_modules(solved):
+    bad = dict(solved.binding)
+    del bad["i1"]
+    with pytest.raises(VerificationError):
+        verify_binding(solved.spec, bad)
+
+
+def test_binding_must_be_injective(solved):
+    bad = dict(solved.binding)
+    bad["i1"] = bad["i2"]
+    with pytest.raises(VerificationError):
+        verify_binding(solved.spec, bad)
+
+
+def test_fixed_binding_must_match(solved):
+    bad = dict(solved.binding)
+    bad["i1"], bad["o1"] = bad["o1"], bad["i1"]
+    with pytest.raises(VerificationError):
+        verify_binding(solved.spec, bad)
+
+
+def test_clockwise_order_checked():
+    sw = CrossbarSwitch(8)
+    spec = SwitchSpec(
+        switch=sw,
+        modules=["a", "b", "c"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.CLOCKWISE,
+        module_order=["a", "b", "c"],
+    )
+    ok = {"a": "T1", "b": "R1", "c": "B1"}
+    verify_binding(spec, ok)
+    bad = {"a": "T1", "b": "B1", "c": "R1"}  # b after c: two descents
+    with pytest.raises(VerificationError):
+        verify_binding(spec, bad)
+    rotated = {"a": "B1", "b": "L1", "c": "T2"}  # valid wrap-around
+    verify_binding(spec, rotated)
+
+
+def test_path_endpoint_mismatch_detected(solved):
+    sw = solved.spec.switch
+    bad_paths = dict(solved.flow_paths)
+    # reroute flow 1 from the wrong pin
+    bad_paths[1] = _mk_path(sw, ["L1", "TL", "L", "BL", "B1"], 999)
+    with pytest.raises(VerificationError):
+        verify_paths(solved.spec, solved.binding, bad_paths)
+
+
+def test_duplicate_path_assignment_detected(solved):
+    bad_paths = dict(solved.flow_paths)
+    bad_paths[2] = bad_paths[1]
+    with pytest.raises(VerificationError):
+        verify_paths(solved.spec, solved.binding, bad_paths)
+
+
+def test_contamination_detected():
+    sw = CrossbarSwitch(8)
+    spec = SwitchSpec(
+        switch=sw,
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "L2"},
+    )
+    # both forced through the left corridor -> share TL/L/BL
+    paths = {
+        1: _mk_path(sw, ["T1", "TL", "L", "BL", "B1"], 1),
+        2: _mk_path(sw, ["L1", "TL", "L", "BL", "L2"], 2),
+    }
+    with pytest.raises(VerificationError):
+        verify_contamination_freedom(spec, paths)
+
+
+def test_schedule_partition_checked(solved):
+    with pytest.raises(VerificationError):
+        verify_schedule(solved.spec, solved.flow_paths, [[1]])  # flow 2 missing
+    with pytest.raises(VerificationError):
+        verify_schedule(solved.spec, solved.flow_paths, [[1, 2], []])
+
+
+def test_schedule_collision_checked():
+    sw = CrossbarSwitch(8)
+    spec = SwitchSpec(
+        switch=sw,
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "L2"},
+    )
+    paths = {
+        1: _mk_path(sw, ["T1", "TL", "L", "BL", "B1"], 1),
+        2: _mk_path(sw, ["L1", "TL", "L", "BL", "L2"], 2),
+    }
+    # same set: collision at TL/L/BL
+    with pytest.raises(VerificationError):
+        verify_schedule(spec, paths, [[1, 2]])
+    # separate sets: fine
+    verify_schedule(spec, paths, [[1], [2]])
+
+
+def test_used_segments_mismatch_detected(solved):
+    bad = copy.copy(solved)
+    bad.used_segments = set(list(solved.used_segments)[:-1])
+    with pytest.raises(VerificationError):
+        verify_used_segments(bad)
+
+
+def test_tampered_valve_table_detected(solved):
+    bad = copy.copy(solved)
+    bad.valves = copy.deepcopy(solved.valves)
+    key = next(iter(bad.valves.status))
+    bad.valves.status[key] = ["X"] * len(bad.valves.status[key])
+    with pytest.raises(VerificationError):
+        verify_result(bad)

@@ -1,0 +1,165 @@
+"""Edge-case tests across modules (paths less travelled)."""
+
+import pytest
+
+from repro.analysis import area_estimate
+from repro.cases import CaseBuilder, generate_case
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    SynthesisStatus,
+    synthesize,
+    synthesize_greedy,
+)
+from repro.io import spec_from_dict, spec_to_dict
+from repro.sim import simulate
+from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
+
+
+# ----------------------------------------------------------------------
+# synthesis corner cases
+# ----------------------------------------------------------------------
+def test_full_house_binding():
+    """Exactly as many modules as pins: the binding is a bijection."""
+    sw = CrossbarSwitch(8)
+    modules = [f"m{i}" for i in range(8)]
+    spec = SwitchSpec(
+        switch=sw,
+        modules=modules,
+        flows=[Flow(1, "m0", "m1")],
+        binding=BindingPolicy.UNFIXED,
+    )
+    res = synthesize(spec, SynthesisOptions(time_limit=60))
+    assert res.status.solved
+    assert sorted(res.binding.values()) == sorted(sw.pins)
+
+
+def test_max_sets_equals_flow_count_is_default():
+    spec = generate_case(seed=1, n_flows=4, n_inlets=2, n_conflicts=0,
+                         binding=BindingPolicy.FIXED)
+    assert spec.effective_max_sets() == 4
+
+
+def test_single_module_single_pin_switch_case():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["only"],
+        flows=[],
+        binding=BindingPolicy.UNFIXED,
+    )
+    res = synthesize(spec)
+    assert res.status is SynthesisStatus.OPTIMAL
+    assert res.table_row()["#s"] == 0
+
+
+def test_timeout_table_row():
+    from repro.core.solution import SynthesisResult
+
+    spec = generate_case(seed=1, n_flows=2, n_inlets=2, n_conflicts=0,
+                         binding=BindingPolicy.FIXED)
+    row = SynthesisResult(spec, SynthesisStatus.TIMEOUT, runtime=1.0).table_row()
+    assert row["result"] == "timeout"
+    assert "L(mm)" not in row
+
+
+def test_backend_branch_bound_full_pipeline():
+    spec = generate_case(seed=2, n_flows=2, n_inlets=2, n_conflicts=1,
+                         binding=BindingPolicy.FIXED)
+    res = synthesize(spec, SynthesisOptions(backend="branch_bound",
+                                            time_limit=120))
+    assert res.status in (SynthesisStatus.OPTIMAL, SynthesisStatus.NO_SOLUTION)
+
+
+# ----------------------------------------------------------------------
+# simulator options
+# ----------------------------------------------------------------------
+def test_dont_care_open_still_clean():
+    spec = (CaseBuilder(switch_size=8)
+            .flow("i1", "o1").flow("i2", "o2")
+            .fixed(i1="T1", o1="B1", i2="L1", o2="B2")
+            .build())
+    res = synthesize(spec)
+    assert simulate(res, dont_care_open=False).is_clean
+    assert simulate(res, dont_care_open=True).is_clean
+
+
+# ----------------------------------------------------------------------
+# heuristic corner cases
+# ----------------------------------------------------------------------
+def test_greedy_clockwise_full_ring():
+    """12 modules on a 12-pin switch: the spread uses every pin."""
+    modules = [f"m{i}" for i in range(1, 13)]
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(12),
+        modules=modules,
+        flows=[Flow(1, "m1", "m7")],
+        binding=BindingPolicy.CLOCKWISE,
+        module_order=modules,
+    )
+    res = synthesize_greedy(spec)
+    assert res.status is SynthesisStatus.FEASIBLE
+    assert len(set(res.binding.values())) == 12
+
+
+def test_greedy_on_gru_switch():
+    """The heuristic is topology-generic too."""
+    gru = GRUSwitch(8)
+    spec = SwitchSpec(
+        switch=gru,
+        modules=["a", "b"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"a": "TL", "b": "BR"},
+    )
+    res = synthesize_greedy(spec)
+    assert res.status is SynthesisStatus.FEASIBLE
+
+
+# ----------------------------------------------------------------------
+# io / analysis details
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family,cls,pins", [
+    ("spine", SpineSwitch, 12),
+    ("gru", GRUSwitch, 12),
+])
+def test_io_roundtrip_other_sizes(family, cls, pins):
+    from repro.io import switch_from_dict, switch_to_dict
+
+    back = switch_from_dict(switch_to_dict(cls(pins)))
+    assert type(back) is cls and back.n_pins == pins
+
+
+def test_spec_json_defaults():
+    """Missing optional keys fall back to the documented defaults."""
+    spec = spec_from_dict({
+        "modules": ["a", "b"],
+        "flows": [{"id": 1, "source": "a", "target": "b"}],
+    })
+    assert spec.switch.n_pins == 8
+    assert spec.binding is BindingPolicy.UNFIXED
+    assert spec.alpha == 1.0 and spec.beta == 100.0
+
+
+def test_area_estimate_without_pressure_sharing():
+    spec = (CaseBuilder(switch_size=8)
+            .flow("i1", "o1").flow("i2", "o2")
+            .fixed(i1="T1", o1="B1", i2="L1", o2="B2")
+            .build())
+    res = synthesize(spec, SynthesisOptions(pressure_sharing=False))
+    assert res.pressure is None
+    area = area_estimate(res)
+    # falls back to one inlet per essential valve
+    assert area["control"] == pytest.approx(res.num_valves * 1.0)
+
+
+def test_spec_roundtrip_preserves_tuning():
+    spec = (CaseBuilder(switch_size=8)
+            .flow("a", "b")
+            .weights(2.0, 50.0)
+            .max_sets(3)
+            .build())
+    back = spec_from_dict(spec_to_dict(spec))
+    assert back.alpha == 2.0 and back.beta == 50.0
+    assert back.max_sets == 3

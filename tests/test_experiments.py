@@ -1,0 +1,55 @@
+"""Tests for the experiment runners (repro.experiments).
+
+Only the fast runners execute here; the solver-heavy tables are covered
+by the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import (
+    RUNNERS,
+    ExperimentReport,
+    run_dynamic_validation,
+    run_routing_space,
+)
+from repro.experiments.__main__ import main
+
+
+def test_report_render_and_save(tmp_path):
+    report = ExperimentReport("demo", "Demo title")
+    report.add_row(a=1, b="x")
+    report.note("a note")
+    text = report.render()
+    assert "Demo title" in text and "a note" in text
+    path = report.save(tmp_path)
+    assert path.read_text().startswith("== Demo title ==")
+
+
+def test_runner_registry_complete():
+    assert {"table_4_1", "table_4_2", "table_4_3", "figures",
+            "artificial", "routing_space", "dynamic"} <= set(RUNNERS)
+    for runner in RUNNERS.values():
+        assert callable(runner)
+        assert runner.__doc__
+
+
+def test_routing_space_runner(tmp_path):
+    report = run_routing_space(outdir=tmp_path)
+    switches = {r["switch"] for r in report.rows}
+    assert {"crossbar-8pin", "gru-8pin", "spine-8pin"} == switches
+    assert (tmp_path / "routing_space.txt").exists()
+
+
+def test_dynamic_runner(tmp_path):
+    report = run_dynamic_validation(time_limit=60, outdir=tmp_path)
+    outcomes = {r["case"]: r["outcome"] for r in report.rows}
+    assert outcomes["nucleic acid processor"] == "clean"
+    assert all(r.get("wash phases", 0) == 0 for r in report.rows
+               if r["outcome"] == "clean")
+
+
+def test_cli_main(tmp_path, capsys):
+    assert main(["routing_space", "-o", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "routing space" in out
+    assert (tmp_path / "routing_space.txt").exists()

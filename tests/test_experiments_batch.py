@@ -1,0 +1,60 @@
+"""Tests for batch sweeps and CSV export (repro.experiments.batch)."""
+
+import pytest
+
+from repro.cases import generate_case
+from repro.core import BindingPolicy, SynthesisOptions
+from repro.errors import ReproError
+from repro.experiments import load_csv, run_batch
+
+
+def small_specs(n=3):
+    return [
+        generate_case(seed=s, switch_size=8, n_flows=2, n_inlets=2,
+                      n_conflicts=0, binding=BindingPolicy.FIXED)
+        for s in range(n)
+    ]
+
+
+def test_batch_collects_a_row_per_spec():
+    batch = run_batch(small_specs(3), SynthesisOptions(time_limit=30))
+    assert len(batch.rows) == 3
+    assert batch.solved + batch.failed == 3
+    assert "3 runs" in batch.summary()
+
+
+def test_solved_rows_have_metrics():
+    batch = run_batch(small_specs(2), SynthesisOptions(time_limit=30))
+    for row in batch.rows:
+        if row["status"] in ("optimal", "feasible"):
+            assert row["length_mm"] is not None
+            assert row["num_sets"] >= 1
+
+
+def test_csv_roundtrip(tmp_path):
+    batch = run_batch(small_specs(2), SynthesisOptions(time_limit=30))
+    path = batch.to_csv(tmp_path / "runs.csv")
+    rows = load_csv(path)
+    assert len(rows) == 2
+    assert rows[0]["case"].startswith("artificial")
+    assert rows[0]["switch"] == "8-pin"
+
+
+def test_missing_csv_rejected(tmp_path):
+    with pytest.raises(ReproError):
+        load_csv(tmp_path / "nope.csv")
+
+
+def test_group_mean():
+    batch = run_batch(small_specs(3), SynthesisOptions(time_limit=30))
+    means = batch.group_mean("binding", "runtime_s")
+    assert "fixed" in means
+    assert means["fixed"] >= 0
+
+
+def test_on_result_callback():
+    seen = []
+    run_batch(small_specs(2), SynthesisOptions(time_limit=30),
+              on_result=lambda spec, res: seen.append((spec.name,
+                                                       res.status.value)))
+    assert len(seen) == 2

@@ -1,0 +1,106 @@
+"""Hypothesis properties of the expression algebra.
+
+Algebraic laws evaluated pointwise: for random expressions E1, E2 and
+random assignments σ, the library's symbolic operations must agree with
+float arithmetic — value(E1 ∘ E2, σ) == value(E1, σ) ∘ value(E2, σ).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt import Model, quicksum
+
+N_VARS = 4
+
+
+def _fresh():
+    m = Model("prop")
+    return m, [m.add_binary(f"x{i}") for i in range(N_VARS)]
+
+
+coeffs = st.lists(
+    st.integers(min_value=-5, max_value=5), min_size=N_VARS, max_size=N_VARS
+)
+consts = st.integers(min_value=-10, max_value=10)
+assignments = st.lists(
+    st.sampled_from([0.0, 1.0]), min_size=N_VARS, max_size=N_VARS
+)
+
+
+def _lin(xs, cs, k):
+    return quicksum(c * x for c, x in zip(cs, xs)) + k
+
+
+@settings(max_examples=60, deadline=None)
+@given(coeffs, consts, coeffs, consts, assignments)
+def test_addition_is_pointwise(c1, k1, c2, k2, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e1, e2 = _lin(xs, c1, k1), _lin(xs, c2, k2)
+    assert (e1 + e2).value(sigma) == pytest.approx(
+        e1.value(sigma) + e2.value(sigma))
+
+
+@settings(max_examples=60, deadline=None)
+@given(coeffs, consts, coeffs, consts, assignments)
+def test_subtraction_is_pointwise(c1, k1, c2, k2, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e1, e2 = _lin(xs, c1, k1), _lin(xs, c2, k2)
+    assert (e1 - e2).value(sigma) == pytest.approx(
+        e1.value(sigma) - e2.value(sigma))
+
+
+@settings(max_examples=60, deadline=None)
+@given(coeffs, consts, coeffs, consts, assignments)
+def test_product_is_pointwise(c1, k1, c2, k2, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e1, e2 = _lin(xs, c1, k1), _lin(xs, c2, k2)
+    assert (e1 * e2).value(sigma) == pytest.approx(
+        e1.value(sigma) * e2.value(sigma))
+
+
+@settings(max_examples=60, deadline=None)
+@given(coeffs, consts, st.integers(min_value=-5, max_value=5), assignments)
+def test_scalar_multiplication_is_pointwise(c1, k1, s, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e = _lin(xs, c1, k1)
+    assert (s * e).value(sigma) == pytest.approx(s * e.value(sigma))
+    assert (e * s).value(sigma) == pytest.approx(s * e.value(sigma))
+
+
+@settings(max_examples=40, deadline=None)
+@given(coeffs, consts, assignments)
+def test_bounds_contain_every_binary_evaluation(c1, k1, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e = _lin(xs, c1, k1)
+    lo, hi = e.bounds()
+    assert lo - 1e-9 <= e.value(sigma) <= hi + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(coeffs, consts, coeffs, consts, assignments)
+def test_quicksum_matches_builtin_sum(c1, k1, c2, k2, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    parts = [c * x for c, x in zip(c1, xs)] + [k1] + \
+            [c * x for c, x in zip(c2, xs)] + [k2]
+    manual = float(k1 + k2)
+    for c, v in list(zip(c1, values)) + list(zip(c2, values)):
+        manual += c * v
+    assert quicksum(parts).value(sigma) == pytest.approx(manual)
+
+
+@settings(max_examples=30, deadline=None)
+@given(coeffs, consts, assignments)
+def test_constraint_satisfaction_matches_arithmetic(c1, k1, values):
+    m, xs = _fresh()
+    sigma = dict(zip(xs, values))
+    e = _lin(xs, c1, k1)
+    val = e.value(sigma)
+    assert (e <= 0).satisfied(sigma) == (val <= 1e-6)
+    assert (e >= 0).satisfied(sigma) == (val >= -1e-6)
+    assert (e == 0).satisfied(sigma) == (abs(val) <= 1e-6)

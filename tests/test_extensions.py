@@ -1,0 +1,130 @@
+"""Tests for the future-work extensions.
+
+The thesis names two directions: more flexible switch structures and a
+more efficient synthesis. The library extends the paper with (a)
+arbitrary-size crossbars (``CrossbarSwitch.with_centers``) and (b)
+detour routing (``path_slack`` admits near-shortest candidate paths).
+"""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+)
+from repro.errors import SwitchModelError
+from repro.switches import CrossbarSwitch, enumerate_paths
+
+
+# ----------------------------------------------------------------------
+# arbitrary-size crossbars
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+def test_with_centers_family_invariants(m):
+    sw = CrossbarSwitch.with_centers(m)
+    assert sw.n_pins == 4 * m + 4
+    assert len(sw.segments) == 11 * m + 9
+    assert sw.check_design_rules() == []
+    for pin in sw.pins:
+        assert sw.graph.degree[pin] == 1
+
+
+def test_with_centers_matches_standard_sizes():
+    for m, n_pins in ((1, 8), (2, 12), (3, 16)):
+        a = CrossbarSwitch.with_centers(m)
+        b = CrossbarSwitch(n_pins)
+        assert a.pins == b.pins
+        assert set(a.segments) == set(b.segments)
+
+
+def test_with_centers_rejects_zero():
+    with pytest.raises(SwitchModelError):
+        CrossbarSwitch.with_centers(0)
+
+
+def test_synthesis_on_20pin_extension():
+    sw = CrossbarSwitch.with_centers(4)  # 20-pin
+    spec = SwitchSpec(
+        switch=sw,
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "T8", "o2": "B8"},
+    )
+    res = synthesize(spec, SynthesisOptions(time_limit=60))
+    assert res.status is SynthesisStatus.OPTIMAL
+
+
+# ----------------------------------------------------------------------
+# detour routing (path slack)
+# ----------------------------------------------------------------------
+def _corner_sharing_conflict():
+    """Conflicting flows whose pins share the TL corner node."""
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "L2"},
+    )
+
+
+def test_corner_sharing_conflict_infeasible_at_any_slack():
+    """Pins T1 and L1 both attach to corner TL, so flows entering there
+    can never be node-disjoint — detours cannot help. This is the
+    structural reason the paper criticizes the GRU design (two pins per
+    border node) and why the reproduction finds that path slack never
+    repairs feasibility on the crossbar family either: infeasibility is
+    always corner sharing or planar interleaving, not a lack of route
+    alternatives."""
+    for slack in (0.0, 2.0, 4.0):
+        res = synthesize(_corner_sharing_conflict(),
+                         SynthesisOptions(path_slack=slack, time_limit=60))
+        assert res.status is SynthesisStatus.NO_SOLUTION, slack
+
+
+def test_interleaved_diagonals_infeasible_at_any_slack():
+    """Crossing diagonal transports (TL->BR vs TR->BL endpoints) are
+    interleaved on the planar switch's outer face; every path pair
+    shares a vertex regardless of detour budget."""
+    def spec():
+        return SwitchSpec(
+            switch=CrossbarSwitch(8),
+            modules=["i1", "i2", "o1", "o2"],
+            flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+            conflicts={conflict_pair(1, 2)},
+            binding=BindingPolicy.FIXED,
+            fixed_binding={"i1": "T1", "o1": "B2", "i2": "R1", "o2": "L2"},
+        )
+
+    for slack in (0.0, 4.0):
+        res = synthesize(spec(), SynthesisOptions(path_slack=slack,
+                                                  time_limit=60))
+        assert res.status is SynthesisStatus.NO_SOLUTION, slack
+
+
+def test_detours_never_hurt_solvable_cases():
+    spec0 = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "o1"],
+        flows=[Flow(1, "i1", "o1")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1"},
+    )
+    res0 = synthesize(spec0)
+    spec1 = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "o1"],
+        flows=[Flow(1, "i1", "o1")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1"},
+    )
+    res1 = synthesize(spec1, SynthesisOptions(path_slack=2.0))
+    assert res1.objective <= res0.objective + 1e-6

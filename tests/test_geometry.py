@@ -1,0 +1,47 @@
+"""Unit tests for geometry primitives and design rules."""
+
+import pytest
+
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY, manhattan_distance
+
+
+def test_point_manhattan():
+    assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+    assert manhattan_distance(Point(-1, 2), Point(1, -2)) == 6
+
+
+def test_point_euclidean():
+    assert Point(0, 0).euclidean_to(Point(3, 4)) == pytest.approx(5.0)
+
+
+def test_point_translate_scale():
+    p = Point(1, 2).translated(2, -1)
+    assert p == Point(3, 1)
+    assert p.scaled(2) == Point(6, 2)
+
+
+def test_stanford_rules_values():
+    """The constants quoted from the Stanford Foundry design rules."""
+    r = STANFORD_FOUNDRY
+    assert r.flow_channel_width == pytest.approx(0.1)     # 100 um
+    assert r.valve_length == pytest.approx(0.1)           # 100 um
+    assert r.control_channel_width == pytest.approx(0.3)  # 300 um
+    assert r.min_channel_spacing == pytest.approx(0.1)    # 100 um
+    assert r.control_inlet_area == pytest.approx(1.0)     # 1 mm^2
+
+
+def test_spacing_validation():
+    r = DesignRules()
+    assert r.validate_spacing(0.1)
+    assert r.validate_spacing(0.2)
+    assert not r.validate_spacing(0.05)
+
+
+def test_area_helpers():
+    r = DesignRules()
+    assert r.control_area(5) == pytest.approx(5.0)
+    assert r.flow_area(13.6) == pytest.approx(1.36)
+    with pytest.raises(ValueError):
+        r.control_area(-1)
+    with pytest.raises(ValueError):
+        r.flow_area(-0.1)

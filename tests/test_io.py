@@ -1,0 +1,132 @@
+"""Tests for JSON interchange (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.cases import chip_sw1, nucleic_acid
+from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+from repro.errors import SpecError
+from repro.io import (
+    load_spec,
+    result_to_dict,
+    save_result,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+    switch_from_dict,
+    switch_to_dict,
+)
+from repro.switches import CrossbarSwitch, GRUSwitch, ScalableCrossbarSwitch, SpineSwitch
+
+
+@pytest.mark.parametrize("policy", list(BindingPolicy))
+def test_spec_roundtrip(policy):
+    spec = chip_sw1(policy)
+    data = spec_to_dict(spec)
+    back = spec_from_dict(data)
+    assert back.name == spec.name
+    assert back.modules == spec.modules
+    assert [f.id for f in back.flows] == [f.id for f in spec.flows]
+    assert back.conflicts == spec.conflicts
+    assert back.binding == spec.binding
+    assert back.fixed_binding == spec.fixed_binding
+    assert back.module_order == spec.module_order
+    assert back.switch.n_pins == spec.switch.n_pins
+    assert type(back.switch) is type(spec.switch)
+
+
+def test_spec_file_roundtrip(tmp_path):
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    path = tmp_path / "case.json"
+    save_spec(spec, path)
+    loaded = load_spec(path)
+    assert loaded.name == spec.name
+    assert len(loaded.flows) == 3
+    # the file is valid JSON with the documented top-level keys
+    raw = json.loads(path.read_text())
+    assert {"name", "switch", "modules", "flows", "conflicts", "binding"} <= set(raw)
+
+
+@pytest.mark.parametrize("switch_cls,family", [
+    (CrossbarSwitch, "crossbar"),
+    (ScalableCrossbarSwitch, "scalable-crossbar"),
+    (SpineSwitch, "spine"),
+    (GRUSwitch, "gru"),
+])
+def test_switch_roundtrip(switch_cls, family):
+    sw = switch_cls(8)
+    data = switch_to_dict(sw)
+    assert data["family"] == family
+    back = switch_from_dict(data)
+    assert type(back) is switch_cls
+    assert back.n_pins == 8
+
+
+def test_switch_unknown_family_rejected():
+    with pytest.raises(SpecError):
+        switch_from_dict({"family": "torus", "pins": 8})
+
+
+def test_malformed_spec_rejected():
+    with pytest.raises(SpecError):
+        spec_from_dict({"modules": ["a"], "flows": [{"id": 1}]})
+
+
+def test_invalid_json_file_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(SpecError):
+        load_spec(path)
+
+
+def test_loaded_spec_is_validated(tmp_path):
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    data = spec_to_dict(spec)
+    data["flows"][0]["target"] = "nonexistent"
+    path = tmp_path / "bad_case.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(SpecError):
+        load_spec(path)
+
+
+def test_result_export(tmp_path):
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "B2"},
+        name="export-me",
+    )
+    result = synthesize(spec)
+    data = result_to_dict(result)
+    assert data["case"] == "export-me"
+    assert data["status"] == "optimal"
+    assert len(data["flows"]) == 2
+    assert data["num_flow_sets"] == result.num_flow_sets
+    for entry in data["flows"]:
+        assert entry["route"][0] == result.binding[spec.flow(entry["id"]).source]
+
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    raw = json.loads(path.read_text())
+    assert raw["flow_channel_length_mm"] == pytest.approx(
+        result.flow_channel_length, abs=1e-3
+    )
+
+
+def test_unsolved_result_export():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["m1", "m2", "m3", "r1", "r2", "r3"],
+        flows=[Flow(1, "m1", "r1"), Flow(2, "m2", "r2"), Flow(3, "m3", "r3")],
+        conflicts={frozenset({1, 2}), frozenset({1, 3}), frozenset({2, 3})},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"m1": "T1", "m2": "T2", "m3": "R1",
+                       "r1": "R2", "r2": "B2", "r3": "B1"},
+    )
+    result = synthesize(spec)
+    data = result_to_dict(result)
+    assert data["status"] == "no solution"
+    assert "binding" not in data

@@ -1,0 +1,129 @@
+"""Remaining coverage: expression algebra corners, switch primitives."""
+
+import pytest
+
+from repro.errors import SwitchModelError
+from repro.opt import LinExpr, Model, QuadExpr
+from repro.switches import CrossbarSwitch, GRUSwitch, enumerate_paths
+from repro.switches.base import Segment, Valve, segment_key
+
+
+# ----------------------------------------------------------------------
+# expression algebra corners
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def m():
+    return Model("misc")
+
+
+def test_quad_rsub(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    q = 1 - (x * y)
+    assert isinstance(q, QuadExpr)
+    assert q.constant == 1
+    assert list(q.quad_terms.values()) == [-1]
+
+
+def test_quad_minus_lin(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    q = (x * y) - (x + 2)
+    assert q.lin_terms[x] == -1
+    assert q.constant == -2
+
+
+def test_lin_minus_quad(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    q = (x + 2) - (x * y)
+    assert isinstance(q, QuadExpr)
+    assert q.constant == 2
+    assert list(q.quad_terms.values()) == [-1]
+
+
+def test_neg_quad(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    q = -(x * y)
+    assert list(q.quad_terms.values()) == [-1]
+
+
+def test_quad_repr_and_lin_repr(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    assert "x" in repr(x * y + 1)
+    assert "+1" in repr(x + 1).replace(" ", "")
+
+
+def test_quad_equality_constraint(m):
+    x, y = m.add_binary("x"), m.add_binary("y")
+    c = (x * y) == 1
+    m.add_constr(c)
+    sol = m.solve()
+    assert sol.value(x) == 1 and sol.value(y) == 1
+
+
+def test_lin_scalar_division_not_supported(m):
+    x = m.add_binary("x")
+    with pytest.raises(TypeError):
+        _ = (x + 1) / 2  # intentionally unsupported
+
+
+# ----------------------------------------------------------------------
+# switch primitives
+# ----------------------------------------------------------------------
+def test_segment_canonical_order_and_helpers():
+    seg = Segment("Z", "A", 1.5)
+    assert (seg.a, seg.b) == ("A", "Z")
+    assert seg.key == ("A", "Z")
+    assert seg.other("A") == "Z"
+    assert seg.touches("Z") and not seg.touches("Q")
+    assert str(seg) == "A-Z"
+    with pytest.raises(SwitchModelError):
+        seg.other("Q")
+
+
+def test_segment_validation():
+    with pytest.raises(SwitchModelError):
+        Segment("A", "A", 1.0)
+    with pytest.raises(SwitchModelError):
+        Segment("A", "B", 0.0)
+
+
+def test_valve_str():
+    v = Valve(("A", "B"))
+    assert "A-B" in str(v)
+    assert v.control_options == 2
+
+
+def test_segment_key_helper():
+    assert segment_key("B", "A") == ("A", "B")
+    assert segment_key("A", "B") == ("A", "B")
+
+
+def test_switch_repr_and_size_label():
+    sw = CrossbarSwitch(8)
+    assert "crossbar-8pin" in repr(sw)
+    assert sw.size_label == "8-pin"
+
+
+def test_unknown_segment_lookup():
+    sw = CrossbarSwitch(8)
+    with pytest.raises(SwitchModelError):
+        sw.segment("T1", "B1")
+
+
+def test_gru_slack_enumeration_uses_euclidean_budget():
+    """Slack enumeration honours non-Manhattan segment lengths."""
+    gru = GRUSwitch(8)
+    strict = enumerate_paths(gru)
+    slack = enumerate_paths(gru, slack=1.0)
+    assert len(slack) >= len(strict)
+    for a in ("TL", "T"):
+        base = strict.shortest_length(a, "BR")
+        for p in slack.between(a, "BR"):
+            assert p.length <= base + 1.0 + 1e-9
+
+
+def test_path_str_readable():
+    sw = CrossbarSwitch(8)
+    cat = enumerate_paths(sw)
+    p = cat.between("T1", "L1")[0]
+    assert str(p).startswith("T1->")
+    assert str(p).endswith("->L1")

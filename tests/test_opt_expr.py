@@ -1,0 +1,167 @@
+"""Unit tests for the expression algebra (repro.opt.expr)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.opt import LinExpr, Model, QuadExpr, Sense, VarType, quicksum
+from repro.opt.expr import Constraint
+
+
+@pytest.fixture()
+def model():
+    return Model("expr-tests")
+
+
+def test_var_creation_bounds(model):
+    v = model.add_var("v", VarType.INTEGER, 2, 7)
+    assert v.lb == 2 and v.ub == 7
+    b = model.add_binary("b")
+    assert (b.lb, b.ub) == (0, 1)
+
+
+def test_var_bounds_validation(model):
+    with pytest.raises(ModelError):
+        model.add_var("bad", VarType.INTEGER, 5, 1)
+
+
+def test_duplicate_names_rejected(model):
+    model.add_binary("x")
+    with pytest.raises(ModelError):
+        model.add_binary("x")
+
+
+def test_var_addition_builds_linexpr(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    e = x + y + 3
+    assert isinstance(e, LinExpr)
+    assert e.terms[x] == 1 and e.terms[y] == 1
+    assert e.constant == 3
+
+
+def test_var_scalar_multiplication(model):
+    x = model.add_binary("x")
+    e = 5 * x
+    assert isinstance(e, LinExpr)
+    assert e.terms[x] == 5
+
+
+def test_subtraction_and_negation(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    e = x - y
+    assert e.terms[x] == 1 and e.terms[y] == -1
+    n = -x
+    assert n.terms[x] == -1
+
+
+def test_rsub(model):
+    x = model.add_binary("x")
+    e = 1 - x
+    assert e.constant == 1 and e.terms[x] == -1
+
+
+def test_var_times_var_is_quadratic(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    q = x * y
+    assert isinstance(q, QuadExpr)
+    assert len(q.quad_terms) == 1
+    (pair, coef), = q.quad_terms.items()
+    assert coef == 1 and set(pair) == {x, y}
+
+
+def test_product_key_is_order_independent(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    assert (x * y).quad_terms.keys() == (y * x).quad_terms.keys()
+
+
+def test_linexpr_times_linexpr(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    q = (x + 1) * (y + 2)
+    assert isinstance(q, QuadExpr)
+    assert q.constant == 2
+    assert q.lin_terms[x] == 2 and q.lin_terms[y] == 1
+    assert list(q.quad_terms.values()) == [1]
+
+
+def test_quad_scalar_multiplication(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    q = 3 * (x * y)
+    assert list(q.quad_terms.values()) == [3]
+
+
+def test_quad_times_quad_rejected(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    with pytest.raises(ModelError):
+        (x * y) * (x * y)
+
+
+def test_zero_coefficients_dropped(model):
+    x = model.add_binary("x")
+    e = x - x
+    assert isinstance(e, LinExpr)
+    assert not e.terms
+
+
+def test_comparison_builds_constraint(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    c = x + y <= 1
+    assert isinstance(c, Constraint)
+    assert c.sense is Sense.LE
+    c2 = x >= y
+    assert c2.sense is Sense.GE
+    c3 = x + 2 * y == 2
+    assert c3.sense is Sense.EQ
+
+
+def test_constraint_satisfied(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    c = x + y <= 1
+    assert c.satisfied({x: 1.0, y: 0.0})
+    assert not c.satisfied({x: 1.0, y: 1.0})
+    eq = x == y
+    assert eq.satisfied({x: 1.0, y: 1.0})
+    assert not eq.satisfied({x: 1.0, y: 0.0})
+
+
+def test_expression_value_evaluation(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    lin = 2 * x + 3 * y + 1
+    assert lin.value({x: 1.0, y: 1.0}) == 6
+    quad = x * y + x + 1
+    assert quad.value({x: 1.0, y: 0.0}) == 2
+    assert quad.value({x: 1.0, y: 1.0}) == 3
+
+
+def test_linexpr_bounds(model):
+    x = model.add_var("x", VarType.INTEGER, -2, 3)
+    y = model.add_binary("y")
+    lo, hi = (2 * x - y + 1).bounds()
+    assert lo == 2 * (-2) - 1 + 1
+    assert hi == 2 * 3 - 0 + 1
+
+
+def test_quicksum_empty():
+    e = quicksum([])
+    assert isinstance(e, LinExpr)
+    assert e.constant == 0 and not e.terms
+
+
+def test_quicksum_mixed(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    e = quicksum([x, 2 * y, 3, x * y])
+    assert isinstance(e, QuadExpr)
+    assert e.constant == 3
+    assert e.lin_terms[x] == 1 and e.lin_terms[y] == 2
+    assert len(e.quad_terms) == 1
+
+
+def test_quicksum_accumulates_duplicates(model):
+    x = model.add_binary("x")
+    e = quicksum([x, x, x])
+    assert e.terms[x] == 3
+
+
+def test_vars_usable_as_dict_keys(model):
+    x, y = model.add_binary("x"), model.add_binary("y")
+    d = {x: 1, y: 2}
+    assert d[x] == 1 and d[y] == 2
+    assert len(d) == 2

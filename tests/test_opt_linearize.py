@@ -1,0 +1,137 @@
+"""Unit tests for exact product linearization (repro.opt.linearize)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LinearizationError
+from repro.opt import Model, VarType, quicksum
+from repro.opt.linearize import linearize
+
+
+def brute_force_binary(model):
+    """Enumerate all binary assignments; return (best objective, best)."""
+    variables = model.variables
+    best = None
+    best_val = None
+    for bits in itertools.product([0.0, 1.0], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if model.check_assignment(assignment):
+            continue
+        obj = model.objective.value(assignment)
+        if not model.minimize:
+            obj = -obj
+        if best_val is None or obj < best_val:
+            best_val = obj
+            best = assignment
+    if best is None:
+        return None, None
+    true_obj = model.objective.value(best)
+    return true_obj, best
+
+
+def test_binary_product_linearization_exact():
+    m = Model()
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add_constr(x * y >= 1)
+    lin, products = linearize(m)
+    assert lin.is_linear()
+    assert len(products) == 1
+    sol = lin.solve()
+    assert sol.value(x) == 1 and sol.value(y) == 1
+
+
+def test_square_of_binary_is_itself():
+    m = Model()
+    x = m.add_binary("x")
+    m.add_constr(x * x >= 1)
+    lin, products = linearize(m)
+    sol = lin.solve()
+    assert sol.value(x) == 1
+    # no auxiliary variable should have been created
+    assert all(z is x for z in products.values())
+
+
+def test_square_of_integer_rejected():
+    m = Model()
+    z = m.add_integer("z", 0, 5)
+    m.add_constr(z * z <= 4)
+    with pytest.raises(LinearizationError):
+        linearize(m)
+
+
+def test_product_cache_shared_across_constraints():
+    m = Model()
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add_constr(x * y <= 1)
+    m.add_constr(x * y >= 0)
+    m.set_objective(x * y, "min")
+    lin, products = linearize(m)
+    assert len(products) == 1  # one aux var reused everywhere
+
+
+def test_binary_times_bounded_integer():
+    m = Model()
+    b = m.add_binary("b")
+    z = m.add_integer("z", 0, 7)
+    m.add_constr(z >= 3)
+    # maximize b*z subject to b*z <= 5 forces b=1, z in [3,5]
+    m.add_constr(b * z <= 5)
+    m.set_objective(b * z, "max")
+    sol = m.solve()
+    assert sol.objective == pytest.approx(5)
+    assert sol.value(b) == 1
+    assert sol.value(z) == pytest.approx(5)
+
+
+def test_unbounded_product_rejected():
+    m = Model()
+    b = m.add_binary("b")
+    z = m.add_integer("z", 0)  # unbounded above
+    m.add_constr(b * z <= 5)
+    with pytest.raises(LinearizationError):
+        linearize(m)
+
+
+def test_continuous_product_rejected():
+    m = Model()
+    c1 = m.add_var("c1", VarType.CONTINUOUS, 0, 1)
+    c2 = m.add_var("c2", VarType.CONTINUOUS, 0, 1)
+    m.add_constr(c1 * c2 <= 1)
+    with pytest.raises(LinearizationError):
+        linearize(m)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_linearized_optimum_matches_brute_force(seed):
+    """Random small quadratic binary programs: solver == enumeration."""
+    import random
+
+    rng = random.Random(seed)
+    m = Model(f"rand{seed}")
+    n = 4
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    # random quadratic objective
+    obj = quicksum(
+        rng.randint(-3, 3) * xs[i] * xs[j]
+        for i in range(n) for j in range(i + 1, n)
+    ) + quicksum(rng.randint(-3, 3) * x for x in xs)
+    m.set_objective(obj, "min")
+    m.add_constr(quicksum(xs) >= 1)
+    m.add_constr(quicksum(xs) <= 3)
+
+    expected_obj, _ = brute_force_binary(m)
+    sol = m.solve()
+    assert sol.is_optimal
+    assert sol.objective == pytest.approx(expected_obj)
+
+
+def test_quadratic_objective_value_reported_in_original_terms():
+    m = Model()
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add_constr(x + y >= 2)
+    m.set_objective(5 * (x * y) + 1, "min")
+    sol = m.solve()
+    assert sol.objective == pytest.approx(6)
+    # evaluating the original quadratic under the solution agrees
+    assert m.objective.value({v: sol.value(v) for v in m.variables}) == pytest.approx(6)

@@ -1,0 +1,153 @@
+"""Tests for the presolve pass (repro.opt.presolve)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.opt import Model, SolveStatus, VarType, quicksum
+from repro.opt.presolve import presolve
+
+
+def test_singleton_equality_fixes_variable():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(2 * x == 6)
+    m.add_constr(x + y <= 8)
+    m.set_objective(y, "max")
+    res = presolve(m)
+    assert not res.proven_infeasible
+    assert res.fixed == {x: 3.0}
+    assert res.model.num_vars == 1
+    sol = res.model.solve()
+    assert sol.objective == pytest.approx(5)  # y <= 8 - 3
+
+
+def test_bound_tightening():
+    m = Model()
+    x = m.add_integer("x", 0, 100)
+    m.add_constr(3 * x <= 10)   # x <= 3 (integer floor)
+    m.add_constr(2 * x >= 3)    # x >= 2 (integer ceil)
+    res = presolve(m)
+    (nx,) = res.model.variables
+    assert nx.lb == 2 and nx.ub == 3
+    # both rows became redundant after tightening
+    assert res.model.num_constraints == 0
+
+
+def test_infeasibility_detected():
+    m = Model()
+    x = m.add_binary("x")
+    m.add_constr(x >= 1)
+    m.add_constr(x <= 0)
+    assert presolve(m).proven_infeasible
+
+
+def test_fractional_singleton_integer_infeasible():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    m.add_constr(2 * x == 5)
+    assert presolve(m).proven_infeasible
+
+
+def test_redundant_constraints_dropped():
+    m = Model()
+    x = m.add_binary("x")
+    m.add_constr(x <= 5)        # vacuous for a binary
+    m.add_constr(x >= -3)       # vacuous
+    res = presolve(m)
+    assert res.dropped_constraints == 2
+    assert res.model.num_constraints == 0
+
+
+def test_extend_solution():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x == 4)
+    m.add_constr(y >= 2)
+    m.set_objective(y, "min")
+    res = presolve(m)
+    sol = res.model.solve()
+    values = res.extend_solution({v: sol.value(v) for v in res.model.variables})
+    by_name = {v.name: val for v, val in values.items()}
+    assert by_name["x"] == 4.0
+    assert by_name["y"] == 2.0
+
+
+def test_objective_constant_folded():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x == 4)
+    m.add_constr(y >= 1)
+    m.set_objective(3 * x + y, "min")
+    res = presolve(m)
+    sol = res.model.solve()
+    # objective in the reduced model must account for the fixed 3*4
+    assert sol.objective == pytest.approx(13)
+
+
+def test_quadratic_model_rejected():
+    m = Model()
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add_constr(x * y <= 1)
+    with pytest.raises(ModelError):
+        presolve(m)
+
+
+def test_chained_propagation():
+    """Fixing one variable cascades through equalities."""
+    m = Model()
+    a = m.add_integer("a", 0, 10)
+    b = m.add_integer("b", 0, 10)
+    c = m.add_integer("c", 0, 10)
+    m.add_constr(a == 2)
+    m.add_constr(a + b == 5)   # -> b = 3 once a is fixed
+    m.add_constr(b + c == 4)   # -> c = 1 once b is fixed
+    res = presolve(m)
+    names = {v.name: val for v, val in res.fixed.items()}
+    assert names == {"a": 2.0, "b": 3.0, "c": 1.0}
+    assert res.model.num_vars == 0
+
+
+def _random_small_model(seed: int) -> Model:
+    rng = random.Random(seed)
+    m = Model(f"ps{seed}")
+    xs = [m.add_integer(f"x{i}", 0, rng.randint(1, 3)) for i in range(3)]
+    for _ in range(rng.randint(1, 4)):
+        coeffs = [rng.randint(-2, 2) for _ in xs]
+        sense = rng.choice(["le", "ge", "eq"])
+        rhs = rng.randint(-2, 4)
+        lhs = quicksum(c * x for c, x in zip(coeffs, xs))
+        if sense == "le":
+            m.add_constr(lhs <= rhs)
+        elif sense == "ge":
+            m.add_constr(lhs >= rhs)
+        else:
+            m.add_constr(lhs == rhs)
+    m.set_objective(quicksum(rng.randint(-2, 2) * x for x in xs), "min")
+    return m
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=20_000))
+def test_presolve_preserves_optimum(seed):
+    """Property: solving the presolved model (plus fixed variables)
+    gives exactly the original optimum, including infeasibility."""
+    original = _random_small_model(seed)
+    baseline = original.solve(backend="highs")
+
+    res = presolve(_random_small_model(seed))
+    if res.proven_infeasible:
+        assert baseline.status is SolveStatus.INFEASIBLE
+        return
+    reduced_sol = res.model.solve(backend="highs")
+    if baseline.status is SolveStatus.INFEASIBLE:
+        assert reduced_sol.status is SolveStatus.INFEASIBLE
+        return
+    assert reduced_sol.status is SolveStatus.OPTIMAL
+    assert reduced_sol.objective == pytest.approx(baseline.objective)

@@ -1,0 +1,87 @@
+"""Whole-pipeline property: every downstream consumer accepts every
+solved synthesis result.
+
+For random solvable cases, the complete artifact chain must hold
+together: program compilation, program replay, set-order optimization,
+chip layout, control routing, LP export of the model, JSON export.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cases import generate_case
+from repro.chip import chip_layout
+from repro.control import compile_program, route_control
+from repro.core import (
+    BindingPolicy,
+    SynthesisOptions,
+    optimize_set_order,
+    synthesize,
+)
+from repro.core.builder import SynthesisModelBuilder
+from repro.core.synthesizer import build_catalog
+from repro.io import result_to_dict
+from repro.opt import model_to_lp
+from repro.sim import estimate_execution_time, simulate, simulate_program
+
+OPTS = SynthesisOptions(time_limit=30)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=8_000))
+def test_every_downstream_consumer_accepts_solved_results(seed):
+    spec = generate_case(seed=seed, switch_size=8, n_flows=3, n_inlets=2,
+                         n_conflicts=1, binding=BindingPolicy.FIXED)
+    result = synthesize(spec, OPTS)
+    if not result.status.solved:
+        return
+
+    # dynamic execution
+    assert simulate(result).is_clean
+
+    # actuation program: compiles, replays cleanly, exports
+    program = compile_program(result)
+    assert simulate_program(result, program).is_clean
+    json.dumps(program.to_dict())
+
+    # set-order optimization keeps everything valid
+    optimized = optimize_set_order(result)
+    assert simulate(optimized).is_clean
+
+    # timing estimate is finite and positive
+    est = estimate_execution_time(result)
+    assert est.total_s > 0
+
+    # chip layout: placed, overlap-free, routed
+    layout = chip_layout(result)
+    assert layout.overlapping_modules() == []
+    assert len(layout.connections) == len(spec.modules)
+
+    # control routing runs (violations allowed, must be reported cleanly)
+    if result.valves.essential:
+        plan = route_control(spec.switch, sorted(result.valves.essential))
+        assert plan.num_inlets == len(result.valves.essential)
+        plan.violations()
+
+    # JSON export round-trips through the serializer
+    data = result_to_dict(result)
+    json.dumps(data)
+    assert data["num_flow_sets"] == result.num_flow_sets
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=3_000))
+def test_model_lp_export_always_serializes(seed):
+    """The built synthesis model exports to LP text whatever the case."""
+    spec = generate_case(seed=seed, switch_size=8, n_flows=2, n_inlets=2,
+                         n_conflicts=1, binding=BindingPolicy.FIXED)
+    built = SynthesisModelBuilder(spec, build_catalog(spec, OPTS)).build()
+    text = model_to_lp(built.model)
+    assert text.startswith("\\ model:")
+    assert text.rstrip().endswith("End")
+    stats = built.model.stats()
+    assert stats["variables"] > 0

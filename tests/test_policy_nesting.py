@@ -1,0 +1,56 @@
+"""Policy nesting property: fixed ⊆ clockwise ⊆ unfixed.
+
+A fixed binding is one admissible outcome of the clockwise policy whose
+order matches the map, and every clockwise outcome is admissible for
+unfixed — so the optimal objectives must nest. The paper observes this
+as Table 4.3's length ordering; here it is tested as a property over
+random cases.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cases import generate_case
+from repro.core import (
+    BindingPolicy,
+    SynthesisOptions,
+    synthesize,
+)
+
+OPTS = SynthesisOptions(time_limit=40)
+
+
+def _order_from_fixed(spec):
+    """Module order implied by the fixed map's clockwise pin indices."""
+    return sorted(spec.modules,
+                  key=lambda m: spec.switch.pin_index(spec.fixed_binding[m]))
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=2_000))
+def test_objectives_nest_across_policies(seed):
+    fixed = generate_case(seed=seed, switch_size=8, n_flows=2, n_inlets=2,
+                          n_conflicts=0, binding=BindingPolicy.FIXED)
+    res_fixed = synthesize(fixed, OPTS)
+    if not res_fixed.status.solved:
+        return
+
+    order = _order_from_fixed(fixed)
+    clockwise = generate_case(seed=seed, switch_size=8, n_flows=2,
+                              n_inlets=2, n_conflicts=0,
+                              binding=BindingPolicy.FIXED)
+    clockwise.binding = BindingPolicy.CLOCKWISE
+    clockwise.fixed_binding = None
+    clockwise.module_order = order
+    clockwise.validate()
+    res_cw = synthesize(clockwise, OPTS)
+
+    unfixed = generate_case(seed=seed, switch_size=8, n_flows=2, n_inlets=2,
+                            n_conflicts=0, binding=BindingPolicy.UNFIXED)
+    res_uf = synthesize(unfixed, OPTS)
+
+    assert res_cw.status.solved, "clockwise must cover the fixed solution"
+    assert res_uf.status.solved
+    assert res_cw.objective <= res_fixed.objective + 1e-6
+    assert res_uf.objective <= res_cw.objective + 1e-6

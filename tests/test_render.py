@@ -1,0 +1,85 @@
+"""Tests for SVG rendering (repro.render.svg)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import BindingPolicy, Flow, SwitchSpec, conflict_pair, synthesize
+from repro.render import render_result, render_switch, save_svg
+from repro.render.svg import SvgCanvas
+from repro.switches import CrossbarSwitch, SpineSwitch
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T2", "o1": "B2", "i2": "L1", "o2": "B1"},
+    )
+    res = synthesize(spec)
+    assert res.status.solved
+    return res
+
+
+def test_canvas_builds_valid_xml():
+    c = SvgCanvas(100, 80)
+    c.line((0, 0), (10, 10), "#000", 1.0)
+    c.rect((5, 5), 4, 4, "#f00")
+    c.circle((7, 7), 2, "#0f0")
+    c.text((3, 3), "label <&>")
+    root = ET.fromstring(c.to_svg())
+    assert root.tag.endswith("svg")
+    assert len(list(root)) == 5  # background + 4 elements
+
+
+def test_render_switch_parses(result):
+    for sw in (CrossbarSwitch(8), CrossbarSwitch(12), SpineSwitch(8)):
+        svg = render_switch(sw)
+        root = ET.fromstring(svg)
+        assert root.attrib["width"]
+        # every pin label appears
+        texts = [el.text for el in root.iter() if el.tag.endswith("text")]
+        for pin in sw.pins:
+            assert any(pin in (t or "") for t in texts)
+
+
+def test_render_result_shows_flows_and_modules(result):
+    svg = render_result(result)
+    root = ET.fromstring(svg)
+    texts = [el.text or "" for el in root.iter() if el.tag.endswith("text")]
+    assert any("i1" in t for t in texts)          # module labels
+    assert any("set 0" in t for t in texts)       # legend
+    lines = [el for el in root.iter() if el.tag.endswith("line")]
+    assert len(lines) > len(result.spec.switch.segments)  # structure + flows
+
+
+def test_render_unsolved_rejected(result):
+    import copy
+    from repro.core import SynthesisStatus
+    bad = copy.copy(result)
+    bad.status = SynthesisStatus.NO_SOLUTION
+    with pytest.raises(ValueError):
+        render_result(bad)
+
+
+def test_save_svg(tmp_path, result):
+    path = tmp_path / "out.svg"
+    save_svg(render_result(result), path)
+    content = path.read_text()
+    assert content.startswith("<svg")
+    ET.fromstring(content)
+
+
+def test_valve_colors_follow_pressure_groups(result):
+    if result.pressure is None or result.valves is None:
+        pytest.skip("case produced no essential valves")
+    svg = render_result(result)
+    root = ET.fromstring(svg)
+    rects = [el for el in root.iter() if el.tag.endswith("rect")]
+    fills = {el.attrib.get("fill") for el in rects} - {"white"}
+    # at least as many distinct fills as pressure groups, bounded by palette
+    assert len(fills) >= min(result.pressure.num_control_inlets, 6) > 0

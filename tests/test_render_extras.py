@@ -1,0 +1,92 @@
+"""Tests for ASCII and chip rendering (repro.render extras)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.chip import chip_layout
+from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+from repro.render import AsciiGrid, ascii_switch, render_chip, save_svg
+from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
+
+
+@pytest.fixture(scope="module")
+def solved():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i_1", "o_1", "M1"],
+        flows=[Flow(1, "i_1", "o_1")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i_1": "T1", "o_1": "B2", "M1": "R1"},
+    )
+    res = synthesize(spec)
+    assert res.status.solved
+    return res
+
+
+# ----------------------------------------------------------------------
+# ascii
+# ----------------------------------------------------------------------
+def test_ascii_grid_primitives():
+    g = AsciiGrid(10, 4)
+    g.hline(1, 5, 1, "-")
+    g.vline(3, 0, 3, "|")
+    g.text(0, 3, "hi")
+    out = g.render()
+    assert "hi" in out
+    assert "|" in out and "-" in out
+    # out-of-bounds writes are ignored, not errors
+    g.put(99, 99, "x")
+
+
+def test_ascii_switch_structure_labels():
+    text = ascii_switch(CrossbarSwitch(8))
+    for pin in CrossbarSwitch(8).pins:
+        assert pin in text
+    assert "+" in text and "." in text
+    assert "#" not in text  # nothing used without a result
+
+
+def test_ascii_switch_highlights_result(solved):
+    text = ascii_switch(solved.spec.switch, solved)
+    assert "#" in text
+
+
+def test_ascii_renders_all_switch_families():
+    for sw in (CrossbarSwitch(12), SpineSwitch(8), GRUSwitch(8)):
+        text = ascii_switch(sw)
+        assert text.strip()
+
+
+# ----------------------------------------------------------------------
+# chip svg
+# ----------------------------------------------------------------------
+def test_render_chip_valid_svg(solved, tmp_path):
+    layout = chip_layout(solved)
+    svg = render_chip(layout, solved)
+    root = ET.fromstring(svg)
+    texts = [el.text or "" for el in root.iter() if el.tag.endswith("text")]
+    for module in solved.spec.modules:
+        assert any(module in t for t in texts)
+    # dashed connection lines present
+    dashed = [el for el in root.iter()
+              if el.tag.endswith("line") and el.attrib.get("stroke-dasharray")]
+    assert len(dashed) >= len(layout.connections)
+    save_svg(svg, tmp_path / "chip.svg")
+    assert (tmp_path / "chip.svg").exists()
+
+
+def test_render_chip_without_result(solved):
+    layout = chip_layout(solved)
+    svg = render_chip(layout)
+    ET.fromstring(svg)
+
+
+def test_chip_canvas_covers_modules(solved):
+    layout = chip_layout(solved)
+    svg = render_chip(layout, solved)
+    root = ET.fromstring(svg)
+    width = float(root.attrib["width"])
+    from repro.render.svg import MARGIN, SCALE
+    lo, hi = layout.bounding_box()
+    assert width == pytest.approx((hi.x - lo.x) * SCALE + 2 * MARGIN, abs=1)

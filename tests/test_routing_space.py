@@ -1,0 +1,90 @@
+"""Tests for routing-space analysis (repro.analysis.routing_space).
+
+These pin down §2.1's structural comparison quantitatively.
+"""
+
+import pytest
+
+from repro.analysis import (
+    disjoint_transport_capacity,
+    forced_through_single_node,
+    pin_connectivity,
+    routing_space_report,
+)
+from repro.errors import ReproError
+from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
+
+
+@pytest.fixture(scope="module")
+def crossbar():
+    return CrossbarSwitch(8)
+
+
+@pytest.fixture(scope="module")
+def gru():
+    return GRUSwitch(8)
+
+
+def test_gru_same_side_pins_have_zero_connectivity(gru):
+    """§2.1: 'pins TL and T are connected to the same and only node N'
+    — conflicting fluids entering there can never stay apart."""
+    assert pin_connectivity(gru, "TL", "T") == 0
+    assert forced_through_single_node(gru, "TL", "T") == "N"
+
+
+def test_crossbar_same_side_pins_have_two_routes(crossbar):
+    """The proposed switch separates same-side pins onto different
+    corners, giving two disjoint routes between them."""
+    assert pin_connectivity(crossbar, "T1", "T2") == 2
+    assert forced_through_single_node(crossbar, "T1", "T2") is None
+
+
+def test_corner_mates_are_the_crossbar_bottleneck(crossbar):
+    assert pin_connectivity(crossbar, "T1", "L1") == 0
+    assert forced_through_single_node(crossbar, "T1", "L1") == "TL"
+
+
+def test_parallel_transport_capacity_crossbar_beats_gru(crossbar, gru):
+    """Matched workload (two same-side sources to the opposite side):
+    the crossbar carries both transports disjointly, the GRU only one —
+    the quantitative form of 'insufficient routing space'."""
+    assert disjoint_transport_capacity(
+        crossbar, [("T1", "B1"), ("T2", "B2")]) == 2
+    assert disjoint_transport_capacity(
+        gru, [("TL", "BL"), ("T", "B")]) == 1
+
+
+def test_spine_has_worst_mean_connectivity():
+    rows = {r["switch"]: r for r in (
+        routing_space_report(CrossbarSwitch(8)).row(),
+        routing_space_report(GRUSwitch(8)).row(),
+        routing_space_report(SpineSwitch(8)).row(),
+    )}
+    assert rows["spine-8pin"]["mean connectivity"] < \
+        rows["crossbar-8pin"]["mean connectivity"]
+    assert rows["spine-8pin"]["single-node pin pairs"] > \
+        rows["crossbar-8pin"]["single-node pin pairs"]
+
+
+def test_report_shape(crossbar):
+    report = routing_space_report(crossbar)
+    assert report.min_pin_connectivity == 0
+    assert len(report.single_node_pin_pairs) == 4  # one per corner
+    for a, b, node in report.single_node_pin_pairs:
+        assert forced_through_single_node(crossbar, a, b) == node
+
+
+def test_capacity_of_crossing_diagonals(crossbar):
+    """Crossing diagonal transports interleave on the planar switch, so
+    only one of them can run at a time."""
+    assert disjoint_transport_capacity(
+        crossbar, [("T1", "B2"), ("R1", "L2")]) == 1
+
+
+def test_input_validation(crossbar):
+    with pytest.raises(ReproError):
+        pin_connectivity(crossbar, "T1", "T1")
+    with pytest.raises(ReproError):
+        pin_connectivity(crossbar, "T1", "C")
+    with pytest.raises(ReproError):
+        disjoint_transport_capacity(crossbar, [("T1", "B1")] * 7)

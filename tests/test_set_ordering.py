@@ -1,0 +1,94 @@
+"""Tests for flow-set ordering (repro.core.set_ordering)."""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    best_set_order,
+    count_valve_transitions,
+    optimize_set_order,
+    reorder_sets,
+    synthesize,
+)
+from repro.core.verify import verify_result
+from repro.errors import ReproError
+from repro.sim import simulate
+from repro.switches import CrossbarSwitch
+
+
+def multi_set_result():
+    """Three inlets through the same corridor: three serialized sets."""
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "i3", "o1", "o2", "o3"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2"), Flow(3, "i3", "o3")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "T1", "o1": "B1", "i2": "L1", "o2": "B2",
+                       "i3": "T2", "o3": "L2"},
+    )
+    res = synthesize(spec)
+    assert res.status.solved
+    return res
+
+
+def test_transition_count_consistent_with_program():
+    res = multi_set_result()
+    if res.num_flow_sets < 2:
+        pytest.skip("case collapsed to one set")
+    from repro.control import compile_program
+
+    transitions = count_valve_transitions(res)
+    assert transitions >= 0
+    # the pneumatic program's per-inlet transitions can only be fewer
+    # (pressure groups aggregate identical valve traces)
+    program = compile_program(res)
+    assert program.transitions() <= transitions
+
+
+def test_best_order_never_worse():
+    res = multi_set_result()
+    baseline = count_valve_transitions(res)
+    order, cost = best_set_order(res)
+    assert sorted(order) == list(range(res.num_flow_sets))
+    assert cost <= baseline
+
+
+def test_reorder_preserves_validity():
+    res = multi_set_result()
+    if res.num_flow_sets < 2:
+        pytest.skip("case collapsed to one set")
+    order, _ = best_set_order(res)
+    reordered = reorder_sets(res, list(reversed(order)))
+    verify_result(reordered)
+    assert simulate(reordered).is_clean
+
+
+def test_optimize_set_order_end_to_end():
+    res = multi_set_result()
+    optimized = optimize_set_order(res)
+    assert count_valve_transitions(optimized) <= count_valve_transitions(res)
+    verify_result(optimized)
+    assert simulate(optimized).is_clean
+
+
+def test_single_set_trivial():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"a": "T1", "b": "B1"},
+    )
+    res = synthesize(spec)
+    order, cost = best_set_order(res)
+    assert order == [0] or order == []
+    assert cost == 0
+    assert optimize_set_order(res) is res
+
+
+def test_bad_permutation_rejected():
+    res = multi_set_result()
+    with pytest.raises(ReproError):
+        reorder_sets(res, [0] * res.num_flow_sets)

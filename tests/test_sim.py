@@ -1,0 +1,194 @@
+"""Tests for the execution simulator (repro.sim)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.contamination import route_shortest
+from repro.cases import generate_case, nucleic_acid
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    conflict_pair,
+    synthesize,
+)
+from repro.core.valves import analyze_valves
+from repro.errors import ReproError
+from repro.sim import (
+    EventKind,
+    SwitchSimulator,
+    fluid_conflicts_of,
+    simulate,
+    stuck_closed,
+    stuck_open,
+)
+from repro.switches import CrossbarSwitch, SpineSwitch
+
+
+def two_corridor_spec(**kw):
+    """Two conflicting fluids on opposite corridors, one flow set."""
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["acid", "base", "w1", "w2"],
+        flows=[Flow(1, "acid", "w1"), Flow(2, "base", "w2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"acid": "T1", "w1": "B1", "base": "R1", "w2": "B2"},
+        **kw,
+    )
+
+
+def shared_corridor_spec(**kw):
+    """Two inlets forced through the same corridor in different sets —
+    the schedule needs closed valves."""
+    return SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["acid", "base", "w1", "w2"],
+        flows=[Flow(1, "acid", "w1"), Flow(2, "base", "w2")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"acid": "T1", "w1": "B1", "base": "L1", "w2": "B2"},
+        **kw,
+    )
+
+
+def test_clean_single_set_execution():
+    res = synthesize(two_corridor_spec())
+    report = simulate(res)
+    assert report.is_clean
+    assert report.delivered == {1, 2}
+    assert "delivered 2 flow(s)" in report.summary()
+
+
+def test_clean_multi_set_execution():
+    res = synthesize(shared_corridor_spec())
+    assert res.num_flow_sets == 2
+    report = simulate(res)
+    assert report.is_clean, [str(e) for e in report.events
+                             if e.kind is not EventKind.FLUID_FILL]
+
+
+def test_valve_actuation_events_emitted():
+    res = synthesize(shared_corridor_spec())
+    report = simulate(res)
+    actuations = report.of_kind(EventKind.VALVE_SET)
+    # one actuation per essential valve per flow set
+    assert len(actuations) == res.num_valves * res.num_flow_sets
+
+
+def test_stuck_closed_starves_a_flow():
+    res = synthesize(two_corridor_spec())
+    # break any segment on flow 1's path
+    seg = sorted(res.flow_paths[1].segments)[0]
+    report = simulate(res, faults=[stuck_closed(*seg)])
+    assert 1 in report.undelivered
+    assert not report.is_clean
+
+
+def test_stuck_open_on_some_essential_valve_causes_trouble():
+    """At least one essential valve must be load-bearing: jamming it
+    open produces a misroute, collision or contamination."""
+    res = synthesize(shared_corridor_spec())
+    assert res.valves.essential
+    troubled = []
+    for key in sorted(res.valves.essential):
+        report = simulate(res, faults=[stuck_open(*key)])
+        if not report.is_clean:
+            troubled.append(key)
+    assert troubled, "no essential valve mattered under fault injection"
+
+
+def test_faults_on_unused_segments_are_harmless():
+    res = synthesize(two_corridor_spec())
+    unused = [k for k in res.spec.switch.segments
+              if k not in res.used_segments]
+    report = simulate(res, faults=[stuck_open(*unused[0]),
+                                   stuck_closed(*unused[1])])
+    assert report.is_clean
+
+
+def test_conflicting_residue_detected_without_schedule_protection():
+    """Manually force two conflicting fluids through one corridor in
+    consecutive sets and watch the simulator flag the residue."""
+    sw = CrossbarSwitch(8)
+    spec = shared_corridor_spec(conflicts={conflict_pair(1, 2)})
+    # route both flows straight down the left corridor (invalid for the
+    # optimizer, which is exactly the point)
+    binding = {"acid": "T1", "w1": "B1", "base": "L1", "w2": "B2"}
+    paths = route_shortest(sw, {"acid": "T1", "w1": "B1",
+                                "base": "L1", "w2": "B1"},
+                           [Flow(1, "acid", "w1")])
+    path1 = paths[1]
+    paths2 = route_shortest(sw, {"base": "L1", "w2": "B2"},
+                            [Flow(2, "base", "w2")])
+    path2 = paths2[2] if 2 in paths2 else list(paths2.values())[0]
+    flow_paths = {1: path1, 2: path2}
+    used = set(path1.segments) | set(path2.segments)
+    valves = analyze_valves(sw, flow_paths, [[1], [2]])
+    sim = SwitchSimulator(
+        switch=sw,
+        used_segments=used,
+        valve_status={k: v for k, v in valves.status.items()
+                      if k in valves.essential},
+        flow_paths=flow_paths,
+        flow_sets=[[1], [2]],
+        sources={1: "acid", 2: "base"},
+        binding=binding,
+        fluid_conflicts={frozenset({"acid", "base"})},
+    )
+    report = sim.run()
+    if set(path1.segments) & set(path2.segments) or \
+            set(path1.nodes) & set(path2.nodes):
+        assert report.contamination_events
+
+
+def test_spine_baseline_contaminates_in_simulation():
+    """Running the nucleic-acid flows sequentially on a spine leaves
+    conflicting residue on the shared spine — detected dynamically."""
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    spine = SpineSwitch(len(spec.modules))
+    binding = {m: spine.pins[i] for i, m in enumerate(spec.modules)}
+    paths = route_shortest(spine, binding, spec.flows)
+    valves = analyze_valves(spine, paths, [[1], [2], [3]])
+    sim = SwitchSimulator(
+        switch=spine,
+        used_segments={k for p in paths.values() for k in p.segments},
+        valve_status={k: v for k, v in valves.status.items()
+                      if k in valves.essential},
+        flow_paths=paths,
+        flow_sets=[[1], [2], [3]],  # even fully serialized...
+        sources={f.id: f.source for f in spec.flows},
+        binding=binding,
+        fluid_conflicts=fluid_conflicts_of(spec),
+    )
+    report = sim.run()
+    assert report.contamination_events  # ...the residue still pollutes
+
+
+def test_simulate_requires_solved_result():
+    res = synthesize(nucleic_acid(BindingPolicy.FIXED))  # no solution
+    with pytest.raises(ReproError):
+        simulate(res)
+
+
+def test_event_str_readable():
+    res = synthesize(two_corridor_spec())
+    report = simulate(res)
+    text = str(report.events[0])
+    assert "[set 0]" in text
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_solved_cases_simulate_clean(seed):
+    """Dynamic property: whatever the optimizer accepts must execute
+    without contamination, collisions, misroutes or starvation."""
+    spec = generate_case(seed=seed, switch_size=8, n_flows=3, n_inlets=2,
+                         n_conflicts=1, binding=BindingPolicy.FIXED)
+    res = synthesize(spec, SynthesisOptions(time_limit=30))
+    if not res.status.solved:
+        return
+    report = simulate(res)
+    assert report.is_clean, [str(e) for e in report.events
+                             if e.kind is not EventKind.FLUID_FILL]

@@ -1,0 +1,114 @@
+"""Direct SwitchSimulator API edge cases."""
+
+import pytest
+
+from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+from repro.errors import ReproError
+from repro.sim import EventKind, SwitchSimulator
+from repro.sim.engine import fluid_conflicts_of
+from repro.switches import CrossbarSwitch
+from repro.switches.base import segment_key
+from repro.switches.paths import Path
+
+
+def _path(sw, vertices, index=1):
+    segs = frozenset(segment_key(a, b) for a, b in zip(vertices, vertices[1:]))
+    return Path(
+        index=index, source_pin=vertices[0], target_pin=vertices[-1],
+        vertices=tuple(vertices),
+        nodes=frozenset(v for v in vertices if not sw.is_pin(v)),
+        segments=segs,
+        length=sum(sw.segments[k].length for k in segs),
+    )
+
+
+def test_valve_status_for_unused_segment_rejected():
+    sw = CrossbarSwitch(8)
+    path = _path(sw, ["T1", "TL", "L1"])
+    with pytest.raises(ReproError):
+        SwitchSimulator(
+            switch=sw,
+            used_segments=path.segments,
+            valve_status={segment_key("C", "T"): ["O"]},  # not used
+            flow_paths={1: path},
+            flow_sets=[[1]],
+            sources={1: "a"},
+            binding={"a": "T1", "b": "L1"},
+            fluid_conflicts=set(),
+        )
+
+
+def test_empty_schedule_runs():
+    sw = CrossbarSwitch(8)
+    sim = SwitchSimulator(
+        switch=sw, used_segments=set(), valve_status={},
+        flow_paths={}, flow_sets=[], sources={}, binding={},
+        fluid_conflicts=set(),
+    )
+    report = sim.run()
+    assert report.is_clean
+    assert not report.events
+
+
+def test_undelivered_when_everything_closed():
+    sw = CrossbarSwitch(8)
+    path = _path(sw, ["T1", "TL", "L1"])
+    sim = SwitchSimulator(
+        switch=sw,
+        used_segments=path.segments,
+        valve_status={k: ["C"] for k in path.segments},
+        flow_paths={1: path},
+        flow_sets=[[1]],
+        sources={1: "a"},
+        binding={"a": "T1", "b": "L1"},
+        fluid_conflicts=set(),
+    )
+    report = sim.run()
+    assert report.undelivered == {1}
+    assert not report.is_clean
+    kinds = {e.kind for e in report.events}
+    assert EventKind.UNDELIVERED in kinds
+
+
+def test_fluid_conflicts_of_maps_to_sources():
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["a", "b", "oa", "ob"],
+        flows=[Flow(1, "a", "oa"), Flow(2, "b", "ob")],
+        conflicts={frozenset({1, 2})},
+        binding=BindingPolicy.UNFIXED,
+    )
+    assert fluid_conflicts_of(spec) == {frozenset({"a", "b"})}
+
+
+def test_collision_event_for_nonconflicting_fluids():
+    """Two non-conflicting fluids meeting in one step is a COLLISION,
+    not a contamination."""
+    sw = CrossbarSwitch(8)
+    p1 = _path(sw, ["T1", "TL", "L", "BL", "B1"], 1)
+    p2 = _path(sw, ["L1", "TL", "T", "C", "R", "TR", "R1"], 2)
+    used = set(p1.segments) | set(p2.segments)
+    sim = SwitchSimulator(
+        switch=sw, used_segments=used, valve_status={},
+        flow_paths={1: p1, 2: p2}, flow_sets=[[1, 2]],
+        sources={1: "fa", 2: "fb"},
+        binding={"fa": "T1", "fb": "L1", "oa": "B1", "ob": "R1"},
+        fluid_conflicts=set(),
+    )
+    report = sim.run()
+    assert report.collisions
+    assert not report.contamination_events
+
+
+def test_event_report_filters():
+    sw = CrossbarSwitch(8)
+    p1 = _path(sw, ["T1", "TL", "L1"])
+    sim = SwitchSimulator(
+        switch=sw, used_segments=p1.segments, valve_status={},
+        flow_paths={1: p1}, flow_sets=[[1]], sources={1: "a"},
+        binding={"a": "T1", "b": "L1"}, fluid_conflicts=set(),
+    )
+    report = sim.run()
+    fills = report.of_kind(EventKind.FLUID_FILL)
+    assert len(fills) == len(p1.segments)
+    assert report.delivered == {1}

@@ -1,0 +1,91 @@
+"""Tests for the fluidic timing model (repro.sim.timing)."""
+
+import pytest
+
+from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+from repro.errors import ReproError
+from repro.sim import TimingModel, estimate_execution_time
+from repro.switches import CrossbarSwitch
+
+
+def solved(fixed, flows, **kw):
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=sorted(fixed),
+        flows=flows,
+        binding=BindingPolicy.FIXED,
+        fixed_binding=fixed,
+        **kw,
+    )
+    res = synthesize(spec)
+    assert res.status.solved
+    return res
+
+
+@pytest.fixture(scope="module")
+def one_set():
+    return solved({"i1": "T1", "o1": "B1", "i2": "T2", "o2": "B2"},
+                  [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")])
+
+
+@pytest.fixture(scope="module")
+def two_sets():
+    return solved({"i1": "T1", "o1": "B1", "i2": "L1", "o2": "B2"},
+                  [Flow(1, "i1", "o1"), Flow(2, "i2", "o2")])
+
+
+def test_model_validation():
+    with pytest.raises(ReproError):
+        TimingModel(flow_velocity_mm_s=0)
+    with pytest.raises(ReproError):
+        TimingModel(valve_actuation_s=-1)
+
+
+def test_single_set_transport(one_set):
+    est = estimate_execution_time(one_set, TimingModel(flow_velocity_mm_s=1.0,
+                                                       valve_actuation_s=0.0,
+                                                       set_setup_s=0.0))
+    longest = max(p.length for p in one_set.flow_paths.values())
+    assert est.transport_s == pytest.approx(longest)
+    assert est.total_s == pytest.approx(longest)
+    assert len(est.set_makespans_s) == 1
+
+
+def test_parallel_flows_do_not_add(one_set):
+    """Two parallel flows cost one makespan, not the sum of lengths."""
+    est = estimate_execution_time(one_set)
+    total_len = sum(p.length for p in one_set.flow_paths.values())
+    longest = max(p.length for p in one_set.flow_paths.values())
+    assert est.transport_s * TimingModel().flow_velocity_mm_s == \
+        pytest.approx(longest)
+    assert longest < total_len
+
+
+def test_more_sets_cost_more_control(one_set, two_sets):
+    """The paper's motivation for minimizing #s: each extra set adds
+    setup and valve-switching time."""
+    model = TimingModel()
+    t1 = estimate_execution_time(one_set, model)
+    t2 = estimate_execution_time(two_sets, model)
+    assert t2.control_s > t1.control_s
+    assert len(t2.set_makespans_s) == 2
+
+
+def test_valve_transitions_counted(two_sets):
+    assert two_sets.valves.essential  # schedule actually switches valves
+    est = estimate_execution_time(two_sets)
+    assert est.transition_overheads_s  # at least one actuation interval
+
+
+def test_summary_format(one_set):
+    text = estimate_execution_time(one_set).summary()
+    assert "transport" in text and "control" in text
+
+
+def test_unsolved_rejected(one_set):
+    import copy
+    from repro.core import SynthesisStatus
+    bad = copy.copy(one_set)
+    bad.status = SynthesisStatus.NO_SOLUTION
+    with pytest.raises(ReproError):
+        estimate_execution_time(bad)

@@ -1,0 +1,74 @@
+"""Synthesis on the spine baseline: the §1 claim, self-derived.
+
+The synthesizer is topology-generic, so we can point it at Columba's
+spine structure. Without conflicts it produces valid (set-serialized)
+schedules — the stub valves protect the shared spine. With conflicting
+fluids it proves *no solution*: a spine cannot be made
+contamination-free, which is exactly why the paper designs a crossbar.
+"""
+
+import pytest
+
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    SynthesisStatus,
+    conflict_pair,
+    synthesize,
+)
+from repro.sim import simulate
+from repro.switches import SpineSwitch
+
+OPTS = SynthesisOptions(time_limit=30)
+
+
+def spine_spec(conflicts=frozenset()):
+    return SwitchSpec(
+        switch=SpineSwitch(6),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts=set(conflicts),
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"i1": "P_T1", "o1": "P_R", "i2": "P_B1", "o2": "P_B2"},
+    )
+
+
+def test_spine_without_conflicts_synthesizes():
+    res = synthesize(spine_spec(), OPTS)
+    assert res.status is SynthesisStatus.OPTIMAL
+    # both flows need the shared spine, so they serialize into two sets
+    assert res.num_flow_sets == 2
+    # the stub valves are the essential ones protecting each set
+    assert res.num_valves >= 2
+
+
+def test_spine_schedule_executes_cleanly():
+    res = synthesize(spine_spec(), OPTS)
+    report = simulate(res)
+    assert report.is_clean, report.summary()
+
+
+def test_spine_with_conflicts_is_provably_unsynthesizable():
+    """Conflicting fluids must be node-disjoint for all time; on a
+    spine every transport crosses the same junction chain, so the model
+    proves infeasibility — the paper's motivating observation."""
+    res = synthesize(spine_spec({conflict_pair(1, 2)}), OPTS)
+    assert res.status is SynthesisStatus.NO_SOLUTION
+
+
+def test_crossbar_solves_the_same_conflicting_case():
+    """The same conflicting transports are routable apart on the
+    proposed 8-pin crossbar."""
+    from repro.switches import CrossbarSwitch
+
+    spec = SwitchSpec(
+        switch=CrossbarSwitch(8),
+        modules=["i1", "i2", "o1", "o2"],
+        flows=[Flow(1, "i1", "o1"), Flow(2, "i2", "o2")],
+        conflicts={conflict_pair(1, 2)},
+        binding=BindingPolicy.UNFIXED,
+    )
+    res = synthesize(spec, SynthesisOptions(time_limit=60))
+    assert res.status.solved

@@ -1,0 +1,163 @@
+"""Tests for the baseline switch structures (spine, GRU, scalable)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import SwitchModelError
+from repro.switches import (
+    CrossbarSwitch,
+    GRUSwitch,
+    ScalableCrossbarSwitch,
+    SpineSwitch,
+)
+
+
+# ----------------------------------------------------------------------
+# spine (Columba-style)
+# ----------------------------------------------------------------------
+def test_spine_pin_count():
+    for n in (4, 6, 8, 12):
+        assert SpineSwitch(n).n_pins == n
+
+
+def test_spine_minimum_size():
+    with pytest.raises(SwitchModelError):
+        SpineSwitch(2)
+
+
+def test_spine_is_valve_free():
+    """'There are no valves except at the ends along the spine.'"""
+    sw = SpineSwitch(8)
+    for seg in sw.spine_segments():
+        assert seg.key not in sw.valves
+    # but every pin stub is valved
+    for pin in sw.pins:
+        (stub,) = sw.segments_at(pin)
+        assert stub.key in sw.valves
+
+
+def test_spine_all_pins_reach_all_pins_through_spine():
+    """Every pin pair's route traverses the shared spine — the
+    structural reason the spine design contaminates."""
+    sw = SpineSwitch(8)
+    spine_nodes = set(sw.junctions)
+    for i, a in enumerate(sw.pins):
+        for b in sw.pins[i + 1:]:
+            path = nx.shortest_path(sw.graph, a, b, weight="length")
+            interior = set(path[1:-1])
+            assert interior & spine_nodes
+
+
+def test_spine_connected_degreeone_pins():
+    sw = SpineSwitch(12)
+    assert nx.is_connected(sw.graph)
+    for pin in sw.pins:
+        assert sw.graph.degree[pin] == 1
+
+
+# ----------------------------------------------------------------------
+# GRU (prior study)
+# ----------------------------------------------------------------------
+def test_gru_sizes():
+    assert GRUSwitch(8).n_pins == 8
+    assert GRUSwitch(12).n_pins == 12
+    with pytest.raises(SwitchModelError):
+        GRUSwitch(16)
+
+
+def test_gru_pin_pairs_share_single_node():
+    """§2.1: 'the flow pins TL and T are connected to the same and only
+    node N' — each border node serves two pins."""
+    sw = GRUSwitch(8)
+    pairs = sw.pins_sharing_a_node()
+    assert ("TL", "T") in pairs
+    assert len(pairs) == 4
+
+
+def test_gru_conflicting_pins_forced_through_shared_node():
+    """Two conflicting flows entering at TL and T cannot avoid node N."""
+    sw = GRUSwitch(8)
+    for path in nx.all_simple_paths(sw.graph, "TL", "R"):
+        assert path[1] == "N"
+    for path in nx.all_simple_paths(sw.graph, "T", "B"):
+        assert path[1] == "N"
+
+
+def test_gru_45_degree_geometry():
+    """§2.1: 'the angle between the flow segments N-W and W-C is about
+    45°' — the ring runs diagonally."""
+    sw = GRUSwitch(8)
+    n, w, c = sw.coords["N"], sw.coords["W"], sw.coords["C"]
+    v1 = (n.x - w.x, n.y - w.y)
+    v2 = (c.x - w.x, c.y - w.y)
+    dot = v1[0] * v2[0] + v1[1] * v2[1]
+    cos = dot / (math.hypot(*v1) * math.hypot(*v2))
+    assert math.degrees(math.acos(cos)) == pytest.approx(45.0, abs=1.0)
+
+
+def test_gru_two_units_bridged():
+    sw = GRUSwitch(12)
+    assert sw.segment("E1", "W2").length > 0
+    assert nx.is_connected(sw.graph)
+
+
+def test_gru_ring_lengths_euclidean():
+    sw = GRUSwitch(8)
+    seg = sw.segment("N", "E")
+    assert seg.length == pytest.approx(math.sqrt(2.0))
+
+
+# ----------------------------------------------------------------------
+# scalable (Columba-S-compatible) variants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_pins", [8, 12, 16])
+def test_scalable_same_topology_as_crossbar(n_pins):
+    plain = CrossbarSwitch(n_pins)
+    scal = ScalableCrossbarSwitch(n_pins)
+    assert set(scal.segments) == set(plain.segments)
+    assert scal.pins == plain.pins
+    assert scal.nodes == plain.nodes
+
+
+@pytest.mark.parametrize("n_pins", [8, 12, 16])
+def test_scalable_pins_on_side_borders(n_pins):
+    """Columba S accesses modules horizontally: every pin must sit on
+    the east or west border."""
+    sw = ScalableCrossbarSwitch(n_pins)
+    xs = {round(sw.coords[p].x, 6) for p in sw.pins}
+    assert len(xs) == 2  # exactly two border columns
+
+
+def test_scalable_metadata():
+    sw = ScalableCrossbarSwitch(8)
+    assert sw.control_orientation == "vertical"
+    assert sw.rotation_order == 1
+
+
+def test_scalable_stub_lengths_updated():
+    """Re-routed pin stubs must carry their Manhattan lane length in
+    both the segment table and the routing graph."""
+    sw = ScalableCrossbarSwitch(12)
+    for pin in sw.pins:
+        (stub,) = sw.segments_at(pin)
+        corner = stub.other(pin)
+        expect = sw.coords[pin].manhattan_to(sw.coords[corner])
+        assert stub.length == pytest.approx(expect)
+        assert sw.graph.edges[pin, corner]["length"] == pytest.approx(expect)
+
+
+def test_scalable_lanes_respect_spacing():
+    """Adjacent escape lanes on the same border keep flow-width +
+    min-spacing clearance."""
+    sw = ScalableCrossbarSwitch(16)
+    from collections import defaultdict
+    by_border = defaultdict(list)
+    for p in sw.pins:
+        by_border[round(sw.coords[p].x, 6)].append(sw.coords[p].y)
+    min_gap = sw.rules.flow_channel_width + sw.rules.min_channel_spacing
+    for ys in by_border.values():
+        ys.sort()
+        for a, b in zip(ys, ys[1:]):
+            assert b - a >= min_gap - 1e-9

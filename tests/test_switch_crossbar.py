@@ -1,0 +1,180 @@
+"""Tests for the proposed crossbar switch family (repro.switches.crossbar).
+
+These encode the structural facts the thesis states for the switch
+models, so the geometry reconstruction stays pinned to the paper.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.errors import SwitchModelError
+from repro.switches import CrossbarSwitch, NodeKind, make_switch, smallest_switch_for
+from repro.switches.base import segment_key
+
+
+@pytest.fixture(scope="module", params=[8, 12, 16])
+def switch(request):
+    return CrossbarSwitch(request.param)
+
+
+def test_only_documented_sizes():
+    with pytest.raises(SwitchModelError):
+        CrossbarSwitch(10)
+    with pytest.raises(SwitchModelError):
+        CrossbarSwitch(20)
+
+
+def test_8pin_pin_order_matches_paper():
+    """§2.2: 'the pins are T1, T2, R1, R2, B2, B1, L2, L1' (clockwise)."""
+    sw = CrossbarSwitch(8)
+    assert sw.pins == ["T1", "T2", "R1", "R2", "B2", "B1", "L2", "L1"]
+
+
+def test_8pin_major_nodes_match_paper():
+    """§3.2: 'Nodes of an 8-pin switch is {C, T, R, B, L}'."""
+    sw = CrossbarSwitch(8)
+    assert set(sw.major_nodes()) == {"C", "T", "R", "B", "L"}
+
+
+def test_8pin_has_20_segments():
+    """§2.2: 'There are 20 flow segments in the 8-pin switch'."""
+    assert len(CrossbarSwitch(8).segments) == 20
+
+
+def test_paper_named_segments_exist():
+    """§2.2 names T1-TL and TL-T; §3.5 names TR-R."""
+    sw = CrossbarSwitch(8)
+    assert sw.segment("T1", "TL").length > 0
+    assert sw.segment("TL", "T").length > 0
+    assert sw.segment("TR", "R").length > 0
+
+
+def test_12pin_has_two_centers_with_connecting_segment():
+    """§4.1 (ChIP): flows 'separated by the channel segment C1-C2'."""
+    sw = CrossbarSwitch(12)
+    assert "C1" in sw.nodes and "C2" in sw.nodes
+    assert sw.segment("C1", "C2").length > 0
+
+
+def test_segment_count_formula(switch):
+    assert len(switch.segments) == 11 * switch.m + 9
+
+
+def test_pin_count(switch):
+    assert switch.n_pins == 4 * switch.m + 4
+    assert len(set(switch.pins)) == switch.n_pins
+
+
+def test_every_segment_has_a_valve(switch):
+    """The general (unreduced) model carries a valve on every segment."""
+    assert set(switch.valves) == set(switch.segments)
+
+
+def test_graph_connected_and_pins_degree_one(switch):
+    assert nx.is_connected(switch.graph)
+    for pin in switch.pins:
+        assert switch.graph.degree[pin] == 1
+
+
+def test_pins_evenly_distributed(switch):
+    """§2.2: flow pins distributed nearly evenly on the border."""
+    lo, hi = switch.bounding_box()
+    top = [p for p in switch.pins if switch.coords[p].y == hi.y]
+    bottom = [p for p in switch.pins if switch.coords[p].y == lo.y]
+    left = [p for p in switch.pins if switch.coords[p].x == lo.x]
+    right = [p for p in switch.pins if switch.coords[p].x == hi.x]
+    assert len(top) == len(bottom) == 2 * switch.m
+    assert len(left) == len(right) == 2
+
+
+def test_pin_index_clockwise(switch):
+    indices = [switch.pin_index(p) for p in switch.pins]
+    assert indices == list(range(1, switch.n_pins + 1))
+    with pytest.raises(SwitchModelError):
+        switch.pin_index("C")
+
+
+def test_node_kinds(switch):
+    centers = [n for n in switch.nodes if switch.kinds[n] is NodeKind.CENTER]
+    corners = [n for n in switch.nodes if switch.kinds[n] is NodeKind.CORNER]
+    arms = [n for n in switch.nodes if switch.kinds[n] is NodeKind.ARM]
+    assert len(centers) == switch.m
+    assert len(corners) == 2 * (switch.m + 1)
+    assert len(arms) == 2 * switch.m + 2
+
+
+def test_segment_lengths_positive_and_manhattan(switch):
+    for seg in switch.segments.values():
+        assert seg.length > 0
+        a, b = switch.coords[seg.a], switch.coords[seg.b]
+        assert seg.length == pytest.approx(a.manhattan_to(b))
+
+
+def test_design_rules_clean(switch):
+    assert switch.check_design_rules() == []
+
+
+def test_total_length(switch):
+    assert switch.total_length() == pytest.approx(
+        sum(s.length for s in switch.segments.values())
+    )
+
+
+def test_segment_lookup_and_neighbors():
+    sw = CrossbarSwitch(8)
+    seg = sw.segment("C", "R")
+    neighbors = {str(s) for s in sw.neighbor_segments(seg)}
+    # neighbours at C: the three other spokes; at R: the corner links
+    assert "C-T" in neighbors and "C-L" in neighbors and "B-C" in neighbors
+    assert "R-TR" in neighbors and "BR-R" in neighbors
+    restricted = sw.neighbor_segments(
+        seg, restrict_to=frozenset({segment_key("C", "T")})
+    )
+    assert [str(s) for s in restricted] == ["C-T"]
+
+
+def test_segments_at_vertex():
+    sw = CrossbarSwitch(8)
+    at_c = {str(s) for s in sw.segments_at("C")}
+    assert at_c == {"C-T", "B-C", "C-L", "C-R"}
+
+
+def test_make_switch_and_smallest_for():
+    assert make_switch(12).n_pins == 12
+    assert smallest_switch_for(7).n_pins == 8
+    assert smallest_switch_for(9).n_pins == 12
+    assert smallest_switch_for(13).n_pins == 16
+    with pytest.raises(SwitchModelError):
+        smallest_switch_for(17)
+
+
+def test_rotation_order():
+    assert CrossbarSwitch(8).rotation_order == 4
+    assert CrossbarSwitch(12).rotation_order == 2
+    assert CrossbarSwitch(16).rotation_order == 2
+
+
+def test_rotation_is_length_preserving_automorphism():
+    """Shifting the pin cycle by n/rotation_order positions must map
+    segments to segments of equal length (the symmetry-breaking
+    constraint in the synthesis model relies on this)."""
+    for n_pins in (8, 12):
+        sw = CrossbarSwitch(n_pins)
+        shift = sw.n_pins // sw.rotation_order
+        pin_map = {
+            p: sw.pins[(i + shift) % sw.n_pins] for i, p in enumerate(sw.pins)
+        }
+        # extend to nodes via graph isomorphism check: relabeled pin graph
+        # must be isomorphic with matching edge lengths
+        g1 = sw.graph
+        g2 = nx.relabel_nodes(sw.graph, {**{n: n for n in sw.nodes}}, copy=True)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            g1, g2,
+            edge_match=lambda e1, e2: abs(e1["length"] - e2["length"]) < 1e-9,
+        )
+        found = False
+        for mapping in matcher.isomorphisms_iter():
+            if all(mapping[p] == pin_map[p] for p in sw.pins):
+                found = True
+                break
+        assert found, f"no automorphism realizes the {shift}-pin rotation"

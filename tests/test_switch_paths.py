@@ -1,0 +1,163 @@
+"""Tests for candidate path enumeration (repro.switches.paths)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SwitchModelError
+from repro.switches import CrossbarSwitch, enumerate_paths
+from repro.switches.base import segment_key
+
+
+@pytest.fixture(scope="module")
+def sw8():
+    return CrossbarSwitch(8)
+
+
+@pytest.fixture(scope="module")
+def catalog8(sw8):
+    return enumerate_paths(sw8)
+
+
+def test_every_ordered_pin_pair_covered(sw8, catalog8):
+    for a in sw8.pins:
+        for b in sw8.pins:
+            if a == b:
+                continue
+            assert catalog8.between(a, b), f"no path {a}->{b}"
+
+
+def test_paths_are_shortest(sw8, catalog8):
+    import networkx as nx
+    for a in sw8.pins:
+        dist = nx.single_source_dijkstra_path_length(sw8.graph, a, weight="length")
+        for b in sw8.pins:
+            if a == b:
+                continue
+            for p in catalog8.between(a, b):
+                assert p.length == pytest.approx(dist[b])
+
+
+def test_path_structure(sw8, catalog8):
+    for p in catalog8:
+        assert p.vertices[0] == p.source_pin
+        assert p.vertices[-1] == p.target_pin
+        # consecutive vertices joined by actual segments
+        for a, b in zip(p.vertices, p.vertices[1:]):
+            assert segment_key(a, b) in sw8.segments
+        # nodes exclude pins
+        assert all(not sw8.is_pin(n) for n in p.nodes)
+        # segment set consistent with the vertex sequence
+        assert p.segments == frozenset(
+            segment_key(a, b) for a, b in zip(p.vertices, p.vertices[1:])
+        )
+        # no intermediate pins
+        assert all(not sw8.is_pin(v) for v in p.vertices[1:-1])
+
+
+def test_path_length_consistency(sw8, catalog8):
+    for p in catalog8:
+        assert p.length == pytest.approx(
+            sum(sw8.segments[k].length for k in p.segments)
+        )
+
+
+def test_unique_indices(catalog8):
+    indices = [p.index for p in catalog8]
+    assert len(set(indices)) == len(indices)
+
+
+def test_major_nodes_subset(sw8, catalog8):
+    for p in catalog8:
+        majors = p.major_nodes(sw8)
+        assert majors <= p.nodes
+        assert all(sw8.kinds[n].value in ("center", "arm") for n in majors)
+
+
+def test_uses_node_and_segment(sw8, catalog8):
+    p = catalog8.between("T1", "B1")[0]
+    assert p.uses_node("TL") or p.uses_node("L") or p.uses_node("C")
+    a, b = next(iter(p.segments))
+    assert p.uses_segment(a, b) and p.uses_segment(b, a)
+
+
+def test_slack_enumerates_more_paths(sw8):
+    strict = enumerate_paths(sw8)
+    slack = enumerate_paths(sw8, slack=2.0)
+    assert len(slack) > len(strict)
+    # slack paths stay within budget
+    for a in sw8.pins:
+        for b in sw8.pins:
+            if a == b:
+                continue
+            shortest = strict.shortest_length(a, b)
+            for p in slack.between(a, b):
+                assert p.length <= shortest + 2.0 + 1e-9
+                assert len(set(p.vertices)) == len(p.vertices)  # simple
+
+
+def test_slack_paths_sorted_shortest_first(sw8):
+    cat = enumerate_paths(sw8, slack=2.0)
+    for a in sw8.pins:
+        for b in sw8.pins:
+            if a == b:
+                continue
+            lengths = [p.length for p in cat.between(a, b)]
+            assert lengths == sorted(lengths)
+
+
+def test_max_paths_per_pair(sw8):
+    capped = enumerate_paths(sw8, slack=2.0, max_paths_per_pair=1)
+    for a in sw8.pins:
+        for b in sw8.pins:
+            if a == b:
+                continue
+            paths = capped.between(a, b)
+            assert len(paths) == 1
+            # the kept path is a shortest one
+            assert paths[0].length == pytest.approx(
+                enumerate_paths(sw8).shortest_length(a, b)
+            )
+
+
+def test_pin_restriction(sw8):
+    cat = enumerate_paths(sw8, pins=["T1", "B1"])
+    starts = {p.source_pin for p in cat}
+    ends = {p.target_pin for p in cat}
+    assert starts == {"T1", "B1"}
+    assert ends == {"T1", "B1"}
+
+
+def test_invalid_inputs(sw8):
+    with pytest.raises(SwitchModelError):
+        enumerate_paths(sw8, slack=-1.0)
+    with pytest.raises(SwitchModelError):
+        enumerate_paths(sw8, pins=["C"])  # a node, not a pin
+    with pytest.raises(SwitchModelError):
+        enumerate_paths(sw8).shortest_length("T1", "T1")
+
+
+def test_starting_and_ending_at(catalog8):
+    starting = catalog8.starting_at("T1")
+    assert starting and all(p.source_pin == "T1" for p in starting)
+    ending = catalog8.ending_at("B2")
+    assert ending and all(p.target_pin == "B2" for p in ending)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([8, 12]), st.floats(min_value=0.0, max_value=3.0))
+def test_enumeration_invariants_property(n_pins, slack):
+    """Property: any slack, any size — paths are simple, within budget,
+    and cover every ordered pin pair."""
+    sw = CrossbarSwitch(n_pins)
+    cat = enumerate_paths(sw, slack=slack)
+    shortest = enumerate_paths(sw)
+    for a in sw.pins:
+        for b in sw.pins:
+            if a == b:
+                continue
+            base = shortest.shortest_length(a, b)
+            paths = cat.between(a, b)
+            assert paths
+            for p in paths:
+                assert p.length <= base + slack + 1e-6
+                assert len(set(p.vertices)) == len(p.vertices)

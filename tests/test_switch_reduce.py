@@ -1,0 +1,67 @@
+"""Tests for application-specific switch reduction (repro.switches.reduce)."""
+
+import pytest
+
+from repro.errors import SwitchModelError
+from repro.switches import CrossbarSwitch, reduce_switch
+from repro.switches.base import segment_key
+
+
+@pytest.fixture()
+def sw():
+    return CrossbarSwitch(8)
+
+
+def _keys(*pairs):
+    return {segment_key(a, b) for a, b in pairs}
+
+
+def test_reduction_metrics(sw):
+    used = _keys(("T1", "TL"), ("TL", "T"), ("T", "C"), ("C", "R"), ("R", "TR"),
+                 ("TR", "R1"))
+    essential = _keys(("T", "C"), ("C", "R"))
+    red = reduce_switch(sw, used, essential)
+    assert red.num_valves == 2
+    assert red.flow_channel_length == pytest.approx(0.7 + 1 + 1 + 1 + 1 + 0.7)
+    assert red.is_connected()
+    assert set(red.used_pins) == {"T1", "R1"}
+    assert "C" in red.used_nodes and "BL" not in red.used_nodes
+
+
+def test_removed_sets(sw):
+    used = _keys(("T1", "TL"), ("TL", "T"))
+    red = reduce_switch(sw, used, set())
+    assert len(red.removed_segments) == len(sw.segments) - 2
+    assert segment_key("C", "R") in red.removed_segments
+    # all valves removed (none essential)
+    assert len(red.removed_valves) == len(sw.valves)
+
+
+def test_essential_valve_on_removed_segment_rejected(sw):
+    used = _keys(("T1", "TL"))
+    essential = _keys(("C", "R"))
+    with pytest.raises(SwitchModelError):
+        reduce_switch(sw, used, essential)
+
+
+def test_unknown_segment_rejected(sw):
+    with pytest.raises(SwitchModelError):
+        reduce_switch(sw, {("T1", "B1")}, set())
+
+
+def test_disconnected_reduction_detected(sw):
+    used = _keys(("T1", "TL"), ("B1", "BL"))
+    red = reduce_switch(sw, used, set())
+    assert not red.is_connected()
+
+
+def test_graph_has_lengths(sw):
+    used = _keys(("T1", "TL"), ("TL", "T"))
+    g = reduce_switch(sw, used, set()).graph()
+    assert g.edges["T1", "TL"]["length"] == pytest.approx(0.7)
+
+
+def test_segment_objects_accessible(sw):
+    used = _keys(("T1", "TL"), ("TL", "T"))
+    red = reduce_switch(sw, used, set())
+    assert {str(s) for s in red.segments} == {"T1-TL", "T-TL"}

@@ -1,0 +1,116 @@
+"""Tests for the switch structural validator (repro.switches.validate)."""
+
+import pytest
+
+from repro.errors import SwitchModelError
+from repro.geometry import Point
+from repro.switches import (
+    CrossbarSwitch,
+    GRUSwitch,
+    ScalableCrossbarSwitch,
+    SpineSwitch,
+    assert_valid_switch,
+    validate_switch,
+)
+from repro.switches.base import NodeKind, SwitchModel
+
+
+class CustomSwitch(SwitchModel):
+    """A minimal hand-built topology used to exercise the validator."""
+
+    def __init__(self, break_mode: str = "none") -> None:
+        super().__init__("custom")
+        self._add_node("C", NodeKind.CENTER, Point(0, 0))
+        self._add_node("N", NodeKind.ARM, Point(0, 1))
+        self._add_node("S", NodeKind.ARM, Point(0, -1))
+        self._add_pin("P1", Point(0, 2))
+        self._add_pin("P2", Point(0, -2))
+        self._add_segment("P1", "N")
+        self._add_segment("N", "C")
+        self._add_segment("C", "S")
+        self._add_segment("S", "P2")
+
+        if break_mode == "dangling_pin":
+            self._add_pin("P3", Point(2, 0))          # never connected
+        elif break_mode == "fat_pin":
+            self._add_pin("P3", Point(2, 0))
+            self._add_segment("P3", "C")
+            self._add_segment("P3", "N")              # degree-2 pin
+        elif break_mode == "island":
+            self._add_node("X", NodeKind.ARM, Point(5, 5))
+            self._add_node("Y", NodeKind.ARM, Point(5, 6))
+            self._add_segment("X", "Y")               # disconnected part
+        elif break_mode == "bad_rotation":
+            self.rotation_order = 3                   # 2 pins % 3 != 0
+        elif break_mode == "crowded":
+            # a node closer than flow width + spacing to another vertex
+            self._add_node("Z", NodeKind.ARM, Point(0.05, 0))
+            self._add_segment("Z", "N")
+            self._add_segment("Z", "S")
+
+
+@pytest.mark.parametrize("switch_cls", [CrossbarSwitch, ScalableCrossbarSwitch])
+@pytest.mark.parametrize("n_pins", [8, 12, 16])
+def test_shipped_crossbars_validate(switch_cls, n_pins):
+    assert validate_switch(switch_cls(n_pins)) == []
+
+
+@pytest.mark.parametrize("factory", [lambda: SpineSwitch(8),
+                                     lambda: GRUSwitch(8),
+                                     lambda: GRUSwitch(12)])
+def test_shipped_baselines_validate(factory):
+    assert validate_switch(factory()) == []
+
+
+def test_clean_custom_switch_passes():
+    assert validate_switch(CustomSwitch()) == []
+    assert_valid_switch(CustomSwitch())
+
+
+def test_dangling_pin_detected():
+    problems = validate_switch(CustomSwitch("dangling_pin"))
+    assert any("P3" in p and "degree" in p for p in problems) or \
+        any("not connected" in p for p in problems)
+
+
+def test_fat_pin_detected():
+    problems = validate_switch(CustomSwitch("fat_pin"))
+    assert any("exactly one segment" in p for p in problems)
+
+
+def test_disconnected_island_detected():
+    problems = validate_switch(CustomSwitch("island"))
+    assert any("not connected" in p for p in problems)
+
+
+def test_bad_rotation_order_detected():
+    problems = validate_switch(CustomSwitch("bad_rotation"))
+    assert any("rotation_order" in p for p in problems)
+
+
+def test_crowded_layout_detected():
+    problems = validate_switch(CustomSwitch("crowded"))
+    assert any("closer than" in p for p in problems)
+
+
+def test_assert_valid_switch_raises_with_report():
+    with pytest.raises(SwitchModelError) as exc:
+        assert_valid_switch(CustomSwitch("fat_pin"))
+    assert "failed validation" in str(exc.value)
+
+
+def test_custom_switch_synthesizes_end_to_end():
+    """A validated custom topology slots straight into the pipeline."""
+    from repro.core import BindingPolicy, Flow, SwitchSpec, synthesize
+
+    sw = CustomSwitch()
+    spec = SwitchSpec(
+        switch=sw,
+        modules=["a", "b"],
+        flows=[Flow(1, "a", "b")],
+        binding=BindingPolicy.FIXED,
+        fixed_binding={"a": "P1", "b": "P2"},
+    )
+    result = synthesize(spec)
+    assert result.status.solved
+    assert result.flow_paths[1].vertices == ("P1", "N", "C", "S", "P2")

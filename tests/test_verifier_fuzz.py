@@ -1,0 +1,95 @@
+"""Fuzzing the verifier with mutated solutions.
+
+The static verifier and the dynamic simulator are independent; their
+verdicts must stay consistent under random mutation of a valid result:
+
+* merging two flow sets is either accepted by the verifier (and then
+  must simulate cleanly after re-analysis) or rejected;
+* swapping two flows' paths breaks the binding coupling and must be
+  rejected;
+* dropping a flow from the schedule must be rejected.
+"""
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cases import generate_case
+from repro.core import BindingPolicy, SynthesisOptions, synthesize
+from repro.core.valves import analyze_valves
+from repro.core.verify import verify_result, verify_schedule
+from repro.errors import VerificationError
+from repro.sim import simulate
+
+OPTS = SynthesisOptions(time_limit=30)
+
+
+def _solved(seed):
+    spec = generate_case(seed=seed, switch_size=8, n_flows=3, n_inlets=2,
+                         n_conflicts=1, binding=BindingPolicy.FIXED)
+    res = synthesize(spec, OPTS)
+    return res if res.status.solved else None
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_set_merge_mutation(seed):
+    """Merging the first two sets: verifier accepts iff the merge is
+    site-disjoint per inlet, and acceptance implies a clean simulation."""
+    res = _solved(seed)
+    if res is None or len(res.flow_sets) < 2:
+        return
+    mutant = copy.copy(res)
+    merged = sorted(res.flow_sets[0] + res.flow_sets[1])
+    mutant.flow_sets = [merged] + [list(g) for g in res.flow_sets[2:]]
+    try:
+        verify_schedule(mutant.spec, mutant.flow_paths, mutant.flow_sets)
+        accepted = True
+    except VerificationError:
+        accepted = False
+    if accepted:
+        # re-derive the valve schedule for the new sets, then execute
+        mutant.valves = analyze_valves(mutant.spec.switch,
+                                       mutant.flow_paths, mutant.flow_sets)
+        report = simulate(mutant)
+        assert report.is_clean, report.summary()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_path_swap_mutation_rejected(seed):
+    res = _solved(seed)
+    if res is None:
+        return
+    fids = sorted(res.flow_paths)
+    if len(fids) < 2:
+        return
+    a, b = fids[0], fids[1]
+    # swapping is only a real corruption when endpoints differ
+    pa, pb = res.flow_paths[a], res.flow_paths[b]
+    if (pa.source_pin, pa.target_pin) == (pb.source_pin, pb.target_pin):
+        return
+    mutant = copy.copy(res)
+    mutant.flow_paths = dict(res.flow_paths)
+    mutant.flow_paths[a], mutant.flow_paths[b] = pb, pa
+    with pytest.raises(VerificationError):
+        verify_result(mutant)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_dropped_flow_mutation_rejected(seed):
+    res = _solved(seed)
+    if res is None:
+        return
+    mutant = copy.copy(res)
+    mutant.flow_sets = [list(g) for g in res.flow_sets]
+    mutant.flow_sets[0] = mutant.flow_sets[0][1:]
+    if not mutant.flow_sets[0]:
+        mutant.flow_sets = mutant.flow_sets[1:]
+    with pytest.raises(VerificationError):
+        verify_schedule(mutant.spec, mutant.flow_paths, mutant.flow_sets)

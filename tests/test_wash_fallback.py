@@ -1,0 +1,66 @@
+"""Tests for wash-fallback synthesis (repro.core.wash_fallback)."""
+
+import pytest
+
+from repro.cases import nucleic_acid
+from repro.core import (
+    BindingPolicy,
+    SynthesisOptions,
+    SynthesisStatus,
+    synthesize_with_wash_fallback,
+)
+from repro.core.verify import verify_result
+
+OPTS = SynthesisOptions(time_limit=60)
+
+
+def test_solvable_case_stays_contamination_free():
+    out = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.UNFIXED),
+                                        OPTS)
+    assert out.contamination_free
+    assert not out.used_fallback
+    assert out.washes.is_wash_free
+    assert "0 wash operations" in out.summary()
+
+
+def test_infeasible_case_gets_wash_fallback():
+    """Table 4.1's 'no solution' rows become feasible-with-washing: the
+    fixed nucleic-acid case shares channels but washes between uses."""
+    out = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.FIXED),
+                                        OPTS)
+    assert out.used_fallback
+    assert out.result.status.solved
+    assert out.washes.num_phases >= 1
+    assert "wash phase" in out.summary()
+
+
+def test_fallback_result_is_internally_consistent():
+    out = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.FIXED),
+                                        OPTS)
+    result = out.result
+    # the relaxed spec carries no conflicts, so full verification holds
+    assert not result.spec.conflicts
+    verify_result(result)
+    # conflicting flows (of the *original* case) never share a set
+    original = nucleic_acid(BindingPolicy.FIXED)
+    for pair in original.conflicts:
+        i, j = sorted(pair)
+        assert result.set_of_flow(i) != result.set_of_flow(j)
+
+
+def test_fallback_valve_analysis_recomputed():
+    out = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.FIXED),
+                                        OPTS)
+    result = out.result
+    assert result.valves is not None
+    n_sets = result.num_flow_sets
+    for seq in result.valves.status.values():
+        assert len(seq) == n_sets
+
+
+def test_wash_free_beats_fallback_on_wash_count():
+    free = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.UNFIXED),
+                                         OPTS)
+    washed = synthesize_with_wash_fallback(nucleic_acid(BindingPolicy.FIXED),
+                                           OPTS)
+    assert free.washes.num_phases < washed.washes.num_phases

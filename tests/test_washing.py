@@ -1,0 +1,103 @@
+"""Tests for the wash-operation analysis (repro.analysis.washing)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import wash_plan, wash_plan_for_result
+from repro.analysis.contamination import route_shortest
+from repro.cases import generate_case, nucleic_acid
+from repro.core import (
+    BindingPolicy,
+    Flow,
+    SwitchSpec,
+    SynthesisOptions,
+    conflict_pair,
+    synthesize,
+)
+from repro.errors import ReproError
+from repro.sim import fluid_conflicts_of
+from repro.switches import SpineSwitch
+
+
+def test_synthesized_results_are_wash_free():
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    res = synthesize(spec, SynthesisOptions(time_limit=60))
+    assert res.status.solved
+    plan = wash_plan_for_result(res)
+    assert plan.is_wash_free
+    assert plan.num_phases == 0
+    assert "wash-free" in plan.summary()
+
+
+def test_spine_needs_washes_for_conflicting_reuse():
+    """Serializing the nucleic-acid flows on a spine forces wash phases
+    between conflicting reuses of the shared spine."""
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    spine = SpineSwitch(len(spec.modules))
+    binding = {m: spine.pins[i] for i, m in enumerate(spec.modules)}
+    paths = route_shortest(spine, binding, spec.flows)
+    plan = wash_plan(
+        paths,
+        [[1], [2], [3]],
+        {f.id: f.source for f in spec.flows},
+        fluid_conflicts_of(spec),
+    )
+    assert not plan.is_wash_free
+    assert plan.num_phases >= 1
+    assert plan.total_washed_sites >= 1
+    assert "wash phase" in plan.summary()
+
+
+def test_wash_clears_residue():
+    """After a wash, the same reuse does not demand another wash until
+    the conflicting fluid passes again."""
+    spec = nucleic_acid(BindingPolicy.UNFIXED)
+    spine = SpineSwitch(len(spec.modules))
+    binding = {m: spine.pins[i] for i, m in enumerate(spec.modules)}
+    paths = route_shortest(spine, binding, spec.flows)
+    sources = {f.id: f.source for f in spec.flows}
+    conflicts = fluid_conflicts_of(spec)
+    # run flow 1 twice in a row after flow 2: 2 | 1 | 1 — the second
+    # "1" set deposits the same fluid, no wash needed between them
+    plan = wash_plan(paths, [[2], [1]], sources, conflicts)
+    base_phases = plan.num_phases
+    plan2 = wash_plan(paths, [[2], [1], [1]], sources, conflicts)
+    assert plan2.num_phases == base_phases
+
+
+def test_nonconflicting_residue_needs_no_wash():
+    spec = SwitchSpec(
+        switch=SpineSwitch(4),
+        modules=["a", "b", "oa", "ob"],
+        flows=[Flow(1, "a", "oa"), Flow(2, "b", "ob")],
+        binding=BindingPolicy.UNFIXED,
+    )
+    spine = spec.switch
+    binding = {m: spine.pins[i] for i, m in enumerate(spec.modules)}
+    paths = route_shortest(spine, binding, spec.flows)
+    plan = wash_plan(paths, [[1], [2]], {1: "a", 2: "b"}, set())
+    assert plan.is_wash_free
+
+
+def test_unrouted_flow_rejected():
+    with pytest.raises(ReproError):
+        wash_plan({}, [[1]], {1: "a"}, set())
+
+
+def test_unsolved_result_rejected():
+    res = synthesize(nucleic_acid(BindingPolicy.FIXED))
+    with pytest.raises(ReproError):
+        wash_plan_for_result(res)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_every_solved_case_is_wash_free(seed):
+    """Property: the paper's headline claim, in wash terms — a solved
+    synthesis never needs a wash phase."""
+    spec = generate_case(seed=seed, switch_size=8, n_flows=3, n_inlets=2,
+                         n_conflicts=2, binding=BindingPolicy.FIXED)
+    res = synthesize(spec, SynthesisOptions(time_limit=30))
+    if res.status.solved:
+        assert wash_plan_for_result(res).is_wash_free
