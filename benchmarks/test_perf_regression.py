@@ -1,0 +1,123 @@
+"""Per-phase performance regression guard.
+
+Runs a small fixed set of representative workloads, records their phase
+breakdown (catalog/build/linearize/presolve/solve/extract/...) to
+``BENCH_opt.json`` at the repo root, and compares against the previous
+snapshot if one exists. A phase only counts as a regression when it is
+both **3× slower** than the recorded value *and* slower by more than an
+absolute guard (0.2 s) — otherwise a fast phase jittering from 2 ms to
+7 ms would fail the build. Shared machines are noisy; the assert is a
+smoke alarm for algorithmic regressions (a presolve round going
+quadratic, a cache stopping to hit), not a timer.
+
+Run with ``pytest benchmarks/test_perf_regression.py -q``; the CI
+micro-benchmark job runs exactly this file.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.cases import chip_sw1, generate_case
+from repro.core import BindingPolicy, SynthesisOptions, synthesize
+from repro.opt import Model, presolve, quicksum
+from repro.perf import PerfRecorder, emit_bench_json, load_bench_json
+from repro.switches import clear_path_cache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_opt.json"
+
+#: Regression thresholds: both must be exceeded for a phase to count.
+RATIO_LIMIT = 3.0
+ABS_GUARD_S = 0.2
+
+
+def _synthesis_record(name: str, spec_factory) -> Dict[str, object]:
+    clear_path_cache()
+    result = synthesize(spec_factory(), SynthesisOptions(time_limit=60))
+    rec = PerfRecorder(name)
+    rec.timings.merge(result.timings)
+    row = rec.record()
+    row["status"] = result.status.value
+    return row
+
+
+def _presolve_micro_record() -> Dict[str, object]:
+    """Vectorized presolve on a chained-equality ladder (pure machinery)."""
+    rec = PerfRecorder("presolve_micro")
+    m = Model("ladder")
+    xs = [m.add_integer(f"x{i}", 0, 50) for i in range(400)]
+    m.add_constr(xs[0] == 7)
+    for a, b in zip(xs, xs[1:]):
+        m.add_constr(a + b == 20)
+    m.set_objective(quicksum(xs), "min")
+    with rec.phase("presolve"):
+        res = presolve(m)
+    assert res.model.num_vars == 0  # the ladder collapses entirely
+    return rec.record()
+
+
+def _compile_cache_record() -> Dict[str, object]:
+    """Repeated solves of one model: later solves reuse the compilation."""
+    rec = PerfRecorder("compile_cache")
+    spec = generate_case(seed=11, switch_size=8, n_flows=3)
+    from repro.core.builder import SynthesisModelBuilder
+    from repro.core.synthesizer import build_catalog
+
+    catalog = build_catalog(spec, SynthesisOptions())
+    built = SynthesisModelBuilder(spec, catalog).build()
+    with rec.phase("solve"):
+        built.model.solve(time_limit=60)
+    with rec.phase("resolve"):  # compiled arrays are cached now
+        built.model.solve(time_limit=60)
+    return rec.record()
+
+
+def collect_records() -> List[Dict[str, object]]:
+    return [
+        _synthesis_record("chip_sw1_fixed",
+                          lambda: chip_sw1(BindingPolicy.FIXED)),
+        _synthesis_record("artificial_8pin",
+                          lambda: generate_case(seed=42, switch_size=8, n_flows=3)),
+        _presolve_micro_record(),
+        _compile_cache_record(),
+    ]
+
+
+def _regressions(previous: Dict[str, object],
+                 records: List[Dict[str, object]]) -> List[str]:
+    old_by_name = {r["name"]: r for r in previous.get("records", [])
+                   if isinstance(r, dict) and "name" in r}
+    problems = []
+    for record in records:
+        old = old_by_name.get(record["name"])
+        if not old:
+            continue  # new workload: nothing to compare
+        old_phases = old.get("phases", {})
+        for phase, seconds in record["phases"].items():
+            before = old_phases.get(phase)
+            if before is None or before <= 0:
+                continue
+            if seconds > RATIO_LIMIT * before and seconds - before > ABS_GUARD_S:
+                problems.append(
+                    f"{record['name']}/{phase}: {before:.4f}s -> {seconds:.4f}s "
+                    f"({seconds / before:.1f}x)"
+                )
+    return problems
+
+
+def test_phase_timings_regression():
+    previous = load_bench_json(BENCH_PATH)
+    records = collect_records()
+    problems = _regressions(previous, records) if previous else []
+    emit_bench_json(BENCH_PATH, records, meta={
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "ratio_limit": RATIO_LIMIT,
+        "abs_guard_s": ABS_GUARD_S,
+    })
+    assert not problems, "phase regressions vs BENCH_opt.json: " + "; ".join(problems)

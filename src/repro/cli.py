@@ -84,6 +84,11 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     print(f"synthesizing {spec.summary()} ...")
     result = synthesize(spec, options)
     print(format_table([result.table_row()]))
+    if args.profile and result.timings:
+        from repro.perf import format_phase_table
+
+        print("phase breakdown:")
+        print(format_phase_table(result.timings))
     if not result.status.solved:
         return 1
     print(f"binding: {result.binding}")
@@ -175,9 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=[b.value for b in BindingPolicy],
                    help="binding policy (registry cases)")
     p.add_argument("--backend", default="auto",
-                   choices=["auto", "highs", "branch_bound", "backtrack"])
+                   choices=["auto", "highs", "branch_bound", "backtrack",
+                            "portfolio"])
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--pressure", default="ilp", choices=["ilp", "greedy"])
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-phase wall-clock breakdown")
     p.add_argument("--svg", help="render the result to this SVG file")
     p.add_argument("--json", help="write the result to this JSON file")
     p.set_defaults(func=cmd_synthesize)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.spec import SwitchSpec
+from repro.perf import PhaseTimings
 from repro.switches.paths import Path
 from repro.switches.reduce import ReducedSwitch
 
@@ -85,6 +86,9 @@ class SynthesisResult:
     pressure: Optional[PressureSharingResult] = None
     reduced: Optional[ReducedSwitch] = None
     solver: str = ""
+    #: Wall-clock breakdown by pipeline phase (catalog / build /
+    #: linearize / presolve / solve / extract / analyze / verify).
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
 
     # -- the metrics of Tables 4.1-4.3 -----------------------------------
     @property

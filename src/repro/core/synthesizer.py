@@ -26,6 +26,7 @@ from repro.core.valves import analyze_valves
 from repro.core.verify import verify_result
 from repro.errors import ReproError
 from repro.opt import SolveStatus
+from repro.perf import PerfRecorder
 from repro.switches.paths import PathCatalog, enumerate_paths
 from repro.switches.reduce import reduce_switch
 
@@ -68,45 +69,59 @@ def synthesize(spec: SwitchSpec,
     """Synthesize an application-specific, contamination-free switch."""
     options = options or SynthesisOptions()
     start = time.perf_counter()
+    recorder = PerfRecorder(spec.name)
 
-    catalog = build_catalog(spec, options)
-    built = SynthesisModelBuilder(spec, catalog).build()
+    with recorder.phase("catalog"):
+        catalog = build_catalog(spec, options)
+    with recorder.phase("build"):
+        built = SynthesisModelBuilder(spec, catalog).build()
     sol = built.model.solve(
         backend=options.backend,
         time_limit=options.time_limit,
         mip_gap=options.mip_gap,
         verbose=options.verbose,
     )
+    # The model reports its own sub-phases (linearize/presolve/solve/...).
+    recorder.timings.merge(sol.timings)
     runtime = time.perf_counter() - start
 
     if sol.status is SolveStatus.INFEASIBLE:
-        return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
-                               runtime=runtime, solver=sol.solver)
+        result = SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                                 runtime=runtime, solver=sol.solver)
+        result.timings = recorder.timings
+        return result
     if not sol.has_solution:
-        return SynthesisResult(spec, SynthesisStatus.TIMEOUT,
-                               runtime=runtime, solver=sol.solver)
+        result = SynthesisResult(spec, SynthesisStatus.TIMEOUT,
+                                 runtime=runtime, solver=sol.solver)
+        result.timings = recorder.timings
+        return result
 
-    result = _extract(built, sol)
-    result.runtime = runtime
+    with recorder.phase("extract"):
+        result = _extract(built, sol)
     result.status = (SynthesisStatus.OPTIMAL if sol.is_optimal
                      else SynthesisStatus.FEASIBLE)
     result.solver = sol.solver
     result.objective = sol.objective
 
-    result.valves = analyze_valves(spec.switch, result.flow_paths, result.flow_sets)
-    result.reduced = reduce_switch(
-        spec.switch, result.used_segments, result.valves.essential
-    )
-    if options.pressure_sharing and result.valves.essential:
-        result.pressure = share_pressure(
-            result.valves.status,
-            valves=sorted(result.valves.essential),
-            method=options.pressure_method,
-            backend=options.backend,
+    with recorder.phase("analyze"):
+        result.valves = analyze_valves(
+            spec.switch, result.flow_paths, result.flow_sets)
+        result.reduced = reduce_switch(
+            spec.switch, result.used_segments, result.valves.essential
         )
+        if options.pressure_sharing and result.valves.essential:
+            result.pressure = share_pressure(
+                result.valves.status,
+                valves=sorted(result.valves.essential),
+                method=options.pressure_method,
+                backend=options.backend,
+            )
 
     if options.verify:
-        verify_result(result)
+        with recorder.phase("verify"):
+            verify_result(result)
+    result.runtime = time.perf_counter() - start
+    result.timings = recorder.timings
     return result
 
 

@@ -4,6 +4,12 @@ For larger studies than the paper's tables: run a grid of artificial
 cases (or any list of specs), collect one row per run, and write a CSV
 that survives the session — the raw material for scaling plots and
 statistical summaries.
+
+Sweeps are embarrassingly parallel (each spec is an independent MILP),
+so :func:`run_batch` takes ``workers=N`` to fan the grid out over a
+``multiprocessing`` pool. Rows come back in spec order regardless of
+which worker finishes first, so a parallel sweep writes a CSV identical
+to the serial one (see ``tests/test_determinism.py``).
 """
 
 from __future__ import annotations
@@ -12,10 +18,10 @@ import csv
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.spec import BindingPolicy, SwitchSpec
-from repro.core.synthesizer import SynthesisOptions, synthesize
+from repro.core.spec import SwitchSpec
+from repro.core.synthesizer import SynthesisOptions, SynthesisResult, synthesize
 from repro.errors import ReproError
 
 CSV_COLUMNS = [
@@ -64,35 +70,70 @@ class BatchResult:
         return {k: sum(vals) / len(vals) for k, vals in groups.items()}
 
 
+def _spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
+    """One CSV row for one synthesis run."""
+    row: Dict[str, object] = {
+        "case": spec.name,
+        "binding": spec.binding.value,
+        "switch": spec.switch.size_label,
+        "modules": len(spec.modules),
+        "flows": len(spec.flows),
+        "conflicts": len(spec.conflicts),
+        "status": result.status.value,
+        "runtime_s": round(result.runtime, 4),
+    }
+    if result.status.solved:
+        row.update({
+            "objective": result.objective,
+            "length_mm": round(result.flow_channel_length, 4),
+            "num_sets": result.num_flow_sets,
+            "num_valves": result.num_valves,
+            "num_control_inlets": result.num_control_inlets,
+        })
+    return row
+
+
+def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions]
+             ) -> Tuple[int, Dict[str, object], SynthesisResult]:
+    """Worker body; module-level so multiprocessing can pickle it."""
+    index, spec, options = task
+    result = synthesize(spec, options)
+    return index, _spec_row(spec, result), result
+
+
 def run_batch(
     specs: Iterable[SwitchSpec],
     options: Optional[SynthesisOptions] = None,
     on_result: Optional[Callable] = None,
+    workers: int = 1,
 ) -> BatchResult:
-    """Synthesize every spec and collect one CSV row per run."""
+    """Synthesize every spec and collect one CSV row per run.
+
+    With ``workers > 1`` the specs are distributed over a process pool;
+    rows (and ``on_result`` callbacks) are still delivered in the input
+    order, so results are independent of worker scheduling.
+    """
     options = options or SynthesisOptions()
+    spec_list = list(specs)
     batch = BatchResult()
-    for spec in specs:
+
+    if workers > 1 and len(spec_list) > 1:
+        import multiprocessing as mp
+
+        tasks = [(i, spec, options) for i, spec in enumerate(spec_list)]
+        ctx = mp.get_context("spawn")  # fork is unsafe with threaded solvers
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            outcomes = pool.map(_run_one, tasks)
+        outcomes.sort(key=lambda item: item[0])
+        for index, row, result in outcomes:
+            batch.rows.append(row)
+            if on_result is not None:
+                on_result(spec_list[index], result)
+        return batch
+
+    for spec in spec_list:
         result = synthesize(spec, options)
-        row: Dict[str, object] = {
-            "case": spec.name,
-            "binding": spec.binding.value,
-            "switch": spec.switch.size_label,
-            "modules": len(spec.modules),
-            "flows": len(spec.flows),
-            "conflicts": len(spec.conflicts),
-            "status": result.status.value,
-            "runtime_s": round(result.runtime, 4),
-        }
-        if result.status.solved:
-            row.update({
-                "objective": result.objective,
-                "length_mm": round(result.flow_channel_length, 4),
-                "num_sets": result.num_flow_sets,
-                "num_valves": result.num_valves,
-                "num_control_inlets": result.num_control_inlets,
-            })
-        batch.rows.append(row)
+        batch.rows.append(_spec_row(spec, result))
         if on_result is not None:
             on_result(spec, result)
     return batch

@@ -131,17 +131,38 @@ def run_figures_4_1_4_2(time_limit: float = 60,
     return report
 
 
+def _artificial_one(task):
+    """Worker body for the parallel artificial sweep (picklable)."""
+    index, spec, options = task
+    result = synthesize(spec, options)
+    return index, result.table_row(), result.status.solved
+
+
 def run_artificial(count: int = 18, time_limit: float = 20,
-                   outdir: Optional[Union[str, Path]] = None) -> ExperimentReport:
-    """§4.2 — the artificial scheduling suite (subset by default)."""
+                   outdir: Optional[Union[str, Path]] = None,
+                   workers: int = 1) -> ExperimentReport:
+    """§4.2 — the artificial scheduling suite (subset by default).
+
+    The cases are independent, so ``workers > 1`` fans them out over a
+    process pool; rows keep the input order either way.
+    """
     report = ExperimentReport("artificial", "§4.2 — artificial cases")
     specs = suite_90()
     step = max(1, len(specs) // count)
+    chosen = specs[::step]
+    tasks = [(i, spec, _options(time_limit)) for i, spec in enumerate(chosen)]
+    if workers > 1 and len(tasks) > 1:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            outcomes = sorted(pool.map(_artificial_one, tasks))
+    else:
+        outcomes = [_artificial_one(task) for task in tasks]
     solved = failed = 0
-    for spec in specs[::step]:
-        result = synthesize(spec, _options(time_limit))
-        report.rows.append(result.table_row())
-        if result.status.solved:
+    for _, row, ok in outcomes:
+        report.rows.append(row)
+        if ok:
             solved += 1
         else:
             failed += 1

@@ -50,6 +50,10 @@ class Model:
         self.objective: ExprLike = LinExpr()
         self.minimize = True
         self._names: Dict[str, Var] = {}
+        # Mutation counter: bumped by every structural change so the
+        # compiled sparse form (repro.opt.compile) can be cached safely.
+        self._version = 0
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # construction
@@ -75,6 +79,7 @@ class Model:
         var = Var(name, vtype, lb, ub, index=len(self.variables), model_id=self._id)
         self.variables.append(var)
         self._names[name] = var
+        self._version += 1
         return var
 
     def add_binary(self, name: str) -> Var:
@@ -104,6 +109,7 @@ class Model:
         elif not constraint.name:
             constraint.name = f"c{len(self.constraints)}"
         self.constraints.append(constraint)
+        self._version += 1
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> List[Constraint]:
@@ -124,6 +130,7 @@ class Model:
         self._check_ownership(expr)
         self.objective = expr
         self.minimize = sense == "min"
+        self._version += 1
 
     def _check_ownership(self, expr: ExprLike) -> None:
         if isinstance(expr, LinExpr):
@@ -137,6 +144,26 @@ class Model:
                 raise ModelError(
                     f"variable {v.name!r} belongs to a different model than {self.name!r}"
                 )
+
+    # ------------------------------------------------------------------
+    # compilation cache
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """The model in sparse matrix form (cached; see repro.opt.compile).
+
+        The cache is invalidated automatically by :meth:`add_var`,
+        :meth:`add_constr` and :meth:`set_objective`; after mutating a
+        registered constraint's expression in place, call
+        :meth:`invalidate` manually.
+        """
+        from repro.opt.compile import compile_model
+
+        return compile_model(self)
+
+    def invalidate(self) -> None:
+        """Drop the cached compiled form after an in-place mutation."""
+        self._version += 1
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -208,38 +235,48 @@ class Model:
     ) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
-        ``backend`` is one of ``"auto"``, ``"highs"``, ``"branch_bound"``
-        or ``"backtrack"``. ``"auto"`` picks HiGHS when scipy provides
-        it and falls back to the built-in branch-and-bound otherwise.
-        Quadratic models are linearized exactly first; the reported
-        solution only contains the original variables.
+        ``backend`` is one of ``"auto"``, ``"highs"``, ``"branch_bound"``,
+        ``"backtrack"`` or ``"portfolio"``. ``"auto"`` picks HiGHS when
+        scipy provides it and falls back to the built-in
+        branch-and-bound otherwise. Quadratic models are linearized
+        exactly first; the reported solution only contains the original
+        variables. The returned solution carries a per-phase wall-clock
+        breakdown in ``solution.timings``.
         """
         from repro.opt.linearize import linearize
         from repro.opt.solvers import get_backend
+        from repro.perf import PerfRecorder
 
+        recorder = PerfRecorder(self.name)
         start = time.perf_counter()
         if self.is_linear():
             work_model, back_map = self, None
         else:
-            work_model, back_map = linearize(self)
+            with recorder.phase("linearize"):
+                work_model, back_map = linearize(self)
 
         solver = get_backend(backend)
-        solution = solver.solve(work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose)
+        with recorder.phase("solve"):
+            solution = solver.solve(
+                work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose
+            )
 
         if back_map is not None and solution.values is not None:
             solution = solution.restrict(set(self.variables))
-        solution.runtime = time.perf_counter() - start
-        solution.model_name = self.name
 
         if solution.status is SolveStatus.OPTIMAL and solution.values is not None:
-            violated = self.check_assignment(
-                {v: solution.values[v] for v in self.variables}, tol=1e-5
-            )
+            with recorder.phase("check"):
+                violated = self.check_assignment(
+                    {v: solution.values[v] for v in self.variables}, tol=1e-5
+                )
             if violated:
                 raise SolverError(
                     f"solver returned an assignment violating {len(violated)} constraint(s); "
                     f"first: {violated[0]!r}"
                 )
+        solution.runtime = time.perf_counter() - start
+        solution.model_name = self.name
+        solution.timings.merge(recorder.timings)
         return solution
 
     # ------------------------------------------------------------------

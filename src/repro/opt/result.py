@@ -7,6 +7,7 @@ from typing import Dict, Optional, Set, Union
 
 from repro.errors import ModelError
 from repro.opt.expr import LinExpr, QuadExpr, Var
+from repro.perf import PhaseTimings
 
 
 class SolveStatus(enum.Enum):
@@ -48,6 +49,8 @@ class Solution:
         self.gap = gap
         self.message = message
         self.model_name = ""
+        #: Wall-clock breakdown by phase (linearize / presolve / solve / ...).
+        self.timings = PhaseTimings()
 
     @property
     def is_optimal(self) -> bool:
@@ -88,6 +91,7 @@ class Solution:
             self.status, self.objective, values, self.runtime, self.solver, self.gap, self.message
         )
         clone.model_name = self.model_name
+        clone.timings = PhaseTimings(self.timings)
         return clone
 
     def __repr__(self) -> str:

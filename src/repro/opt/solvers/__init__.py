@@ -8,6 +8,10 @@ Three exact backends are provided:
 * ``"backtrack"`` — a pure-Python exhaustive CP search for small
   all-integer models (numerics-free oracle).
 
+A fourth meta-backend, ``"portfolio"``, races HiGHS against
+branch-and-bound on threads and returns the first conclusive result
+(see :mod:`repro.opt.solvers.portfolio`).
+
 ``"auto"`` resolves to HiGHS when scipy provides it, else branch-and-bound.
 """
 
@@ -41,6 +45,10 @@ def get_backend(name: str = "auto") -> SolverBackend:
         return BranchBoundBackend()
     if name == "backtrack":
         return BacktrackBackend()
+    if name == "portfolio":
+        from repro.opt.solvers.portfolio import PortfolioBackend
+
+        return PortfolioBackend()
     raise SolverError(f"unknown solver backend {name!r}")
 
 
@@ -50,6 +58,7 @@ def available_backends() -> Dict[str, bool]:
         "highs": _highs_available(),
         "branch_bound": True,
         "backtrack": True,
+        "portfolio": True,
     }
 
 

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.errors import ModelError
-from repro.opt.expr import LinExpr, QuadExpr, Sense, VarType
 from repro.opt.model import Model
 from repro.opt.result import Solution
 
@@ -28,58 +26,36 @@ class SolverBackend:
 
 
 class StandardForm:
-    """A model flattened to matrix form.
+    """A model flattened to dense matrix form.
 
     ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``,
     ``A_eq @ x == b_eq``, ``lb <= x <= ub``, with ``integrality`` flags
     (1 = integer, 0 = continuous). The objective is always stated as a
     minimization; ``obj_sign`` records the flip needed to report the
     original objective value, and ``obj_offset`` the constant term.
+
+    This is now a thin dense view over the cached sparse
+    :class:`~repro.opt.compile.CompiledModel`; backends that can consume
+    sparse matrices should use ``model.compiled()`` directly.
     """
 
     def __init__(self, model: Model) -> None:
-        if not model.is_linear():
-            raise ModelError("StandardForm requires a linear model; linearize first")
-        n = model.num_vars
-        self.variables = list(model.variables)
-        self.n = n
+        compiled = model.compiled()
+        self.variables = compiled.variables
+        self.n = compiled.n
+        self.c = compiled.c
+        self.obj_offset = compiled.obj_offset
+        self.obj_sign = compiled.obj_sign
 
-        obj = model.objective
-        if isinstance(obj, QuadExpr):
-            obj = LinExpr(dict(obj.lin_terms), obj.constant)
-        c = np.zeros(n)
-        for v, coef in obj.terms.items():
-            c[v.index] += coef
-        self.obj_offset = obj.constant
-        self.obj_sign = 1.0
-        if not model.minimize:
-            c = -c
-            self.obj_sign = -1.0
-        self.c = c
+        A_ub, b_ub, A_eq, b_eq = compiled.split_form()
+        self.A_ub = A_ub.toarray() if A_ub.shape[0] else np.zeros((0, compiled.n))
+        self.b_ub = b_ub
+        self.A_eq = A_eq.toarray() if A_eq.shape[0] else np.zeros((0, compiled.n))
+        self.b_eq = b_eq
 
-        ub_rows: List[Tuple[dict, float]] = []
-        eq_rows: List[Tuple[dict, float]] = []
-        for constr in model.constraints:
-            expr = constr.expr
-            if isinstance(expr, QuadExpr):
-                expr = LinExpr(dict(expr.lin_terms), expr.constant)
-            row = {v.index: coef for v, coef in expr.terms.items()}
-            rhs = -expr.constant
-            if constr.sense is Sense.LE:
-                ub_rows.append((row, rhs))
-            elif constr.sense is Sense.GE:
-                ub_rows.append(({i: -coef for i, coef in row.items()}, -rhs))
-            else:
-                eq_rows.append((row, rhs))
-
-        self.A_ub, self.b_ub = _rows_to_dense(ub_rows, n)
-        self.A_eq, self.b_eq = _rows_to_dense(eq_rows, n)
-
-        self.lb = np.array([v.lb for v in self.variables], dtype=float)
-        self.ub = np.array([v.ub for v in self.variables], dtype=float)
-        self.integrality = np.array(
-            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
-        )
+        self.lb = compiled.lb
+        self.ub = compiled.ub
+        self.integrality = compiled.integrality
 
     def report_objective(self, min_value: float) -> float:
         """Convert an internal minimization value to the user objective.
@@ -91,15 +67,3 @@ class StandardForm:
 
     def solution_dict(self, x: np.ndarray) -> dict:
         return {v: float(x[v.index]) for v in self.variables}
-
-
-def _rows_to_dense(rows: List[Tuple[dict, float]], n: int):
-    if not rows:
-        return np.zeros((0, n)), np.zeros(0)
-    a = np.zeros((len(rows), n))
-    b = np.zeros(len(rows))
-    for r, (row, rhs) in enumerate(rows):
-        for idx, coef in row.items():
-            a[r, idx] = coef
-        b[r] = rhs
-    return a, b

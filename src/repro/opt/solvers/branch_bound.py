@@ -9,6 +9,13 @@ branch-and-bound with most-fractional branching and incumbent rounding.
 It is intended for small-to-medium models (hundreds of variables) and
 as a cross-check oracle in tests; the HiGHS MILP backend remains the
 default for the large synthesis models.
+
+Implementation notes: the LP matrices come from the model's cached
+sparse compilation, and tree nodes store only their branching delta (a
+``(parent, variable, side, value)`` tuple) rather than full copies of
+the bound arrays — bounds are materialized by walking the parent chain
+when a node is popped, so memory per open node is O(1) instead of
+O(variables).
 """
 
 from __future__ import annotations
@@ -24,20 +31,47 @@ from scipy.optimize import linprog
 
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
-from repro.opt.solvers.base import SolverBackend, StandardForm
+from repro.opt.solvers.base import SolverBackend
 
 _INT_TOL = 1e-6
 
 
 class _Node:
-    """A branch-and-bound node: extra bounds layered on the root LP."""
+    """A branch-and-bound node: one bound delta layered on its parent.
 
-    __slots__ = ("lb", "ub", "bound")
+    ``var < 0`` marks the root. ``is_ub`` selects which bound the delta
+    replaces; the full bound vectors are reconstructed on demand by
+    :meth:`materialize`, so the open-node heap never holds per-node
+    copies of the bound arrays.
+    """
 
-    def __init__(self, lb: np.ndarray, ub: np.ndarray, bound: float) -> None:
-        self.lb = lb
-        self.ub = ub
+    __slots__ = ("parent", "var", "is_ub", "value", "bound")
+
+    def __init__(self, parent: Optional["_Node"], var: int, is_ub: bool,
+                 value: float, bound: float) -> None:
+        self.parent = parent
+        self.var = var
+        self.is_ub = is_ub
+        self.value = value
         self.bound = bound
+
+    def materialize(self, root_lb: np.ndarray, root_ub: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rebuild this node's bound vectors from the root arrays."""
+        lb = root_lb.copy()
+        ub = root_ub.copy()
+        deltas: List[Tuple[int, bool, float]] = []
+        node: Optional[_Node] = self
+        while node is not None and node.var >= 0:
+            deltas.append((node.var, node.is_ub, node.value))
+            node = node.parent
+        # Apply root-to-leaf so deeper (tighter) deltas win.
+        for var, is_ub, value in reversed(deltas):
+            if is_ub:
+                ub[var] = value
+            else:
+                lb[var] = value
+        return lb, ub
 
 
 class BranchBoundBackend(SolverBackend):
@@ -45,9 +79,13 @@ class BranchBoundBackend(SolverBackend):
 
     name = "branch_bound"
 
-    def __init__(self, max_nodes: int = 200_000, use_presolve: bool = True) -> None:
+    def __init__(self, max_nodes: int = 200_000, use_presolve: bool = True,
+                 cancel_event=None) -> None:
         self.max_nodes = max_nodes
         self.use_presolve = use_presolve
+        #: Optional :class:`threading.Event`; when set, the search stops
+        #: at the next node boundary (used by the portfolio backend).
+        self.cancel_event = cancel_event
 
     def solve(
         self,
@@ -59,19 +97,28 @@ class BranchBoundBackend(SolverBackend):
         if self.use_presolve:
             from repro.opt.presolve import presolve
 
+            t0 = time.perf_counter()
             reduction = presolve(model)
+            presolve_s = time.perf_counter() - t0
             if reduction.proven_infeasible:
-                return Solution(SolveStatus.INFEASIBLE, solver=self.name,
-                                message="presolve proved infeasibility")
-            inner = BranchBoundBackend(self.max_nodes, use_presolve=False)
+                sol = Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                               message="presolve proved infeasibility")
+                sol.timings.add("presolve", presolve_s)
+                return sol
+            inner = BranchBoundBackend(self.max_nodes, use_presolve=False,
+                                       cancel_event=self.cancel_event)
             sol = inner.solve(reduction.model, time_limit, mip_gap, verbose)
-            return _map_back(sol, model, reduction, self.name)
+            sol = _map_back(sol, model, reduction, self.name)
+            sol.timings.add("presolve", presolve_s)
+            return sol
 
         if model.num_vars == 0:
             obj = model.objective
             const = getattr(obj, "constant", 0.0)
             return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
-        form = StandardForm(model)
+
+        form = model.compiled()
+        A_ub, b_ub, A_eq, b_eq = form.split_form()
         start = time.perf_counter()
         deadline = start + time_limit if time_limit is not None else None
 
@@ -80,10 +127,10 @@ class BranchBoundBackend(SolverBackend):
         def relax(lb: np.ndarray, ub: np.ndarray):
             res = linprog(
                 form.c,
-                A_ub=form.A_ub if form.A_ub.size else None,
-                b_ub=form.b_ub if form.b_ub.size else None,
-                A_eq=form.A_eq if form.A_eq.size else None,
-                b_eq=form.b_eq if form.b_eq.size else None,
+                A_ub=A_ub if A_ub.nnz else None,
+                b_ub=b_ub if A_ub.nnz else None,
+                A_eq=A_eq if A_eq.nnz else None,
+                b_eq=b_eq if A_eq.nnz else None,
                 bounds=np.column_stack([lb, ub]),
                 method="highs",
             )
@@ -100,10 +147,9 @@ class BranchBoundBackend(SolverBackend):
         incumbent_x: Optional[np.ndarray] = None
         incumbent_val = math.inf
         counter = itertools.count()
+        root_node = _Node(None, -1, False, 0.0, root.fun)
         heap: List[Tuple[float, int, _Node, np.ndarray]] = []
-        heapq.heappush(
-            heap, (root.fun, next(counter), _Node(form.lb.copy(), form.ub.copy(), root.fun), root.x)
-        )
+        heapq.heappush(heap, (root.fun, next(counter), root_node, root.x))
         nodes_explored = 0
         hit_limit = False
 
@@ -124,6 +170,9 @@ class BranchBoundBackend(SolverBackend):
             if deadline is not None and time.perf_counter() > deadline:
                 hit_limit = True
                 break
+            if self.cancel_event is not None and self.cancel_event.is_set():
+                hit_limit = True
+                break
 
             frac_i = self._most_fractional(x, int_idx)
             if frac_i is None:
@@ -133,16 +182,23 @@ class BranchBoundBackend(SolverBackend):
                     incumbent_x = x
                 continue
 
+            node_lb, node_ub = node.materialize(form.lb, form.ub)
             xf = x[frac_i]
             for direction in ("down", "up"):
-                lb = node.lb.copy()
-                ub = node.ub.copy()
+                lb = node_lb
+                ub = node_ub
                 if direction == "down":
-                    ub[frac_i] = math.floor(xf)
+                    new_bound_value = math.floor(xf)
+                    if lb[frac_i] > new_bound_value:
+                        continue
+                    ub = node_ub.copy()
+                    ub[frac_i] = new_bound_value
                 else:
-                    lb[frac_i] = math.ceil(xf)
-                if lb[frac_i] > ub[frac_i]:
-                    continue
+                    new_bound_value = math.ceil(xf)
+                    if new_bound_value > ub[frac_i]:
+                        continue
+                    lb = node_lb.copy()
+                    lb[frac_i] = new_bound_value
                 res = relax(lb, ub)
                 if res.status != 0:
                     continue  # infeasible or failed child: prune
@@ -154,9 +210,9 @@ class BranchBoundBackend(SolverBackend):
                         incumbent_val = child_bound
                         incumbent_x = child_x
                 elif child_bound < cutoff():
-                    heapq.heappush(
-                        heap, (child_bound, next(counter), _Node(lb, ub, child_bound), child_x)
-                    )
+                    child = _Node(node, int(frac_i), direction == "down",
+                                  float(new_bound_value), child_bound)
+                    heapq.heappush(heap, (child_bound, next(counter), child, child_x))
 
         if incumbent_x is None:
             if hit_limit:
@@ -206,6 +262,8 @@ def _map_back(sol: Solution, original: Model, reduction, solver_name: str
             values[v] = reduction.fixed[v]
         else:
             values[v] = by_name[v.name]
-    return Solution(sol.status, sol.objective, values,
-                    runtime=sol.runtime, solver=solver_name,
-                    gap=sol.gap, message=sol.message)
+    mapped = Solution(sol.status, sol.objective, values,
+                      runtime=sol.runtime, solver=solver_name,
+                      gap=sol.gap, message=sol.message)
+    mapped.timings = sol.timings
+    return mapped

@@ -1,31 +1,24 @@
 """MILP backend using scipy's HiGHS interface (:func:`scipy.optimize.milp`).
 
 This is the primary backend: HiGHS is an exact branch-and-cut MILP
-solver, playing the role Gurobi plays in the paper. Matrices are built
-sparse so the large linearized scheduling models stay tractable.
+solver, playing the role Gurobi plays in the paper. The model is
+compiled once to sparse range form (``row_lb <= A @ x <= row_ub``, see
+:mod:`repro.opt.compile`) and the compiled arrays are handed to HiGHS
+directly — repeated solves of the same model skip the flattening
+entirely.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.errors import ModelError
-from repro.opt.expr import LinExpr, QuadExpr, Sense, VarType
+from repro.opt.expr import VarType
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
 from repro.opt.solvers.base import SolverBackend
-
-
-def _linear_terms(expr) -> Tuple[dict, float]:
-    if isinstance(expr, QuadExpr):
-        if expr.quad_terms:
-            raise ModelError("HiGHS backend requires a linearized model")
-        return expr.lin_terms, expr.constant
-    return expr.terms, expr.constant
 
 
 class HighsBackend(SolverBackend):
@@ -40,70 +33,31 @@ class HighsBackend(SolverBackend):
         mip_gap: float = 1e-9,
         verbose: bool = False,
     ) -> Solution:
-        n = model.num_vars
-        if n == 0:
-            _, const = _linear_terms(model.objective)
-            return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
-
-        obj_terms, obj_const = _linear_terms(model.objective)
-        c = np.zeros(n)
-        for v, coef in obj_terms.items():
-            c[v.index] += coef
-        sign = 1.0
-        if not model.minimize:
-            c = -c
-            sign = -1.0
-
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        lo: List[float] = []
-        hi: List[float] = []
-        for r, constr in enumerate(model.constraints):
-            terms, const = _linear_terms(constr.expr)
-            for v, coef in terms.items():
-                rows.append(r)
-                cols.append(v.index)
-                data.append(coef)
-            rhs = -const
-            if constr.sense is Sense.LE:
-                lo.append(-np.inf)
-                hi.append(rhs)
-            elif constr.sense is Sense.GE:
-                lo.append(rhs)
-                hi.append(np.inf)
-            else:
-                lo.append(rhs)
-                hi.append(rhs)
+        compiled = model.compiled()
+        if compiled.n == 0:
+            return Solution(SolveStatus.OPTIMAL, compiled.obj_offset, {},
+                            solver=self.name)
 
         constraints = []
-        if model.constraints:
-            a = sparse.csr_matrix(
-                (data, (rows, cols)), shape=(len(model.constraints), n)
-            )
-            constraints = [LinearConstraint(a, np.array(lo), np.array(hi))]
-
-        bounds = Bounds(
-            np.array([v.lb for v in model.variables], dtype=float),
-            np.array([v.ub for v in model.variables], dtype=float),
-        )
-        integrality = np.array(
-            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in model.variables]
-        )
+        if compiled.m:
+            constraints = [
+                LinearConstraint(compiled.A_csr, compiled.row_lb, compiled.row_ub)
+            ]
+        bounds = Bounds(compiled.lb, compiled.ub)
 
         options = {"disp": verbose, "mip_rel_gap": mip_gap}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
 
         res = milp(
-            c=c,
+            c=compiled.c,
             constraints=constraints,
             bounds=bounds,
-            integrality=integrality,
+            integrality=compiled.integrality,
             options=options,
         )
 
-        return self._interpret(res, model, sign, obj_const)
+        return self._interpret(res, model, compiled.obj_sign, compiled.obj_offset)
 
     def _interpret(self, res, model: Model, sign: float, obj_const: float) -> Solution:
         # scipy milp status codes: 0 optimal, 1 iteration/time limit,

@@ -1,0 +1,134 @@
+"""Portfolio backend: race multiple exact solvers, first winner cancels the rest.
+
+MILP solve times are notoriously instance-dependent: HiGHS's
+branch-and-cut dominates on the large synthesis models, but on small
+heavily-presolvable instances our own branch-and-bound (whose presolve
+fixes whole blocks of ``x`` under the fixed binding policy) can finish
+first. The portfolio runs both on threads against the same compiled
+model and returns the first *conclusive* result, setting a cancellation
+event so the loser stops burning CPU at its next node boundary.
+
+Determinism: both members are exact solvers, so whichever finishes
+first the returned **objective value and status are identical** — only
+``solver``/``runtime`` metadata and (under alternative optima) the
+variable assignment may differ between runs. ``tests/test_determinism.py``
+guards this contract.
+
+Threads (not processes) are deliberate: scipy's HiGHS calls release the
+GIL, the compiled model is shared read-only, and cancellation is a
+cheap :class:`threading.Event` instead of process kill. On a single
+core the race still helps whenever one member finishes quickly — the
+loser is cancelled after at most one further LP relaxation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+from repro.opt.model import Model
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers.base import SolverBackend
+
+#: Statuses that settle the race — anything else means "keep waiting".
+_CONCLUSIVE = (
+    SolveStatus.OPTIMAL,
+    SolveStatus.INFEASIBLE,
+    SolveStatus.UNBOUNDED,
+)
+
+
+class PortfolioBackend(SolverBackend):
+    """Race HiGHS against the in-repo branch-and-bound."""
+
+    name = "portfolio"
+
+    def __init__(self, members: Optional[Sequence[str]] = None) -> None:
+        if members is None:
+            from repro.opt.solvers import available_backends
+
+            members = ["branch_bound"]
+            if available_backends().get("highs"):
+                members.insert(0, "highs")
+        if not members:
+            raise SolverError("portfolio needs at least one member backend")
+        self.members: List[str] = list(members)
+
+    def _make_member(self, name: str, cancel: threading.Event) -> SolverBackend:
+        if name == "highs":
+            from repro.opt.solvers.highs import HighsBackend
+
+            return HighsBackend()
+        if name == "branch_bound":
+            from repro.opt.solvers.branch_bound import BranchBoundBackend
+
+            return BranchBoundBackend(cancel_event=cancel)
+        from repro.opt.solvers import get_backend
+
+        return get_backend(name)
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+    ) -> Solution:
+        start = time.perf_counter()
+        # Compile once up front so both members share the cached arrays
+        # instead of racing to build them.
+        if model.is_linear():
+            model.compiled()
+
+        if len(self.members) == 1:
+            sol = self._make_member(self.members[0], threading.Event()).solve(
+                model, time_limit, mip_gap, verbose
+            )
+            sol.solver = f"{self.name}({sol.solver})"
+            return sol
+
+        cancel = threading.Event()
+        backends = [(name, self._make_member(name, cancel)) for name in self.members]
+
+        def run(name: str, backend: SolverBackend) -> Tuple[str, Solution]:
+            return name, backend.solve(model, time_limit, mip_gap, verbose)
+
+        winner: Optional[Tuple[str, Solution]] = None
+        fallback: Optional[Tuple[str, Solution]] = None
+        pool = ThreadPoolExecutor(max_workers=len(backends),
+                                  thread_name_prefix="portfolio")
+        try:
+            pending = {pool.submit(run, name, backend) for name, backend in backends}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        name, sol = future.result()
+                    except Exception:  # member crashed: let the others decide
+                        continue
+                    if sol.status in _CONCLUSIVE:
+                        if winner is None:
+                            winner = (name, sol)
+                    elif fallback is None or sol.has_solution:
+                        fallback = (name, sol)
+                if winner is not None:
+                    break
+        finally:
+            cancel.set()  # losers stop at their next node boundary
+            # Do not join the losers: a running scipy.milp call cannot be
+            # interrupted, and the branch-and-bound loser exits at its
+            # next node check. The worker threads are joined at
+            # interpreter exit.
+            pool.shutdown(wait=False)
+
+        chosen = winner or fallback
+        if chosen is None:
+            return Solution(SolveStatus.ERROR, solver=self.name,
+                            message="all portfolio members failed")
+        name, sol = chosen
+        sol.solver = f"{self.name}({name})"
+        sol.runtime = time.perf_counter() - start
+        return sol

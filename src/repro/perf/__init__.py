@@ -1,0 +1,28 @@
+"""Performance instrumentation: phase timers, counters, BENCH emitter.
+
+Every synthesis run can carry a :class:`PerfRecorder` that accumulates a
+wall-clock breakdown over the pipeline phases (catalog / build /
+linearize / presolve / solve / extract / verify) plus arbitrary event
+counters (cache hits, solver nodes, ...). Recorders are cheap enough to
+be always-on; the CLI surfaces them behind ``--profile`` and the
+benchmark harness serializes them to ``BENCH_opt.json`` so the perf
+trajectory is diffable across PRs.
+"""
+
+from repro.perf.record import (
+    PerfRecorder,
+    PhaseTimings,
+    emit_bench_json,
+    format_phase_table,
+    load_bench_json,
+    phase_timer,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "PhaseTimings",
+    "phase_timer",
+    "emit_bench_json",
+    "load_bench_json",
+    "format_phase_table",
+]

@@ -1,0 +1,134 @@
+"""Phase timing and counter primitives.
+
+The recorder is deliberately tiny: a dict of phase -> seconds and a dict
+of counter -> int, filled through a context manager. It nests — timing
+``solve`` around a backend that itself times ``presolve`` simply yields
+two entries — and merges, so :meth:`repro.opt.model.Model.solve` can
+fold its sub-phase breakdown into the synthesizer's recorder.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Canonical phase order used when formatting reports; phases not listed
+#: here are appended alphabetically.
+PHASE_ORDER = [
+    "catalog", "build", "compile", "linearize", "presolve",
+    "solve", "solve_backend", "extract", "analyze", "verify",
+]
+
+
+class PhaseTimings(Dict[str, float]):
+    """A ``phase name -> seconds`` mapping with merge/total helpers."""
+
+    @property
+    def total(self) -> float:
+        return sum(self.values())
+
+    def add(self, phase: str, seconds: float) -> None:
+        self[phase] = self.get(phase, 0.0) + seconds
+
+    def merge(self, other: Dict[str, float], prefix: str = "") -> None:
+        for phase, seconds in other.items():
+            self.add(f"{prefix}{phase}", seconds)
+
+    def ordered(self) -> List[str]:
+        known = [p for p in PHASE_ORDER if p in self]
+        extra = sorted(p for p in self if p not in PHASE_ORDER)
+        return known + extra
+
+
+class PerfRecorder:
+    """Accumulates phase timings and event counters for one run."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.timings = PhaseTimings()
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.add(name, time.perf_counter() - start)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def record(self) -> Dict[str, object]:
+        """One serializable record (the BENCH_opt.json row format)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "phases": {p: round(self.timings[p], 6) for p in self.timings.ordered()},
+            "total_s": round(self.timings.total, 6),
+        }
+        if self.counters:
+            out["counters"] = dict(sorted(self.counters.items()))
+        return out
+
+    def __repr__(self) -> str:
+        return f"PerfRecorder({self.name!r}, total={self.timings.total:.3f}s)"
+
+
+@contextmanager
+def phase_timer(recorder: Optional[PerfRecorder], name: str) -> Iterator[None]:
+    """Time a phase on ``recorder``; a no-op when ``recorder`` is None."""
+    if recorder is None:
+        yield
+        return
+    with recorder.phase(name):
+        yield
+
+
+def format_phase_table(timings: Dict[str, float], indent: str = "  ") -> str:
+    """Human-readable phase breakdown, widest phase first column."""
+    if not timings:
+        return f"{indent}(no phases recorded)"
+    ordered = (timings.ordered() if isinstance(timings, PhaseTimings)
+               else list(timings))
+    width = max(len(p) for p in ordered)
+    total = sum(timings.values())
+    lines = []
+    for phase in ordered:
+        seconds = timings[phase]
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"{indent}{phase.ljust(width)}  {seconds:9.4f}s  {share:5.1f}%")
+    lines.append(f"{indent}{'total'.ljust(width)}  {total:9.4f}s")
+    return "\n".join(lines)
+
+
+def emit_bench_json(path: Union[str, Path],
+                    records: List[Dict[str, object]],
+                    meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write a BENCH_opt.json perf snapshot (one record per workload)."""
+    path = Path(path)
+    payload: Dict[str, object] = {
+        "schema": "repro-bench-v1",
+        "records": records,
+    }
+    if meta:
+        payload["meta"] = meta
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_bench_json(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Read a BENCH_opt.json snapshot; None when absent or unreadable."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or "records" not in data:
+        return None
+    return data

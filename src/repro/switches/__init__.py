@@ -10,7 +10,13 @@ from repro.switches.base import (
 )
 from repro.switches.crossbar import CrossbarSwitch, make_switch, smallest_switch_for
 from repro.switches.gru import GRUSwitch
-from repro.switches.paths import Path, PathCatalog, enumerate_paths
+from repro.switches.paths import (
+    Path,
+    PathCatalog,
+    clear_path_cache,
+    enumerate_paths,
+    path_cache_info,
+)
 from repro.switches.reduce import ReducedSwitch, reduce_switch
 from repro.switches.scalable import ScalableCrossbarSwitch, make_scalable_switch
 from repro.switches.spine import SpineSwitch
@@ -32,7 +38,9 @@ __all__ = [
     "GRUSwitch",
     "Path",
     "PathCatalog",
+    "clear_path_cache",
     "enumerate_paths",
+    "path_cache_info",
     "ReducedSwitch",
     "reduce_switch",
     "validate_switch",

@@ -129,6 +129,7 @@ class SwitchModel:
         self.valves: Dict[Tuple[str, str], Valve] = {}
         self.graph = nx.Graph()
         self._finalized = False
+        self._structure_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # construction helpers (subclass API)
@@ -208,6 +209,23 @@ class SwitchModel:
             return self.pins.index(pin) + 1
         except ValueError:
             raise SwitchModelError(f"{pin!r} is not a pin of {self.name!r}") from None
+
+    def structure_key(self) -> tuple:
+        """Hashable signature of the routing structure.
+
+        Two switch instances with equal keys have identical pins (in
+        clockwise order) and identical segments with identical lengths,
+        so any path enumeration over them yields identical results.
+        Case factories build a fresh switch per call; this key lets the
+        path-catalog cache in :mod:`repro.switches.paths` recognize the
+        repeats. Computed once — switches are immutable after
+        ``_finalize``.
+        """
+        if self._structure_key is None:
+            segs = tuple(sorted(
+                (k[0], k[1], self.segments[k].length) for k in self.segments))
+            self._structure_key = (type(self).__qualname__, tuple(self.pins), segs)
+        return self._structure_key
 
     def segment(self, a: str, b: str) -> Segment:
         try:

@@ -5,10 +5,21 @@ routing paths through the switch, and the IQP assigns every flow to
 exactly one of them. :func:`enumerate_paths` reproduces this: for every
 *ordered* pin pair it yields all length-minimal paths (optionally with
 a slack so near-shortest alternatives are available too).
+
+Enumeration results are memoized on the switch's *structural* signature
+(:meth:`~repro.switches.base.SwitchModel.structure_key`) rather than
+object identity: the case factories and the artificial suite build a
+fresh switch instance per spec, but almost all of them share a handful
+of structures, so a 90-case sweep enumerates each structure once. Paths
+are immutable, so cached lists are shared safely across catalogs;
+:func:`path_cache_info` exposes hit/miss counters and
+:func:`clear_path_cache` resets the cache (used by tests).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
@@ -103,6 +114,31 @@ def _path_from_vertices(switch: SwitchModel, index: int,
     )
 
 
+#: Memoized enumeration results, keyed on (structure, pins, slack, cap).
+#: Bounded LRU so long artificial sweeps cannot grow it without limit.
+_PATH_CACHE: "OrderedDict[tuple, Tuple[Path, ...]]" = OrderedDict()
+_PATH_CACHE_MAX = 128
+_PATH_CACHE_LOCK = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def path_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the path-enumeration cache."""
+    with _PATH_CACHE_LOCK:
+        return {"hits": _cache_hits, "misses": _cache_misses,
+                "size": len(_PATH_CACHE), "max_size": _PATH_CACHE_MAX}
+
+
+def clear_path_cache() -> None:
+    """Drop all memoized enumerations and reset the counters."""
+    global _cache_hits, _cache_misses
+    with _PATH_CACHE_LOCK:
+        _PATH_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
 def enumerate_paths(
     switch: SwitchModel,
     pins: Optional[Sequence[str]] = None,
@@ -116,9 +152,23 @@ def enumerate_paths(
     ``max_paths_per_pair`` optionally caps the per-pair count (paths are
     kept shortest-first). ``pins`` restricts the pin set (used by the
     fixed binding policy to enumerate only the bound pins).
+
+    Results are memoized per switch structure; the returned catalog is
+    always a fresh :class:`PathCatalog` bound to ``switch``.
     """
+    global _cache_hits, _cache_misses
     if slack < 0:
         raise SwitchModelError("path slack cannot be negative")
+    cache_key = (switch.structure_key(),
+                 tuple(pins) if pins is not None else None,
+                 float(slack), max_paths_per_pair)
+    with _PATH_CACHE_LOCK:
+        cached = _PATH_CACHE.get(cache_key)
+        if cached is not None:
+            _cache_hits += 1
+            _PATH_CACHE.move_to_end(cache_key)
+            return PathCatalog(switch, list(cached))
+        _cache_misses += 1
     pin_list = list(pins) if pins is not None else list(switch.pins)
     for p in pin_list:
         if not switch.is_pin(p):
@@ -152,6 +202,11 @@ def enumerate_paths(
             for vertices in found:
                 paths.append(_path_from_vertices(switch, index, vertices))
                 index += 1
+    with _PATH_CACHE_LOCK:
+        _PATH_CACHE[cache_key] = tuple(paths)
+        _PATH_CACHE.move_to_end(cache_key)
+        while len(_PATH_CACHE) > _PATH_CACHE_MAX:
+            _PATH_CACHE.popitem(last=False)
     return PathCatalog(switch, paths)
 
 

@@ -1,5 +1,7 @@
 """Tests for LP-format export (repro.opt.lp_format)."""
 
+import re
+
 import pytest
 
 from repro.opt import Model, VarType, model_to_lp, quicksum, write_lp
@@ -83,6 +85,59 @@ def test_empty_objective():
     m.add_binary("x")
     text = model_to_lp(m)
     assert "__zero__" in text
+
+
+def _parse_lp_constraints(text):
+    """Parse the Subject To section back into
+    ``{name: (coeffs, sense, rhs)}`` — the inverse of the exporter for
+    the linear rows it emits."""
+    lines = text.splitlines()
+    start = lines.index("Subject To") + 1
+    end = lines.index("Bounds")
+    term_re = re.compile(r"([+-])\s*([\d.eE+-]+)\s+(\w+)")
+    parsed = {}
+    for line in lines[start:end]:
+        name, body = line.strip().split(":", 1)
+        body = body.strip()
+        match = re.search(r"(<=|>=|=)\s*([\d.eE+-]+)\s*$", body)
+        sense, rhs = match.group(1), float(match.group(2))
+        expr = body[: match.start()].strip()
+        if not expr.startswith(("+", "-")):
+            expr = "+ " + expr
+        coeffs = {}
+        for sign, coef, var in term_re.findall(expr):
+            coeffs[var] = float(coef) * (1 if sign == "+" else -1)
+        parsed[name] = (coeffs, sense, rhs)
+    return parsed
+
+
+def test_roundtrip_coefficients():
+    """Export then re-parse: every constraint's coefficients, sense and
+    rhs survive the text round trip exactly."""
+    m, (x, y, z) = small_model()
+    parsed = _parse_lp_constraints(model_to_lp(m))
+    assert parsed["cap_one"] == ({"x": 1.0, "y_1_": 1.0}, "<=", 1.0)
+    assert parsed["lower"] == ({"x": -1.0, "z": 2.0}, ">=", 1.0)
+    assert parsed["tie"] == ({"x": 1.0, "z": 1.0}, "=", 3.0)
+
+
+def test_roundtrip_matches_compiled_arrays():
+    """The LP text and the sparse compilation describe the same rows."""
+    from repro.opt.compile import SENSE_EQ, SENSE_GE, SENSE_LE
+
+    m, _ = small_model()
+    parsed = _parse_lp_constraints(model_to_lp(m))
+    compiled = m.compiled()
+    sense_token = {SENSE_LE: "<=", SENSE_GE: ">=", SENSE_EQ: "="}
+    A = compiled.A_csr.toarray()
+    for r in range(compiled.m):
+        name = compiled.row_names[r].replace(" ", "_")
+        coeffs, sense, rhs = parsed[name]
+        assert sense == sense_token[int(compiled.senses[r])]
+        assert rhs == pytest.approx(compiled.rhs[r])
+        rebuilt = {v.name.replace("[", "_").replace("]", "_"): A[r, v.index]
+                   for v in compiled.variables if A[r, v.index]}
+        assert rebuilt == pytest.approx(coeffs)
 
 
 def test_export_roundtrip_against_solver():

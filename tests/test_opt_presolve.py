@@ -114,6 +114,70 @@ def test_chained_propagation():
     assert res.model.num_vars == 0
 
 
+def test_constraint_emptied_by_fixing_is_dropped():
+    """A row whose variables all get fixed degenerates to a constant
+    check; consistent rows vanish from the reduced model."""
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x == 2)
+    m.add_constr(y == 3)
+    m.add_constr(x + y <= 9)       # becomes 5 <= 9 once both are fixed
+    res = presolve(m)
+    assert not res.proven_infeasible
+    assert res.model.num_vars == 0
+    assert res.model.num_constraints == 0
+    names = {v.name: val for v, val in res.fixed.items()}
+    assert names == {"x": 2.0, "y": 3.0}
+
+
+def test_constraint_emptied_by_fixing_proves_infeasibility():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x == 2)
+    m.add_constr(y == 3)
+    m.add_constr(x + y == 9)       # 5 == 9: contradiction
+    assert presolve(m).proven_infeasible
+
+
+def test_bound_tightening_to_infeasibility():
+    """Tightening drives lb past ub without any single row being
+    unsatisfiable on the original bounds."""
+    m = Model()
+    x = m.add_var("x", lb=0.0, ub=10.0)
+    m.add_constr(2 * x >= 12)      # x >= 6
+    m.add_constr(3 * x <= 12)      # x <= 4
+    assert presolve(m).proven_infeasible
+
+
+def test_activity_infeasible_row_detected():
+    """A row whose best-case activity still misses the rhs."""
+    m = Model()
+    x = m.add_integer("x", 0, 2)
+    y = m.add_integer("y", 0, 3)
+    m.add_constr(x + y >= 10)      # max activity is 5
+    assert presolve(m).proven_infeasible
+
+
+def test_all_variables_fixed_model():
+    """Every variable pinned: the reduced model is empty and its
+    objective is the folded constant."""
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x == 7)
+    m.add_constr(y == 1)
+    m.set_objective(2 * x + 5 * y, "min")
+    res = presolve(m)
+    assert res.model.num_vars == 0
+    assert res.model.num_constraints == 0
+    sol = res.model.solve()
+    assert sol.objective == pytest.approx(19)
+    values = res.extend_solution({})
+    assert {v.name: val for v, val in values.items()} == {"x": 7.0, "y": 1.0}
+
+
 def _random_small_model(seed: int) -> Model:
     rng = random.Random(seed)
     m = Model(f"ps{seed}")

@@ -1,0 +1,132 @@
+"""Tests for the perf instrumentation module (repro.perf)."""
+
+import time
+
+import pytest
+
+from repro.perf import (
+    PerfRecorder,
+    PhaseTimings,
+    emit_bench_json,
+    format_phase_table,
+    load_bench_json,
+    phase_timer,
+)
+
+
+def test_phase_timings_add_and_total():
+    t = PhaseTimings()
+    t.add("solve", 1.0)
+    t.add("solve", 0.5)
+    t.add("build", 0.25)
+    assert t["solve"] == pytest.approx(1.5)
+    assert t.total == pytest.approx(1.75)
+
+
+def test_phase_timings_merge_with_prefix():
+    outer = PhaseTimings({"solve": 1.0})
+    inner = {"presolve": 0.2, "solve": 0.7}
+    outer.merge(inner)
+    assert outer["solve"] == pytest.approx(1.7)
+    assert outer["presolve"] == pytest.approx(0.2)
+    prefixed = PhaseTimings()
+    prefixed.merge(inner, prefix="sub_")
+    assert set(prefixed) == {"sub_presolve", "sub_solve"}
+
+
+def test_phase_timings_ordered_canonical_first():
+    t = PhaseTimings({"zz_custom": 1.0, "solve": 1.0, "build": 1.0})
+    assert t.ordered() == ["build", "solve", "zz_custom"]
+
+
+def test_recorder_phase_context_manager():
+    rec = PerfRecorder("demo")
+    with rec.phase("solve"):
+        time.sleep(0.01)
+    assert rec.timings["solve"] >= 0.005
+
+
+def test_recorder_phase_records_on_exception():
+    rec = PerfRecorder()
+    with pytest.raises(RuntimeError):
+        with rec.phase("solve"):
+            raise RuntimeError("boom")
+    assert "solve" in rec.timings
+
+
+def test_recorder_counters():
+    rec = PerfRecorder()
+    rec.count("lp_relaxations")
+    rec.count("lp_relaxations", 4)
+    assert rec.counters == {"lp_relaxations": 5}
+
+
+def test_recorder_record_shape():
+    rec = PerfRecorder("case_x")
+    rec.timings.add("build", 0.5)
+    rec.count("nodes", 3)
+    row = rec.record()
+    assert row["name"] == "case_x"
+    assert row["phases"] == {"build": 0.5}
+    assert row["total_s"] == pytest.approx(0.5)
+    assert row["counters"] == {"nodes": 3}
+
+
+def test_phase_timer_none_recorder_is_noop():
+    with phase_timer(None, "anything"):
+        pass
+    rec = PerfRecorder()
+    with phase_timer(rec, "solve"):
+        pass
+    assert "solve" in rec.timings
+
+
+def test_format_phase_table():
+    text = format_phase_table(PhaseTimings({"build": 1.0, "solve": 3.0}))
+    assert "build" in text and "solve" in text and "total" in text
+    assert "75.0%" in text
+    assert format_phase_table(PhaseTimings()) == "  (no phases recorded)"
+
+
+def test_bench_json_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_opt.json"
+    records = [{"name": "a", "phases": {"solve": 0.1}, "total_s": 0.1}]
+    emit_bench_json(path, records, meta={"host": "ci"})
+    data = load_bench_json(path)
+    assert data["schema"] == "repro-bench-v1"
+    assert data["records"] == records
+    assert data["meta"] == {"host": "ci"}
+
+
+def test_load_bench_json_missing_or_corrupt(tmp_path):
+    assert load_bench_json(tmp_path / "absent.json") is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert load_bench_json(bad) is None
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"schema": "x"}', encoding="utf-8")
+    assert load_bench_json(wrong) is None
+
+
+def test_solution_carries_timings():
+    from repro.opt import Model
+
+    m = Model()
+    x = m.add_integer("x", 0, 5)
+    m.add_constr(x >= 2)
+    m.set_objective(x, "min")
+    sol = m.solve()
+    assert "solve" in sol.timings
+    assert sol.timings.total > 0
+
+
+def test_synthesis_result_carries_phase_breakdown():
+    from repro.cases import chip_sw1
+    from repro.core import BindingPolicy, SynthesisOptions, synthesize
+
+    result = synthesize(chip_sw1(BindingPolicy.FIXED), SynthesisOptions())
+    for phase in ("catalog", "build", "solve", "extract", "analyze", "verify"):
+        assert phase in result.timings, phase
+    # phases are disjoint slices of the pipeline, so they cannot
+    # meaningfully exceed the end-to-end wall clock
+    assert result.timings.total <= result.runtime * 1.5 + 0.1

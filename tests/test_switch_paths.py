@@ -161,3 +161,63 @@ def test_enumeration_invariants_property(n_pins, slack):
             for p in paths:
                 assert p.length <= base + slack + 1e-6
                 assert len(set(p.vertices)) == len(p.vertices)
+
+
+# ---------------------------------------------------------------------------
+# memoization
+# ---------------------------------------------------------------------------
+
+def test_cache_hits_on_equal_structure():
+    from repro.switches import clear_path_cache, path_cache_info
+
+    clear_path_cache()
+    first = enumerate_paths(CrossbarSwitch(8))
+    second = enumerate_paths(CrossbarSwitch(8))   # fresh instance, same structure
+    info = path_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+    # cached Path objects are shared, catalogs are fresh per switch
+    assert second.paths[0] is first.paths[0]
+    assert second is not first
+    assert [str(p) for p in second] == [str(p) for p in first]
+    clear_path_cache()
+
+
+def test_cache_distinguishes_parameters(sw8):
+    from repro.switches import clear_path_cache, path_cache_info
+
+    clear_path_cache()
+    enumerate_paths(sw8)
+    enumerate_paths(sw8, slack=2.0)
+    enumerate_paths(sw8, max_paths_per_pair=1)
+    enumerate_paths(sw8, pins=sw8.pins[:4])
+    assert path_cache_info()["misses"] == 4
+    assert path_cache_info()["hits"] == 0
+    clear_path_cache()
+
+
+def test_cache_distinguishes_structures():
+    from repro.switches import CrossbarSwitch as CB, clear_path_cache, path_cache_info
+
+    clear_path_cache()
+    enumerate_paths(CB(8))
+    enumerate_paths(CB(12))
+    assert path_cache_info()["misses"] == 2
+    clear_path_cache()
+
+
+def test_structure_key_stable_across_instances():
+    a, b = CrossbarSwitch(8), CrossbarSwitch(8)
+    assert a is not b
+    assert a.structure_key() == b.structure_key()
+    assert a.structure_key() != CrossbarSwitch(12).structure_key()
+
+
+def test_cached_catalog_binds_requesting_switch():
+    from repro.switches import clear_path_cache
+
+    clear_path_cache()
+    enumerate_paths(CrossbarSwitch(8))
+    sw = CrossbarSwitch(8)
+    catalog = enumerate_paths(sw)
+    assert catalog.switch is sw
+    clear_path_cache()
