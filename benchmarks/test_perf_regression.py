@@ -6,9 +6,10 @@ breakdown (catalog/build/linearize/presolve/solve/extract/...) to
 snapshot if one exists. A phase only counts as a regression when it is
 both **3× slower** than the recorded value *and* slower by more than an
 absolute guard (0.2 s) — otherwise a fast phase jittering from 2 ms to
-7 ms would fail the build. Shared machines are noisy; the assert is a
-smoke alarm for algorithmic regressions (a presolve round going
-quadratic, a cache stopping to hit), not a timer.
+7 ms would fail the build. Timed workloads run ``REPEATS`` times and the
+snapshot keeps the per-phase minimum. Shared machines are noisy; the
+assert is a smoke alarm for algorithmic regressions (a presolve round
+going quadratic, a cache stopping to hit), not a timer.
 
 Run with ``pytest benchmarks/test_perf_regression.py -q``; the CI
 micro-benchmark job runs exactly this file.
@@ -34,15 +35,36 @@ BENCH_PATH = REPO_ROOT / "BENCH_opt.json"
 RATIO_LIMIT = 3.0
 ABS_GUARD_S = 0.2
 
+#: Each timed workload runs this many times and the snapshot keeps the
+#: per-phase minimum — best-of-N measures the algorithm rather than the
+#: scheduler (the shared single-core container jitters by 30%+).
+REPEATS = 8
+
+
+def _best_phases(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    best: Dict[str, float] = {}
+    for row in rows:
+        for phase, seconds in row["phases"].items():
+            if phase not in best or seconds < best[phase]:
+                best[phase] = seconds
+    return best
+
 
 def _synthesis_record(name: str, spec_factory) -> Dict[str, object]:
-    clear_path_cache()
-    result = synthesize(spec_factory(), SynthesisOptions(time_limit=60))
-    rec = PerfRecorder(name)
-    rec.timings.merge(result.timings)
-    row = rec.record()
-    row["status"] = result.status.value
-    return row
+    rows = []
+    for _ in range(REPEATS):
+        clear_path_cache()
+        result = synthesize(spec_factory(), SynthesisOptions(time_limit=60))
+        rec = PerfRecorder(name)
+        rec.timings.merge(result.timings)
+        rec.counters.update(result.counters)  # nodes, lp_calls, cuts, ...
+        row = rec.record()
+        row["status"] = result.status.value
+        rows.append(row)
+    best = rows[-1]
+    best["phases"] = _best_phases(rows)
+    best["total_s"] = round(sum(best["phases"].values()), 6)
+    return best
 
 
 def _presolve_micro_record() -> Dict[str, object]:
@@ -62,18 +84,29 @@ def _presolve_micro_record() -> Dict[str, object]:
 
 def _compile_cache_record() -> Dict[str, object]:
     """Repeated solves of one model: later solves reuse the compilation."""
-    rec = PerfRecorder("compile_cache")
-    spec = generate_case(seed=11, switch_size=8, n_flows=3)
     from repro.core.builder import SynthesisModelBuilder
     from repro.core.synthesizer import build_catalog
 
-    catalog = build_catalog(spec, SynthesisOptions())
-    built = SynthesisModelBuilder(spec, catalog).build()
-    with rec.phase("solve"):
-        built.model.solve(time_limit=60)
-    with rec.phase("resolve"):  # compiled arrays are cached now
-        built.model.solve(time_limit=60)
-    return rec.record()
+    rows = []
+    for _ in range(REPEATS):
+        rec = PerfRecorder("compile_cache")
+        spec = generate_case(seed=11, switch_size=8, n_flows=3)
+        catalog = build_catalog(spec, SynthesisOptions())
+        # A fresh model per repetition: the first solve must be cold
+        # (the result memo would otherwise serve it instantly).
+        built = SynthesisModelBuilder(spec, catalog).build()
+        with rec.phase("solve"):
+            first = built.model.solve(time_limit=60)
+        rec.counters.update(first.counters)
+        with rec.phase("resolve"):  # compiled arrays + result memo hit now
+            second = built.model.solve(time_limit=60)
+        rec.counters.update(
+            {f"resolve_{k}": v for k, v in second.counters.items()})
+        rows.append(rec.record())
+    best = rows[-1]
+    best["phases"] = _best_phases(rows)
+    best["total_s"] = round(sum(best["phases"].values()), 6)
+    return best
 
 
 def collect_records() -> List[Dict[str, object]]:
@@ -119,5 +152,6 @@ def test_phase_timings_regression():
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "ratio_limit": RATIO_LIMIT,
         "abs_guard_s": ABS_GUARD_S,
+        "repeats": REPEATS,
     })
     assert not problems, "phase regressions vs BENCH_opt.json: " + "; ".join(problems)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.spec import SwitchSpec
 from repro.core.synthesizer import SynthesisOptions, synthesize
 from repro.errors import ReproError
+from repro.opt.incremental import SolveContext
 
 #: The paper's default weighting.
 PAPER_WEIGHTS = (1.0, 100.0)
@@ -86,14 +87,22 @@ def weight_sweep(
         (0.0, 1.0),     # length only
     ),
     options: Optional[SynthesisOptions] = None,
+    context: Optional[SolveContext] = None,
 ) -> WeightSweep:
-    """Solve the same case under several objective weightings."""
+    """Solve the same case under several objective weightings.
+
+    All points share one :class:`SolveContext` (pass an existing one to
+    share beyond the sweep): α/β only re-weight the objective, so every
+    point after the first reuses the built model and path catalog and
+    starts from the previous optimum as warm incumbent.
+    """
     if not weights:
         raise ReproError("need at least one weight pair")
     options = options or SynthesisOptions()
+    context = context or SolveContext()
     sweep = WeightSweep()
     for alpha, beta in weights:
-        result = synthesize(_respec(spec, alpha, beta), options)
+        result = synthesize(_respec(spec, alpha, beta), options, context=context)
         if result.status.solved:
             sweep.points.append(WeightSweepPoint(
                 alpha, beta, result.num_flow_sets,

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SpecError
 from repro.opt import Model, Var, VarType, quicksum
+from repro.opt.cuts import conflict_cliques
 from repro.core.spec import (
     BindingPolicy,
     ConflictForm,
@@ -57,6 +58,11 @@ class BuiltModel:
     used: Dict[Tuple[str, str], Var]              # segment usage
     pin_index_var: Dict[str, Var] = field(default_factory=dict)   # clockwise
     wrap_q: Dict[str, Var] = field(default_factory=dict)          # clockwise
+    # Scheduling auxiliaries, keyed for heuristic warm-start assembly.
+    sched_k: Dict[Tuple[str, Site, int], Var] = field(default_factory=dict)
+    sched_K: Dict[Tuple[Site, int], Var] = field(default_factory=dict)
+    sched_q: Dict[Tuple[str, Site, int], Var] = field(default_factory=dict)
+    sched_b: Dict[Tuple[str, Site, int], Var] = field(default_factory=dict)
     n_sets_expr: object = None
     length_expr: object = None
 
@@ -86,13 +92,17 @@ class SynthesisModelBuilder:
         self._contamination_constraints(model, a, sites)
 
         w, u = self._set_vars(model)
+        self._sched_handles: Dict[str, Dict] = {"k": {}, "K": {}, "q": {}, "b": {}}
         self._scheduling_constraints(model, a, w, sites)
+        self._set_cover_cuts(model, w, u, allowed)
 
         used = self._segment_usage_vars(model, a)
 
         built = BuiltModel(
             spec=spec, catalog=self.catalog, model=model, sites=sites,
             allowed_paths=allowed, x=x, y=y, a=a, w=w, u=u, used=used,
+            sched_k=self._sched_handles["k"], sched_K=self._sched_handles["K"],
+            sched_q=self._sched_handles["q"], sched_b=self._sched_handles["b"],
         )
         if spec.binding is BindingPolicy.CLOCKWISE:
             self._clockwise_constraints(model, y, built)
@@ -180,6 +190,9 @@ class SynthesisModelBuilder:
                     f"use_f{f.id}_{_site_tag(site)}",
                 )
                 a[key] = var
+        # The defining equalities force every a to the (integral) sum of
+        # its x's, so solvers never need to branch on usage indicators.
+        model.mark_implied_integer(*a.values())
         return a
 
     def _set_vars(self, model: Model):
@@ -222,6 +235,10 @@ class SynthesisModelBuilder:
             for idx, contrib in enumerate(contributors):
                 model.add_constr(var >= contrib, f"used_def_{key[0]}__{key[1]}_{idx}")
             used[key] = var
+        # `used` only appears in >=-rows and the (minimized, nonnegative)
+        # length objective, so it settles on max(a) — integral once the
+        # a's are. Branching on it is never needed.
+        model.mark_implied_integer(*used.values())
         return used
 
     # ------------------------------------------------------------------
@@ -288,6 +305,16 @@ class SynthesisModelBuilder:
                 if ai is None or aj is None:
                     continue
                 model.add_constr(ai + aj <= 1, f"cf_{i}_{j}_{_site_tag(site)}")
+        # Clique strengthening: for >= 3 mutually-conflicting flows the
+        # pairwise rows admit the fractional point a_i = 1/2 everywhere;
+        # one at-most-one row per maximal conflict clique per site cuts
+        # it off without excluding any integral assignment.
+        for ci, clique in enumerate(conflict_cliques(spec.conflicts)):
+            for site in sites:
+                terms = [a[(fid, site)] for fid in clique if (fid, site) in a]
+                if len(terms) > 2:
+                    model.add_constr(quicksum(terms) <= 1,
+                                     f"cfclq{ci}_{_site_tag(site)}")
 
     def _scheduling_constraints(self, model: Model, a, w, sites) -> None:
         """No site is used by two different inlets within one flow set.
@@ -311,15 +338,19 @@ class SynthesisModelBuilder:
             self._scheduling_paper(model, a, w, sites, n_sets, inlets, flows_by_inlet)
 
     def _scheduling_paper(self, model, a, w, sites, n_sets, inlets, flows_by_inlet):
-        """Eqs. (3.4)-(3.6): K/k/q' counters with big-M = N_Pins.
+        """Eqs. (3.4)-(3.6): K/k/q' counters with per-site big-Ms.
 
         The thesis text states (3.4)-(3.6) only; on their own they do
         not force q' to 0 when the inlet uses the node, so we add the
         indicator's other side, ``k <= (1 - q')*N``, which the
         construction needs (documented in DESIGN.md).
+
+        The paper writes all the big-Ms as N_Pins; the tightest valid
+        constants are the counter ranges themselves — ``k`` is at most
+        the inlet's eligible-flow count at the site/set and ``K`` their
+        total — which keeps the LP relaxation close and is safe even
+        when a case has more flows than pins.
         """
-        big_m = self.switch.n_pins
-        n_flows = len(self.spec.flows)
         for site in sites:
             relevant = [m for m in inlets
                         if any((f.id, site) in a for f in flows_by_inlet[m])]
@@ -328,6 +359,7 @@ class SynthesisModelBuilder:
             tag = _site_tag(site)
             for s in range(n_sets):
                 k_vars = {}
+                k_ubs = {}
                 for m in relevant:
                     terms = [
                         w[(f.id, s)] * a[(f.id, site)]
@@ -336,19 +368,28 @@ class SynthesisModelBuilder:
                     ]
                     if not terms:
                         continue
-                    k = model.add_integer(f"k_{m}_{tag}_s{s}", 0, n_flows)
+                    k = model.add_integer(f"k_{m}_{tag}_s{s}", 0, len(terms))
                     model.add_constr(k == quicksum(terms), f"kdef_{m}_{tag}_s{s}")
+                    # kdef pins k to an integral sum: never branched on.
+                    model.mark_implied_integer(k)
+                    self._sched_handles["k"][(m, site, s)] = k
                     k_vars[m] = k
+                    k_ubs[m] = len(terms)
                 if len(k_vars) < 2:
                     continue
-                K = model.add_integer(f"K_{tag}_s{s}", 0, n_flows)
+                K_ub = sum(k_ubs.values())
+                K = model.add_integer(f"K_{tag}_s{s}", 0, K_ub)
                 model.add_constr(K == quicksum(k_vars.values()), f"Kdef_{tag}_s{s}")
+                self._sched_handles["K"][(site, s)] = K
+                model.mark_implied_integer(K)
                 for m, k in k_vars.items():
                     q = model.add_binary(f"qp_{m}_{tag}_s{s}")
-                    model.add_constr(k >= 1 - q * big_m, f"sched34_{m}_{tag}_s{s}")
-                    model.add_constr(k <= K + q * big_m, f"sched35_{m}_{tag}_s{s}")
-                    model.add_constr(k >= K - q * big_m, f"sched36_{m}_{tag}_s{s}")
-                    model.add_constr(k <= (1 - q) * big_m, f"schedind_{m}_{tag}_s{s}")
+                    self._sched_handles["q"][(m, site, s)] = q
+                    m_k = k_ubs[m]
+                    model.add_constr(k >= 1 - q, f"sched34_{m}_{tag}_s{s}")
+                    model.add_constr(k <= K + q * m_k, f"sched35_{m}_{tag}_s{s}")
+                    model.add_constr(k >= K - q * K_ub, f"sched36_{m}_{tag}_s{s}")
+                    model.add_constr(k <= (1 - q) * m_k, f"schedind_{m}_{tag}_s{s}")
 
     def _scheduling_compact(self, model, a, w, sites, n_sets, inlets, flows_by_inlet):
         """Indicator encoding: b[m, site, s] >= w*a, sum_m b <= 1."""
@@ -371,9 +412,63 @@ class SynthesisModelBuilder:
                     b = model.add_binary(f"b_{m}_{tag}_s{s}")
                     for idx, prod in enumerate(prods):
                         model.add_constr(b >= prod, f"bdef_{m}_{tag}_s{s}_{idx}")
+                    self._sched_handles["b"][(m, site, s)] = b
                     b_vars.append(b)
                 if len(b_vars) > 1:
                     model.add_constr(quicksum(b_vars) <= 1, f"sched_{tag}_s{s}")
+
+    def _set_cover_cuts(self, model: Model, w, u, allowed) -> None:
+        """Strengthen the set-count relaxation with collision cliques.
+
+        A site every candidate path of a flow passes through is
+        *mandatory* for that flow. Two flows from different source
+        modules whose mandatory sites intersect can never share a flow
+        set — whatever paths are chosen, some common site would be fed
+        by two inlets, violating scheduling. Each maximal clique of such
+        pairwise-colliding flows therefore needs one set per member:
+        ``sum_f w[f, s] <= 1`` per set, and (with the ordered ``u``
+        chain) ``u[s] >= 1`` for the first ``|clique|`` sets. Both rows
+        are implied for every feasible integral point, so they only
+        tighten the LP relaxation.
+        """
+        spec = self.spec
+        if len(spec.flows) < 2 or not u:
+            return
+        mandatory: Dict[int, FrozenSet[Site]] = {}
+        source_of: Dict[int, str] = {}
+        for f in spec.flows:
+            paths = allowed[f.id]
+            if not paths:
+                continue
+            common = frozenset(self._path_sites(paths[0]))
+            for p in paths[1:]:
+                if not common:
+                    break
+                common = common & frozenset(self._path_sites(p))
+            if common:
+                mandatory[f.id] = common
+                source_of[f.id] = f.source
+        if len(mandatory) < 2:
+            return
+        ids = sorted(mandatory)
+        pairs = {
+            frozenset((i, j))
+            for ai, i in enumerate(ids)
+            for j in ids[ai + 1:]
+            if source_of[i] != source_of[j] and mandatory[i] & mandatory[j]
+        }
+        if not pairs:
+            return
+        n_sets = spec.effective_max_sets()
+        max_clique = 0
+        for ci, clique in enumerate(conflict_cliques(pairs, min_size=2)):
+            max_clique = max(max_clique, len(clique))
+            for s in range(n_sets):
+                terms = [w[(fid, s)] for fid in clique if (fid, s) in w]
+                if len(terms) > 1:
+                    model.add_constr(quicksum(terms) <= 1, f"cover_clq{ci}_s{s}")
+        for s in range(min(max_clique, n_sets)):
+            model.add_constr(u[s] >= 1, f"cover_minsets_{s}")
 
     def _rotation_symmetry_breaking(self, model: Model, y) -> None:
         """Exploit the switch's rotational symmetry.
@@ -419,6 +514,8 @@ class SynthesisModelBuilder:
                 f"pinidx_{m}",
             )
             pin_vars[m] = pv
+        # pin indices equal a sum of binaries by definition: no branching.
+        model.mark_implied_integer(*pin_vars.values())
         q_vars: Dict[str, Var] = {}
         for m in order:
             q_vars[m] = model.add_binary(f"qcw_{m}")

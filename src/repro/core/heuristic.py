@@ -178,3 +178,122 @@ def _greedy_schedule(spec: SwitchSpec,
         else:
             sets.append([f.id])
     return [sorted(g) for g in sets]
+
+
+# ----------------------------------------------------------------------
+def model_assignment(built, result: SynthesisResult):
+    """Map a greedy result onto a built model's variables.
+
+    Returns a complete ``{Var: value}`` assignment suitable as a warm
+    start for the exact solvers, or ``None`` when the greedy solution is
+    not representable in the model (a routed path missing from the path
+    catalog, a set assignment outside the symmetry-broken ``w`` grid, a
+    binding that is not clockwise in the required order). The caller
+    re-validates the assignment against the model's constraints, so this
+    function only needs to be *complete*, not to re-prove feasibility.
+    """
+    if result.status is not SynthesisStatus.FEASIBLE:
+        return None
+    if not result.binding or not result.flow_paths:
+        return None
+    spec = built.spec
+    switch = spec.switch
+    values: Dict[object, float] = {}
+
+    def path_sites(p: Path) -> Set[Tuple[str, object]]:
+        nodes = p.major_nodes(switch) if spec.node_policy is NodePolicy.PAPER \
+            else p.nodes
+        sites: Set[Tuple[str, object]] = {("node", n) for n in nodes}
+        sites.update(("seg", k) for k in p.segments)
+        return sites
+
+    # Path choice: match each routed path to a catalog candidate by
+    # endpoints and segment set (greedy paths carry synthetic indices).
+    chosen: Dict[int, Path] = {}
+    for f in spec.flows:
+        g = result.flow_paths.get(f.id)
+        if g is None:
+            return None
+        match = next(
+            (p for p in built.allowed_paths[f.id]
+             if p.source_pin == g.source_pin and p.target_pin == g.target_pin
+             and p.segments == g.segments),
+            None,
+        )
+        if match is None:
+            return None
+        chosen[f.id] = match
+    for (fid, pidx), var in built.x.items():
+        values[var] = 1.0 if chosen[fid].index == pidx else 0.0
+    for (m, pin), var in built.y.items():
+        values[var] = 1.0 if result.binding.get(m) == pin else 0.0
+    site_cache = {fid: path_sites(p) for fid, p in chosen.items()}
+    for (fid, site), var in built.a.items():
+        values[var] = 1.0 if site in site_cache[fid] else 0.0
+
+    set_of: Dict[int, int] = {}
+    for s, group in enumerate(result.flow_sets):
+        for fid in group:
+            set_of[fid] = s
+    if built.w:
+        for fid, s in set_of.items():
+            if (fid, s) not in built.w:
+                return None
+    for (fid, s), var in built.w.items():
+        if fid not in set_of:
+            return None
+        values[var] = 1.0 if set_of[fid] == s else 0.0
+    for s, var in built.u.items():
+        values[var] = 1.0 if s < len(result.flow_sets) else 0.0
+    used = {k for p in chosen.values() for k in p.segments}
+    for key, var in built.used.items():
+        values[var] = 1.0 if key in used else 0.0
+
+    # Scheduling counters follow directly from the chosen paths/sets.
+    source_of = {f.id: f.source for f in spec.flows}
+
+    def k_count(m: str, site, s: int) -> float:
+        return float(sum(
+            1 for fid in chosen
+            if source_of[fid] == m and set_of.get(fid) == s
+            and site in site_cache[fid]
+        ))
+
+    for (m, site, s), var in built.sched_k.items():
+        values[var] = k_count(m, site, s)
+    for (site, s), var in built.sched_K.items():
+        values[var] = sum(
+            values[kvar] for (m2, site2, s2), kvar in built.sched_k.items()
+            if site2 == site and s2 == s
+        )
+    for (m, site, s), var in built.sched_q.items():
+        values[var] = 1.0 if values[built.sched_k[(m, site, s)]] == 0.0 else 0.0
+    for (m, site, s), var in built.sched_b.items():
+        values[var] = 1.0 if k_count(m, site, s) > 0 else 0.0
+
+    # Clockwise auxiliaries: the wrap indicator must single out exactly
+    # one descent in the cyclic pin sequence, which holds iff the
+    # binding really is clockwise in the required order.
+    if built.pin_index_var:
+        for m, var in built.pin_index_var.items():
+            pin = result.binding.get(m)
+            if pin is None:
+                return None
+            values[var] = float(switch.pin_index(pin))
+    if built.wrap_q:
+        order = list(spec.module_order or [])
+        if len(order) <= 1:
+            for var in built.wrap_q.values():
+                values[var] = 1.0
+        else:
+            wraps = []
+            for idx, m_a in enumerate(order):
+                m_b = order[(idx + 1) % len(order)]
+                pa = switch.pin_index(result.binding[m_a])
+                pb = switch.pin_index(result.binding[m_b])
+                wraps.append(1.0 if pa >= pb else 0.0)
+            if sum(wraps) != 1.0:
+                return None
+            for idx, m_a in enumerate(order):
+                values[built.wrap_q[m_a]] = wraps[idx]
+    return values

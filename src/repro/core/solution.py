@@ -89,6 +89,9 @@ class SynthesisResult:
     #: Wall-clock breakdown by pipeline phase (catalog / build /
     #: linearize / presolve / solve / extract / analyze / verify).
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: Search statistics from the solver backend (nodes, lp_calls,
+    #: lp_iterations, cuts, incumbent_seeded, resolve_cache_hit, ...).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     # -- the metrics of Tables 4.1-4.3 -----------------------------------
     @property

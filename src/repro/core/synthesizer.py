@@ -26,9 +26,16 @@ from repro.core.valves import analyze_valves
 from repro.core.verify import verify_result
 from repro.errors import ReproError
 from repro.opt import SolveStatus
+from repro.opt.incremental import SolveContext
+from repro.opt.solvers import resolve_backend_name
 from repro.perf import PerfRecorder
 from repro.switches.paths import PathCatalog, enumerate_paths
 from repro.switches.reduce import reduce_switch
+
+#: Backends that can exploit a warm-start incumbent. HiGHS (scipy's
+#: milp) has no incumbent-injection hook, so computing one for it would
+#: be wasted work.
+_WARM_BACKENDS = {"branch_bound", "portfolio", "backtrack"}
 
 
 @dataclass
@@ -44,6 +51,9 @@ class SynthesisOptions:
     pressure_method: str = "ilp"            # or "greedy"
     verify: bool = True
     verbose: bool = False
+    #: Seed warm-start-capable backends with the greedy heuristic's
+    #: solution as the initial incumbent (never changes the optimum).
+    heuristic_incumbent: bool = True
 
 
 def build_catalog(spec: SwitchSpec, options: SynthesisOptions) -> PathCatalog:
@@ -64,36 +74,123 @@ def build_catalog(spec: SwitchSpec, options: SynthesisOptions) -> PathCatalog:
     )
 
 
+def _context_key(spec: SwitchSpec, options: SynthesisOptions) -> Tuple:
+    """The structural identity of a synthesis model.
+
+    Everything that shapes the variables/constraints — but *not* the
+    objective weights α/β, so weight sweeps hit the same cached model
+    and only the objective is swapped.
+    """
+    return (
+        spec.switch.structure_key(),
+        tuple(spec.modules),
+        tuple((f.id, f.source, f.target) for f in spec.flows),
+        tuple(sorted(tuple(sorted(pair)) for pair in spec.conflicts)),
+        spec.binding.value,
+        tuple(sorted((spec.fixed_binding or {}).items())),
+        tuple(spec.module_order or ()),
+        spec.max_sets,
+        spec.node_policy.value,
+        spec.conflict_form.value,
+        spec.scheduling_form.value,
+        options.path_slack,
+        options.max_paths_per_pair,
+    )
+
+
 def synthesize(spec: SwitchSpec,
-               options: Optional[SynthesisOptions] = None) -> SynthesisResult:
-    """Synthesize an application-specific, contamination-free switch."""
+               options: Optional[SynthesisOptions] = None,
+               context: Optional[SolveContext] = None) -> SynthesisResult:
+    """Synthesize an application-specific, contamination-free switch.
+
+    ``context`` (optional) is a :class:`~repro.opt.incremental.SolveContext`
+    shared across related calls: structurally identical specs reuse the
+    built model (and its compiled arrays/cut pool), α/β re-weightings
+    only swap the objective, and previous optima seed later solves as
+    warm-start incumbents. Results are identical with or without a
+    context — it only removes repeated work.
+    """
     options = options or SynthesisOptions()
     start = time.perf_counter()
     recorder = PerfRecorder(spec.name)
 
-    with recorder.phase("catalog"):
-        catalog = build_catalog(spec, options)
-    with recorder.phase("build"):
-        built = SynthesisModelBuilder(spec, catalog).build()
+    key = _context_key(spec, options) if context is not None else None
+
+    def _build() -> BuiltModel:
+        with recorder.phase("catalog"):
+            catalog = build_catalog(spec, options)
+        with recorder.phase("build"):
+            return SynthesisModelBuilder(spec, catalog).build()
+
+    if context is None:
+        built = _build()
+    else:
+        built = context.built_model(key, _build)
+        if built.spec is not spec:
+            if (built.spec.alpha, built.spec.beta) != (spec.alpha, spec.beta):
+                with recorder.phase("build"):
+                    built.model.set_objective(
+                        spec.alpha * built.n_sets_expr
+                        + spec.beta * built.length_expr,
+                        "min",
+                    )
+            built.spec = spec
+
+    # Warm-start incumbent: a previous optimum from the context if one
+    # exists, else the greedy heuristic's solution. Either is validated
+    # inside Model.solve and can only speed the search up.
+    warm_values = None
+    warm_source = "warm"
+    memo_hit = (built.model._version, options.backend,
+                float(options.mip_gap)) in built.model._solutions
+    if not memo_hit and resolve_backend_name(options.backend) in _WARM_BACKENDS:
+        if context is not None:
+            stored = context.incumbent(key)
+            if stored is not None:
+                mapped = {v: stored.get(v.name) for v in built.model.variables}
+                if all(val is not None for val in mapped.values()):
+                    warm_values, warm_source = mapped, "context"
+        if warm_values is None and options.heuristic_incumbent:
+            from repro.core.heuristic import model_assignment, synthesize_greedy
+
+            with recorder.phase("heuristic"):
+                greedy = synthesize_greedy(spec, verify=False,
+                                           pressure_sharing=False)
+                assignment = (model_assignment(built, greedy)
+                              if greedy.status.solved else None)
+            if assignment is not None:
+                warm_values, warm_source = assignment, "heuristic"
+
     sol = built.model.solve(
         backend=options.backend,
         time_limit=options.time_limit,
         mip_gap=options.mip_gap,
         verbose=options.verbose,
+        warm_start=warm_values,
+        warm_source=warm_source,
     )
     # The model reports its own sub-phases (linearize/presolve/solve/...).
     recorder.timings.merge(sol.timings)
+    recorder.counters.update(sol.counters)
     runtime = time.perf_counter() - start
+
+    if context is not None and sol.status is SolveStatus.OPTIMAL \
+            and sol.values is not None:
+        context.note_solution(
+            key, {v.name: float(val) for v, val in sol.values.items()}
+        )
 
     if sol.status is SolveStatus.INFEASIBLE:
         result = SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
                                  runtime=runtime, solver=sol.solver)
         result.timings = recorder.timings
+        result.counters = dict(recorder.counters)
         return result
     if not sol.has_solution:
         result = SynthesisResult(spec, SynthesisStatus.TIMEOUT,
                                  runtime=runtime, solver=sol.solver)
         result.timings = recorder.timings
+        result.counters = dict(recorder.counters)
         return result
 
     with recorder.phase("extract"):
@@ -122,6 +219,7 @@ def synthesize(spec: SwitchSpec,
             verify_result(result)
     result.runtime = time.perf_counter() - start
     result.timings = recorder.timings
+    result.counters = dict(recorder.counters)
     return result
 
 

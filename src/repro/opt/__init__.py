@@ -14,6 +14,7 @@ from repro.opt.expr import (
     VarType,
     quicksum,
 )
+from repro.opt.incremental import IncrementalLP, SolveContext, WarmStart
 from repro.opt.linearize import linearize
 from repro.opt.lp_format import model_to_lp, write_lp
 from repro.opt.model import Model
@@ -39,4 +40,7 @@ __all__ = [
     "write_lp",
     "get_backend",
     "available_backends",
+    "WarmStart",
+    "IncrementalLP",
+    "SolveContext",
 ]

@@ -109,6 +109,13 @@ class CompiledModel:
         self.integrality = np.array(
             [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
         )
+        # Variables marked implied-integer on the model are integral in
+        # every optimal solution once the true decision variables are —
+        # the branch set can skip them (see Model.mark_implied_integer).
+        implied_names = getattr(model, "_implied_int_names", None) or ()
+        self.implied = np.array(
+            [v.name in implied_names for v in self.variables], dtype=bool
+        )
 
         self._csr: Optional[sparse.csr_matrix] = None
         self._split: Optional[Tuple] = None
@@ -119,6 +126,18 @@ class CompiledModel:
     @property
     def nnz(self) -> int:
         return self.a_data.size
+
+    @property
+    def branch_integrality(self) -> np.ndarray:
+        """Integrality flags with implied-integer variables relaxed.
+
+        Handing this (instead of ``integrality``) to a MILP solver
+        shrinks the branch set without changing the optimum: implied
+        variables are forced to integral values by their defining
+        constraints whenever the remaining integer variables are
+        integral. Report values must still be rounded per ``vtype``.
+        """
+        return np.where(self.implied, 0, self.integrality)
 
     @property
     def A_csr(self) -> sparse.csr_matrix:

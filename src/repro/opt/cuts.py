@@ -1,0 +1,123 @@
+"""Cutting planes derived from conflict structure.
+
+The synthesis models state contamination avoidance as *pairwise*
+at-most-one rows (``a_i + a_j <= 1`` per conflicting flow pair per
+site, eq. 3.3). When three or more flows are mutually conflicting the
+pairwise relaxation admits the fractional point ``a_i = 1/2`` for all
+of them; the clique inequality ``sum_{i in C} a_i <= 1`` over a maximal
+mutually-conflicting set ``C`` cuts that point off while keeping every
+integral feasible assignment — a classic conflict-graph clique cut.
+
+Two consumers:
+
+* :func:`clique_cuts` works on a *compiled* model: it reads the
+  two-term at-most-one rows back out of the matrix, builds the conflict
+  graph and returns maximal cliques of size >= 3 as column-index
+  tuples. The branch-and-bound backend adds these as root cut rows.
+  The result is cached on the compiled model, so a
+  :class:`~repro.opt.incremental.SolveContext` that reuses a model also
+  reuses its cut pool.
+* :func:`conflict_cliques` works on the spec's flow-conflict relation
+  directly and is used by :class:`repro.core.builder.SynthesisModelBuilder`
+  to emit the clique rows into the model itself (tightening the LP
+  relaxation for every backend, HiGHS included).
+
+Both cut families never exclude an integral feasible point, so optimal
+objective values are unchanged (guarded by ``tests/test_opt_cuts.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+from repro.opt.compile import SENSE_LE, CompiledModel
+
+
+def atmost_one_pairs(compiled: CompiledModel) -> List[Tuple[int, int]]:
+    """Column pairs ``(i, j)`` from rows of the form ``x_i + x_j <= 1``
+    over binary variables — the edges of the pairwise conflict graph."""
+    pairs: List[Tuple[int, int]] = []
+    if compiled.m == 0:
+        return pairs
+    A = compiled.A_csr
+    indptr, indices, data = A.indptr, A.indices, A.data
+    binary = (compiled.integrality == 1) & (compiled.lb >= 0.0) & (compiled.ub <= 1.0)
+    candidate = (compiled.senses == SENSE_LE) & (compiled.rhs == 1.0)
+    for r in np.flatnonzero(candidate):
+        lo, hi = indptr[r], indptr[r + 1]
+        if hi - lo != 2:
+            continue
+        cols = indices[lo:hi]
+        if not (data[lo:hi] == 1.0).all() or not binary[cols].all():
+            continue
+        pairs.append((int(cols[0]), int(cols[1])))
+    return pairs
+
+
+def clique_cuts(compiled: CompiledModel, min_size: int = 3,
+                max_cuts: int = 500) -> List[Tuple[int, ...]]:
+    """Maximal-clique at-most-one cuts over the compiled columns.
+
+    Returns sorted column-index tuples, one per clique of at least
+    ``min_size`` mutually-exclusive binaries. Cached on the compiled
+    model (the conflict graph is static for a given compilation).
+    """
+    cached = getattr(compiled, "_clique_cuts", None)
+    if cached is not None:
+        return cached
+    cliques: List[Tuple[int, ...]] = []
+    pairs = atmost_one_pairs(compiled)
+    if pairs:
+        graph = nx.Graph()
+        graph.add_edges_from(pairs)
+        seen = set()
+        for clique in nx.find_cliques(graph):
+            if len(clique) < min_size:
+                continue
+            key = tuple(sorted(clique))
+            if key not in seen:
+                seen.add(key)
+                cliques.append(key)
+        cliques.sort()
+        del cliques[max_cuts:]
+    compiled._clique_cuts = cliques
+    return cliques
+
+
+def cut_rows(compiled: CompiledModel, cliques: Iterable[Tuple[int, ...]]
+             ) -> Tuple[sparse.csr_matrix, np.ndarray]:
+    """Assemble cliques into a sparse ``A @ x <= 1`` row block."""
+    cliques = list(cliques)
+    rows: List[int] = []
+    cols: List[int] = []
+    for r, clique in enumerate(cliques):
+        rows.extend([r] * len(clique))
+        cols.extend(clique)
+    A = sparse.csr_matrix(
+        (np.ones(len(cols)), (rows, cols)), shape=(len(cliques), compiled.n)
+    )
+    return A, np.ones(len(cliques))
+
+
+def conflict_cliques(conflicts: Iterable, min_size: int = 3
+                     ) -> List[Tuple[int, ...]]:
+    """Maximal cliques of the flow-conflict graph, as sorted id tuples.
+
+    ``conflicts`` is the spec's set of 2-element frozensets. Cliques of
+    size >= ``min_size`` subsume several pairwise rows each; the builder
+    emits one at-most-one row per clique per shared site.
+    """
+    graph = nx.Graph()
+    for pair in conflicts:
+        i, j = sorted(pair)
+        graph.add_edge(i, j)
+    return sorted(
+        tuple(sorted(c)) for c in nx.find_cliques(graph) if len(c) >= min_size
+    )
+
+
+__all__ = ["atmost_one_pairs", "clique_cuts", "cut_rows", "conflict_cliques"]

@@ -1,0 +1,264 @@
+"""Incremental solve machinery: warm starts, persistent LPs, re-solve contexts.
+
+Three pieces that let related solves share work instead of starting
+cold every time:
+
+* :class:`WarmStart` — a complete feasible assignment (by variable
+  name) plus its objective value, handed to a backend as the initial
+  incumbent so pruning starts with a finite cutoff.
+* :class:`IncrementalLP` — one LP relaxation kept alive for a whole
+  branch-and-bound tree. The constraint matrix is flattened exactly
+  once (from the model's cached sparse compilation); each node applies
+  only its bound *deltas* to a pair of persistent bound vectors and
+  reverts them afterwards, so the per-node cost is the LP solve itself,
+  not model rebuilding. Cut rows (e.g. clique cuts from
+  :mod:`repro.opt.cuts`) can be appended once and are seen by every
+  later relaxation.
+* :class:`SolveContext` — a cache threaded through
+  :func:`repro.core.synthesizer.synthesize` by the experiment runners
+  and sensitivity sweeps. Binding-policy comparisons and α/β sweeps
+  solve near-identical models; the context keeps the built model (and
+  with it the compiled arrays and cut pool, which are cached *on* the
+  model) and remembers each optimum so the next structurally-identical
+  solve can start from it.
+
+Nothing here changes what is solved — warm starts are validated before
+use and an exact search still runs to proven optimality, so objective
+values are identical to a cold solve (guarded by
+``tests/test_warm_resolve.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+
+@dataclass
+class WarmStart:
+    """A feasible assignment offered to a backend as initial incumbent.
+
+    ``values`` maps variable *names* to values (names survive presolve
+    and model reduction, variable objects do not). ``objective`` is the
+    user-space objective of the assignment.
+    """
+
+    values: Dict[str, float]
+    objective: float
+    source: str = "warm"
+
+    def vector(self, compiled) -> Optional[np.ndarray]:
+        """The assignment as a column vector over ``compiled``'s
+        variables, or None when any variable is missing a value."""
+        x = np.empty(compiled.n)
+        values = self.values
+        for v in compiled.variables:
+            val = values.get(v.name)
+            if val is None:
+                return None
+            x[v.index] = val
+        return x
+
+
+class IncrementalLP:
+    """A persistent LP relaxation over a compiled model.
+
+    The split ``A_ub``/``A_eq`` matrices are taken from the compiled
+    model once; bound vectors are owned working copies. A
+    branch-and-bound tree calls :meth:`set_bounds` with a node's delta
+    chain (reverting the previous node's deltas first — O(depth), not
+    O(n)) and :meth:`tightened` for the one extra bound of each child.
+    """
+
+    def __init__(self, compiled) -> None:
+        self.form = compiled
+        A_ub, b_ub, A_eq, b_eq = compiled.split_form()
+        self._A_ub, self._b_ub = A_ub, b_ub
+        self._A_eq, self._b_eq = A_eq, b_eq
+        self._base_lb = compiled.lb.copy()
+        self._base_ub = compiled.ub.copy()
+        self._lb = compiled.lb.copy()
+        self._ub = compiled.ub.copy()
+        self._touched: set = set()
+        self.lp_calls = 0
+        self.lp_iterations = 0
+        self.cuts_added = 0
+
+    # -- bound management ----------------------------------------------
+    @property
+    def lb(self) -> np.ndarray:
+        """Current node's lower bounds (read-only by convention)."""
+        return self._lb
+
+    @property
+    def ub(self) -> np.ndarray:
+        """Current node's upper bounds (read-only by convention)."""
+        return self._ub
+
+    def set_bounds(self, deltas: Iterable[Tuple[int, bool, float]]) -> None:
+        """Make the working bounds equal root bounds + ``deltas``.
+
+        ``deltas`` is a root-to-leaf sequence of ``(var index, is_ub,
+        value)`` tuples; later entries win, matching the node chain of
+        the branch-and-bound tree.
+        """
+        for j in self._touched:
+            self._lb[j] = self._base_lb[j]
+            self._ub[j] = self._base_ub[j]
+        self._touched.clear()
+        for j, is_ub, value in deltas:
+            if is_ub:
+                self._ub[j] = value
+            else:
+                self._lb[j] = value
+            self._touched.add(j)
+
+    @contextmanager
+    def tightened(self, j: int, is_ub: bool, value: float) -> Iterator[None]:
+        """Temporarily overlay one extra bound on the current node."""
+        old_lb, old_ub = self._lb[j], self._ub[j]
+        if is_ub:
+            self._ub[j] = value
+        else:
+            self._lb[j] = value
+        self._touched.add(j)
+        try:
+            yield
+        finally:
+            self._lb[j], self._ub[j] = old_lb, old_ub
+
+    # -- cuts ----------------------------------------------------------
+    def add_cuts(self, A_rows: sparse.spmatrix, b_rows: np.ndarray) -> None:
+        """Append ``A_rows @ x <= b_rows`` for all subsequent solves."""
+        if A_rows.shape[0] == 0:
+            return
+        if self._A_ub.shape[0]:
+            self._A_ub = sparse.vstack([self._A_ub, A_rows], format="csr")
+            self._b_ub = np.concatenate([self._b_ub, b_rows])
+        else:
+            self._A_ub = A_rows.tocsr()
+            self._b_ub = np.asarray(b_rows, dtype=float)
+        self.cuts_added += int(A_rows.shape[0])
+
+    # -- solving -------------------------------------------------------
+    def solve(self):
+        """Solve the relaxation under the current working bounds."""
+        res = linprog(
+            self.form.c,
+            A_ub=self._A_ub if self._A_ub.nnz else None,
+            b_ub=self._b_ub if self._A_ub.nnz else None,
+            A_eq=self._A_eq if self._A_eq.nnz else None,
+            b_eq=self._b_eq if self._A_eq.nnz else None,
+            bounds=np.column_stack([self._lb, self._ub]),
+            method="highs",
+        )
+        self.lp_calls += 1
+        nit = getattr(res, "nit", 0)
+        self.lp_iterations += int(nit) if nit is not None else 0
+        return res
+
+    def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Whether ``x`` satisfies bounds, rows and integrality."""
+        if (x < self._base_lb - tol).any() or (x > self._base_ub + tol).any():
+            return False
+        form = self.form
+        if form.m:
+            row = form.A_csr @ x
+            if (row < form.row_lb - tol).any() or (row > form.row_ub + tol).any():
+                return False
+        ints = form.integrality == 1
+        if ints.any() and (np.abs(x[ints] - np.round(x[ints])) > tol).any():
+            return False
+        return True
+
+
+class SolveContext:
+    """Shared cache for families of related synthesis solves.
+
+    The experiment runners solve the *same* case under three binding
+    policies and the sensitivity module re-solves one case under many
+    α/β weightings. A context keyed on the structural part of the spec
+    (everything except the objective weights) lets those runs reuse:
+
+    * the built model — and through it the compiled sparse arrays and
+      the clique-cut pool, both cached on the model objects;
+    * the previous optimum as a warm-start incumbent for backends that
+      accept one (branch-and-bound, portfolio).
+
+    The context stores plain data (name-keyed value dicts); consumers
+    decide how to map it onto their model. ``stats`` counts hits and
+    misses for instrumentation.
+    """
+
+    def __init__(self) -> None:
+        self._models: Dict[Any, Any] = {}
+        self._incumbents: Dict[Any, Dict[str, float]] = {}
+        self.stats: Dict[str, int] = {
+            "model_hits": 0,
+            "model_misses": 0,
+            "incumbents_stored": 0,
+            "warm_starts_served": 0,
+        }
+
+    def built_model(self, key: Any, build: Callable[[], Any]) -> Any:
+        """The cached artifact for ``key``, building it on first use."""
+        cached = self._models.get(key)
+        if cached is None:
+            self.stats["model_misses"] += 1
+            cached = build()
+            self._models[key] = cached
+        else:
+            self.stats["model_hits"] += 1
+        return cached
+
+    def note_solution(self, key: Any, values_by_name: Dict[str, float]) -> None:
+        """Remember an optimum's assignment for future warm starts."""
+        self._incumbents[key] = dict(values_by_name)
+        self.stats["incumbents_stored"] += 1
+
+    def incumbent(self, key: Any) -> Optional[Dict[str, float]]:
+        """The last stored assignment for ``key`` (a copy), if any."""
+        stored = self._incumbents.get(key)
+        if stored is None:
+            return None
+        self.stats["warm_starts_served"] += 1
+        return dict(stored)
+
+    def __repr__(self) -> str:
+        return (f"SolveContext(models={len(self._models)}, "
+                f"incumbents={len(self._incumbents)}, stats={self.stats})")
+
+
+def map_back_solution(sol, original, reduction, solver_name: str):
+    """Translate a reduced-model solution back to the original model.
+
+    Reduced variables share names with the originals; presolve-fixed
+    variables are re-inserted. The objective value is identical because
+    presolve folds fixed contributions into the reduced objective.
+    """
+    from repro.opt.result import Solution
+
+    if not sol.has_solution:
+        sol.solver = solver_name
+        return sol
+    by_name = {v.name: val for v, val in sol.values.items()}
+    values = {}
+    for v in original.variables:
+        if v in reduction.fixed:
+            values[v] = reduction.fixed[v]
+        else:
+            values[v] = by_name[v.name]
+    mapped = Solution(sol.status, sol.objective, values,
+                      runtime=sol.runtime, solver=solver_name,
+                      gap=sol.gap, message=sol.message)
+    mapped.timings = sol.timings
+    mapped.counters = sol.counters
+    return mapped
+
+
+__all__ = ["WarmStart", "IncrementalLP", "SolveContext", "map_back_solution"]

@@ -55,6 +55,10 @@ def linearize(model: Model) -> Tuple[Model, Dict[Tuple[Var, Var], Var]]:
     # *linearized* model's ownership checks; reuse the original model id
     # so original Vars and aux Vars can mix inside one expression.
     lin._id = model._id
+    # Implied-integer marks carry over; every auxiliary product variable
+    # is implied too (its defining rows force z = a*b once the factors
+    # are integral), so backends never need to branch on it.
+    lin._implied_int_names = set(getattr(model, "_implied_int_names", ()))
 
     product_vars: Dict[Tuple[Var, Var], Var] = {}
 
@@ -99,6 +103,7 @@ def linearize(model: Model) -> Tuple[Model, Dict[Tuple[Var, Var], Var]]:
                 f"_lz4_{z.name}",
             )
         product_vars[key] = z
+        lin._implied_int_names.add(z.name)
         return z
 
     def to_linear(expr) -> LinExpr:

@@ -54,6 +54,12 @@ class Model:
         # compiled sparse form (repro.opt.compile) can be cached safely.
         self._version = 0
         self._compiled = None
+        # Names of integer variables whose integrality is implied by the
+        # rest of the model (see mark_implied_integer).
+        self._implied_int_names: set = set()
+        # Conclusive solve results keyed by (version, backend, gap); a
+        # re-solve of the unchanged model returns a cached copy.
+        self._solutions: Dict[Tuple, Solution] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -130,6 +136,28 @@ class Model:
         self._check_ownership(expr)
         self.objective = expr
         self.minimize = sense == "min"
+        self._version += 1
+
+    def mark_implied_integer(self, *variables: Var) -> None:
+        """Declare integer variables whose integrality is *implied*.
+
+        An implied-integer variable is forced to an integral value by
+        its defining constraints whenever the remaining integer
+        variables take integral values (e.g. a counter defined by an
+        equality over binaries). Backends may then drop it from the
+        branch set — a pure search-space reduction that cannot change
+        any optimal objective value. Only mark a variable when every
+        integral completion of the others forces it; when in doubt,
+        leave it enforced.
+        """
+        for v in variables:
+            if v._model_id != self._id:
+                raise ModelError(
+                    f"variable {v.name!r} belongs to a different model than {self.name!r}"
+                )
+            if v.vtype is VarType.CONTINUOUS:
+                continue
+            self._implied_int_names.add(v.name)
         self._version += 1
 
     def _check_ownership(self, expr: ExprLike) -> None:
@@ -232,6 +260,8 @@ class Model:
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start: Optional[Dict[Var, float]] = None,
+        warm_source: str = "warm",
     ) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
@@ -241,25 +271,59 @@ class Model:
         branch-and-bound otherwise. Quadratic models are linearized
         exactly first; the reported solution only contains the original
         variables. The returned solution carries a per-phase wall-clock
-        breakdown in ``solution.timings``.
+        breakdown in ``solution.timings`` and search counters in
+        ``solution.counters``.
+
+        ``warm_start`` optionally supplies a complete assignment of the
+        original variables. It is validated against the constraints
+        (silently dropped when violated) and offered to the backend as
+        its initial incumbent; backends without warm-start support
+        ignore it, so the returned status/objective never depend on it.
+
+        Re-solving an unchanged model with the same backend and gap
+        returns a cached copy of the previous *conclusive* result
+        (optimal/infeasible/unbounded — all independent of any time
+        limit); any structural mutation invalidates the cache.
         """
         from repro.opt.linearize import linearize
         from repro.opt.solvers import get_backend
         from repro.perf import PerfRecorder
 
-        recorder = PerfRecorder(self.name)
         start = time.perf_counter()
+        cache_key = (self._version, backend, float(mip_gap))
+        cached = self._solutions.get(cache_key)
+        if cached is not None:
+            hit = cached.clone()
+            hit.runtime = time.perf_counter() - start
+            hit.timings = type(hit.timings)()
+            hit.timings.add("solve", hit.runtime)
+            hit.counters["resolve_cache_hit"] = 1
+            return hit
+
+        recorder = PerfRecorder(self.name)
         if self.is_linear():
             work_model, back_map = self, None
         else:
             with recorder.phase("linearize"):
                 work_model, back_map = linearize(self)
 
+        warm = None
+        if warm_start is not None:
+            warm = self._build_warm_start(warm_start, back_map, warm_source)
+
         solver = get_backend(backend)
-        with recorder.phase("solve"):
-            solution = solver.solve(
-                work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose
-            )
+        t_backend = time.perf_counter()
+        solution = solver.solve(
+            work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose,
+            warm_start=warm,
+        )
+        # The backend reports its presolve share in solution.timings;
+        # record only the remainder as "solve" so the merged breakdown
+        # does not double-count (presolve + solve == backend wall time).
+        backend_s = time.perf_counter() - t_backend
+        recorder.timings.add(
+            "solve", max(0.0, backend_s - solution.timings.get("presolve", 0.0))
+        )
 
         if back_map is not None and solution.values is not None:
             solution = solution.restrict(set(self.variables))
@@ -277,7 +341,41 @@ class Model:
         solution.runtime = time.perf_counter() - start
         solution.model_name = self.name
         solution.timings.merge(recorder.timings)
+        if solution.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE,
+                               SolveStatus.UNBOUNDED):
+            if len(self._solutions) >= 16:
+                self._solutions.pop(next(iter(self._solutions)))
+            self._solutions[cache_key] = solution.clone()
         return solution
+
+    def _build_warm_start(self, warm_start: Dict[Var, float], back_map,
+                          source: str = "warm"):
+        """Validate a user assignment and package it for the backends.
+
+        Returns None (warm start silently dropped) when the assignment
+        is incomplete or violates any constraint — a bad warm start
+        must never be able to corrupt an exact search. Linearization
+        product variables are completed from their factors.
+        """
+        from repro.opt.incremental import WarmStart
+
+        values = dict(warm_start)
+        if any(v not in values for v in self.variables):
+            return None
+        if self.check_assignment(values, tol=1e-6):
+            return None
+        if back_map:
+            for (a, b), z in back_map.items():
+                if z not in values:
+                    values[z] = values[a] * values[b]
+        objective = (self.objective.value(values)
+                     if not isinstance(self.objective, (int, float))
+                     else float(self.objective))
+        return WarmStart(
+            {v.name: float(val) for v, val in values.items()},
+            objective=float(objective),
+            source=source,
+        )
 
     # ------------------------------------------------------------------
     # misc

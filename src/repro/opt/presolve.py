@@ -270,6 +270,9 @@ def _assemble(result: PresolveResult, model: Model, compiled: CompiledModel,
         else:
             keep[v] = reduced.add_var(v.name, v.vtype,
                                       float(lb[v.index]), float(ub[v.index]))
+    implied = getattr(model, "_implied_int_names", None)
+    if implied:
+        reduced._implied_int_names = {v.name for v in keep if v.name in implied}
 
     A = compiled.A_csr
     indptr, indices, adata = A.indptr, A.indices, A.data

@@ -51,6 +51,9 @@ class Solution:
         self.model_name = ""
         #: Wall-clock breakdown by phase (linearize / presolve / solve / ...).
         self.timings = PhaseTimings()
+        #: Search-effort counters (nodes / lp_calls / cuts / ...), filled
+        #: by the backend that produced this solution.
+        self.counters: Dict[str, int] = {}
 
     @property
     def is_optimal(self) -> bool:
@@ -92,7 +95,20 @@ class Solution:
         )
         clone.model_name = self.model_name
         clone.timings = PhaseTimings(self.timings)
+        clone.counters = dict(self.counters)
         return clone
+
+    def clone(self) -> "Solution":
+        """An independent copy (used by the model-level re-solve cache)."""
+        dup = Solution(
+            self.status, self.objective,
+            None if self.values is None else dict(self.values),
+            self.runtime, self.solver, self.gap, self.message,
+        )
+        dup.model_name = self.model_name
+        dup.timings = PhaseTimings(self.timings)
+        dup.counters = dict(self.counters)
+        return dup
 
     def __repr__(self) -> str:
         return (

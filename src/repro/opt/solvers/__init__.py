@@ -33,10 +33,16 @@ def _highs_available() -> bool:
     return True
 
 
+def resolve_backend_name(name: str = "auto") -> str:
+    """Resolve ``"auto"`` to the concrete backend name it would pick."""
+    if name == "auto":
+        return "highs" if _highs_available() else "branch_bound"
+    return name
+
+
 def get_backend(name: str = "auto") -> SolverBackend:
     """Instantiate a solver backend by name."""
-    if name == "auto":
-        name = "highs" if _highs_available() else "branch_bound"
+    name = resolve_backend_name(name)
     if name == "highs":
         from repro.opt.solvers.highs import HighsBackend
 
@@ -62,5 +68,5 @@ def available_backends() -> Dict[str, bool]:
     }
 
 
-__all__ = ["get_backend", "available_backends", "SolverBackend",
-           "BranchBoundBackend", "BacktrackBackend"]
+__all__ = ["get_backend", "resolve_backend_name", "available_backends",
+           "SolverBackend", "BranchBoundBackend", "BacktrackBackend"]

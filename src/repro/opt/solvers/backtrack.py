@@ -36,18 +36,32 @@ class BacktrackBackend(SolverBackend):
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start=None,
     ) -> Solution:
+        # Clock starts before presolve so time_limit bounds total wall time.
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
         if self.use_presolve:
+            from repro.opt.incremental import map_back_solution
             from repro.opt.presolve import presolve
-            from repro.opt.solvers.branch_bound import _map_back
 
+            t0 = time.perf_counter()
             reduction = presolve(model)
+            presolve_s = time.perf_counter() - t0
             if reduction.proven_infeasible:
-                return Solution(SolveStatus.INFEASIBLE, solver=self.name,
-                                message="presolve proved infeasibility")
+                sol = Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                               message="presolve proved infeasibility")
+                sol.timings.add("presolve", presolve_s)
+                return sol
             inner = BacktrackBackend(self.max_domain, use_presolve=False)
-            sol = inner.solve(reduction.model, time_limit, mip_gap, verbose)
-            return _map_back(sol, model, reduction, self.name)
+            remaining = None
+            if deadline is not None:
+                remaining = max(deadline - time.perf_counter(), 0.0)
+            sol = inner.solve(reduction.model, remaining, mip_gap, verbose,
+                              warm_start=warm_start)
+            sol = map_back_solution(sol, model, reduction, self.name)
+            sol.timings.add("presolve", presolve_s)
+            return sol
 
         for v in model.variables:
             if v.vtype is VarType.CONTINUOUS:
@@ -84,12 +98,20 @@ class BacktrackBackend(SolverBackend):
             split_constraints.append((items, const, sense))
         obj_items = sorted(obj.items(), key=lambda vc: order_of[vc[0]])
 
-        start = time.perf_counter()
-        deadline = start + time_limit if time_limit is not None else None
         best_val = math.inf
         best_assignment: Optional[Dict[Var, float]] = None
         assignment: Dict[Var, float] = {}
         timed_out = False
+
+        # A validated warm start seeds the incumbent: the DFS then only
+        # explores assignments that are strictly better, and returns the
+        # seed itself when nothing beats it.
+        if warm_start is not None:
+            seed = {v: warm_start.values.get(v.name) for v in model.variables}
+            if all(val is not None for val in seed.values()) \
+                    and not model.check_assignment(seed, tol=1e-6):
+                best_assignment = {v: float(val) for v, val in seed.items()}
+                best_val = sum(coef * best_assignment[v] for v, coef in obj.items())
 
         def residual_interval(items, from_pos: int) -> Tuple[float, float]:
             lo = hi = 0.0

@@ -11,7 +11,13 @@ from repro.opt.result import Solution
 
 
 class SolverBackend:
-    """Interface every backend implements."""
+    """Interface every backend implements.
+
+    ``warm_start`` is an optional, already-validated
+    :class:`~repro.opt.incremental.WarmStart`; backends that cannot use
+    one must accept and ignore it. A warm start may only ever speed a
+    search up — status and objective must not depend on it.
+    """
 
     name = "base"
 
@@ -21,6 +27,7 @@ class SolverBackend:
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start=None,
     ) -> Solution:
         raise NotImplementedError
 

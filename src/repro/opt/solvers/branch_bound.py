@@ -10,12 +10,23 @@ It is intended for small-to-medium models (hundreds of variables) and
 as a cross-check oracle in tests; the HiGHS MILP backend remains the
 default for the large synthesis models.
 
-Implementation notes: the LP matrices come from the model's cached
-sparse compilation, and tree nodes store only their branching delta (a
-``(parent, variable, side, value)`` tuple) rather than full copies of
-the bound arrays — bounds are materialized by walking the parent chain
-when a node is popped, so memory per open node is O(1) instead of
-O(variables).
+Implementation notes:
+
+* One :class:`~repro.opt.incremental.IncrementalLP` is kept alive for
+  the whole tree: the constraint matrix is flattened once and each node
+  only applies its bound *deltas* (a root-to-leaf ``(variable, side,
+  value)`` chain stored on the node) to the persistent bound vectors —
+  no per-node model rebuilds or bound-array copies.
+* A root cutting-plane pass adds clique cuts derived from the pairwise
+  at-most-one rows (:mod:`repro.opt.cuts`); the cuts are valid for the
+  whole tree, so they simply extend the persistent LP.
+* A validated warm start seeds the incumbent, so pruning starts with a
+  finite cutoff; if the root bound already proves it optimal within the
+  gap, the search returns immediately without opening a single node.
+* Implied-integer variables (marked by the builder/linearizer) are
+  excluded from the branch set.
+* The ``time_limit`` clock starts before presolve, so it bounds total
+  solver wall time.
 """
 
 from __future__ import annotations
@@ -27,22 +38,26 @@ import time
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy.optimize import linprog
 
+from repro.opt.cuts import clique_cuts, cut_rows
+from repro.opt.incremental import IncrementalLP, map_back_solution
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
 from repro.opt.solvers.base import SolverBackend
 
 _INT_TOL = 1e-6
 
+#: Backwards-compatible alias (the helper moved to repro.opt.incremental).
+_map_back = map_back_solution
+
 
 class _Node:
     """A branch-and-bound node: one bound delta layered on its parent.
 
     ``var < 0`` marks the root. ``is_ub`` selects which bound the delta
-    replaces; the full bound vectors are reconstructed on demand by
-    :meth:`materialize`, so the open-node heap never holds per-node
-    copies of the bound arrays.
+    replaces; the root-to-leaf delta chain is recovered on demand by
+    :meth:`chain`, so the open-node heap never holds per-node copies of
+    the bound arrays.
     """
 
     __slots__ = ("parent", "var", "is_ub", "value", "bound")
@@ -55,18 +70,22 @@ class _Node:
         self.value = value
         self.bound = bound
 
-    def materialize(self, root_lb: np.ndarray, root_ub: np.ndarray
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Rebuild this node's bound vectors from the root arrays."""
-        lb = root_lb.copy()
-        ub = root_ub.copy()
+    def chain(self) -> List[Tuple[int, bool, float]]:
+        """This node's bound deltas in root-to-leaf order."""
         deltas: List[Tuple[int, bool, float]] = []
         node: Optional[_Node] = self
         while node is not None and node.var >= 0:
             deltas.append((node.var, node.is_ub, node.value))
             node = node.parent
-        # Apply root-to-leaf so deeper (tighter) deltas win.
-        for var, is_ub, value in reversed(deltas):
+        deltas.reverse()
+        return deltas
+
+    def materialize(self, root_lb: np.ndarray, root_ub: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rebuild this node's bound vectors from the root arrays."""
+        lb = root_lb.copy()
+        ub = root_ub.copy()
+        for var, is_ub, value in self.chain():
             if is_ub:
                 ub[var] = value
             else:
@@ -75,14 +94,15 @@ class _Node:
 
 
 class BranchBoundBackend(SolverBackend):
-    """Best-first branch-and-bound over scipy LP relaxations."""
+    """Best-first branch-and-bound over a persistent scipy LP."""
 
     name = "branch_bound"
 
     def __init__(self, max_nodes: int = 200_000, use_presolve: bool = True,
-                 cancel_event=None) -> None:
+                 use_cuts: bool = True, cancel_event=None) -> None:
         self.max_nodes = max_nodes
         self.use_presolve = use_presolve
+        self.use_cuts = use_cuts
         #: Optional :class:`threading.Event`; when set, the search stops
         #: at the next node boundary (used by the portfolio backend).
         self.cancel_event = cancel_event
@@ -93,23 +113,34 @@ class BranchBoundBackend(SolverBackend):
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start=None,
     ) -> Solution:
+        # The clock starts here — before presolve — so time_limit bounds
+        # the solver's total wall time, not just the tree search.
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+
         if self.use_presolve:
             from repro.opt.presolve import presolve
 
-            t0 = time.perf_counter()
             reduction = presolve(model)
-            presolve_s = time.perf_counter() - t0
+            presolve_s = time.perf_counter() - start
             if reduction.proven_infeasible:
                 sol = Solution(SolveStatus.INFEASIBLE, solver=self.name,
                                message="presolve proved infeasibility")
                 sol.timings.add("presolve", presolve_s)
                 return sol
             inner = BranchBoundBackend(self.max_nodes, use_presolve=False,
+                                       use_cuts=self.use_cuts,
                                        cancel_event=self.cancel_event)
-            sol = inner.solve(reduction.model, time_limit, mip_gap, verbose)
-            sol = _map_back(sol, model, reduction, self.name)
+            remaining = None
+            if deadline is not None:
+                remaining = max(deadline - time.perf_counter(), 0.0)
+            sol = inner.solve(reduction.model, remaining, mip_gap, verbose,
+                              warm_start=warm_start)
+            sol = map_back_solution(sol, model, reduction, self.name)
             sol.timings.add("presolve", presolve_s)
+            sol.counters["presolve_fixed"] = len(reduction.fixed)
             return sol
 
         if model.num_vars == 0:
@@ -118,25 +149,26 @@ class BranchBoundBackend(SolverBackend):
             return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
 
         form = model.compiled()
-        A_ub, b_ub, A_eq, b_eq = form.split_form()
-        start = time.perf_counter()
-        deadline = start + time_limit if time_limit is not None else None
-
+        lp = IncrementalLP(form)
+        branch_idx = np.where(form.branch_integrality == 1)[0]
         int_idx = np.where(form.integrality == 1)[0]
 
-        def relax(lb: np.ndarray, ub: np.ndarray):
-            res = linprog(
-                form.c,
-                A_ub=A_ub if A_ub.nnz else None,
-                b_ub=b_ub if A_ub.nnz else None,
-                A_eq=A_eq if A_eq.nnz else None,
-                b_eq=b_eq if A_eq.nnz else None,
-                bounds=np.column_stack([lb, ub]),
-                method="highs",
-            )
-            return res
+        cliques = clique_cuts(form) if self.use_cuts else []
+        if cliques:
+            lp.add_cuts(*cut_rows(form, cliques))
 
-        root = relax(form.lb, form.ub)
+        # Seed the incumbent from the (already validated) warm start.
+        incumbent_x: Optional[np.ndarray] = None
+        incumbent_val = math.inf
+        incumbent_source = ""
+        if warm_start is not None:
+            x_warm = warm_start.vector(form)
+            if x_warm is not None and lp.check_feasible(x_warm):
+                incumbent_x = x_warm
+                incumbent_val = float(form.c @ x_warm)
+                incumbent_source = warm_start.source
+
+        root = lp.solve()
         if root.status == 2:
             return Solution(SolveStatus.INFEASIBLE, solver=self.name)
         if root.status == 3:
@@ -144,8 +176,6 @@ class BranchBoundBackend(SolverBackend):
         if root.status != 0:
             return Solution(SolveStatus.ERROR, solver=self.name, message=root.message)
 
-        incumbent_x: Optional[np.ndarray] = None
-        incumbent_val = math.inf
         counter = itertools.count()
         root_node = _Node(None, -1, False, 0.0, root.fun)
         heap: List[Tuple[float, int, _Node, np.ndarray]] = []
@@ -174,7 +204,7 @@ class BranchBoundBackend(SolverBackend):
                 hit_limit = True
                 break
 
-            frac_i = self._most_fractional(x, int_idx)
+            frac_i = self._most_fractional(x, branch_idx)
             if frac_i is None:
                 # Integral relaxation solution: new incumbent.
                 if bound < incumbent_val:
@@ -182,54 +212,68 @@ class BranchBoundBackend(SolverBackend):
                     incumbent_x = x
                 continue
 
-            node_lb, node_ub = node.materialize(form.lb, form.ub)
+            lp.set_bounds(node.chain())
             xf = x[frac_i]
             for direction in ("down", "up"):
-                lb = node_lb
-                ub = node_ub
                 if direction == "down":
                     new_bound_value = math.floor(xf)
-                    if lb[frac_i] > new_bound_value:
+                    if lp.lb[frac_i] > new_bound_value:
                         continue
-                    ub = node_ub.copy()
-                    ub[frac_i] = new_bound_value
+                    is_ub = True
                 else:
                     new_bound_value = math.ceil(xf)
-                    if new_bound_value > ub[frac_i]:
+                    if new_bound_value > lp.ub[frac_i]:
                         continue
-                    lb = node_lb.copy()
-                    lb[frac_i] = new_bound_value
-                res = relax(lb, ub)
+                    is_ub = False
+                with lp.tightened(frac_i, is_ub, float(new_bound_value)):
+                    res = lp.solve()
                 if res.status != 0:
                     continue  # infeasible or failed child: prune
                 child_bound = res.fun
                 child_x = res.x
-                child_frac = self._most_fractional(child_x, int_idx)
+                child_frac = self._most_fractional(child_x, branch_idx)
                 if child_frac is None:
                     if child_bound < incumbent_val:
                         incumbent_val = child_bound
                         incumbent_x = child_x
                 elif child_bound < cutoff():
-                    child = _Node(node, int(frac_i), direction == "down",
+                    child = _Node(node, int(frac_i), is_ub,
                                   float(new_bound_value), child_bound)
                     heapq.heappush(heap, (child_bound, next(counter), child, child_x))
 
+        counters = {
+            "nodes": nodes_explored,
+            "lp_calls": lp.lp_calls,
+            "lp_iterations": lp.lp_iterations,
+            "cuts": lp.cuts_added,
+        }
+        if incumbent_source:
+            counters["incumbent_seeded"] = 1
+
         if incumbent_x is None:
             if hit_limit:
-                return Solution(SolveStatus.TIME_LIMIT, solver=self.name,
-                                message=f"stopped after {nodes_explored} nodes")
-            return Solution(SolveStatus.INFEASIBLE, solver=self.name)
+                sol = Solution(SolveStatus.TIME_LIMIT, solver=self.name,
+                               message=f"stopped after {nodes_explored} nodes")
+            else:
+                sol = Solution(SolveStatus.INFEASIBLE, solver=self.name)
+            sol.counters.update(counters)
+            return sol
 
         x = incumbent_x.copy()
         x[int_idx] = np.round(x[int_idx])
         status = SolveStatus.FEASIBLE if hit_limit and heap else SolveStatus.OPTIMAL
-        return Solution(
+        message = f"{nodes_explored} nodes explored"
+        if incumbent_source:
+            message += f"; incumbent seeded from {incumbent_source}"
+        sol = Solution(
             status,
             form.report_objective(float(form.c @ x)),
             form.solution_dict(x),
             solver=self.name,
-            message=f"{nodes_explored} nodes explored",
+            message=message,
         )
+        sol.counters.update(counters)
+        return sol
 
     @staticmethod
     def _most_fractional(x: np.ndarray, int_idx: np.ndarray) -> Optional[int]:
@@ -242,28 +286,3 @@ class BranchBoundBackend(SolverBackend):
         if frac[worst] <= _INT_TOL:
             return None
         return int(int_idx[worst])
-
-
-def _map_back(sol: Solution, original: Model, reduction, solver_name: str
-              ) -> Solution:
-    """Translate a reduced-model solution back to the original model.
-
-    Reduced variables share names with the originals; presolve-fixed
-    variables are re-inserted. The objective value is identical because
-    presolve folds fixed contributions into the reduced objective.
-    """
-    if not sol.has_solution:
-        sol.solver = solver_name
-        return sol
-    by_name = {v.name: val for v, val in sol.values.items()}
-    values = {}
-    for v in original.variables:
-        if v in reduction.fixed:
-            values[v] = reduction.fixed[v]
-        else:
-            values[v] = by_name[v.name]
-    mapped = Solution(sol.status, sol.objective, values,
-                      runtime=sol.runtime, solver=solver_name,
-                      gap=sol.gap, message=sol.message)
-    mapped.timings = sol.timings
-    return mapped

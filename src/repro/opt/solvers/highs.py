@@ -6,10 +6,22 @@ compiled once to sparse range form (``row_lb <= A @ x <= row_ub``, see
 :mod:`repro.opt.compile`) and the compiled arrays are handed to HiGHS
 directly — repeated solves of the same model skip the flattening
 entirely.
+
+Two reductions run before HiGHS sees the model:
+
+* the repo's vectorized presolve (singleton cascade, bound tightening,
+  redundancy elimination) shrinks the array dimensions; fixed variables
+  are mapped back into the reported solution afterwards;
+* implied-integer variables (counters and indicator chains that are
+  forced integral by their defining rows, marked by the model builder
+  and the linearizer) are relaxed to continuous in the ``integrality``
+  vector, which shrinks HiGHS's branch set without changing any
+  optimum. Reported values are still rounded per variable type.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -26,13 +38,46 @@ class HighsBackend(SolverBackend):
 
     name = "highs"
 
+    def __init__(self, use_presolve: bool = True) -> None:
+        self.use_presolve = use_presolve
+
     def solve(
         self,
         model: Model,
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start=None,
     ) -> Solution:
+        # warm_start is accepted for interface parity but unused:
+        # scipy's milp() has no incumbent-injection hook, and HiGHS's
+        # own presolve/heuristics find the same incumbents quickly. The
+        # portfolio backend exploits warm starts on HiGHS's behalf.
+        start = time.perf_counter()
+        if self.use_presolve and model.num_vars and model.num_constraints:
+            from repro.opt.incremental import map_back_solution
+            from repro.opt.presolve import presolve
+
+            reduction = presolve(model)
+            presolve_s = time.perf_counter() - start
+            if reduction.proven_infeasible:
+                sol = Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                               message="presolve proved infeasibility")
+                sol.timings.add("presolve", presolve_s)
+                return sol
+            remaining = None
+            if time_limit is not None:
+                remaining = max(time_limit - presolve_s, 0.01)
+            sol = self._solve_compiled(reduction.model, remaining, mip_gap, verbose)
+            sol = map_back_solution(sol, model, reduction, self.name)
+            sol.timings.add("presolve", presolve_s)
+            sol.counters["presolve_fixed"] = len(reduction.fixed)
+            sol.counters["presolve_dropped_rows"] = reduction.dropped_constraints
+            return sol
+        return self._solve_compiled(model, time_limit, mip_gap, verbose)
+
+    def _solve_compiled(self, model: Model, time_limit: Optional[float],
+                        mip_gap: float, verbose: bool) -> Solution:
         compiled = model.compiled()
         if compiled.n == 0:
             return Solution(SolveStatus.OPTIMAL, compiled.obj_offset, {},
@@ -53,11 +98,15 @@ class HighsBackend(SolverBackend):
             c=compiled.c,
             constraints=constraints,
             bounds=bounds,
-            integrality=compiled.integrality,
+            integrality=compiled.branch_integrality,
             options=options,
         )
 
-        return self._interpret(res, model, compiled.obj_sign, compiled.obj_offset)
+        sol = self._interpret(res, model, compiled.obj_sign, compiled.obj_offset)
+        nodes = getattr(res, "mip_node_count", None)
+        if nodes is not None:
+            sol.counters["nodes"] = int(nodes)
+        return sol
 
     def _interpret(self, res, model: Model, sign: float, obj_const: float) -> Solution:
         # scipy milp status codes: 0 optimal, 1 iteration/time limit,
@@ -85,7 +134,8 @@ class HighsBackend(SolverBackend):
 
     @staticmethod
     def _rounded_values(model: Model, x: np.ndarray) -> dict:
-        """Snap integer variables to exact integers (HiGHS returns floats)."""
+        """Snap integer variables to exact integers (HiGHS returns
+        floats, and implied-integer variables were solved relaxed)."""
         values = {}
         for v in model.variables:
             raw = float(x[v.index])

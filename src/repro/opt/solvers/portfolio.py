@@ -76,6 +76,7 @@ class PortfolioBackend(SolverBackend):
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-9,
         verbose: bool = False,
+        warm_start=None,
     ) -> Solution:
         start = time.perf_counter()
         # Compile once up front so both members share the cached arrays
@@ -83,9 +84,20 @@ class PortfolioBackend(SolverBackend):
         if model.is_linear():
             model.compiled()
 
+        # When the warm start's objective already matches the root LP
+        # bound (strengthened by the clique cuts) within the gap, it is
+        # provably optimal: return it without spawning either racer —
+        # the ultimate early cancellation.
+        if warm_start is not None and model.is_linear() and model.num_vars:
+            proven = self._prove_at_root(model, warm_start, mip_gap)
+            if proven is not None:
+                proven.solver = f"{self.name}(warm)"
+                proven.runtime = time.perf_counter() - start
+                return proven
+
         if len(self.members) == 1:
             sol = self._make_member(self.members[0], threading.Event()).solve(
-                model, time_limit, mip_gap, verbose
+                model, time_limit, mip_gap, verbose, warm_start=warm_start
             )
             sol.solver = f"{self.name}({sol.solver})"
             return sol
@@ -94,7 +106,8 @@ class PortfolioBackend(SolverBackend):
         backends = [(name, self._make_member(name, cancel)) for name in self.members]
 
         def run(name: str, backend: SolverBackend) -> Tuple[str, Solution]:
-            return name, backend.solve(model, time_limit, mip_gap, verbose)
+            return name, backend.solve(model, time_limit, mip_gap, verbose,
+                                       warm_start=warm_start)
 
         winner: Optional[Tuple[str, Solution]] = None
         fallback: Optional[Tuple[str, Solution]] = None
@@ -131,4 +144,49 @@ class PortfolioBackend(SolverBackend):
         name, sol = chosen
         sol.solver = f"{self.name}({name})"
         sol.runtime = time.perf_counter() - start
+        return sol
+
+    @staticmethod
+    def _prove_at_root(model: Model, warm_start, mip_gap: float
+                       ) -> Optional[Solution]:
+        """Certify a warm start against the cut-strengthened root LP.
+
+        Returns an OPTIMAL solution built from the warm start when its
+        objective meets the root lower bound within ``mip_gap``; None
+        otherwise (the race then runs as usual). The LP bound is a
+        valid global bound, so this shortcut is exact.
+        """
+        from repro.opt.cuts import clique_cuts, cut_rows
+        from repro.opt.incremental import IncrementalLP
+
+        form = model.compiled()
+        x = warm_start.vector(form)
+        if x is None:
+            return None
+        lp = IncrementalLP(form)
+        if not lp.check_feasible(x):
+            return None
+        cliques = clique_cuts(form)
+        if cliques:
+            lp.add_cuts(*cut_rows(form, cliques))
+        root = lp.solve()
+        if root.status != 0:
+            return None
+        val = float(form.c @ x)
+        tol = mip_gap * max(1.0, abs(val)) + 1e-9
+        if val > root.fun + tol:
+            return None
+        sol = Solution(
+            SolveStatus.OPTIMAL,
+            form.report_objective(val),
+            form.solution_dict(x),
+            message=f"warm start ({warm_start.source}) proven optimal at root",
+        )
+        sol.counters.update({
+            "nodes": 0,
+            "lp_calls": lp.lp_calls,
+            "lp_iterations": lp.lp_iterations,
+            "cuts": lp.cuts_added,
+            "incumbent_seeded": 1,
+        })
         return sol

@@ -18,7 +18,7 @@ from typing import Dict, Iterator, List, Optional, Union
 #: Canonical phase order used when formatting reports; phases not listed
 #: here are appended alphabetically.
 PHASE_ORDER = [
-    "catalog", "build", "compile", "linearize", "presolve",
+    "catalog", "build", "heuristic", "compile", "linearize", "presolve",
     "solve", "solve_backend", "extract", "analyze", "verify",
 ]
 
