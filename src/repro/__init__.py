@@ -39,6 +39,7 @@ from repro.core import (
     synthesize_greedy,
     verify_result,
 )
+from repro.deadline import Deadline
 from repro.switches import (
     CrossbarSwitch,
     GRUSwitch,
@@ -62,6 +63,7 @@ __all__ = [
     "synthesize",
     "synthesize_greedy",
     "verify_result",
+    "Deadline",
     "CrossbarSwitch",
     "ScalableCrossbarSwitch",
     "SpineSwitch",

@@ -80,10 +80,19 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         backend=args.backend,
         time_limit=args.time_limit,
         pressure_method=args.pressure,
+        on_error=args.on_error,
     )
     print(f"synthesizing {spec.summary()} ...")
     result = synthesize(spec, options)
     print(format_table([result.table_row()]))
+    if result.counters.get("degraded"):
+        print(f"note: exact solve failed ({result.error}); "
+              "degraded to the validated greedy solution")
+    elif result.error:
+        print(f"note: {result.error}")
+    if result.counters.get("pressure_degraded"):
+        print("note: pressure-sharing ILP ran out of budget; "
+              "greedy clique cover substituted")
     if args.profile and result.timings:
         from repro.perf import format_phase_table
 
@@ -184,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "portfolio"])
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--pressure", default="ilp", choices=["ilp", "greedy"])
+    p.add_argument("--on-error", default="degrade",
+                   choices=["raise", "capture", "degrade"],
+                   help="failure policy: propagate, capture into the "
+                        "result, or fall back to the greedy heuristic")
     p.add_argument("--profile", action="store_true",
                    help="print the per-phase wall-clock breakdown")
     p.add_argument("--svg", help="render the result to this SVG file")

@@ -30,7 +30,12 @@ from repro.core.set_ordering import (
     optimize_set_order,
     reorder_sets,
 )
-from repro.core.synthesizer import SynthesisOptions, build_catalog, synthesize
+from repro.core.synthesizer import (
+    ERROR_POLICIES,
+    SynthesisOptions,
+    build_catalog,
+    synthesize,
+)
 from repro.core.wash_fallback import WashFallbackResult, synthesize_with_wash_fallback
 from repro.core.valves import analyze_valves
 from repro.core.verify import verify_result
@@ -45,6 +50,7 @@ __all__ = [
     "SchedulingForm",
     "SynthesisModelBuilder",
     "BuiltModel",
+    "ERROR_POLICIES",
     "SynthesisOptions",
     "synthesize",
     "synthesize_greedy",

@@ -30,27 +30,41 @@ from repro.core.spec import BindingPolicy, NodePolicy, SwitchSpec
 from repro.core.valves import analyze_valves
 from repro.core.pressure import share_pressure
 from repro.core.verify import verify_result
+from repro.deadline import Deadline
 from repro.switches.base import segment_key
 from repro.switches.paths import Path
 from repro.switches.reduce import reduce_switch
 
 
 def synthesize_greedy(spec: SwitchSpec, verify: bool = True,
-                      pressure_sharing: bool = True) -> SynthesisResult:
+                      pressure_sharing: bool = True,
+                      time_limit: Optional[float] = None) -> SynthesisResult:
     """Greedy synthesis; returns NO_SOLUTION when the heuristic fails.
 
     Failure does not prove infeasibility — it only means the greedy
     choices dead-ended (the exact synthesizer may still succeed).
+
+    ``time_limit`` bounds the run: the heuristic checks the deadline
+    between its stages and returns a TIMEOUT result instead of starting
+    a stage it has no budget left for. Each stage is polynomial and
+    fast, so the overshoot is at most one stage.
     """
     start = time.perf_counter()
+    deadline = Deadline(time_limit)
     binding = _greedy_binding(spec)
     if binding is None:
         return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                               runtime=time.perf_counter() - start, solver="greedy")
+    if deadline.expired():
+        return SynthesisResult(spec, SynthesisStatus.TIMEOUT,
                                runtime=time.perf_counter() - start, solver="greedy")
 
     flow_paths = _greedy_routing(spec, binding)
     if flow_paths is None:
         return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                               runtime=time.perf_counter() - start, solver="greedy")
+    if deadline.expired():
+        return SynthesisResult(spec, SynthesisStatus.TIMEOUT,
                                runtime=time.perf_counter() - start, solver="greedy")
 
     flow_sets = _greedy_schedule(spec, flow_paths)

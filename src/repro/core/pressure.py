@@ -23,7 +23,7 @@ import networkx as nx
 
 from repro.core.solution import PressureSharingResult
 from repro.core.valves import CLOSED, OPEN
-from repro.errors import ReproError
+from repro.errors import ReproError, SolverError, SolveTimeoutError
 from repro.opt import Model, quicksum
 
 Valve = Tuple[str, str]
@@ -96,6 +96,12 @@ def clique_cover_ilp(
 
     sol = model.solve(backend=backend, time_limit=time_limit)
     if not sol.has_solution:
+        from repro.opt import SolveStatus
+
+        if sol.status is SolveStatus.TIME_LIMIT:
+            raise SolveTimeoutError(
+                f"clique cover ILP hit its {time_limit}s budget with no incumbent"
+            )
         raise ReproError(f"clique cover ILP failed: {sol.status.value}")
     groups: Dict[int, List[Valve]] = {}
     for (vi, c), var in z.items():
@@ -127,22 +133,43 @@ def share_pressure(
     method: str = "ilp",
     backend: str = "auto",
     time_limit: Optional[float] = None,
+    on_timeout: str = "raise",
 ) -> PressureSharingResult:
     """Group valves into a minimum number of pressure-shareable sets.
 
     ``valves`` restricts the grouping (normally to the essential
     valves); ``method`` is ``"ilp"`` (exact, the paper's model) or
     ``"greedy"``.
+
+    ``on_timeout`` governs what happens when the ILP exhausts
+    ``time_limit`` (or its backend crashes): ``"raise"`` propagates the
+    failure, ``"greedy"`` substitutes the first-fit cover — still a
+    *valid* partition into compatible groups (``_check_cover`` runs
+    either way), just possibly not minimum. The substitution is
+    recorded as ``degraded=True`` on the result. A ``time_limit`` that
+    is already ≤ 0 skips the ILP outright under ``"greedy"``.
     """
+    if on_timeout not in ("raise", "greedy"):
+        raise ReproError(f"unknown on_timeout policy {on_timeout!r}")
     graph = compatibility_graph(status, valves)
+    degraded = False
     if method == "ilp":
-        groups = clique_cover_ilp(graph, backend=backend, time_limit=time_limit)
+        if on_timeout == "greedy" and time_limit is not None and time_limit <= 0:
+            groups, method, degraded = clique_cover_greedy(graph), "greedy", True
+        else:
+            try:
+                groups = clique_cover_ilp(graph, backend=backend,
+                                          time_limit=time_limit)
+            except (SolveTimeoutError, SolverError):
+                if on_timeout != "greedy":
+                    raise
+                groups, method, degraded = clique_cover_greedy(graph), "greedy", True
     elif method == "greedy":
         groups = clique_cover_greedy(graph)
     else:
         raise ReproError(f"unknown pressure sharing method {method!r}")
     _check_cover(graph, groups)
-    return PressureSharingResult(groups=groups, method=method)
+    return PressureSharingResult(groups=groups, method=method, degraded=degraded)
 
 
 def _check_cover(graph: nx.Graph, groups: List[List[Valve]]) -> None:

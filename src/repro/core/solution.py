@@ -19,6 +19,7 @@ class SynthesisStatus(enum.Enum):
     FEASIBLE = "feasible"        # incumbent found but optimality unproven
     NO_SOLUTION = "no solution"  # proven infeasible (as in Table 4.1)
     TIMEOUT = "timeout"          # stopped with no incumbent
+    ERROR = "error"              # captured crash (on_error="capture")
 
     @property
     def solved(self) -> bool:
@@ -53,6 +54,10 @@ class PressureSharingResult:
 
     groups: List[List[Tuple[str, str]]]
     method: str  # "ilp" or "greedy"
+    #: True when the ILP was requested but timed out (or crashed) and
+    #: the greedy cover was substituted; the grouping is then valid but
+    #: possibly not minimum.
+    degraded: bool = False
 
     @property
     def num_control_inlets(self) -> int:
@@ -92,6 +97,10 @@ class SynthesisResult:
     #: Search statistics from the solver backend (nodes, lp_calls,
     #: lp_iterations, cuts, incumbent_seeded, resolve_cache_hit, ...).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Why the run failed or degraded: the captured exception text for
+    #: ``status=ERROR`` results, or the original failure that the
+    #: degradation ladder recovered from (``None`` on clean runs).
+    error: Optional[str] = None
 
     # -- the metrics of Tables 4.1-4.3 -----------------------------------
     @property

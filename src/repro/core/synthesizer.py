@@ -10,6 +10,30 @@
 5. reduce the switch to the application-specific structure;
 6. optionally group valves for pressure sharing (clique cover);
 7. verify every invariant independently.
+
+**Deadlines.** ``options.time_limit`` starts one
+:class:`~repro.deadline.Deadline` for the whole pipeline; every
+time-consuming phase receives the *remaining* budget, so the total wall
+time is bounded by the limit plus the short non-interruptible tail
+(extract / analyze / verify and at most one greedy fallback). In
+particular the pressure-sharing clique-cover ILP — historically
+unbounded — now gets whatever budget the main solve left over and falls
+back to the greedy cover when that runs out.
+
+**Degradation ladder.** ``options.on_error`` decides what a failure
+costs:
+
+* ``"raise"`` — solver crashes and verification failures propagate
+  (timeouts still return a ``TIMEOUT`` result);
+* ``"capture"`` — crashes come back as a ``status=ERROR`` result with
+  the exception text in ``result.error``;
+* ``"degrade"`` (default) — a crash *or* an empty timeout first retries
+  with the validated greedy heuristic; if that solves, the result is
+  ``FEASIBLE`` with ``counters["degraded"] == 1`` and the original
+  failure recorded in ``result.error``, otherwise the run falls through
+  to the capture behaviour.
+
+A proven-infeasible model is a conclusive answer, never "degraded".
 """
 
 from __future__ import annotations
@@ -24,7 +48,8 @@ from repro.core.solution import SynthesisResult, SynthesisStatus
 from repro.core.spec import BindingPolicy, SwitchSpec
 from repro.core.valves import analyze_valves
 from repro.core.verify import verify_result
-from repro.errors import ReproError
+from repro.deadline import Deadline
+from repro.errors import ReproError, VerificationError
 from repro.opt import SolveStatus
 from repro.opt.incremental import SolveContext
 from repro.opt.solvers import resolve_backend_name
@@ -36,6 +61,9 @@ from repro.switches.reduce import reduce_switch
 #: milp) has no incumbent-injection hook, so computing one for it would
 #: be wasted work.
 _WARM_BACKENDS = {"branch_bound", "portfolio", "backtrack"}
+
+#: Valid values of :attr:`SynthesisOptions.on_error`.
+ERROR_POLICIES = ("raise", "capture", "degrade")
 
 
 @dataclass
@@ -54,6 +82,9 @@ class SynthesisOptions:
     #: Seed warm-start-capable backends with the greedy heuristic's
     #: solution as the initial incumbent (never changes the optimum).
     heuristic_incumbent: bool = True
+    #: Failure policy: "raise", "capture" or "degrade" (see the module
+    #: docstring for the ladder semantics).
+    on_error: str = "degrade"
 
 
 def build_catalog(spec: SwitchSpec, options: SynthesisOptions) -> PathCatalog:
@@ -109,11 +140,80 @@ def synthesize(spec: SwitchSpec,
     only swap the objective, and previous optima seed later solves as
     warm-start incumbents. Results are identical with or without a
     context — it only removes repeated work.
+
+    ``options.time_limit`` bounds the *whole* pipeline (see the module
+    docstring), and ``options.on_error`` selects the failure policy.
     """
     options = options or SynthesisOptions()
+    if options.on_error not in ERROR_POLICIES:
+        raise ReproError(
+            f"unknown on_error policy {options.on_error!r}; "
+            f"expected one of {ERROR_POLICIES}"
+        )
     start = time.perf_counter()
+    deadline = Deadline(options.time_limit)
     recorder = PerfRecorder(spec.name)
 
+    try:
+        result = _pipeline(spec, options, context, deadline, recorder)
+    except Exception as exc:  # the ladder: capture / degrade
+        if options.on_error == "raise":
+            raise
+        result = _recover(spec, options, recorder,
+                          failure=f"{type(exc).__name__}: {exc}",
+                          timeout=False)
+    else:
+        if result.status is SynthesisStatus.TIMEOUT \
+                and options.on_error == "degrade":
+            result = _recover(
+                spec, options, recorder,
+                failure=(f"exact solve exhausted the {options.time_limit}s "
+                         "budget with no incumbent"),
+                timeout=True,
+            )
+    result.runtime = time.perf_counter() - start
+    result.timings = recorder.timings
+    result.counters = dict(recorder.counters)
+    return result
+
+
+def _recover(spec: SwitchSpec, options: SynthesisOptions,
+             recorder: PerfRecorder, failure: str,
+             timeout: bool) -> SynthesisResult:
+    """Lower rungs of the degradation ladder (degrade, then capture).
+
+    ``degrade`` retries with the greedy heuristic — its solution is
+    validated by the same independent verifier, so a degraded result is
+    *correct*, merely non-optimal. When the heuristic dead-ends too, the
+    original failure is reported: a ``TIMEOUT`` result for timeouts, a
+    ``status=ERROR`` result carrying the exception text otherwise.
+    """
+    if options.on_error == "degrade":
+        from repro.core.heuristic import synthesize_greedy
+
+        fallback: Optional[SynthesisResult] = None
+        try:
+            with recorder.phase("degrade"):
+                fallback = synthesize_greedy(
+                    spec, verify=options.verify,
+                    pressure_sharing=options.pressure_sharing,
+                )
+        except Exception as exc:
+            failure = (f"{failure}; greedy fallback failed: "
+                       f"{type(exc).__name__}: {exc}")
+        if fallback is not None and fallback.status.solved:
+            recorder.counters["degraded"] = 1
+            fallback.solver = "greedy(degraded)"
+            fallback.error = failure
+            return fallback
+    status = SynthesisStatus.TIMEOUT if timeout else SynthesisStatus.ERROR
+    return SynthesisResult(spec, status, error=failure)
+
+
+def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
+              context: Optional[SolveContext], deadline: Deadline,
+              recorder: PerfRecorder) -> SynthesisResult:
+    """The exact pipeline: every phase runs on the remaining budget."""
     key = _context_key(spec, options) if context is not None else None
 
     def _build() -> BuiltModel:
@@ -138,12 +238,14 @@ def synthesize(spec: SwitchSpec,
 
     # Warm-start incumbent: a previous optimum from the context if one
     # exists, else the greedy heuristic's solution. Either is validated
-    # inside Model.solve and can only speed the search up.
+    # inside Model.solve and can only speed the search up. Skipped when
+    # the deadline is already gone — the main solve needs every second.
     warm_values = None
     warm_source = "warm"
     memo_hit = (built.model._version, options.backend,
                 float(options.mip_gap)) in built.model._solutions
-    if not memo_hit and resolve_backend_name(options.backend) in _WARM_BACKENDS:
+    if not memo_hit and not deadline.expired() \
+            and resolve_backend_name(options.backend) in _WARM_BACKENDS:
         if context is not None:
             stored = context.incumbent(key)
             if stored is not None:
@@ -155,7 +257,8 @@ def synthesize(spec: SwitchSpec,
 
             with recorder.phase("heuristic"):
                 greedy = synthesize_greedy(spec, verify=False,
-                                           pressure_sharing=False)
+                                           pressure_sharing=False,
+                                           time_limit=deadline.remaining())
                 assignment = (model_assignment(built, greedy)
                               if greedy.status.solved else None)
             if assignment is not None:
@@ -163,7 +266,7 @@ def synthesize(spec: SwitchSpec,
 
     sol = built.model.solve(
         backend=options.backend,
-        time_limit=options.time_limit,
+        time_limit=deadline.remaining(),
         mip_gap=options.mip_gap,
         verbose=options.verbose,
         warm_start=warm_values,
@@ -172,7 +275,6 @@ def synthesize(spec: SwitchSpec,
     # The model reports its own sub-phases (linearize/presolve/solve/...).
     recorder.timings.merge(sol.timings)
     recorder.counters.update(sol.counters)
-    runtime = time.perf_counter() - start
 
     if context is not None and sol.status is SolveStatus.OPTIMAL \
             and sol.values is not None:
@@ -181,17 +283,11 @@ def synthesize(spec: SwitchSpec,
         )
 
     if sol.status is SolveStatus.INFEASIBLE:
-        result = SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
-                                 runtime=runtime, solver=sol.solver)
-        result.timings = recorder.timings
-        result.counters = dict(recorder.counters)
-        return result
+        return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
+                               solver=sol.solver)
     if not sol.has_solution:
-        result = SynthesisResult(spec, SynthesisStatus.TIMEOUT,
-                                 runtime=runtime, solver=sol.solver)
-        result.timings = recorder.timings
-        result.counters = dict(recorder.counters)
-        return result
+        return SynthesisResult(spec, SynthesisStatus.TIMEOUT,
+                               solver=sol.solver)
 
     with recorder.phase("extract"):
         result = _extract(built, sol)
@@ -207,19 +303,23 @@ def synthesize(spec: SwitchSpec,
             spec.switch, result.used_segments, result.valves.essential
         )
         if options.pressure_sharing and result.valves.essential:
+            # The clique-cover ILP runs on whatever the main solve left
+            # over and degrades to the greedy cover when that runs out,
+            # so this phase can no longer blow through the time limit.
             result.pressure = share_pressure(
                 result.valves.status,
                 valves=sorted(result.valves.essential),
                 method=options.pressure_method,
                 backend=options.backend,
+                time_limit=deadline.remaining(),
+                on_timeout="greedy",
             )
+            if result.pressure.degraded:
+                recorder.counters["pressure_degraded"] = 1
 
     if options.verify:
         with recorder.phase("verify"):
             verify_result(result)
-    result.runtime = time.perf_counter() - start
-    result.timings = recorder.timings
-    result.counters = dict(recorder.counters)
     return result
 
 
@@ -230,7 +330,8 @@ def _extract(built: BuiltModel, sol) -> SynthesisResult:
     for (m, p), var in built.y.items():
         if sol.value(var) > 0.5:
             if m in binding:
-                raise ReproError(f"module {m!r} bound to two pins in the solution")
+                raise VerificationError(
+                    f"module {m!r} bound to two pins in the solution")
             binding[m] = p
 
     flow_paths = {}
@@ -238,8 +339,17 @@ def _extract(built: BuiltModel, sol) -> SynthesisResult:
     for (fid, pidx), var in built.x.items():
         if sol.value(var) > 0.5:
             if fid in flow_paths:
-                raise ReproError(f"flow {fid} assigned two paths in the solution")
+                raise VerificationError(
+                    f"flow {fid} assigned two paths in the solution")
             flow_paths[fid] = paths_by_index[pidx]
+    # A feasibility claim with an unrouted flow is corrupted solver
+    # output (the exactly-one-path constraint makes it impossible for an
+    # honest solution); diagnose it here instead of crashing downstream.
+    unrouted = sorted(f.id for f in spec.flows if f.id not in flow_paths)
+    if unrouted:
+        raise VerificationError(
+            f"solution claims feasibility but assigns no path to "
+            f"flow(s) {unrouted}")
 
     n_sets = spec.effective_max_sets()
     raw_sets: List[List[int]] = [[] for _ in range(n_sets)]
@@ -247,6 +357,12 @@ def _extract(built: BuiltModel, sol) -> SynthesisResult:
         if sol.value(var) > 0.5:
             raw_sets[s].append(fid)
     flow_sets = [sorted(group) for group in raw_sets if group]
+    scheduled = {fid for group in flow_sets for fid in group}
+    unscheduled = sorted(f.id for f in spec.flows if f.id not in scheduled)
+    if unscheduled:
+        raise VerificationError(
+            f"solution claims feasibility but schedules flow(s) "
+            f"{unscheduled} into no flow set")
 
     used: set = set()
     for path in flow_paths.values():

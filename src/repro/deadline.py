@@ -1,0 +1,74 @@
+"""Wall-clock deadline threading for multi-phase pipelines.
+
+A :class:`Deadline` is started once at the top of a pipeline (e.g.
+:func:`repro.core.synthesizer.synthesize`) and handed down to every
+phase. Each phase asks for the *remaining* budget instead of the
+original ``time_limit``, so a slow early phase automatically shrinks
+the allowance of everything after it and the total wall time stays
+bounded by the original limit (plus the non-interruptible tail of the
+last phase).
+
+Constructed with ``None`` the deadline is *unbounded*: ``remaining()``
+returns ``None`` (the conventional "no limit" sentinel of the solver
+backends) and ``expired()`` is always ``False``, so callers never need
+to special-case the no-limit path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class Deadline:
+    """A shared wall-clock budget, counted from construction time."""
+
+    __slots__ = ("limit", "_start")
+
+    def __init__(self, limit: Optional[float] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ReproError(f"time limit must be non-negative, got {limit}")
+        self.limit = None if limit is None else float(limit)
+        self._start = time.perf_counter()
+
+    @classmethod
+    def start(cls, limit: Optional[float] = None) -> "Deadline":
+        """Alias constructor reading as ``Deadline.start(options.time_limit)``."""
+        return cls(limit)
+
+    @property
+    def bounded(self) -> bool:
+        return self.limit is not None
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was started."""
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0), or ``None`` when unbounded.
+
+        The return value plugs directly into any ``time_limit``
+        parameter: ``None`` keeps the phase unbounded.
+        """
+        if self.limit is None:
+            return None
+        return max(0.0, self.limit - self.elapsed())
+
+    def remaining_or(self, default: float) -> float:
+        """Like :meth:`remaining` but with a numeric fallback."""
+        left = self.remaining()
+        return default if left is None else left
+
+    def expired(self) -> bool:
+        """Whether the budget is used up (always False when unbounded)."""
+        return self.limit is not None and self.elapsed() >= self.limit
+
+    def __repr__(self) -> str:
+        if self.limit is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.limit:.3f}s, remaining={self.remaining():.3f}s)"
+
+
+__all__ = ["Deadline"]

@@ -38,6 +38,24 @@ class InfeasibleError(SolverError):
     """Raised by convenience APIs when a model is proven infeasible."""
 
 
+class SolveTimeoutError(ReproError):
+    """An exact solve hit its wall-clock budget without a conclusive answer.
+
+    Distinct from :class:`SolverError` — a timeout is an expected
+    outcome under a deadline, not a malfunction. Callers that can
+    degrade (e.g. the pressure-sharing phase falling back to the greedy
+    clique cover) catch this and substitute a validated approximation.
+    """
+
+
+class InjectedFaultError(SolverError):
+    """A deliberately injected backend crash (see :mod:`repro.testing`).
+
+    The fault-injection harness raises this subclass so tests (and the
+    degradation ladder) can tell a rehearsed failure from a real one.
+    """
+
+
 class SwitchModelError(ReproError):
     """A switch structure was specified or queried incorrectly."""
 

@@ -7,9 +7,16 @@ statistical summaries.
 
 Sweeps are embarrassingly parallel (each spec is an independent MILP),
 so :func:`run_batch` takes ``workers=N`` to fan the grid out over a
-``multiprocessing`` pool. Rows come back in spec order regardless of
-which worker finishes first, so a parallel sweep writes a CSV identical
-to the serial one (see ``tests/test_determinism.py``).
+process pool. Rows come back in spec order regardless of which worker
+finishes first, so a parallel sweep writes a CSV identical to the
+serial one (see ``tests/test_determinism.py``).
+
+The batch is *fault-tolerant*: a spec whose synthesis raises produces a
+``status="error"`` row (exception text in the ``error`` column) instead
+of sinking every other row with it. A worker *process* that dies gets
+its tasks retried once serially in the parent. ``checkpoint=`` writes
+each row to disk the moment it is final, and ``resume=True`` skips the
+specs a previous interrupted run already finished.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from repro.errors import ReproError
 CSV_COLUMNS = [
     "case", "binding", "switch", "modules", "flows", "conflicts",
     "status", "runtime_s", "objective", "length_mm", "num_sets",
-    "num_valves", "num_control_inlets",
+    "num_valves", "num_control_inlets", "error",
 ]
 
 
@@ -43,11 +50,19 @@ class BatchResult:
         return sum(1 for r in self.rows if r["status"] in ("optimal", "feasible"))
 
     @property
+    def errors(self) -> int:
+        """Rows whose synthesis crashed (captured, not propagated)."""
+        return sum(1 for r in self.rows if r["status"] == "error")
+
+    @property
     def failed(self) -> int:
         return len(self.rows) - self.solved
 
     def summary(self) -> str:
-        return f"{len(self.rows)} runs: {self.solved} solved, {self.failed} not"
+        text = f"{len(self.rows)} runs: {self.solved} solved, {self.failed} not"
+        if self.errors:
+            text += f" ({self.errors} crashed)"
+        return text
 
     def to_csv(self, path: Union[str, Path]) -> Path:
         path = Path(path)
@@ -64,7 +79,7 @@ class BatchResult:
         groups: Dict[object, List[float]] = {}
         for row in self.rows:
             v = row.get(value)
-            if v is None:
+            if v is None or v == "":
                 continue
             groups.setdefault(row.get(key), []).append(float(v))
         return {k: sum(vals) / len(vals) for k, vals in groups.items()}
@@ -90,15 +105,80 @@ def _spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
             "num_valves": result.num_valves,
             "num_control_inlets": result.num_control_inlets,
         })
+    if result.error:
+        row["error"] = result.error
     return row
 
 
+def _error_row(spec: SwitchSpec, message: str) -> Dict[str, object]:
+    """The row for a spec whose synthesis raised.
+
+    Deliberately runtime-free: wall time of a crash depends on worker
+    scheduling, and error rows must be identical between serial and
+    parallel runs.
+    """
+    return {
+        "case": spec.name,
+        "binding": spec.binding.value,
+        "switch": spec.switch.size_label,
+        "modules": len(spec.modules),
+        "flows": len(spec.flows),
+        "conflicts": len(spec.conflicts),
+        "status": "error",
+        "error": message,
+    }
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
 def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions]
-             ) -> Tuple[int, Dict[str, object], SynthesisResult]:
-    """Worker body; module-level so multiprocessing can pickle it."""
+             ) -> Tuple[int, Dict[str, object], Optional[SynthesisResult]]:
+    """Worker body; module-level so multiprocessing can pickle it.
+
+    Exceptions are captured *inside* the worker: one crashing spec must
+    not poison the pool, and the error row must match what a serial run
+    of the same spec would record.
+    """
     index, spec, options = task
-    result = synthesize(spec, options)
+    try:
+        result = synthesize(spec, options)
+    except Exception as exc:
+        return index, _error_row(spec, _describe(exc)), None
     return index, _spec_row(spec, result), result
+
+
+class _Checkpoint:
+    """Incremental CSV writer with resume support.
+
+    Rows are appended (and flushed) the moment they are final, so an
+    interrupted batch loses at most the row in flight. On
+    ``resume=True`` the rows already on disk are loaded and their specs
+    skipped; loaded rows carry CSV string values, exactly as
+    :func:`load_csv` returns them.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool) -> None:
+        self.path = Path(path)
+        self.rows: List[Dict[str, str]] = []
+        resume_existing = resume and self.path.exists()
+        if resume_existing:
+            self.rows = load_csv(self.path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a" if resume_existing else "w",
+                                  newline="", encoding="utf-8")
+        self._writer = csv.DictWriter(self._fh, fieldnames=CSV_COLUMNS)
+        if not resume_existing:
+            self._writer.writeheader()
+            self._fh.flush()
+
+    def write(self, row: Dict[str, object]) -> None:
+        self._writer.writerow({k: row.get(k) for k in CSV_COLUMNS})
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
 
 
 def run_batch(
@@ -106,37 +186,89 @@ def run_batch(
     options: Optional[SynthesisOptions] = None,
     on_result: Optional[Callable] = None,
     workers: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Synthesize every spec and collect one CSV row per run.
 
     With ``workers > 1`` the specs are distributed over a process pool;
     rows (and ``on_result`` callbacks) are still delivered in the input
     order, so results are independent of worker scheduling.
+
+    A spec that raises contributes a ``status="error"`` row instead of
+    aborting the batch; ``on_result`` is not invoked for such rows
+    (there is no result to pass). Dead worker *processes* are detected
+    and their specs retried once serially before being declared failed.
+
+    ``checkpoint`` names a CSV that receives every finished row
+    immediately; with ``resume=True`` an existing checkpoint's rows are
+    reused (matched by position — resume with the same spec list) and
+    only the remainder is run.
     """
     options = options or SynthesisOptions()
     spec_list = list(specs)
     batch = BatchResult()
+    ckpt = _Checkpoint(checkpoint, resume) if checkpoint is not None else None
 
-    if workers > 1 and len(spec_list) > 1:
-        import multiprocessing as mp
+    done = 0
+    if ckpt is not None and ckpt.rows:
+        if len(ckpt.rows) > len(spec_list):
+            ckpt.close()
+            raise ReproError(
+                f"checkpoint {ckpt.path} holds {len(ckpt.rows)} rows for a "
+                f"batch of {len(spec_list)} specs; refusing to resume"
+            )
+        done = len(ckpt.rows)
+        batch.rows.extend(ckpt.rows)
+    tasks = [(i, spec, options) for i, spec in enumerate(spec_list)]
+    todo = tasks[done:]
 
-        tasks = [(i, spec, options) for i, spec in enumerate(spec_list)]
-        ctx = mp.get_context("spawn")  # fork is unsafe with threaded solvers
-        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-            outcomes = pool.map(_run_one, tasks)
-        outcomes.sort(key=lambda item: item[0])
-        for index, row, result in outcomes:
-            batch.rows.append(row)
-            if on_result is not None:
-                on_result(spec_list[index], result)
-        return batch
+    def emit(index: int, row: Dict[str, object],
+             result: Optional[SynthesisResult]) -> None:
+        batch.rows.append(row)
+        if ckpt is not None:
+            ckpt.write(row)
+        if on_result is not None and result is not None:
+            on_result(spec_list[index], result)
 
-    for spec in spec_list:
-        result = synthesize(spec, options)
-        batch.rows.append(_spec_row(spec, result))
-        if on_result is not None:
-            on_result(spec, result)
+    try:
+        if workers > 1 and len(todo) > 1:
+            _run_parallel(todo, workers, emit)
+        else:
+            for index, row, result in map(_run_one, todo):
+                emit(index, row, result)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     return batch
+
+
+def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions]],
+                  workers: int, emit: Callable) -> None:
+    """Fan tasks out over processes; emit rows in input order.
+
+    ``concurrent.futures`` (not ``mp.Pool``) because it detects abrupt
+    worker death (``BrokenProcessPool``) instead of hanging; a future
+    that fails at the pool level — dead process, unpicklable payload —
+    is retried once serially in the parent, where a repeat failure is
+    captured as an error row.
+    """
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = mp.get_context("spawn")  # fork is unsafe with threaded solvers
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks)),
+                             mp_context=ctx) as pool:
+        futures = {task[0]: pool.submit(_run_one, task) for task in tasks}
+        # Waiting in input order keeps rows, callbacks and checkpoint
+        # writes deterministic regardless of which worker finishes first.
+        for task in tasks:
+            index = task[0]
+            try:
+                _, row, result = futures[index].result()
+            except Exception:  # pool-level crash: one serial retry
+                _, row, result = _run_one(task)
+            emit(index, row, result)
 
 
 def load_csv(path: Union[str, Path]) -> List[Dict[str, str]]:

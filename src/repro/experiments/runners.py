@@ -139,9 +139,24 @@ def run_figures_4_1_4_2(time_limit: float = 60,
 
 
 def _artificial_one(task):
-    """Worker body for the parallel artificial sweep (picklable)."""
+    """Worker body for the parallel artificial sweep (picklable).
+
+    Exceptions are captured into an error row — one crashing case must
+    not discard the rows every other worker already produced.
+    """
     index, spec, options = task
-    result = synthesize(spec, options)
+    try:
+        result = synthesize(spec, options)
+    except Exception as exc:
+        row = {
+            "case": spec.name,
+            "#m": len(spec.modules),
+            "sw. size": spec.switch.size_label,
+            "binding": spec.binding.value,
+            "result": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+        return index, row, False
     return index, result.table_row(), result.status.solved
 
 
@@ -166,14 +181,18 @@ def run_artificial(count: int = 18, time_limit: float = 20,
             outcomes = sorted(pool.map(_artificial_one, tasks))
     else:
         outcomes = [_artificial_one(task) for task in tasks]
-    solved = failed = 0
+    solved = failed = crashed = 0
     for _, row, ok in outcomes:
         report.rows.append(row)
         if ok:
             solved += 1
         else:
             failed += 1
+            if row.get("result") == "error":
+                crashed += 1
     report.note(f"solved {solved}, failed {failed} of {solved + failed} run")
+    if crashed:
+        report.note(f"!! {crashed} case(s) crashed (see their 'error' column)")
     if outdir:
         report.save(outdir)
     return report

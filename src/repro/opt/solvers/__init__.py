@@ -17,12 +17,18 @@ branch-and-bound on threads and returns the first conclusive result
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.errors import SolverError
 from repro.opt.solvers.backtrack import BacktrackBackend
 from repro.opt.solvers.base import SolverBackend
 from repro.opt.solvers.branch_bound import BranchBoundBackend
+
+#: Built-in backend names (plus the "auto" alias) — not overridable.
+BUILTIN_BACKENDS = ("highs", "branch_bound", "backtrack", "portfolio")
+
+#: User-registered backend factories (see :func:`register_backend`).
+_CUSTOM_BACKENDS: Dict[str, Callable[[], SolverBackend]] = {}
 
 
 def _highs_available() -> bool:
@@ -40,9 +46,36 @@ def resolve_backend_name(name: str = "auto") -> str:
     return name
 
 
+def register_backend(name: str, factory: Callable[[], SolverBackend],
+                     replace: bool = False) -> None:
+    """Register a custom backend factory under ``name``.
+
+    The name then works anywhere a built-in backend name does —
+    ``Model.solve(backend=...)``, ``SynthesisOptions.backend``,
+    portfolio member lists. Built-in names (and ``"auto"``) cannot be
+    shadowed; re-registering an existing custom name requires
+    ``replace=True``. The primary consumer is the fault-injection
+    harness (:mod:`repro.testing.faultinject`), which wraps a real
+    backend in a crash/timeout/corruption layer.
+    """
+    if name == "auto" or name in BUILTIN_BACKENDS:
+        raise SolverError(f"cannot shadow built-in backend {name!r}")
+    if name in _CUSTOM_BACKENDS and not replace:
+        raise SolverError(
+            f"backend {name!r} already registered (pass replace=True)")
+    _CUSTOM_BACKENDS[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a custom backend; unknown names are ignored."""
+    _CUSTOM_BACKENDS.pop(name, None)
+
+
 def get_backend(name: str = "auto") -> SolverBackend:
     """Instantiate a solver backend by name."""
     name = resolve_backend_name(name)
+    if name in _CUSTOM_BACKENDS:
+        return _CUSTOM_BACKENDS[name]()
     if name == "highs":
         from repro.opt.solvers.highs import HighsBackend
 
@@ -60,13 +93,16 @@ def get_backend(name: str = "auto") -> SolverBackend:
 
 def available_backends() -> Dict[str, bool]:
     """Map of backend name to availability on this machine."""
-    return {
+    table = {
         "highs": _highs_available(),
         "branch_bound": True,
         "backtrack": True,
         "portfolio": True,
     }
+    table.update({name: True for name in _CUSTOM_BACKENDS})
+    return table
 
 
-__all__ = ["get_backend", "resolve_backend_name", "available_backends",
+__all__ = ["get_backend", "register_backend", "unregister_backend",
+           "resolve_backend_name", "available_backends", "BUILTIN_BACKENDS",
            "SolverBackend", "BranchBoundBackend", "BacktrackBackend"]

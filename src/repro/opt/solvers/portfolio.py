@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SolverError
 from repro.opt.model import Model
@@ -46,7 +46,9 @@ class PortfolioBackend(SolverBackend):
 
     name = "portfolio"
 
-    def __init__(self, members: Optional[Sequence[str]] = None) -> None:
+    def __init__(
+        self, members: Optional[Sequence[Union[str, SolverBackend]]] = None
+    ) -> None:
         if members is None:
             from repro.opt.solvers import available_backends
 
@@ -55,20 +57,29 @@ class PortfolioBackend(SolverBackend):
                 members.insert(0, "highs")
         if not members:
             raise SolverError("portfolio needs at least one member backend")
-        self.members: List[str] = list(members)
+        #: Backend names or ready-made instances (instances are what the
+        #: fault-injection tests race against each other).
+        self.members: List[Union[str, SolverBackend]] = list(members)
 
-    def _make_member(self, name: str, cancel: threading.Event) -> SolverBackend:
-        if name == "highs":
+    @staticmethod
+    def _label(member: Union[str, SolverBackend]) -> str:
+        return member if isinstance(member, str) else member.name
+
+    def _make_member(self, member: Union[str, SolverBackend],
+                     cancel: threading.Event) -> SolverBackend:
+        if isinstance(member, SolverBackend):
+            return member
+        if member == "highs":
             from repro.opt.solvers.highs import HighsBackend
 
             return HighsBackend()
-        if name == "branch_bound":
+        if member == "branch_bound":
             from repro.opt.solvers.branch_bound import BranchBoundBackend
 
             return BranchBoundBackend(cancel_event=cancel)
         from repro.opt.solvers import get_backend
 
-        return get_backend(name)
+        return get_backend(member)
 
     def solve(
         self,
@@ -96,14 +107,22 @@ class PortfolioBackend(SolverBackend):
                 return proven
 
         if len(self.members) == 1:
-            sol = self._make_member(self.members[0], threading.Event()).solve(
-                model, time_limit, mip_gap, verbose, warm_start=warm_start
-            )
+            only = self.members[0]
+            try:
+                sol = self._make_member(only, threading.Event()).solve(
+                    model, time_limit, mip_gap, verbose, warm_start=warm_start
+                )
+            except Exception as exc:
+                raise SolverError(
+                    f"all 1 portfolio members failed: "
+                    f"{self._label(only)}: {type(exc).__name__}: {exc}"
+                ) from exc
             sol.solver = f"{self.name}({sol.solver})"
             return sol
 
         cancel = threading.Event()
-        backends = [(name, self._make_member(name, cancel)) for name in self.members]
+        backends = [(self._label(m), self._make_member(m, cancel))
+                    for m in self.members]
 
         def run(name: str, backend: SolverBackend) -> Tuple[str, Solution]:
             return name, backend.solve(model, time_limit, mip_gap, verbose,
@@ -111,22 +130,31 @@ class PortfolioBackend(SolverBackend):
 
         winner: Optional[Tuple[str, Solution]] = None
         fallback: Optional[Tuple[str, Solution]] = None
+        failures: List[Tuple[str, str]] = []
         pool = ThreadPoolExecutor(max_workers=len(backends),
                                   thread_name_prefix="portfolio")
         try:
-            pending = {pool.submit(run, name, backend) for name, backend in backends}
+            pending = {pool.submit(run, name, backend): name
+                       for name, backend in backends}
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, still = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
+                    member = pending[future]
                     try:
                         name, sol = future.result()
-                    except Exception:  # member crashed: let the others decide
+                    except Exception as exc:
+                        # Member crashed: let the others decide, but keep
+                        # the reason — a silent swallow here is how "the
+                        # whole race died" used to look like a timeout.
+                        failures.append(
+                            (member, f"{type(exc).__name__}: {exc}"))
                         continue
                     if sol.status in _CONCLUSIVE:
                         if winner is None:
                             winner = (name, sol)
                     elif fallback is None or sol.has_solution:
                         fallback = (name, sol)
+                pending = {f: n for f, n in pending.items() if f in still}
                 if winner is not None:
                     break
         finally:
@@ -139,11 +167,24 @@ class PortfolioBackend(SolverBackend):
 
         chosen = winner or fallback
         if chosen is None:
-            return Solution(SolveStatus.ERROR, solver=self.name,
-                            message="all portfolio members failed")
+            # Every racer crashed — raise with the roll call instead of
+            # returning a silent ERROR solution that upstream code could
+            # mistake for an ordinary inconclusive solve.
+            reasons = "; ".join(f"{n}: {r}" for n, r in failures) \
+                or "no member produced a result"
+            raise SolverError(
+                f"all {len(self.members)} portfolio members failed: {reasons}"
+            )
         name, sol = chosen
         sol.solver = f"{self.name}({name})"
         sol.runtime = time.perf_counter() - start
+        for member, reason in failures:
+            sol.counters[f"member_failed_{member}"] = 1
+        if failures:
+            sol.counters["portfolio_member_failures"] = len(failures)
+            detail = "; ".join(f"{n}: {r}" for n, r in failures)
+            sol.message = (f"{sol.message}; " if sol.message else "") \
+                + f"member failures: {detail}"
         return sol
 
     @staticmethod

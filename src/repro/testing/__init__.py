@@ -1,0 +1,21 @@
+"""Test harnesses that exercise the library's fault tolerance.
+
+Nothing in here is used by the synthesis pipeline itself — it exists so
+the test-suite (and curious users) can rehearse solver crashes,
+timeouts and corrupted solutions deterministically and watch the
+degradation ladder and the independent verifier do their jobs.
+"""
+
+from repro.testing.faultinject import (
+    FaultPlan,
+    FaultyBackend,
+    corrupt_solution,
+    install_faulty_backend,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyBackend",
+    "corrupt_solution",
+    "install_faulty_backend",
+]

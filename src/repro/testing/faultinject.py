@@ -1,0 +1,203 @@
+"""Deterministic fault injection for solver backends.
+
+:class:`FaultyBackend` wraps any real backend and, according to a
+seed-controlled :class:`FaultPlan`, makes individual ``solve`` calls
+
+* **crash** — raise :class:`~repro.errors.InjectedFaultError`;
+* **time out** — return an empty ``TIME_LIMIT`` solution without
+  touching the inner backend;
+* **corrupt** — let the inner backend solve, then silently zero one
+  1-valued binary and *downgrade the status to FEASIBLE*. The downgrade
+  matters: :meth:`repro.opt.model.Model.solve` re-checks OPTIMAL
+  assignments against the constraints, so an honest-status corruption
+  would be caught at the model layer. A FEASIBLE claim sails through —
+  exactly the situation where the independent verifier
+  (:mod:`repro.core.verify`) is the last line of defence. The test
+  suite proves it holds that line.
+
+Determinism: every decision (which fault, which variable to corrupt)
+comes from a ``random.Random(seed)`` owned by the plan, so a fixed seed
+reproduces the exact same fault sequence; with an empty plan the
+wrapper is a transparent pass-through and results are bit-identical to
+the inner backend's.
+
+Typical use::
+
+    from repro.opt.solvers import register_backend, unregister_backend
+    from repro.testing import FaultPlan, FaultyBackend, install_faulty_backend
+
+    with install_faulty_backend("flaky", plan=FaultPlan(schedule=["crash"])):
+        result = synthesize(spec, SynthesisOptions(backend="flaky"))
+        assert result.counters.get("degraded") == 1
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.errors import InjectedFaultError, ReproError
+from repro.opt.expr import VarType
+from repro.opt.model import Model
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers import SolverBackend, get_backend
+
+#: The fault kinds a plan may produce (``None`` = no fault).
+FAULT_KINDS = ("crash", "timeout", "corrupt")
+
+
+class FaultPlan:
+    """A seed-controlled schedule of injected faults.
+
+    Two modes:
+
+    * ``schedule=[...]`` — an explicit per-call script, consumed one
+      entry per ``solve`` (``None`` entries mean "no fault"); once
+      exhausted, no further faults fire. Precise targeting for tests:
+      ``["corrupt"]`` hits exactly the first solve of a pipeline.
+    * rates — ``crash``/``timeout``/``corrupt`` probabilities in
+      ``[0, 1]`` (summing to ≤ 1), drawn i.i.d. per call from
+      ``random.Random(seed)``.
+
+    A plan is single-use state (it remembers how far it has advanced);
+    build a fresh plan with the same arguments to replay a sequence.
+    """
+
+    def __init__(self, seed: int = 0, crash: float = 0.0,
+                 timeout: float = 0.0, corrupt: float = 0.0,
+                 schedule: Optional[Sequence[Optional[str]]] = None) -> None:
+        for rate in (crash, timeout, corrupt):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"fault rates must be in [0, 1], got {rate}")
+        if crash + timeout + corrupt > 1.0 + 1e-12:
+            raise ReproError("fault rates must sum to at most 1")
+        if schedule is not None:
+            bad = [s for s in schedule if s is not None and s not in FAULT_KINDS]
+            if bad:
+                raise ReproError(
+                    f"unknown fault kind(s) {bad}; expected {FAULT_KINDS}")
+        self.seed = seed
+        self.rates = (crash, timeout, corrupt)
+        self.schedule = list(schedule) if schedule is not None else None
+        self._cursor = 0
+        self.rng = random.Random(seed)
+
+    def draw(self) -> Optional[str]:
+        """The fault for the next ``solve`` call (``None`` = no fault)."""
+        if self.schedule is not None:
+            if self._cursor >= len(self.schedule):
+                return None
+            fault = self.schedule[self._cursor]
+            self._cursor += 1
+            return fault
+        r = self.rng.random()
+        crash, timeout, corrupt = self.rates
+        if r < crash:
+            return "crash"
+        if r < crash + timeout:
+            return "timeout"
+        if r < crash + timeout + corrupt:
+            return "corrupt"
+        return None
+
+
+def corrupt_solution(sol: Solution, rng: random.Random,
+                     var_pattern: Optional[str] = None) -> Solution:
+    """Corrupt a solution in place the way a buggy backend would.
+
+    Zeroes one rng-chosen 1-valued binary (optionally restricted to
+    names matching ``var_pattern``) and downgrades OPTIMAL to FEASIBLE
+    so the model-layer assignment check is bypassed. Returns ``sol``
+    unchanged when it has no values or no matching variable to corrupt.
+    """
+    if sol.values is None:
+        return sol
+    matcher = re.compile(var_pattern) if var_pattern else None
+    candidates = sorted(
+        (v for v, val in sol.values.items()
+         if v.vtype is VarType.BINARY and val > 0.5
+         and (matcher is None or matcher.search(v.name))),
+        key=lambda v: v.name,
+    )
+    if not candidates:
+        return sol
+    victim = rng.choice(candidates)
+    sol.values[victim] = 0.0
+    if sol.status is SolveStatus.OPTIMAL:
+        sol.status = SolveStatus.FEASIBLE
+    sol.message = (f"{sol.message}; " if sol.message else "") \
+        + f"injected corruption: zeroed {victim.name}"
+    return sol
+
+
+class FaultyBackend(SolverBackend):
+    """A solver backend wrapper that injects planned faults."""
+
+    name = "faulty"
+
+    def __init__(self, inner: Union[str, SolverBackend] = "auto",
+                 plan: Optional[FaultPlan] = None,
+                 corrupt_vars: Optional[str] = None) -> None:
+        self.inner = get_backend(inner) if isinstance(inner, str) else inner
+        self.plan = plan or FaultPlan()
+        #: Regex narrowing which variables a "corrupt" fault may touch
+        #: (e.g. ``r"^(x_|y_|w_)"`` to hit the synthesis assignment
+        #: variables rather than a harmless auxiliary).
+        self.corrupt_vars = corrupt_vars
+        self.name = f"faulty({self.inner.name})"
+        #: Chronological record of the faults that actually fired
+        #: ("none" entries included), for assertions in tests.
+        self.injected: List[str] = []
+
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+        warm_start=None,
+    ) -> Solution:
+        fault = self.plan.draw()
+        self.injected.append(fault or "none")
+        if fault == "crash":
+            raise InjectedFaultError(
+                f"injected backend crash (solve #{len(self.injected)})")
+        if fault == "timeout":
+            return Solution(SolveStatus.TIME_LIMIT, solver=self.name,
+                            message="injected timeout")
+        sol = self.inner.solve(model, time_limit=time_limit, mip_gap=mip_gap,
+                               verbose=verbose, warm_start=warm_start)
+        if fault == "corrupt":
+            sol = corrupt_solution(sol, self.plan.rng, self.corrupt_vars)
+        sol.solver = self.name
+        return sol
+
+
+@contextmanager
+def install_faulty_backend(
+    backend_name: str = "faulty",
+    inner: Union[str, SolverBackend] = "auto",
+    plan: Optional[FaultPlan] = None,
+    corrupt_vars: Optional[str] = None,
+) -> Iterator[FaultyBackend]:
+    """Register a :class:`FaultyBackend` for the duration of a block.
+
+    Inside the block, ``backend_name`` resolves to the *same* wrapper
+    instance on every ``get_backend`` call, so the plan advances across
+    the whole pipeline (main solve, pressure ILP, ...) in call order and
+    ``wrapper.injected`` records the full fault history.
+    """
+    from repro.opt.solvers import register_backend, unregister_backend
+
+    wrapper = FaultyBackend(inner=inner, plan=plan, corrupt_vars=corrupt_vars)
+    register_backend(backend_name, lambda: wrapper, replace=True)
+    try:
+        yield wrapper
+    finally:
+        unregister_backend(backend_name)
+
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultyBackend", "corrupt_solution",
+           "install_faulty_backend"]

@@ -6,6 +6,7 @@ from repro.cases import generate_case
 from repro.core import BindingPolicy, SynthesisOptions
 from repro.errors import ReproError
 from repro.experiments import load_csv, run_batch
+from repro.experiments.batch import CSV_COLUMNS
 
 
 def small_specs(n=3):
@@ -58,3 +59,93 @@ def test_on_result_callback():
               on_result=lambda spec, res: seen.append((spec.name,
                                                        res.status.value)))
     assert len(seen) == 2
+
+
+# ----------------------------------------------------------------------
+# fault tolerance: crashing specs, dead workers, checkpoints
+# ----------------------------------------------------------------------
+def poisoned_specs(n=4, bad=1):
+    """n valid specs with one made to crash inside the model builder.
+
+    The binding is mutated *after* construction (validation runs in
+    ``__post_init__``), so the crash only surfaces mid-synthesis — the
+    shape of a genuinely unexpected failure.
+    """
+    specs = small_specs(n)
+    victim = specs[bad]
+    victim.fixed_binding[next(iter(victim.fixed_binding))] = "no_such_pin"
+    return specs
+
+
+def test_error_column_is_part_of_the_schema():
+    assert CSV_COLUMNS[-1] == "error"
+
+
+def test_crashing_spec_yields_error_row_not_batch_abort():
+    # on_error="raise" lets the crash escape synthesize(); the batch
+    # layer must still contain it to one row.
+    batch = run_batch(poisoned_specs(4, bad=1),
+                      SynthesisOptions(time_limit=30, on_error="raise"))
+    assert len(batch.rows) == 4
+    assert batch.solved == 3
+    assert batch.errors == 1
+    bad = batch.rows[1]
+    assert bad["status"] == "error"
+    assert "SwitchModelError" in bad["error"]
+    assert "crashed" in batch.summary()
+
+
+def test_parallel_batch_matches_serial_including_the_crash():
+    options = SynthesisOptions(time_limit=30, on_error="raise")
+    serial = run_batch(poisoned_specs(4, bad=2), options)
+    parallel = run_batch(poisoned_specs(4, bad=2), options, workers=2)
+    assert len(parallel.rows) == 4
+
+    def strip_runtime(rows):
+        return [{k: v for k, v in r.items() if k != "runtime_s"}
+                for r in rows]
+
+    assert strip_runtime(parallel.rows) == strip_runtime(serial.rows)
+
+
+def test_on_result_skipped_for_error_rows():
+    seen = []
+    run_batch(poisoned_specs(3, bad=0),
+              SynthesisOptions(time_limit=30, on_error="raise"),
+              on_result=lambda spec, res: seen.append(spec.name))
+    assert len(seen) == 2  # the crashed spec has no result to pass
+
+
+def test_checkpoint_written_incrementally(tmp_path):
+    path = tmp_path / "ckpt.csv"
+    batch = run_batch(small_specs(2), SynthesisOptions(time_limit=30),
+                      checkpoint=path)
+    on_disk = load_csv(path)
+    assert len(on_disk) == 2
+    assert [r["case"] for r in on_disk] == \
+        [r["case"] for r in batch.rows]
+
+
+def test_checkpoint_resume_skips_finished_prefix(tmp_path):
+    path = tmp_path / "ckpt.csv"
+    specs = small_specs(3)
+    run_batch(specs[:2], SynthesisOptions(time_limit=30), checkpoint=path)
+
+    executed = []
+    full = run_batch(specs, SynthesisOptions(time_limit=30),
+                     checkpoint=path, resume=True,
+                     on_result=lambda spec, res: executed.append(spec.name))
+    # Only the remainder actually ran ...
+    assert executed == [specs[2].name]
+    # ... but the batch (and the CSV) cover the whole list.
+    assert len(full.rows) == 3
+    assert len(load_csv(path)) == 3
+
+
+def test_resume_rejects_oversized_checkpoint(tmp_path):
+    path = tmp_path / "ckpt.csv"
+    run_batch(small_specs(3), SynthesisOptions(time_limit=30),
+              checkpoint=path)
+    with pytest.raises(ReproError):
+        run_batch(small_specs(2), SynthesisOptions(time_limit=30),
+                  checkpoint=path, resume=True)
