@@ -8,6 +8,9 @@
     python -m repro synthesize my_case.json --json result.json
     python -m repro export-case chip_sw1 --policy fixed -o case.json
     python -m repro compare nucleic_acid        # vs spine / GRU baselines
+    python -m repro synthesize chip_sw1 --trace run.jsonl
+    python -m repro obs summarize run.jsonl --validate
+    python -m repro obs timeline run.jsonl --svg timeline.svg
 """
 
 from __future__ import annotations
@@ -74,16 +77,43 @@ def cmd_show_switch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_trace(tracer, spec: SwitchSpec, options: SynthesisOptions,
+                  path: str, fmt: str) -> None:
+    """Write the recorded trace in the requested format(s)."""
+    from repro.obs import run_manifest, write_chrome_trace, write_trace_jsonl
+
+    manifest = run_manifest(spec, options)
+    base = Path(path)
+    if fmt in ("jsonl", "both"):
+        jsonl_path = base if fmt == "jsonl" else base.with_suffix(".jsonl")
+        write_trace_jsonl(tracer, jsonl_path, manifest=manifest)
+        print(f"trace written to {jsonl_path}")
+    if fmt in ("chrome", "both"):
+        chrome_path = (base if fmt == "chrome"
+                       else base.with_suffix(".chrome.json"))
+        write_chrome_trace(tracer, chrome_path, manifest=manifest)
+        print(f"chrome trace written to {chrome_path} "
+              "(load in Perfetto / chrome://tracing)")
+
+
 def cmd_synthesize(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.case, args.policy)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(spec.name)
     options = SynthesisOptions(
         backend=args.backend,
         time_limit=args.time_limit,
         pressure_method=args.pressure,
         on_error=args.on_error,
+        trace=tracer,
     )
     print(f"synthesizing {spec.summary()} ...")
     result = synthesize(spec, options)
+    if tracer is not None:
+        _export_trace(tracer, spec, options, args.trace, args.trace_format)
     print(format_table([result.table_row()]))
     if result.counters.get("degraded"):
         print(f"note: exact solve failed ({result.error}); "
@@ -169,6 +199,41 @@ def cmd_layout(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import (format_summary, read_trace_jsonl,
+                           validate_trace_records)
+
+    data = read_trace_jsonl(args.trace)
+    if args.validate:
+        validate_trace_records(data.records)
+        print(f"{args.trace}: schema valid "
+              f"({len(data.records)} records)")
+    print(format_summary(data))
+    return 0
+
+
+def cmd_obs_compare(args: argparse.Namespace) -> int:
+    from repro.obs import format_comparison, read_trace_jsonl
+
+    a = read_trace_jsonl(args.trace_a)
+    b = read_trace_jsonl(args.trace_b)
+    print(format_comparison(a, b))
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import ascii_timeline, read_trace_jsonl
+
+    data = read_trace_jsonl(args.trace)
+    print(ascii_timeline(data))
+    if args.svg:
+        from repro.render import render_incumbent_timeline
+
+        save_svg(render_incumbent_timeline(data), args.svg)
+        print(f"timeline rendered to {args.svg}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -201,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the per-phase wall-clock breakdown")
     p.add_argument("--svg", help="render the result to this SVG file")
     p.add_argument("--json", help="write the result to this JSON file")
+    p.add_argument("--trace",
+                   help="record an observability trace to this file")
+    p.add_argument("--trace-format", default="jsonl",
+                   choices=["jsonl", "chrome", "both"],
+                   help="trace export format: JSONL event stream, Chrome "
+                        "trace_event JSON (Perfetto-loadable), or both "
+                        "(derives .jsonl / .chrome.json suffixes)")
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser("export-case", help="write a registry case as JSON")
@@ -230,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--svg", help="render the chip to this SVG file")
     p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser("obs", help="inspect recorded observability traces")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("summarize",
+                           help="span/event/metric summary of one trace")
+    q.add_argument("trace", help="JSONL trace file (from --trace)")
+    q.add_argument("--validate", action="store_true",
+                   help="check the trace against the repro-obs-v1 schema "
+                        "invariants first")
+    q.set_defaults(func=cmd_obs_summarize)
+
+    q = obs_sub.add_parser("compare",
+                           help="span-level diff between two traces")
+    q.add_argument("trace_a")
+    q.add_argument("trace_b")
+    q.set_defaults(func=cmd_obs_compare)
+
+    q = obs_sub.add_parser("timeline",
+                           help="incumbent-vs-time chart of one trace")
+    q.add_argument("trace", help="JSONL trace file (from --trace)")
+    q.add_argument("--svg", help="also render the timeline to this SVG file")
+    q.set_defaults(func=cmd_obs_timeline)
 
     return parser
 

@@ -24,6 +24,7 @@ import networkx as nx
 from repro.core.solution import PressureSharingResult
 from repro.core.valves import CLOSED, OPEN
 from repro.errors import ReproError, SolverError, SolveTimeoutError
+from repro.obs.trace import obs_event
 from repro.opt import Model, quicksum
 
 Valve = Tuple[str, str]
@@ -155,14 +156,18 @@ def share_pressure(
     degraded = False
     if method == "ilp":
         if on_timeout == "greedy" and time_limit is not None and time_limit <= 0:
+            obs_event("degrade", where="pressure",
+                      reason="no budget left for the clique-cover ILP")
             groups, method, degraded = clique_cover_greedy(graph), "greedy", True
         else:
             try:
                 groups = clique_cover_ilp(graph, backend=backend,
                                           time_limit=time_limit)
-            except (SolveTimeoutError, SolverError):
+            except (SolveTimeoutError, SolverError) as exc:
                 if on_timeout != "greedy":
                     raise
+                obs_event("degrade", where="pressure",
+                          reason=f"{type(exc).__name__}: {exc}")
                 groups, method, degraded = clique_cover_greedy(graph), "greedy", True
     elif method == "greedy":
         groups = clique_cover_greedy(graph)

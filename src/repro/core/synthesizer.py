@@ -39,7 +39,8 @@ A proven-infeasible model is a conclusive answer, never "degraded".
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from contextlib import ExitStack
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.builder import BuiltModel, SynthesisModelBuilder
@@ -50,6 +51,7 @@ from repro.core.valves import analyze_valves
 from repro.core.verify import verify_result
 from repro.deadline import Deadline
 from repro.errors import ReproError, VerificationError
+from repro.obs.trace import Tracer, current_tracer, obs_event, use_tracer
 from repro.opt import SolveStatus
 from repro.opt.incremental import SolveContext
 from repro.opt.solvers import resolve_backend_name
@@ -85,6 +87,13 @@ class SynthesisOptions:
     #: Failure policy: "raise", "capture" or "degrade" (see the module
     #: docstring for the ladder semantics).
     on_error: str = "degrade"
+    #: Optional :class:`repro.obs.Tracer` installed for the duration of
+    #: the run: every phase becomes a span, the solver internals emit
+    #: incumbent/cut/deadline events, and the result counters are folded
+    #: into the tracer's metrics registry. ``None`` (the default) keeps
+    #: tracing disabled at zero cost. Excluded from config fingerprints
+    #: and equality — a tracer never changes what is computed.
+    trace: Optional[Tracer] = field(default=None, compare=False, repr=False)
 
 
 def build_catalog(spec: SwitchSpec, options: SynthesisOptions) -> PathCatalog:
@@ -154,26 +163,46 @@ def synthesize(spec: SwitchSpec,
     deadline = Deadline(options.time_limit)
     recorder = PerfRecorder(spec.name)
 
-    try:
-        result = _pipeline(spec, options, context, deadline, recorder)
-    except Exception as exc:  # the ladder: capture / degrade
-        if options.on_error == "raise":
-            raise
-        result = _recover(spec, options, recorder,
-                          failure=f"{type(exc).__name__}: {exc}",
-                          timeout=False)
-    else:
-        if result.status is SynthesisStatus.TIMEOUT \
-                and options.on_error == "degrade":
-            result = _recover(
-                spec, options, recorder,
-                failure=(f"exact solve exhausted the {options.time_limit}s "
-                         "budget with no incumbent"),
-                timeout=True,
-            )
-    result.runtime = time.perf_counter() - start
-    result.timings = recorder.timings
-    result.counters = dict(recorder.counters)
+    with ExitStack() as stack:
+        if options.trace is not None:
+            stack.enter_context(use_tracer(options.trace))
+        tracer = current_tracer()
+        if tracer is not None:
+            stack.enter_context(tracer.span(
+                "synthesize", case=spec.name, backend=options.backend,
+                binding=spec.binding.value, time_limit=options.time_limit,
+            ))
+        try:
+            result = _pipeline(spec, options, context, deadline, recorder)
+        except Exception as exc:  # the ladder: capture / degrade
+            if options.on_error == "raise":
+                raise
+            result = _recover(spec, options, recorder,
+                              failure=f"{type(exc).__name__}: {exc}",
+                              timeout=False)
+        else:
+            if result.status is SynthesisStatus.TIMEOUT \
+                    and options.on_error == "degrade":
+                obs_event("deadline", where="synthesize",
+                          budget=options.time_limit)
+                result = _recover(
+                    spec, options, recorder,
+                    failure=(f"exact solve exhausted the {options.time_limit}s "
+                             "budget with no incumbent"),
+                    timeout=True,
+                )
+        result.runtime = time.perf_counter() - start
+        result.timings = recorder.timings
+        result.counters = dict(recorder.counters)
+        if tracer is not None:
+            tracer.event("synthesis_result", case=spec.name,
+                         status=result.status.value,
+                         objective=result.objective,
+                         runtime=round(result.runtime, 6))
+            tracer.metrics.counter("synthesize_runs").inc()
+            tracer.metrics.histogram("synthesize_seconds").observe(result.runtime)
+            for name, value in result.counters.items():
+                tracer.metrics.counter(name).inc(int(value))
     return result
 
 
@@ -191,6 +220,8 @@ def _recover(spec: SwitchSpec, options: SynthesisOptions,
     if options.on_error == "degrade":
         from repro.core.heuristic import synthesize_greedy
 
+        obs_event("degrade", where="synthesize", reason=failure,
+                  timeout=timeout)
         fallback: Optional[SynthesisResult] = None
         try:
             with recorder.phase("degrade"):
@@ -302,10 +333,13 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
         result.reduced = reduce_switch(
             spec.switch, result.used_segments, result.valves.essential
         )
-        if options.pressure_sharing and result.valves.essential:
-            # The clique-cover ILP runs on whatever the main solve left
-            # over and degrades to the greedy cover when that runs out,
-            # so this phase can no longer blow through the time limit.
+    if options.pressure_sharing and result.valves.essential:
+        # The clique-cover ILP runs on whatever the main solve left
+        # over and degrades to the greedy cover when that runs out, so
+        # this phase can no longer blow through the time limit. Timed
+        # as its own "pressure" phase so --profile shows it separately
+        # from the pure valve analysis above.
+        with recorder.phase("pressure"):
             result.pressure = share_pressure(
                 result.valves.status,
                 valves=sorted(result.valves.essential),
@@ -314,8 +348,8 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
                 time_limit=deadline.remaining(),
                 on_timeout="greedy",
             )
-            if result.pressure.degraded:
-                recorder.counters["pressure_degraded"] = 1
+        if result.pressure.degraded:
+            recorder.counters["pressure_degraded"] = 1
 
     if options.verify:
         with recorder.phase("verify"):

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import csv
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.spec import SwitchSpec
 from repro.core.synthesizer import SynthesisOptions, SynthesisResult, synthesize
 from repro.errors import ReproError
+from repro.obs.trace import current_tracer
 
 CSV_COLUMNS = [
     "case", "binding", "switch", "modules", "flows", "conflicts",
@@ -133,20 +134,46 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions]
+def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions, Optional[str]]
              ) -> Tuple[int, Dict[str, object], Optional[SynthesisResult]]:
     """Worker body; module-level so multiprocessing can pickle it.
 
     Exceptions are captured *inside* the worker: one crashing spec must
     not poison the pool, and the error row must match what a serial run
-    of the same spec would record.
+    of the same spec would record. With ``trace_dir`` set, each task
+    records its own :class:`repro.obs.Tracer` (a worker process never
+    shares the parent's) and leaves a per-task JSONL artifact behind —
+    even when the synthesis inside it crashed.
     """
-    index, spec, options = task
+    index, spec, options, trace_dir = task
+    tracer = None
+    if trace_dir is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(spec.name)
+        options = replace(options, trace=tracer)
     try:
         result = synthesize(spec, options)
+        row = _spec_row(spec, result)
     except Exception as exc:
-        return index, _error_row(spec, _describe(exc)), None
-    return index, _spec_row(spec, result), result
+        row, result = _error_row(spec, _describe(exc)), None
+    if tracer is not None:
+        _write_task_trace(tracer, trace_dir, index, spec, options)
+    return index, row, result
+
+
+def _write_task_trace(tracer, trace_dir, index: int, spec: SwitchSpec,
+                      options: SynthesisOptions) -> None:
+    """Export one task's trace artifact; never fails the task itself."""
+    from repro.obs import run_manifest, write_trace_jsonl
+
+    try:
+        path = Path(trace_dir) / f"{index:04d}_{spec.name}.jsonl"
+        write_trace_jsonl(tracer, path,
+                          manifest=run_manifest(spec, options,
+                                                extra={"batch_index": index}))
+    except Exception:
+        pass
 
 
 class _Checkpoint:
@@ -188,6 +215,8 @@ def run_batch(
     workers: int = 1,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
+    on_progress: Optional[Callable] = None,
 ) -> BatchResult:
     """Synthesize every spec and collect one CSV row per run.
 
@@ -204,11 +233,24 @@ def run_batch(
     immediately; with ``resume=True`` an existing checkpoint's rows are
     reused (matched by position — resume with the same spec list) and
     only the remainder is run.
+
+    Observability: ``trace_dir`` makes every task record its own
+    :class:`repro.obs.Tracer` and write a per-task JSONL trace artifact
+    (``NNNN_<case>.jsonl``, manifest included) into that directory —
+    worker processes record independently, so this composes with
+    ``workers > 1``. ``on_progress(done, total, row)`` is a live
+    callback fired after *every* finished row (error rows included), in
+    input order. When a tracer is installed in the parent process, the
+    batch additionally maintains ``batch_queue_depth`` /
+    ``batch_rows_done`` gauges and emits one ``batch_row`` event per row.
     """
     options = options or SynthesisOptions()
     spec_list = list(specs)
     batch = BatchResult()
     ckpt = _Checkpoint(checkpoint, resume) if checkpoint is not None else None
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        trace_dir = str(trace_dir)
 
     done = 0
     if ckpt is not None and ckpt.rows:
@@ -220,14 +262,25 @@ def run_batch(
             )
         done = len(ckpt.rows)
         batch.rows.extend(ckpt.rows)
-    tasks = [(i, spec, options) for i, spec in enumerate(spec_list)]
+    tasks = [(i, spec, options, trace_dir)
+             for i, spec in enumerate(spec_list)]
     todo = tasks[done:]
+    total = len(spec_list)
+    tracer = current_tracer()
 
     def emit(index: int, row: Dict[str, object],
              result: Optional[SynthesisResult]) -> None:
         batch.rows.append(row)
         if ckpt is not None:
             ckpt.write(row)
+        if tracer is not None:
+            tracer.metrics.gauge("batch_queue_depth").set(
+                total - len(batch.rows))
+            tracer.metrics.gauge("batch_rows_done").set(len(batch.rows))
+            tracer.event("batch_row", index=index, case=row.get("case"),
+                         status=row.get("status"))
+        if on_progress is not None:
+            on_progress(len(batch.rows), total, row)
         if on_result is not None and result is not None:
             on_result(spec_list[index], result)
 
@@ -243,7 +296,8 @@ def run_batch(
     return batch
 
 
-def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions]],
+def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
+                                    Optional[str]]],
                   workers: int, emit: Callable) -> None:
     """Fan tasks out over processes; emit rows in input order.
 

@@ -1,6 +1,10 @@
 """JSON interchange for specs and results."""
 
-from repro.io.result_json import result_to_dict, save_result
+from repro.io.result_json import (
+    load_result_summary,
+    result_to_dict,
+    save_result,
+)
 from repro.io.spec_json import (
     load_spec,
     save_spec,
@@ -19,4 +23,5 @@ __all__ = [
     "switch_from_dict",
     "result_to_dict",
     "save_result",
+    "load_result_summary",
 ]

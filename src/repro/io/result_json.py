@@ -1,9 +1,12 @@
 """JSON serialization of synthesis results.
 
-Results are exported (not re-imported — a result is only meaningful
-together with its spec and switch geometry) so downstream tools can
-consume the synthesis outcome: binding, routes, schedule, kept valves,
-pressure groups, and the headline metrics.
+Full results are not re-imported — a result is only meaningful together
+with its spec and switch geometry — but the exported dictionary carries
+everything downstream tools consume: binding, routes, schedule, kept
+valves, pressure groups, the headline metrics, and the run's phase
+timings and counters. :func:`load_result_summary` reads the measurement
+part back (timings as :class:`~repro.perf.PhaseTimings`, counters as
+ints) so perf comparisons can run against archived result files.
 """
 
 from __future__ import annotations
@@ -23,6 +26,19 @@ def result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
         "runtime_s": round(result.runtime, 4),
         "solver": result.solver,
     }
+    # Timings and counters are recorded for every run, failed ones
+    # included — a timeout's phase breakdown is exactly what one wants
+    # to inspect afterwards.
+    if result.timings:
+        data["timings_s"] = {
+            p: round(result.timings[p], 6) for p in result.timings.ordered()
+        }
+    if result.counters:
+        data["counters"] = {
+            k: result.counters[k] for k in sorted(result.counters)
+        }
+    if result.error:
+        data["error"] = result.error
     if not result.status.solved:
         return data
     data.update({
@@ -65,3 +81,26 @@ def save_result(result: SynthesisResult, path: Union[str, Path]) -> None:
     Path(path).write_text(
         json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
     )
+
+
+def load_result_summary(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read an exported result's measurement summary back.
+
+    Returns the raw dictionary with the measurement fields restored to
+    their in-process types: ``timings_s`` becomes a
+    :class:`repro.perf.PhaseTimings` (so ``.ordered()`` /
+    ``format_phase_table`` work on it directly) and ``counters`` values
+    become ints. Geometry fields (routes, valves, ...) are left as
+    plain JSON data — they need the spec to mean anything.
+    """
+    from repro.perf import PhaseTimings
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    timings = PhaseTimings()
+    for phase, seconds in data.get("timings_s", {}).items():
+        timings.add(phase, float(seconds))
+    data["timings_s"] = timings
+    data["counters"] = {
+        k: int(v) for k, v in data.get("counters", {}).items()
+    }
+    return data

@@ -1,0 +1,161 @@
+"""Counters, gauges and histograms with snapshot export.
+
+A :class:`MetricsRegistry` is a flat name → instrument map owned by a
+:class:`~repro.obs.trace.Tracer`. Producers look an instrument up once
+(one dict access) and then update it with plain attribute arithmetic, so
+a hot loop can keep a reference and pay no per-update lookup:
+
+    lp_solves = tracer.metrics.counter("lp_solves")
+    ...
+    lp_solves.inc()          # inside the loop
+
+Instruments are intentionally not thread-safe per-update (CPython makes
+the single ``+=`` effectively atomic and telemetry tolerates a lost
+increment under contention); the registry itself is lock-protected.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, open nodes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max plus fixed power-of-two bucket counts
+    (``le`` upper bounds), so the export is bounded regardless of how
+    many observations arrive.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    #: Bucket upper bounds; one overflow bucket follows implicitly.
+    BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": round(self.total, 9),
+        }
+        if self.count:
+            out.update(min=self.min, max=self.max,
+                       mean=round(self.mean, 9),
+                       buckets=dict(zip(
+                           [str(b) for b in self.BOUNDS] + ["inf"],
+                           self.buckets)))
+        return out
+
+
+class MetricsRegistry:
+    """Name-keyed instruments with typed lookup and snapshot export."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name)
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``name -> {kind, value/count/...}`` for every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The snapshot as ``metric`` records for the event stream."""
+        return [{"type": "metric", "name": name, **snap}
+                for name, snap in self.snapshot().items()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,110 @@
+"""Incumbent-vs-time timelines from a recorded event stream.
+
+MILP debugging lives on this plot: when did the first incumbent land,
+how fast did the objective improve, and how long did the solver then
+spend proving optimality? :func:`incumbent_trajectory` extracts the
+step function from ``incumbent`` events; :func:`ascii_timeline` renders
+it in the terminal (``repro obs timeline``), and
+:func:`repro.render.trace_svg.render_incumbent_timeline` draws the SVG
+version of the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.export import TraceData
+
+
+def incumbent_trajectory(data: TraceData) -> List[Tuple[float, float, str]]:
+    """``(t_seconds, objective, source)`` per incumbent improvement."""
+    points: List[Tuple[float, float, str]] = []
+    for ev in data.events_named("incumbent"):
+        attrs = ev.get("attrs", {})
+        objective = attrs.get("objective")
+        if objective is None:
+            continue
+        points.append((float(ev["t"]), float(objective),
+                       str(attrs.get("source", ""))))
+    return points
+
+
+def _marks(data: TraceData, name: str) -> List[float]:
+    return [float(ev["t"]) for ev in data.events_named(name)]
+
+
+def ascii_timeline(data: TraceData, width: int = 64,
+                   height: int = 12) -> str:
+    """A monospace objective-vs-time chart of the incumbent trajectory.
+
+    ``*`` marks an incumbent improvement, ``-`` continues its plateau;
+    the footer flags cut rounds (``c``) and deadline events (``!``) on
+    the shared time axis.
+    """
+    points = incumbent_trajectory(data)
+    if not points:
+        return "(no incumbent events in this trace)"
+    t_end = max(data.duration, points[-1][0], 1e-9)
+    objectives = [p[1] for p in points]
+    lo, hi = min(objectives), max(objectives)
+    span = hi - lo
+
+    def col(t: float) -> int:
+        return min(width - 1, int(t / t_end * (width - 1)))
+
+    def row(obj: float) -> int:
+        if span <= 0:
+            return height - 1
+        # best objective (lowest, we minimize) on the bottom row
+        return min(height - 1, int((hi - obj) / span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (t, obj, _) in enumerate(points):
+        c0 = col(t)
+        r = height - 1 - row(obj)
+        t_next = points[i + 1][0] if i + 1 < len(points) else t_end
+        for c in range(c0, max(c0 + 1, col(t_next) + 1)):
+            if grid[r][c] == " ":
+                grid[r][c] = "-"
+        grid[r][c0] = "*"
+
+    lines = []
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = f"{hi:>10.3f} "
+        elif r == height - 1:
+            label = f"{lo:>10.3f} "
+        else:
+            label = " " * 11
+        lines.append(label + "|" + "".join(cells))
+    axis = [" "] * width
+    for t in _marks(data, "cut_round"):
+        axis[col(t)] = "c"
+    for t in _marks(data, "deadline"):
+        axis[col(t)] = "!"
+    lines.append(" " * 11 + "+" + "-" * width)
+    if any(ch != " " for ch in axis):
+        lines.append(" " * 12 + "".join(axis))
+    lines.append(f"{'':11} 0s{'':{max(1, width - 12)}}{t_end:.3f}s")
+    legend = [f"{len(points)} incumbent(s), best={min(objectives):g}"]
+    if _marks(data, "deadline"):
+        legend.append("'!' = deadline hit")
+    if _marks(data, "cut_round"):
+        legend.append("'c' = cut round")
+    lines.append(" ".join(legend))
+    return "\n".join(lines)
+
+
+def timeline_points(data: TraceData
+                    ) -> Dict[str, Any]:
+    """The render-ready bundle consumed by the SVG timeline renderer."""
+    return {
+        "incumbents": incumbent_trajectory(data),
+        "cut_rounds": _marks(data, "cut_round"),
+        "deadlines": _marks(data, "deadline"),
+        "duration": data.duration,
+        "name": data.header.get("name", ""),
+    }
+
+
+__all__ = ["incumbent_trajectory", "ascii_timeline", "timeline_points"]

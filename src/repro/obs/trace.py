@@ -1,0 +1,285 @@
+"""Hierarchical spans and a structured event stream (the `repro.obs` core).
+
+A :class:`Tracer` records two kinds of telemetry into one bounded,
+append-only buffer:
+
+* **spans** — hierarchical wall-clock intervals with ids, parent links
+  and attributes (``span_begin``/``span_end`` record pairs). Every
+  :meth:`repro.perf.record.PerfRecorder.phase` automatically opens a
+  span on the installed tracer, so the synthesis pipeline
+  (catalog → build → … → verify), ``Model.solve`` sub-phases and the
+  portfolio members all appear in one tree without any call-site
+  changes.
+* **events** — typed point-in-time records from the search internals:
+  ``incumbent`` (objective + wall time), ``bound``, ``cut_round``,
+  ``progress``, ``deadline``, ``degrade``, ``fault_injected``,
+  ``race_winner``, …  Producers attach arbitrary JSON-compatible
+  attributes.
+
+**Cost model.** With no tracer installed (the default), every
+instrumentation site reduces to one module-global ``is None`` check —
+there is no buffering, no clock read, no allocation. With a tracer
+installed, each record is one dict append under a lock; the buffer is
+bounded (``max_events``) and silently drops *events* past the cap
+(counted in :attr:`Tracer.dropped`) so a runaway solver cannot exhaust
+memory. ``span_end`` records are never dropped — a truncated stream
+still closes every span it opened.
+
+Timestamps are seconds since tracer creation from
+``time.perf_counter`` (monotonic); every record additionally carries a
+process-wide sequence number so equal-clock records keep their order.
+
+Threading: the span stack is thread-local, so concurrent producers
+(the portfolio race) nest correctly within their own thread; a member
+thread links to the submitting thread's span via an explicit
+``parent=`` id. The installed tracer itself is a plain module global —
+visible from worker threads, never inherited by worker *processes*
+(each batch worker installs its own).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Version tag stamped into every exported artifact (JSONL header,
+#: Chrome trace metadata, manifests). Bump on any incompatible change
+#: to the record shapes documented in docs/observability.md.
+OBS_SCHEMA = "repro-obs-v1"
+
+#: Event names with a defined meaning (producers may add more; the
+#: schema treats the name as an open vocabulary).
+KNOWN_EVENTS = (
+    "incumbent",        # objective, source, nodes — incumbent improved
+    "bound",            # bound — best known lower bound changed
+    "cut_round",        # cuts — cutting planes appended to the LP
+    "progress",         # nodes, open, lp_calls — periodic search heartbeat
+    "deadline",         # where — a wall-clock budget ran out
+    "degrade",          # reason — the degradation ladder stepped down
+    "fault_injected",   # kind, solve — repro.testing fired a planned fault
+    "race_winner",      # member — portfolio race settled
+    "member_failed",    # member, reason — a portfolio racer died
+    "cache_hit",        # kind — a memoized artifact was reused
+    "solve_result",     # status, objective — one Model.solve finished
+)
+
+_seq_counter = itertools.count()
+_ids = itertools.count(1)
+
+
+class Tracer:
+    """A bounded in-memory recorder for spans, events and metrics."""
+
+    def __init__(self, name: str = "", max_events: int = 200_000) -> None:
+        self.name = name
+        self.max_events = max_events
+        self.metrics = MetricsRegistry()
+        self.dropped = 0
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+        # Spans begun but not yet ended (any thread); lets a snapshot
+        # taken mid-run close them synthetically so every exported
+        # stream is balanced (a cancelled portfolio loser may still be
+        # inside its span when the winner's trace is written).
+        self._open: Dict[int, Dict[str, Any]] = {}
+
+    # -- internals -----------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        """A small stable id for the calling thread (0 = first seen)."""
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._tids.get(ident)
+            if tid is None:
+                tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    def _append(self, record: Dict[str, Any], *, droppable: bool = True) -> None:
+        # seq is assigned under the same lock that orders the append, so
+        # buffer order and seq order always agree across threads.
+        with self._lock:
+            if droppable and len(self._records) >= self.max_events:
+                self.dropped += 1
+                return
+            record["seq"] = next(_seq_counter)
+            self._records.append(record)
+
+    # -- spans ---------------------------------------------------------
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span of *this thread* (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[int] = None,
+             **attrs: Any) -> Iterator[int]:
+        """Open a span; yields its id for explicit cross-thread linking.
+
+        ``parent`` overrides the implicit thread-local parent — the
+        portfolio uses this to hang member-thread spans under the
+        submitting thread's ``solve`` span.
+        """
+        span_id = next(_ids)
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        record: Dict[str, Any] = {
+            "type": "span_begin",
+            "t": round(self._now(), 7),
+            "span": span_id,
+            "name": name,
+            "tid": self._tid(),
+        }
+        if parent is not None:
+            record["parent"] = parent
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record, droppable=False)
+        with self._lock:
+            self._open[span_id] = record
+        stack.append(span_id)
+        start = self._now()
+        try:
+            yield span_id
+        finally:
+            end = self._now()
+            if stack and stack[-1] == span_id:
+                stack.pop()
+            with self._lock:
+                self._open.pop(span_id, None)
+            self._append({
+                "type": "span_end",
+                "t": round(end, 7),
+                "span": span_id,
+                "name": name,
+                "dur": round(end - start, 7),
+                "tid": self._tid(),
+            }, droppable=False)
+
+    # -- events ----------------------------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one typed point-in-time event under the current span."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "t": round(self._now(), 7),
+            "name": name,
+            "tid": self._tid(),
+        }
+        span = self.current_span_id()
+        if span is not None:
+            record["span"] = span
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record)
+
+    # -- export -----------------------------------------------------------
+    def records(self, with_metrics: bool = True) -> List[Dict[str, Any]]:
+        """A snapshot of the buffer, closed and ready for export.
+
+        Spans still open at snapshot time (e.g. a cancelled portfolio
+        loser still unwinding) get a synthetic ``span_end`` marked
+        ``truncated`` — innermost first — so the stream is always
+        balanced. With ``with_metrics`` one trailing ``metric`` record
+        per registered instrument is appended.
+        """
+        now = round(self._now(), 7)
+        with self._lock:
+            out = list(self._records)
+            still_open = sorted(self._open.items(), reverse=True)
+        for span_id, begin in still_open:
+            out.append({
+                "type": "span_end",
+                "t": now,
+                "seq": next(_seq_counter),
+                "span": span_id,
+                "name": begin["name"],
+                "dur": round(now - begin["t"], 7),
+                "tid": begin.get("tid", 0),
+                "truncated": True,
+            })
+        if with_metrics:
+            for record in self.metrics.records():
+                record.update(t=now, seq=next(_seq_counter))
+                out.append(record)
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return (f"Tracer({self.name!r}, records={len(self)}, "
+                f"dropped={self.dropped})")
+
+
+# ---------------------------------------------------------------------------
+# The installed tracer: one module global, checked by every producer.
+# ---------------------------------------------------------------------------
+_current: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is disabled."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Install ``tracer`` for the duration of a block (None = disable).
+
+    Installation is process-global (worker threads see it; worker
+    processes do not) and restores the previous tracer on exit, so
+    nested traced regions compose.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+def obs_event(name: str, **attrs: Any) -> None:
+    """Emit an event on the installed tracer; no-op when disabled."""
+    tracer = _current
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+@contextmanager
+def obs_span(name: str, **attrs: Any) -> Iterator[Optional[int]]:
+    """Open a span on the installed tracer; no-op when disabled."""
+    tracer = _current
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as span_id:
+        yield span_id
+
+
+__all__ = [
+    "OBS_SCHEMA",
+    "KNOWN_EVENTS",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+    "obs_event",
+    "obs_span",
+]

@@ -38,6 +38,8 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from repro.obs.trace import current_tracer
+
 
 @dataclass
 class WarmStart:
@@ -88,6 +90,14 @@ class IncrementalLP:
         self.lp_calls = 0
         self.lp_iterations = 0
         self.cuts_added = 0
+        # Metric instruments are resolved once here (not per solve) so
+        # the traced hot path pays one attribute check per LP re-solve;
+        # with tracing disabled both stay None.
+        tracer = current_tracer()
+        self._lp_counter = (tracer.metrics.counter("lp_resolves")
+                            if tracer is not None else None)
+        self._lp_iter_hist = (tracer.metrics.histogram("lp_iterations_per_resolve")
+                              if tracer is not None else None)
 
     # -- bound management ----------------------------------------------
     @property
@@ -159,7 +169,11 @@ class IncrementalLP:
         )
         self.lp_calls += 1
         nit = getattr(res, "nit", 0)
-        self.lp_iterations += int(nit) if nit is not None else 0
+        iterations = int(nit) if nit is not None else 0
+        self.lp_iterations += iterations
+        if self._lp_counter is not None:
+            self._lp_counter.inc()
+            self._lp_iter_hist.observe(iterations)
         return res
 
     def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:

@@ -13,6 +13,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ModelError, SolverError
+from repro.obs.trace import obs_event, obs_span
 from repro.opt.expr import (
     Constraint,
     ExprLike,
@@ -298,6 +299,8 @@ class Model:
             hit.timings = type(hit.timings)()
             hit.timings.add("solve", hit.runtime)
             hit.counters["resolve_cache_hit"] = 1
+            obs_event("cache_hit", kind="resolve", model=self.name,
+                      status=hit.status.value)
             return hit
 
         recorder = PerfRecorder(self.name)
@@ -313,10 +316,15 @@ class Model:
 
         solver = get_backend(backend)
         t_backend = time.perf_counter()
-        solution = solver.solve(
-            work_model, time_limit=time_limit, mip_gap=mip_gap, verbose=verbose,
-            warm_start=warm,
-        )
+        # The timings ledger splits presolve out of the backend wall time
+        # below; the span deliberately covers the whole backend call so
+        # solver-internal spans and events nest under one "solve" node.
+        with obs_span("solve", kind="phase", model=self.name,
+                      backend=solver.name):
+            solution = solver.solve(
+                work_model, time_limit=time_limit, mip_gap=mip_gap,
+                verbose=verbose, warm_start=warm,
+            )
         # The backend reports its presolve share in solution.timings;
         # record only the remainder as "solve" so the merged breakdown
         # does not double-count (presolve + solve == backend wall time).
@@ -341,6 +349,9 @@ class Model:
         solution.runtime = time.perf_counter() - start
         solution.model_name = self.name
         solution.timings.merge(recorder.timings)
+        obs_event("solve_result", model=self.name, solver=solution.solver,
+                  status=solution.status.value, objective=solution.objective,
+                  runtime=round(solution.runtime, 6))
         if solution.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE,
                                SolveStatus.UNBOUNDED):
             if len(self._solutions) >= 16:

@@ -15,6 +15,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ModelError
+from repro.obs.trace import current_tracer
 from repro.opt.expr import LinExpr, QuadExpr, Sense, Var, VarType
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
@@ -102,6 +103,10 @@ class BacktrackBackend(SolverBackend):
         best_assignment: Optional[Dict[Var, float]] = None
         assignment: Dict[Var, float] = {}
         timed_out = False
+        tracer = current_tracer()
+
+        def user_objective(internal: float) -> float:
+            return obj_sign * internal + _objective_constant(model)
 
         # A validated warm start seeds the incumbent: the DFS then only
         # explores assignments that are strictly better, and returns the
@@ -112,6 +117,10 @@ class BacktrackBackend(SolverBackend):
                     and not model.check_assignment(seed, tol=1e-6):
                 best_assignment = {v: float(val) for v, val in seed.items()}
                 best_val = sum(coef * best_assignment[v] for v, coef in obj.items())
+                if tracer is not None:
+                    tracer.event("incumbent", solver=self.name,
+                                 objective=user_objective(best_val),
+                                 source=warm_start.source)
 
         def residual_interval(items, from_pos: int) -> Tuple[float, float]:
             lo = hi = 0.0
@@ -159,6 +168,9 @@ class BacktrackBackend(SolverBackend):
                 return
             if deadline is not None and time.perf_counter() > deadline:
                 timed_out = True
+                if tracer is not None:
+                    tracer.event("deadline", where=self.name,
+                                 budget=time_limit)
                 return
             if objective_lower_bound(pos) >= best_val - 1e-9:
                 return
@@ -167,6 +179,10 @@ class BacktrackBackend(SolverBackend):
                 if val < best_val:
                     best_val = val
                     best_assignment = dict(assignment)
+                    if tracer is not None:
+                        tracer.event("incumbent", solver=self.name,
+                                     objective=user_objective(val),
+                                     source="search")
                 return
             var = variables[pos]
             for value in range(int(var.lb), int(var.ub) + 1):

@@ -39,6 +39,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import current_tracer
 from repro.opt.cuts import clique_cuts, cut_rows
 from repro.opt.incremental import IncrementalLP, map_back_solution
 from repro.opt.model import Model
@@ -153,9 +154,16 @@ class BranchBoundBackend(SolverBackend):
         branch_idx = np.where(form.branch_integrality == 1)[0]
         int_idx = np.where(form.integrality == 1)[0]
 
+        # Solver-progress telemetry (repro.obs): None when disabled, in
+        # which case every emission site below is a single falsy check.
+        tracer = current_tracer()
+
         cliques = clique_cuts(form) if self.use_cuts else []
         if cliques:
             lp.add_cuts(*cut_rows(form, cliques))
+            if tracer is not None:
+                tracer.event("cut_round", solver=self.name,
+                             cuts=len(cliques), kind="clique")
 
         # Seed the incumbent from the (already validated) warm start.
         incumbent_x: Optional[np.ndarray] = None
@@ -167,8 +175,17 @@ class BranchBoundBackend(SolverBackend):
                 incumbent_x = x_warm
                 incumbent_val = float(form.c @ x_warm)
                 incumbent_source = warm_start.source
+                if tracer is not None:
+                    tracer.event(
+                        "incumbent", solver=self.name, nodes=0,
+                        objective=form.report_objective(incumbent_val),
+                        source=incumbent_source,
+                    )
 
         root = lp.solve()
+        if tracer is not None and root.status == 0:
+            tracer.event("bound", solver=self.name,
+                         bound=form.report_objective(root.fun), nodes=0)
         if root.status == 2:
             return Solution(SolveStatus.INFEASIBLE, solver=self.name)
         if root.status == 3:
@@ -189,6 +206,12 @@ class BranchBoundBackend(SolverBackend):
                 return math.inf
             return incumbent_val - mip_gap * max(1.0, abs(incumbent_val))
 
+        def note_incumbent(value: float, nodes: int) -> None:
+            if tracer is not None:
+                tracer.event("incumbent", solver=self.name, nodes=nodes,
+                             objective=form.report_objective(value),
+                             source="search")
+
         while heap:
             bound, _, node, x = heapq.heappop(heap)
             if bound >= cutoff():
@@ -196,13 +219,27 @@ class BranchBoundBackend(SolverBackend):
             nodes_explored += 1
             if nodes_explored > self.max_nodes:
                 hit_limit = True
+                if tracer is not None:
+                    tracer.event("progress", solver=self.name, stop="node_limit",
+                                 nodes=nodes_explored)
                 break
             if deadline is not None and time.perf_counter() > deadline:
                 hit_limit = True
+                if tracer is not None:
+                    tracer.event("deadline", where=self.name,
+                                 nodes=nodes_explored, budget=time_limit)
                 break
             if self.cancel_event is not None and self.cancel_event.is_set():
                 hit_limit = True
+                if tracer is not None:
+                    tracer.event("progress", solver=self.name, stop="cancelled",
+                                 nodes=nodes_explored)
                 break
+            if tracer is not None and nodes_explored % 1024 == 0:
+                tracer.event("progress", solver=self.name,
+                             nodes=nodes_explored, open=len(heap),
+                             lp_calls=lp.lp_calls,
+                             bound=form.report_objective(bound))
 
             frac_i = self._most_fractional(x, branch_idx)
             if frac_i is None:
@@ -210,6 +247,7 @@ class BranchBoundBackend(SolverBackend):
                 if bound < incumbent_val:
                     incumbent_val = bound
                     incumbent_x = x
+                    note_incumbent(bound, nodes_explored)
                 continue
 
             lp.set_bounds(node.chain())
@@ -236,6 +274,7 @@ class BranchBoundBackend(SolverBackend):
                     if child_bound < incumbent_val:
                         incumbent_val = child_bound
                         incumbent_x = child_x
+                        note_incumbent(child_bound, nodes_explored)
                 elif child_bound < cutoff():
                     child = _Node(node, int(frac_i), is_ub,
                                   float(new_bound_value), child_bound)

@@ -29,6 +29,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SolverError
+from repro.obs.trace import current_tracer
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
 from repro.opt.solvers.base import SolverBackend
@@ -99,11 +100,20 @@ class PortfolioBackend(SolverBackend):
         # bound (strengthened by the clique cuts) within the gap, it is
         # provably optimal: return it without spawning either racer —
         # the ultimate early cancellation.
+        tracer = current_tracer()
+
         if warm_start is not None and model.is_linear() and model.num_vars:
             proven = self._prove_at_root(model, warm_start, mip_gap)
             if proven is not None:
                 proven.solver = f"{self.name}(warm)"
                 proven.runtime = time.perf_counter() - start
+                if tracer is not None:
+                    tracer.event("incumbent", solver=self.name,
+                                 objective=proven.objective,
+                                 source=warm_start.source, nodes=0)
+                    tracer.event("race_winner", member="warm",
+                                 status=proven.status.value,
+                                 reason="warm start proven optimal at root")
                 return proven
 
         if len(self.members) == 1:
@@ -123,10 +133,19 @@ class PortfolioBackend(SolverBackend):
         cancel = threading.Event()
         backends = [(self._label(m), self._make_member(m, cancel))
                     for m in self.members]
+        # Member threads have their own (empty) span stacks; link their
+        # spans to the submitting thread's current span explicitly so
+        # the race nests under the pipeline's "solve" phase.
+        race_parent = tracer.current_span_id() if tracer is not None else None
 
         def run(name: str, backend: SolverBackend) -> Tuple[str, Solution]:
-            return name, backend.solve(model, time_limit, mip_gap, verbose,
-                                       warm_start=warm_start)
+            if tracer is None:
+                return name, backend.solve(model, time_limit, mip_gap,
+                                           verbose, warm_start=warm_start)
+            with tracer.span(f"portfolio:{name}", parent=race_parent,
+                             member=name):
+                return name, backend.solve(model, time_limit, mip_gap,
+                                           verbose, warm_start=warm_start)
 
         winner: Optional[Tuple[str, Solution]] = None
         fallback: Optional[Tuple[str, Solution]] = None
@@ -148,6 +167,9 @@ class PortfolioBackend(SolverBackend):
                         # whole race died" used to look like a timeout.
                         failures.append(
                             (member, f"{type(exc).__name__}: {exc}"))
+                        if tracer is not None:
+                            tracer.event("member_failed", member=member,
+                                         reason=f"{type(exc).__name__}: {exc}")
                         continue
                     if sol.status in _CONCLUSIVE:
                         if winner is None:
@@ -178,6 +200,9 @@ class PortfolioBackend(SolverBackend):
         name, sol = chosen
         sol.solver = f"{self.name}({name})"
         sol.runtime = time.perf_counter() - start
+        if tracer is not None:
+            tracer.event("race_winner", member=name, status=sol.status.value,
+                         conclusive=winner is not None)
         for member, reason in failures:
             sol.counters[f"member_failed_{member}"] = 1
         if failures:

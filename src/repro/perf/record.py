@@ -15,11 +15,18 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.obs.trace import current_tracer
+
 #: Canonical phase order used when formatting reports; phases not listed
-#: here are appended alphabetically.
+#: here are appended alphabetically. Mirrors the pipeline: degradation
+#: ("degrade") runs after a failed exact attempt and pressure sharing
+#: ("pressure") after analysis, so both sort in pipeline position
+#: instead of the alphabetical tail ("check" is Model.solve's
+#: post-backend assignment validation).
 PHASE_ORDER = [
     "catalog", "build", "heuristic", "compile", "linearize", "presolve",
-    "solve", "solve_backend", "extract", "analyze", "verify",
+    "solve", "solve_backend", "check", "extract", "analyze", "pressure",
+    "verify", "degrade",
 ]
 
 
@@ -53,11 +60,23 @@ class PerfRecorder:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timings.add(name, time.perf_counter() - start)
+        # Every timed phase doubles as an observability span when a
+        # tracer is installed (repro.obs); the disabled path costs one
+        # module-global None check.
+        tracer = current_tracer()
+        if tracer is None:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.timings.add(name, time.perf_counter() - start)
+            return
+        with tracer.span(name, kind="phase"):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.timings.add(name, time.perf_counter() - start)
 
     def count(self, name: str, increment: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + increment

@@ -10,6 +10,7 @@ from repro.render.svg import (
     save_svg,
 )
 from repro.render.timeline_svg import render_valve_timeline
+from repro.render.trace_svg import render_incumbent_timeline
 
 __all__ = [
     "SvgCanvas",
@@ -22,4 +23,5 @@ __all__ = [
     "ascii_switch",
     "AsciiGrid",
     "render_valve_timeline",
+    "render_incumbent_timeline",
 ]

@@ -1,0 +1,96 @@
+"""SVG rendering of an observability trace's incumbent timeline.
+
+The SVG counterpart of :func:`repro.obs.timeline.ascii_timeline`: a
+step plot of the incumbent objective over wall time, with cut rounds
+and deadline events marked on the time axis. Produced by
+``repro obs timeline --svg out.svg``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import TraceData
+from repro.obs.timeline import timeline_points
+from repro.render.svg import SvgCanvas
+
+WIDTH, HEIGHT = 640.0, 360.0
+MARGIN_L, MARGIN_R = 70.0, 20.0
+MARGIN_T, MARGIN_B = 40.0, 50.0
+
+LINE_COLOR = "#1f6fb2"
+CUT_COLOR = "#d4a017"
+DEADLINE_COLOR = "#b23a48"
+AXIS_COLOR = "#555555"
+
+
+def render_incumbent_timeline(data: TraceData) -> str:
+    """An objective-vs-time SVG for one recorded trace."""
+    bundle = timeline_points(data)
+    points = bundle["incumbents"]
+    canvas = SvgCanvas(WIDTH, HEIGHT)
+    title = f"incumbents: {bundle['name']}" if bundle["name"] else "incumbents"
+    canvas.text((WIDTH / 2, MARGIN_T - 18), title, size=14)
+    if not points:
+        canvas.text((WIDTH / 2, HEIGHT / 2), "(no incumbent events)", size=13,
+                    color="#888")
+        return canvas.to_svg()
+
+    t_end = max(bundle["duration"], points[-1][0], 1e-9)
+    objectives = [p[1] for p in points]
+    lo, hi = min(objectives), max(objectives)
+    span = hi - lo
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def x(t: float) -> float:
+        return MARGIN_L + t / t_end * plot_w
+
+    def y(obj: float) -> float:
+        if span <= 0:
+            return MARGIN_T + plot_h / 2
+        # best (lowest — we minimize) objective at the bottom
+        return MARGIN_T + (1.0 - (hi - obj) / span) * plot_h
+
+    # axes
+    canvas.line((MARGIN_L, MARGIN_T), (MARGIN_L, MARGIN_T + plot_h),
+                AXIS_COLOR, 1.0)
+    canvas.line((MARGIN_L, MARGIN_T + plot_h),
+                (MARGIN_L + plot_w, MARGIN_T + plot_h), AXIS_COLOR, 1.0)
+    canvas.text((MARGIN_L - 8, y(hi) + 4), f"{hi:g}", size=11, anchor="end")
+    if span > 0:
+        canvas.text((MARGIN_L - 8, y(lo) + 4), f"{lo:g}", size=11,
+                    anchor="end")
+    canvas.text((MARGIN_L, HEIGHT - MARGIN_B + 18), "0s", size=11,
+                anchor="start")
+    canvas.text((MARGIN_L + plot_w, HEIGHT - MARGIN_B + 18),
+                f"{t_end:.3f}s", size=11, anchor="end")
+
+    # incumbent step function: horizontal plateau, vertical drop
+    for i, (t, obj, source) in enumerate(points):
+        t_next = points[i + 1][0] if i + 1 < len(points) else t_end
+        canvas.line((x(t), y(obj)), (x(t_next), y(obj)), LINE_COLOR, 2.0)
+        if i + 1 < len(points):
+            canvas.line((x(t_next), y(obj)), (x(t_next), y(points[i + 1][1])),
+                        LINE_COLOR, 1.2, dash="3,3")
+        canvas.circle((x(t), y(obj)), 3.5, LINE_COLOR)
+        label = f"{obj:g}" + (f" ({source})" if source else "")
+        canvas.text((x(t) + 6, y(obj) - 6), label, size=10, anchor="start")
+
+    # axis marks for cut rounds and deadline exhaustion
+    for t in bundle["cut_rounds"]:
+        canvas.line((x(t), MARGIN_T + plot_h - 6), (x(t), MARGIN_T + plot_h),
+                    CUT_COLOR, 2.0)
+    for t in bundle["deadlines"]:
+        canvas.line((x(t), MARGIN_T), (x(t), MARGIN_T + plot_h),
+                    DEADLINE_COLOR, 1.2, dash="5,4")
+
+    legend = f"{len(points)} incumbent(s), best={min(objectives):g}"
+    if bundle["deadlines"]:
+        legend += " — dashed red: deadline"
+    if bundle["cut_rounds"]:
+        legend += " — amber ticks: cut rounds"
+    canvas.text((WIDTH / 2, HEIGHT - 12), legend, size=11, color="#555")
+    return canvas.to_svg()
+
+
+__all__ = ["render_incumbent_timeline"]

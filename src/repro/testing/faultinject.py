@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.errors import InjectedFaultError, ReproError
+from repro.obs.trace import obs_event
 from repro.opt.expr import VarType
 from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
@@ -161,6 +162,12 @@ class FaultyBackend(SolverBackend):
     ) -> Solution:
         fault = self.plan.draw()
         self.injected.append(fault or "none")
+        if fault is not None:
+            # Typed telemetry: every planned fault that actually fires is
+            # visible in the event stream alongside the solver's own
+            # incumbent/deadline events (asserted in test_faultinject).
+            obs_event("fault_injected", kind=fault, backend=self.inner.name,
+                      solve=len(self.injected), model=model.name)
         if fault == "crash":
             raise InjectedFaultError(
                 f"injected backend crash (solve #{len(self.injected)})")

@@ -67,7 +67,7 @@ def test_docs_directory_contents():
     docs = {p.name for p in (ROOT / "docs").glob("*.md")}
     assert {"architecture.md", "mathematical_model.md",
             "switch_models.md", "api_tour.md",
-            "reproduction_notes.md"} <= docs
+            "reproduction_notes.md", "observability.md"} <= docs
 
 
 def test_math_doc_references_real_symbols():

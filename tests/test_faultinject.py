@@ -235,3 +235,42 @@ def test_portfolio_survives_partial_crash_and_records_it():
     assert sol.counters.get("portfolio_member_failures") == 1
     failed = [k for k in sol.counters if k.startswith("member_failed_")]
     assert len(failed) == 1
+
+
+# ----------------------------------------------------------------------
+# the event stream sees every fired fault
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["crash", "timeout", "corrupt"])
+def test_fired_faults_emit_typed_events(kind):
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with install_faulty_backend(plan=FaultPlan(schedule=[kind])):
+        with use_tracer(tracer):
+            try:
+                synthesize(good_spec(), opts("degrade"))
+            except ReproError:
+                pass  # only the telemetry is under test here
+    fired = [r for r in tracer.records(with_metrics=False)
+             if r["type"] == "event" and r["name"] == "fault_injected"]
+    assert len(fired) == 1
+    attrs = fired[0]["attrs"]
+    assert attrs["kind"] == kind
+    assert attrs["solve"] == 1
+    assert "backend" in attrs and "model" in attrs
+    # the degradation the fault provoked is visible in the same stream
+    if kind in ("crash", "timeout"):
+        degrades = [r for r in tracer.records(with_metrics=False)
+                    if r["type"] == "event" and r["name"] == "degrade"]
+        assert degrades and degrades[0]["attrs"]["where"] == "synthesize"
+
+
+def test_unfired_plan_emits_no_fault_events():
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with install_faulty_backend(plan=FaultPlan()):
+        with use_tracer(tracer):
+            synthesize(good_spec(), opts())
+    assert not [r for r in tracer.records(with_metrics=False)
+                if r["type"] == "event" and r["name"] == "fault_injected"]

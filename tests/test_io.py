@@ -130,3 +130,43 @@ def test_unsolved_result_export():
     data = result_to_dict(result)
     assert data["status"] == "no solution"
     assert "binding" not in data
+
+
+def test_result_export_carries_timings_and_counters(tmp_path):
+    from repro.io import load_result_summary
+    from repro.perf import PhaseTimings
+
+    spec = chip_sw1(BindingPolicy.FIXED)
+    result = synthesize(spec)
+    data = result_to_dict(result)
+    assert "timings_s" in data and "counters" in data
+    assert set(data["timings_s"]) == set(result.timings)
+    for phase, seconds in data["timings_s"].items():
+        assert seconds == pytest.approx(result.timings[phase], abs=1e-5)
+    assert data["counters"] == result.counters
+    # keys are emitted in canonical phase order for stable diffs
+    assert list(data["timings_s"]) == result.timings.ordered()
+    assert list(data["counters"]) == sorted(result.counters)
+
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    summary = load_result_summary(path)
+    assert isinstance(summary["timings_s"], PhaseTimings)
+    assert summary["timings_s"].ordered() == result.timings.ordered()
+    assert summary["timings_s"].total == pytest.approx(
+        result.timings.total, abs=1e-2)
+    assert summary["counters"] == result.counters
+    assert all(isinstance(v, int) for v in summary["counters"].values())
+
+
+def test_load_result_summary_tolerates_missing_measurements(tmp_path):
+    from repro.io import load_result_summary
+    from repro.perf import PhaseTimings
+
+    path = tmp_path / "bare.json"
+    path.write_text('{"case": "x", "status": "optimal"}')
+    summary = load_result_summary(path)
+    assert summary["case"] == "x"
+    assert isinstance(summary["timings_s"], PhaseTimings)
+    assert summary["timings_s"].total == 0.0
+    assert summary["counters"] == {}

@@ -130,3 +130,47 @@ def test_synthesis_result_carries_phase_breakdown():
     # phases are disjoint slices of the pipeline, so they cannot
     # meaningfully exceed the end-to-end wall clock
     assert result.timings.total <= result.runtime * 1.5 + 0.1
+
+
+def test_phase_order_covers_pipeline_tail():
+    from repro.perf.record import PHASE_ORDER
+
+    # degradation and pressure sharing are real pipeline phases and must
+    # sort in pipeline position, not the alphabetical tail
+    for phase in ("pressure", "degrade"):
+        assert phase in PHASE_ORDER, phase
+    assert PHASE_ORDER.index("analyze") < PHASE_ORDER.index("pressure")
+    assert PHASE_ORDER.index("pressure") < PHASE_ORDER.index("verify")
+    assert PHASE_ORDER.index("degrade") == len(PHASE_ORDER) - 1
+    t = PhaseTimings({"degrade": 0.1, "pressure": 0.2, "analyze": 0.3})
+    assert t.ordered() == ["analyze", "pressure", "degrade"]
+
+
+def test_nested_phases_record_both_levels():
+    rec = PerfRecorder()
+    with rec.phase("solve"):
+        with rec.phase("presolve"):
+            time.sleep(0.002)
+    assert set(rec.timings) == {"solve", "presolve"}
+    assert rec.timings["solve"] >= rec.timings["presolve"]
+
+
+def test_recorder_phase_emits_span_on_installed_tracer():
+    from repro.obs import Tracer, use_tracer
+
+    rec = PerfRecorder()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with rec.phase("solve"):
+            pass
+    assert rec.timings["solve"] >= 0.0  # timing still recorded
+    records = tracer.records(with_metrics=False)
+    names = [r["name"] for r in records if r["type"] == "span_begin"]
+    assert names == ["solve"]
+    assert records[0].get("attrs") == {"kind": "phase"}
+
+
+def test_format_phase_table_accepts_plain_dict():
+    text = format_phase_table({"zeta": 1.0, "alpha": 1.0})
+    # plain dicts keep insertion order (no canonical reordering)
+    assert text.index("zeta") < text.index("alpha")
