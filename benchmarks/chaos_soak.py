@@ -1,0 +1,233 @@
+"""Chaos/soak driver for the resilient synthesis service.
+
+Orchestrates the full crash story end to end, the way CI runs it:
+
+1. **Run 1** starts a journal-backed :class:`repro.service.SynthesisService`
+   over N generated specs with a deterministic
+   :class:`repro.testing.FaultPlan` — consecutive backend crashes (to
+   trip the circuit breaker), isolated crashes and timeouts (to
+   exercise retry/backoff) and one ``kill`` fault that SIGKILLs the
+   process mid-run. No cleanup runs; only the write-ahead journal
+   survives.
+2. **Run 2** restarts on the same journal with the same fault plan
+   minus the kill: journaled completions are deduplicated, pending work
+   replays, the breaker demonstrably opens and then recovers
+   (half-open probe → close), and every job reaches a terminal state.
+3. **Validation**: :func:`repro.service.validate_journal` replays the
+   journal with strict schema checks and proves exactly-once
+   completion; the exported trace must be schema-valid
+   ``repro-obs-v1`` and contain the breaker/retry/fault events.
+
+Usage (the orchestrating entry point CI calls)::
+
+    python benchmarks/chaos_soak.py --specs 50 --out chaos-artifacts
+
+Artifacts land in ``--out``: ``journal.jsonl`` (the surviving WAL),
+``trace.jsonl`` (run 2's full event stream) and ``summary.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cases import generate_case  # noqa: E402
+from repro.core import BindingPolicy, SynthesisOptions  # noqa: E402
+from repro.obs import (Tracer, read_trace_jsonl, use_tracer,  # noqa: E402
+                       validate_trace_records, write_trace_jsonl)
+from repro.service import (Backoff, SynthesisService,  # noqa: E402
+                           validate_journal)
+from repro.testing import FaultPlan, install_faulty_backend  # noqa: E402
+
+TERMINAL = {"done", "degraded", "failed"}
+
+
+def make_specs(n: int):
+    return [
+        generate_case(seed=s, switch_size=8, n_flows=2, n_inlets=2,
+                      n_conflicts=0, binding=BindingPolicy.FIXED)
+        for s in range(n)
+    ]
+
+
+#: The killed run dies on the faulty backend's *third* solve. Solves
+#: 1–2 crash consecutively (threshold 2), so solve 3 is necessarily the
+#: breaker's half-open probe — and the probe is guaranteed to happen
+#: (the breaker cannot close without one; the sentinel loop forces it
+#: even if the main jobs all drained on the fallback rung meanwhile),
+#: which makes the SIGKILL deterministic however fast the solver is.
+KILL_AT = 3
+
+
+def make_schedule(n_specs: int, kill_after: int):
+    """The deterministic per-solve fault script for one run.
+
+    Solves 1–2 crash back to back (threshold 2 → breaker opens), two
+    isolated faults later exercise retry without re-tripping it, and —
+    in the killed run — solve ``kill_after`` SIGKILLs the process.
+    """
+    schedule = [None] * (6 * n_specs + 64)
+    schedule[0] = schedule[1] = "crash"
+    schedule[8] = "timeout"
+    schedule[12] = "crash"
+    if kill_after:
+        schedule[kill_after - 1] = "kill"
+    return schedule
+
+
+def phase_run(args: argparse.Namespace) -> int:
+    specs = make_specs(args.specs)
+    plan = FaultPlan(schedule=make_schedule(args.specs, args.kill_after))
+    options = SynthesisOptions(time_limit=30, on_error="capture")
+    tracer = Tracer("chaos-soak")
+    with install_faulty_backend("chaos", inner="auto", plan=plan):
+        with use_tracer(tracer):
+            service = SynthesisService(
+                args.journal,
+                workers=args.workers,
+                options=options,
+                backends=["chaos", "auto"],
+                max_attempts=6,
+                backoff=Backoff(base=0.02, max_delay=0.2),
+                breaker_threshold=2,
+                breaker_reset=0.2,
+            )
+            service.start()
+            for spec in specs:
+                service.submit(spec)
+            outcome = service.run_until_complete(timeout=600)
+
+            # Demonstrate breaker *recovery*: keep feeding sentinel jobs
+            # until a half-open probe succeeds and closes the breaker.
+            # Past the schedule's fault prefix every solve is healthy,
+            # so this converges in a handful of probes.
+            sentinels = 0
+            breaker = service.breakers.get("chaos")
+            while breaker.state != "closed" and sentinels < 8:
+                time.sleep(0.25)  # let the cooldown mature
+                sentinel = generate_case(
+                    seed=1000 + sentinels, switch_size=8, n_flows=2,
+                    n_inlets=2, n_conflicts=0, binding=BindingPolicy.FIXED)
+                service.wait(service.submit(sentinel), timeout=120)
+                sentinels += 1
+
+            stats = service.stats()
+            summary = service.stop(drain=True, deadline=120)
+        write_trace_jsonl(tracer, args.trace)
+    print("SUMMARY " + json.dumps({
+        "outcome": outcome,
+        "jobs": stats["jobs"],
+        "sentinels": sentinels,
+        "breakers": stats["breakers"],
+        "pending": summary["pending"],
+    }), flush=True)
+    return 0 if summary["pending"] == 0 else 2
+
+
+def orchestrate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal = out / "journal.jsonl"
+    trace = out / "trace.jsonl"
+    if journal.exists():
+        journal.unlink()
+    kill_after = KILL_AT
+    base = [sys.executable, str(Path(__file__).resolve()), "--phase", "run",
+            "--specs", str(args.specs), "--workers", str(args.workers),
+            "--journal", str(journal), "--trace", str(trace)]
+
+    print(f"[chaos] run 1: {args.specs} specs, SIGKILL at solve "
+          f"#{kill_after} ...", flush=True)
+    first = subprocess.run(base + ["--kill-after", str(kill_after)],
+                           capture_output=True, text=True, timeout=900)
+    if first.returncode != -signal.SIGKILL:
+        print(first.stdout + first.stderr)
+        print(f"[chaos] FAIL: run 1 should die by SIGKILL, "
+              f"exited {first.returncode}")
+        return 1
+    survivors = validate_journal(journal)  # replayable even after a kill
+    print(f"[chaos] run 1 killed as planned; journal survives with "
+          f"{sum(survivors.values())} job(s): {survivors}", flush=True)
+
+    print("[chaos] run 2: restart on the surviving journal ...", flush=True)
+    second = subprocess.run(base, capture_output=True, text=True,
+                            timeout=900)
+    print(second.stdout, end="", flush=True)
+    if second.returncode != 0:
+        print(second.stderr)
+        print(f"[chaos] FAIL: run 2 exited {second.returncode}")
+        return 1
+    summary_line = next(line for line in second.stdout.splitlines()
+                        if line.startswith("SUMMARY "))
+    summary = json.loads(summary_line[len("SUMMARY "):])
+
+    failures = []
+    # Exactly-once completion, proven from the journal alone:
+    # validate_journal raises on any second terminal transition.
+    counts = validate_journal(journal)
+    if set(counts) - TERMINAL:
+        failures.append(f"non-terminal jobs remain: {counts}")
+    if sum(counts.values()) < args.specs:
+        failures.append(f"lost jobs: {counts} < {args.specs} specs")
+    if counts.get("failed"):
+        failures.append(f"jobs failed despite the backend ladder: {counts}")
+
+    # The trace must be schema-valid and show the whole story: injected
+    # faults, retries, the breaker opening and recovering.
+    data = read_trace_jsonl(trace)
+    validate_trace_records(data.records)
+    events = {r["name"] for r in data.records if r["type"] == "event"}
+    for required in ("fault_injected", "job_retry", "breaker_open",
+                     "breaker_close", "job_done", "drain"):
+        if required not in events:
+            failures.append(f"event {required!r} missing from trace")
+    if summary["breakers"].get("chaos", {}).get("state") != "closed":
+        failures.append(f"breaker never recovered: {summary['breakers']}")
+
+    report = {
+        "specs": args.specs,
+        "kill_after": kill_after,
+        "run1_jobs_surviving": survivors,
+        "final_jobs": counts,
+        "sentinels": summary["sentinels"],
+        "breakers": summary["breakers"],
+        "trace_records": len(data.records),
+        "failures": failures,
+    }
+    (out / "summary.json").write_text(json.dumps(report, indent=2) + "\n")
+    if failures:
+        print("[chaos] FAIL:\n  - " + "\n  - ".join(failures))
+        return 1
+    print(f"[chaos] PASS: {sum(counts.values())} job(s) terminal exactly "
+          f"once ({counts}), breaker opened and recovered, trace "
+          f"schema-valid ({len(data.records)} records)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", choices=["orchestrate", "run"],
+                        default="orchestrate")
+    parser.add_argument("--specs", type=int,
+                        default=int(os.environ.get("REPRO_CHAOS_SPECS", 12)))
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="chaos-artifacts")
+    parser.add_argument("--journal", default="chaos-journal.jsonl")
+    parser.add_argument("--trace", default="chaos-trace.jsonl")
+    parser.add_argument("--kill-after", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.phase == "run":
+        return phase_run(args)
+    return orchestrate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

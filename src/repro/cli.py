@@ -199,6 +199,111 @@ def cmd_layout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_options(args: argparse.Namespace) -> SynthesisOptions:
+    return SynthesisOptions(time_limit=args.time_limit,
+                            on_error=args.on_error)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the supervised job service over a write-ahead journal.
+
+    Jobs come from the positional specs (if any) plus whatever pending
+    work the journal replays from a previous — possibly killed — run.
+    SIGINT/SIGTERM drain in-flight jobs under ``--drain-timeout``; the
+    rest stays journaled for the next ``repro serve``.
+    """
+    from repro.service import SynthesisService, install_signal_handlers
+
+    specs = [_resolve_spec(target, args.policy) for target in args.spec]
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer("serve")
+    options = _service_options(args)
+    service = SynthesisService(
+        args.journal,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        options=options,
+        backends=args.backends.split(",") if args.backends else None,
+        max_attempts=args.max_attempts,
+    )
+    install_signal_handlers(service)
+
+    def run() -> int:
+        service.start()
+        for spec in specs:
+            service.submit(spec)
+        health = service.health()
+        print(f"serving: {health['outstanding']} job(s) outstanding, "
+              f"{args.workers} worker(s), journal {args.journal}")
+        outcome = service.run_until_complete()
+        if outcome == "interrupted":
+            print("shutdown requested; draining in-flight jobs "
+                  f"(deadline {args.drain_timeout}s) ...")
+        # An interrupt finishes only what is already on a worker —
+        # queued jobs stay journaled for the next `repro serve`.
+        drain = "inflight" if outcome == "interrupted" else True
+        summary = service.stop(drain=drain, deadline=args.drain_timeout)
+        states = service.stats()["jobs"]
+        print("service stopped: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(states.items())))
+        if summary["pending"]:
+            print(f"{summary['pending']} job(s) left journaled as pending; "
+                  f"re-run `repro serve --journal {args.journal}` to finish")
+            return 3
+        return 1 if states.get("failed") else 0
+
+    if tracer is not None:
+        from repro.obs import use_tracer
+
+        with use_tracer(tracer):
+            code = run()
+        from repro.obs import run_manifest, write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.trace,
+                          manifest=run_manifest(None, options))
+        print(f"trace written to {args.trace}")
+        return code
+    return run()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Journal one job; with ``--wait``, also drain the journal and
+    print the job's terminal row."""
+    from repro.io import spec_to_dict
+    from repro.service import (Journal, JobRecord, SynthesisService,
+                               job_id_for, options_to_dict)
+
+    spec = _resolve_spec(args.case, args.policy)
+    options = _service_options(args)
+    job_id = job_id_for(spec, options)
+    if not args.wait:
+        with Journal(args.journal) as journal:
+            existing = journal.jobs.get(job_id)
+            if existing is not None:
+                print(f"job {job_id} already journaled "
+                      f"(state {existing.state})")
+            else:
+                journal.record_job(JobRecord(
+                    job_id, spec_to_dict(spec), options_to_dict(options)))
+                print(f"job {job_id} journaled as submitted; "
+                      f"run `repro serve --journal {args.journal}` to "
+                      f"execute it")
+        return 0
+    with SynthesisService(args.journal, workers=args.workers,
+                          options=options) as service:
+        service.submit(spec, options)
+        record = service.wait(job_id)
+    print(f"job {job_id}: {record.state} "
+          f"(attempts {record.attempts})")
+    if record.row:
+        print(format_table([{k: v for k, v in record.row.items()
+                             if v not in (None, "")}]))
+    return 0 if record.state in ("done", "degraded") else 1
+
+
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs import (format_summary, read_trace_jsonl,
                            validate_trace_records)
@@ -302,6 +407,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--svg", help="render the chip to this SVG file")
     p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the journaled synthesis job service until drained")
+    p.add_argument("spec", nargs="*",
+                   help="registry case names or JSON spec paths to submit "
+                        "(on top of any pending work replayed from the "
+                        "journal)")
+    p.add_argument("--journal", required=True,
+                   help="write-ahead journal path (JSONL); survives kills "
+                        "and resumes on the next serve")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-size", type=int, default=256)
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--backends",
+                   help="comma-separated backend degradation ladder "
+                        "(default: the single auto backend)")
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--on-error", default="degrade",
+                   choices=["raise", "capture", "degrade"])
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds granted to in-flight jobs on "
+                        "SIGINT/SIGTERM before the rest is journaled "
+                        "as pending")
+    p.add_argument("--trace",
+                   help="record the service's obs trace to this JSONL file")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="journal one synthesis job (optionally wait for its result)")
+    p.add_argument("case", help="registry case name or path to a JSON spec")
+    p.add_argument("--journal", required=True)
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--wait", action="store_true",
+                   help="start an in-process service on the journal, drain "
+                        "it (this job included) and print the result")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--on-error", default="degrade",
+                   choices=["raise", "capture", "degrade"])
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("obs", help="inspect recorded observability traces")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

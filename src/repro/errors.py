@@ -56,6 +56,27 @@ class InjectedFaultError(SolverError):
     """
 
 
+class ServiceError(ReproError):
+    """The synthesis job service was used or behaved incorrectly."""
+
+
+class AdmissionError(ServiceError):
+    """A job was shed: the service queue is full or no longer accepting.
+
+    Raised at submit time so the *caller* decides whether to back off
+    and retry — the service never silently drops an accepted job.
+    """
+
+
+class JournalError(ServiceError):
+    """The write-ahead journal is unreadable or internally inconsistent.
+
+    A truncated *final* line (the signature of a crash mid-append) is
+    tolerated during replay and never raises; this error means the
+    journal is damaged in a way replay cannot safely interpret.
+    """
+
+
 class SwitchModelError(ReproError):
     """A switch structure was specified or queried incorrectly."""
 

@@ -30,12 +30,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.spec import SwitchSpec
 from repro.core.synthesizer import SynthesisOptions, SynthesisResult, synthesize
 from repro.errors import ReproError
-from repro.obs.trace import current_tracer
+from repro.obs.trace import current_tracer, obs_event
 
 CSV_COLUMNS = [
-    "case", "binding", "switch", "modules", "flows", "conflicts",
-    "status", "runtime_s", "objective", "length_mm", "num_sets",
-    "num_valves", "num_control_inlets", "error",
+    "case", "fingerprint", "binding", "switch", "modules", "flows",
+    "conflicts", "status", "runtime_s", "objective", "length_mm",
+    "num_sets", "num_valves", "num_control_inlets", "error",
 ]
 
 
@@ -66,9 +66,10 @@ class BatchResult:
         return text
 
     def to_csv(self, path: Union[str, Path]) -> Path:
+        from repro.io.atomic import atomic_write
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", newline="", encoding="utf-8") as fh:
+        with atomic_write(path, newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
             writer.writeheader()
             for row in self.rows:
@@ -86,10 +87,17 @@ class BatchResult:
         return {k: sum(vals) / len(vals) for k, vals in groups.items()}
 
 
-def _spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
+def _fingerprint(spec: SwitchSpec) -> str:
+    from repro.obs.manifest import case_fingerprint
+
+    return case_fingerprint(spec)
+
+
+def spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
     """One CSV row for one synthesis run."""
     row: Dict[str, object] = {
         "case": spec.name,
+        "fingerprint": _fingerprint(spec),
         "binding": spec.binding.value,
         "switch": spec.switch.size_label,
         "modules": len(spec.modules),
@@ -111,7 +119,7 @@ def _spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
     return row
 
 
-def _error_row(spec: SwitchSpec, message: str) -> Dict[str, object]:
+def error_row(spec: SwitchSpec, message: str) -> Dict[str, object]:
     """The row for a spec whose synthesis raised.
 
     Deliberately runtime-free: wall time of a crash depends on worker
@@ -120,6 +128,7 @@ def _error_row(spec: SwitchSpec, message: str) -> Dict[str, object]:
     """
     return {
         "case": spec.name,
+        "fingerprint": _fingerprint(spec),
         "binding": spec.binding.value,
         "switch": spec.switch.size_label,
         "modules": len(spec.modules),
@@ -154,9 +163,9 @@ def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions, Optional[str]]
         options = replace(options, trace=tracer)
     try:
         result = synthesize(spec, options)
-        row = _spec_row(spec, result)
+        row = spec_row(spec, result)
     except Exception as exc:
-        row, result = _error_row(spec, _describe(exc)), None
+        row, result = error_row(spec, _describe(exc)), None
     if tracer is not None:
         _write_task_trace(tracer, trace_dir, index, spec, options)
     return index, row, result
@@ -176,12 +185,39 @@ def _write_task_trace(tracer, trace_dir, index: int, spec: SwitchSpec,
         pass
 
 
+def _load_checkpoint_rows(path: Path) -> List[Dict[str, str]]:
+    """Read checkpoint rows back, tolerating a torn trailing row.
+
+    A checkpoint is appended row-by-row and flushed, so the only damage
+    a crash can inflict is a truncated *final* line; that row is
+    dropped (its spec simply re-runs). A short row anywhere else means
+    the file was edited or corrupted and is refused.
+    """
+    with path.open(newline="", encoding="utf-8") as fh:
+        raw = list(csv.reader(fh))
+    if not raw:
+        return []
+    header, data = raw[0], raw[1:]
+    rows: List[Dict[str, str]] = []
+    for i, fields in enumerate(data):
+        if len(fields) != len(header):
+            if i == len(data) - 1:
+                break  # torn trailing row: crash mid-append, drop it
+            raise ReproError(
+                f"checkpoint {path} row {i + 2} has {len(fields)} fields, "
+                f"expected {len(header)}; file is corrupt (not merely "
+                f"truncated) — refusing to resume")
+        rows.append(dict(zip(header, fields)))
+    return rows
+
+
 class _Checkpoint:
-    """Incremental CSV writer with resume support.
+    """Incremental CSV writer with fingerprint-keyed resume support.
 
     Rows are appended (and flushed) the moment they are final, so an
     interrupted batch loses at most the row in flight. On
-    ``resume=True`` the rows already on disk are loaded and their specs
+    ``resume=True`` the rows already on disk are loaded — keyed by the
+    spec ``fingerprint`` column, *not* by position — and their specs
     skipped; loaded rows carry CSV string values, exactly as
     :func:`load_csv` returns them.
     """
@@ -191,7 +227,7 @@ class _Checkpoint:
         self.rows: List[Dict[str, str]] = []
         resume_existing = resume and self.path.exists()
         if resume_existing:
-            self.rows = load_csv(self.path)
+            self.rows = _load_checkpoint_rows(self.path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a" if resume_existing else "w",
                                   newline="", encoding="utf-8")
@@ -208,6 +244,45 @@ class _Checkpoint:
         self._fh.close()
 
 
+def _match_checkpoint(rows: List[Dict[str, str]], spec_list: List[SwitchSpec],
+                      path: Path) -> Tuple[List[Optional[Dict[str, str]]],
+                                           List[int]]:
+    """Assign checkpoint rows to specs by fingerprint.
+
+    Returns ``(reused, todo)``: per-spec reused rows (None where the
+    spec still needs to run) and the indices left to execute. Every
+    checkpoint row must account for a spec in the batch — a leftover
+    row means the checkpoint belongs to a different spec list, which
+    positional matching used to silently absorb; now it is an error.
+    """
+    by_fp: Dict[str, List[Dict[str, str]]] = {}
+    for row in rows:
+        fp = row.get("fingerprint", "")
+        if not fp:
+            raise ReproError(
+                f"checkpoint {path} has rows without a spec fingerprint "
+                f"(written before fingerprint-keyed resume?); re-run "
+                f"without resume=True to rebuild it")
+        by_fp.setdefault(fp, []).append(row)
+    reused: List[Optional[Dict[str, str]]] = []
+    todo: List[int] = []
+    for index, spec in enumerate(spec_list):
+        bucket = by_fp.get(_fingerprint(spec))
+        if bucket:
+            reused.append(bucket.pop(0))
+        else:
+            reused.append(None)
+            todo.append(index)
+    leftovers = sorted(fp for fp, bucket in by_fp.items() if bucket)
+    if leftovers:
+        raise ReproError(
+            f"checkpoint {path} holds {sum(len(by_fp[f]) for f in leftovers)}"
+            f" row(s) whose spec fingerprint matches no spec in this batch "
+            f"(e.g. {leftovers[0]}); resume with the spec list that "
+            f"produced the checkpoint")
+    return reused, todo
+
+
 def run_batch(
     specs: Iterable[SwitchSpec],
     options: Optional[SynthesisOptions] = None,
@@ -217,6 +292,7 @@ def run_batch(
     resume: bool = False,
     trace_dir: Optional[Union[str, Path]] = None,
     on_progress: Optional[Callable] = None,
+    service=None,
 ) -> BatchResult:
     """Synthesize every spec and collect one CSV row per run.
 
@@ -231,8 +307,23 @@ def run_batch(
 
     ``checkpoint`` names a CSV that receives every finished row
     immediately; with ``resume=True`` an existing checkpoint's rows are
-    reused (matched by position — resume with the same spec list) and
-    only the remainder is run.
+    reused — matched by the ``fingerprint`` column, so reordering the
+    spec list cannot silently pair a spec with another spec's row — and
+    only the remainder is run. A checkpoint whose trailing row was torn
+    by a crash loses exactly that row; a checkpoint whose rows don't
+    all belong to this batch is refused with a clear error. Reused rows
+    come first in ``BatchResult.rows`` (in spec order), newly computed
+    rows after (also in spec order). A ``KeyboardInterrupt`` mid-batch
+    closes the checkpoint cleanly before propagating, so interrupt +
+    ``resume=True`` completes the remainder.
+
+    ``service`` delegates execution to a started
+    :class:`repro.service.SynthesisService` instead of running inline:
+    every spec is submitted (idempotently — a journaled completion from
+    a previous run is reused, not recomputed) and the batch blocks
+    until each job reaches a terminal state. Worker/retry/breaker
+    behaviour then follows the service's configuration; ``workers`` and
+    ``trace_dir`` are ignored on this path.
 
     Observability: ``trace_dir`` makes every task record its own
     :class:`repro.obs.Tracer` and write a per-task JSONL trace artifact
@@ -252,7 +343,7 @@ def run_batch(
         Path(trace_dir).mkdir(parents=True, exist_ok=True)
         trace_dir = str(trace_dir)
 
-    done = 0
+    todo_indices = list(range(len(spec_list)))
     if ckpt is not None and ckpt.rows:
         if len(ckpt.rows) > len(spec_list):
             ckpt.close()
@@ -260,11 +351,15 @@ def run_batch(
                 f"checkpoint {ckpt.path} holds {len(ckpt.rows)} rows for a "
                 f"batch of {len(spec_list)} specs; refusing to resume"
             )
-        done = len(ckpt.rows)
-        batch.rows.extend(ckpt.rows)
-    tasks = [(i, spec, options, trace_dir)
-             for i, spec in enumerate(spec_list)]
-    todo = tasks[done:]
+        try:
+            reused, todo_indices = _match_checkpoint(
+                ckpt.rows, spec_list, ckpt.path)
+        except ReproError:
+            ckpt.close()
+            raise
+        batch.rows.extend(row for row in reused if row is not None)
+    tasks = [(i, spec_list[i], options, trace_dir) for i in todo_indices]
+    todo = tasks
     total = len(spec_list)
     tracer = current_tracer()
 
@@ -285,15 +380,39 @@ def run_batch(
             on_result(spec_list[index], result)
 
     try:
-        if workers > 1 and len(todo) > 1:
+        if service is not None:
+            _run_via_service(todo, service, emit)
+        elif workers > 1 and len(todo) > 1:
             _run_parallel(todo, workers, emit)
         else:
             for index, row, result in map(_run_one, todo):
                 emit(index, row, result)
+    except KeyboardInterrupt:
+        # The checkpoint (closed below) already holds every finished
+        # row, so interrupt + resume=True completes the remainder.
+        obs_event("interrupt", where="run_batch",
+                  done=len(batch.rows), total=total)
+        raise
     finally:
         if ckpt is not None:
             ckpt.close()
     return batch
+
+
+def _run_via_service(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
+                                       Optional[str]]],
+                     service, emit: Callable) -> None:
+    """Delegate execution to a :class:`repro.service.SynthesisService`.
+
+    Submission is idempotent (keyed by spec/config fingerprints), so a
+    batch re-run over a journal-backed service reuses completed jobs
+    instead of recomputing them. Rows are emitted in input order.
+    """
+    job_ids = [(task[0], service.submit(task[1], task[2]))
+               for task in tasks]
+    for index, job_id in job_ids:
+        record = service.wait(job_id)
+        emit(index, dict(record.row or {}), None)
 
 
 def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
@@ -316,13 +435,18 @@ def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
         futures = {task[0]: pool.submit(_run_one, task) for task in tasks}
         # Waiting in input order keeps rows, callbacks and checkpoint
         # writes deterministic regardless of which worker finishes first.
-        for task in tasks:
-            index = task[0]
-            try:
-                _, row, result = futures[index].result()
-            except Exception:  # pool-level crash: one serial retry
-                _, row, result = _run_one(task)
-            emit(index, row, result)
+        try:
+            for task in tasks:
+                index = task[0]
+                try:
+                    _, row, result = futures[index].result()
+                except Exception:  # pool-level crash: one serial retry
+                    _, row, result = _run_one(task)
+                emit(index, row, result)
+        except KeyboardInterrupt:
+            # Don't let __exit__ wait for specs that haven't started.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def load_csv(path: Union[str, Path]) -> List[Dict[str, str]]:

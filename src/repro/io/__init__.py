@@ -1,5 +1,6 @@
-"""JSON interchange for specs and results."""
+"""JSON interchange for specs and results, plus atomic artifact writes."""
 
+from repro.io.atomic import atomic_write, atomic_write_text, fsync_directory
 from repro.io.result_json import (
     load_result_summary,
     result_to_dict,
@@ -15,6 +16,9 @@ from repro.io.spec_json import (
 )
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "fsync_directory",
     "spec_to_dict",
     "spec_from_dict",
     "save_spec",

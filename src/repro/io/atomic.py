@@ -1,0 +1,96 @@
+"""Atomic file writes: temp file + ``os.replace``.
+
+Every artifact this library leaves behind — result JSON, trace JSONL,
+Chrome traces, batch CSVs, manifests, service journal snapshots — is
+state some later run depends on. A plain ``open(path, "w")`` that dies
+mid-write destroys the *old* artifact along with the new one, which is
+exactly the failure mode a checkpoint exists to survive.
+
+:func:`atomic_write` closes that hole: the content is written to a
+temporary file in the same directory (same filesystem, so the final
+rename cannot cross a device boundary) and moved over the target with
+``os.replace`` — atomic on POSIX and Windows. A crash at any point
+leaves either the complete old file or the complete new file, never a
+torn hybrid. ``fsync=True`` additionally flushes the temp file (and,
+on POSIX, the directory entry) to stable storage before the rename, for
+writers — like the service write-ahead journal's rotation — that must
+survive power loss, not just process death.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+@contextmanager
+def atomic_write(path: PathLike, mode: str = "w",
+                 encoding: Optional[str] = "utf-8",
+                 newline: Optional[str] = None,
+                 fsync: bool = False) -> Iterator[IO[Any]]:
+    """Yield a file handle whose content replaces ``path`` atomically.
+
+    The handle writes to a sibling temp file; on clean exit it is
+    flushed (and optionally fsynced) and renamed over ``path``. If the
+    block raises, the temp file is removed and ``path`` is untouched —
+    a reader never observes a partial write.
+
+    ``mode`` must be a write mode (``"w"``, ``"wb"``, ...); text modes
+    honour ``encoding``/``newline`` (pass ``newline=""`` for csv).
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    binary = "b" in mode
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode,
+                       encoding=None if binary else encoding,
+                       newline=None if binary else newline) as fh:
+            yield fh
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(path.parent)
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8", fsync: bool = False) -> Path:
+    """Replace ``path`` with ``text`` atomically; returns the path."""
+    path = Path(path)
+    with atomic_write(path, "w", encoding=encoding, fsync=fsync) as fh:
+        fh.write(text)
+    return path
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+__all__ = ["atomic_write", "atomic_write_text", "fsync_directory"]

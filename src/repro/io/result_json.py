@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.core.solution import SynthesisResult
+from repro.io.atomic import atomic_write_text
 
 
 def result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
@@ -77,9 +78,9 @@ def result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
 
 
 def save_result(result: SynthesisResult, path: Union[str, Path]) -> None:
-    """Write a result as pretty-printed JSON."""
-    Path(path).write_text(
-        json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
+    """Write a result as pretty-printed JSON (atomically replaced)."""
+    atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=2) + "\n"
     )
 
 

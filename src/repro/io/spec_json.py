@@ -129,9 +129,11 @@ def spec_from_dict(data: Dict[str, Any]) -> SwitchSpec:
 
 
 def save_spec(spec: SwitchSpec, path: Union[str, Path]) -> None:
-    """Write a spec as pretty-printed JSON."""
-    Path(path).write_text(
-        json.dumps(spec_to_dict(spec), indent=2) + "\n", encoding="utf-8"
+    """Write a spec as pretty-printed JSON (atomically replaced)."""
+    from repro.io.atomic import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(spec_to_dict(spec), indent=2) + "\n"
     )
 
 

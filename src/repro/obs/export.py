@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.io.atomic import atomic_write, atomic_write_text
 from repro.obs.trace import OBS_SCHEMA, Tracer
 
 PathLike = Union[str, Path]
@@ -71,8 +72,7 @@ def write_trace_jsonl(trace: Union[Tracer, List[Dict[str, Any]]],
     if manifest is not None:
         header["manifest"] = manifest
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         fh.write(json.dumps(header, sort_keys=False) + "\n")
         for record in records:
             fh.write(json.dumps(record, sort_keys=False) + "\n")
@@ -203,10 +203,7 @@ def write_chrome_trace(trace: Union[Tracer, List[Dict[str, Any]]],
     }
     if manifest is not None:
         payload["otherData"]["manifest"] = manifest
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
-    return path
+    return atomic_write_text(path, json.dumps(payload) + "\n")
 
 
 def validate_chrome_trace(payload: Dict[str, Any]) -> None:

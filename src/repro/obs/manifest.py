@@ -109,10 +109,10 @@ def run_manifest(spec: Any = None, options: Any = None,
 
 
 def save_manifest(manifest: Dict[str, Any], path) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
-    return path
+    from repro.io.atomic import atomic_write_text
+
+    return atomic_write_text(
+        path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
 
 __all__ = ["config_fingerprint", "case_fingerprint", "git_describe",

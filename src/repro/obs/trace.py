@@ -66,6 +66,20 @@ KNOWN_EVENTS = (
     "member_failed",    # member, reason — a portfolio racer died
     "cache_hit",        # kind — a memoized artifact was reused
     "solve_result",     # status, objective — one Model.solve finished
+    # -- repro.service job lifecycle ------------------------------------
+    "job_submitted",    # job (+dedup/replayed) — a job entered the service
+    "job_started",      # job, attempt, backend — a worker picked it up
+    "job_retry",        # job, attempt, delay — failed, re-queued w/ backoff
+    "job_done",         # job, state, attempts — terminal done/degraded
+    "job_failed",       # job, attempts, error — retries exhausted
+    "shed",             # job, queue_depth — admission control refused it
+    "breaker_open",     # backend, failures — circuit breaker tripped
+    "breaker_half_open",  # backend — cooldown over, one probe admitted
+    "breaker_close",    # backend — probe succeeded, backend readmitted
+    "worker_crashed",   # worker, error — supervisor replaced a worker
+    "drain",            # pending, completed — graceful shutdown summary
+    "interrupt",        # where — SIGINT/KeyboardInterrupt acknowledged
+    "batch_row",        # index, case, status — one run_batch row finished
 )
 
 _seq_counter = itertools.count()

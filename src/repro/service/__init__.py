@@ -1,0 +1,63 @@
+"""Resilient synthesis job service.
+
+The layer that keeps a fleet of solves correct and alive across
+failures: a supervised worker pool fed by a bounded queue, fronted by
+idempotent (fingerprint-deduplicated) submission, backed by an
+append-only write-ahead journal that makes every state transition
+crash-durable, with per-backend circuit breakers, exponential retry
+backoff, and signal-safe graceful shutdown. See ``docs/service.md``
+for the architecture and the operational runbook.
+
+Quickstart::
+
+    from repro.service import SynthesisService
+
+    with SynthesisService("runs/journal.jsonl", workers=4) as svc:
+        job_id = svc.submit(spec)
+        record = svc.wait(job_id, timeout=120)
+        print(record.state, record.row)
+
+Kill the process at any point and a new service on the same journal
+resumes with no job lost and no journaled completion re-executed.
+"""
+
+from repro.service.backoff import Backoff
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.journal import (
+    JOB_STATES,
+    JOURNAL_SCHEMA,
+    TERMINAL_STATES,
+    JobRecord,
+    Journal,
+    replay_journal,
+    validate_journal,
+)
+from repro.service.queue import JobQueue
+from repro.service.service import (
+    SynthesisService,
+    install_signal_handlers,
+    job_id_for,
+    options_from_dict,
+    options_to_dict,
+)
+from repro.service.supervisor import Supervisor
+
+__all__ = [
+    "Backoff",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "JobQueue",
+    "Supervisor",
+    "Journal",
+    "JobRecord",
+    "JOURNAL_SCHEMA",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "replay_journal",
+    "validate_journal",
+    "SynthesisService",
+    "install_signal_handlers",
+    "job_id_for",
+    "options_to_dict",
+    "options_from_dict",
+]

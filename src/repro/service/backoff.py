@@ -1,0 +1,62 @@
+"""Exponential retry backoff with deterministic jitter.
+
+The service retries failed jobs; naive immediate retries hammer a
+struggling backend at exactly the moment it cannot cope, and a fleet of
+jobs failing together retries together — the thundering herd. The cure
+is the standard one: exponential growth per attempt, a hard cap, and
+randomized jitter to decorrelate the herd.
+
+Jitter comes from a ``random.Random(seed)`` owned by the policy, never
+from the global RNG — the same seed replays the same delay sequence,
+which keeps the service's chaos tests deterministic (the same property
+:class:`repro.testing.FaultPlan` provides for fault schedules).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class Backoff:
+    """Delay schedule for retry attempts (attempt numbers start at 1).
+
+    The delay before retrying after attempt ``n`` is drawn uniformly
+    from ``[cap * (1 - jitter), cap]`` where
+    ``cap = min(max_delay, base * factor ** (n - 1))`` — "equal jitter"
+    keeps a floor under the delay (unlike full jitter, a retry can
+    never fire immediately) while still spreading a synchronized herd.
+    """
+
+    def __init__(self, base: float = 0.05, factor: float = 2.0,
+                 max_delay: float = 5.0, jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if base < 0 or max_delay < 0:
+            raise ReproError("backoff delays must be non-negative")
+        if factor < 1.0:
+            raise ReproError(f"backoff factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ReproError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def cap(self, attempt: int) -> float:
+        """The deterministic (jitter-free) upper delay for one attempt."""
+        if attempt < 1:
+            raise ReproError(f"attempt numbers start at 1, got {attempt}")
+        return min(self.max_delay, self.base * self.factor ** (attempt - 1))
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The jittered delay to sleep before retry number ``attempt``."""
+        cap = self.cap(attempt)
+        r = (rng or self.rng).random()
+        return cap * (1.0 - self.jitter * r)
+
+
+__all__ = ["Backoff"]

@@ -1,0 +1,160 @@
+"""Per-backend circuit breakers.
+
+A solver backend that has crashed or timed out N times in a row is very
+likely to keep doing so; feeding it every retry wastes the retry budget
+of every job in the queue. A :class:`CircuitBreaker` sits in front of
+each backend in the service's degradation ladder and implements the
+classic three-state machine:
+
+* **closed** — healthy; calls flow, consecutive failures are counted.
+* **open** — ``failure_threshold`` consecutive failures tripped it;
+  all calls are refused (the service falls through to the next backend
+  in the ladder) until ``reset_timeout`` seconds have passed.
+* **half-open** — after the cooldown, exactly *one* probe call is let
+  through. Success closes the breaker; failure re-opens it and restarts
+  the cooldown.
+
+The clock is injectable so tests drive the state machine without
+sleeping; state transitions are reported through ``repro.obs`` as
+``breaker_open`` / ``breaker_half_open`` / ``breaker_close`` events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ReproError
+from repro.obs.trace import obs_event
+
+#: The three breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting gate in front of one backend."""
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout < 0:
+            raise ReproError(
+                f"reset_timeout must be non-negative, got {reset_timeout}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Cumulative counts, exported via ``Service.stats()``.
+        self.opens = 0
+        self.refusals = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        """Current state with the cooldown applied (lock held)."""
+        if self._state == OPEN and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.reset_timeout:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether one call may proceed right now.
+
+        In half-open state only the first caller gets a True (the
+        probe); concurrent callers are refused until the probe reports
+        back via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._peek_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                if self._state == OPEN:
+                    # Cooldown elapsed: transition for real and announce.
+                    self._state = HALF_OPEN
+                    self._probing = False
+                    obs_event("breaker_half_open", backend=self.name)
+                if self._probing:
+                    self.refusals += 1
+                    return False
+                self._probing = True
+                return True
+            self.refusals += 1
+            return False
+
+    def record_success(self) -> None:
+        """A call through this breaker completed healthily."""
+        with self._lock:
+            if self._state != CLOSED:
+                obs_event("breaker_close", backend=self.name)
+            self._state = CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A call through this breaker crashed or timed out."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or \
+                    self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self.opens += 1
+                    obs_event("breaker_open", backend=self.name,
+                              failures=self._failures)
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._peek_state(),
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "refusals": self.refusals,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, state={self.state})"
+
+
+class BreakerBoard:
+    """The per-backend breaker map owned by one service."""
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = self._breakers[backend] = CircuitBreaker(
+                    backend, self.failure_threshold, self.reset_timeout,
+                    self._clock)
+            return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return {name: b.snapshot() for name, b in sorted(breakers)}
+
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker", "BreakerBoard"]

@@ -1,0 +1,112 @@
+"""Bounded job queue with retry scheduling and load shedding.
+
+A service that accepts unboundedly eventually dies of memory instead of
+refusing work — admission control converts overload into an explicit,
+retryable signal at the edge. :class:`JobQueue` holds at most
+``maxsize`` queued jobs; a push past that raises
+:class:`~repro.errors.AdmissionError` (the service turns it into a
+``shed`` event and counter).
+
+Entries carry a *ready time*: a retrying job is re-queued with its
+backoff delay and stays invisible to :meth:`pop` until the delay has
+passed, so a worker never busy-spins on a job that is deliberately
+waiting. Ties break by insertion order (a monotone sequence number), so
+the queue is FIFO among ready jobs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import AdmissionError, ReproError
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue ordered by ready time."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ReproError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        #: Cumulative number of rejected pushes (exported as ``shed``).
+        self.shed = 0
+
+    def push(self, item: Any, delay: float = 0.0, *,
+             force: bool = False) -> None:
+        """Enqueue ``item``, visible to ``pop`` after ``delay`` seconds.
+
+        Raises :class:`AdmissionError` when the queue is full or closed.
+        ``force=True`` bypasses the size bound (never the closed check):
+        a *retry* of an already-admitted job must not be sheddable, or
+        load could silently discard accepted work.
+        """
+        ready_at = time.monotonic() + max(0.0, delay)
+        with self._not_empty:
+            if self._closed:
+                raise AdmissionError("queue is closed to new work")
+            if not force and len(self._heap) >= self.maxsize:
+                self.shed += 1
+                raise AdmissionError(
+                    f"queue full ({self.maxsize} jobs); shedding")
+            heapq.heappush(self._heap, (ready_at, next(self._seq), item))
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """The earliest *ready* item, or None on timeout / closed-empty.
+
+        Blocks until an item becomes ready, the timeout expires, or the
+        queue is closed while empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                now = time.monotonic()
+                if self._heap:
+                    ready_at = self._heap[0][0]
+                    if ready_at <= now:
+                        return heapq.heappop(self._heap)[2]
+                    wait = ready_at - now
+                elif self._closed:
+                    return None
+                else:
+                    wait = None
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._not_empty.wait(wait)
+
+    def close(self) -> None:
+        """Refuse further pushes and wake every blocked popper."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything still queued (ready or not)."""
+        with self._not_empty:
+            items = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+__all__ = ["JobQueue"]

@@ -1,0 +1,508 @@
+"""The supervised synthesis job service (`repro.service` facade).
+
+:class:`SynthesisService` turns the library's one-shot ``synthesize``
+into a system that survives synthesize failing:
+
+* **Idempotent submission** — a job's identity is the
+  :mod:`repro.obs.manifest` fingerprint pair (case ⊕ config);
+  re-submitting the same work returns the same job, and a job whose
+  completion is already journaled is never executed again.
+* **Write-ahead journal** — every payload and state transition hits
+  the :class:`~repro.service.journal.Journal` before memory, so a
+  killed process restarts into the exact surviving state: terminal
+  jobs stay terminal, queued and in-flight jobs come back as pending.
+* **Supervised workers** — a pool of
+  :class:`~repro.service.supervisor.Supervisor` threads; a crashed
+  worker is replaced, its job retried.
+* **Retry with backoff** — failed attempts re-queue with
+  :class:`~repro.service.backoff.Backoff` delays until
+  ``max_attempts``, then the job fails terminally with an error row.
+* **Circuit breakers + backend ladder** — consecutive
+  ``SolverError``/timeout failures open the failing backend's
+  :class:`~repro.service.breaker.CircuitBreaker`; execution falls
+  through to the next backend in ``backends`` until the breaker's
+  half-open probe readmits the first.
+* **Admission control** — a bounded queue sheds new submissions with
+  :class:`~repro.errors.AdmissionError` (``shed`` event) instead of
+  buffering without limit; retries of admitted jobs are exempt.
+* **Graceful shutdown** — :func:`install_signal_handlers` maps
+  SIGINT/SIGTERM onto a drain: in-flight jobs finish under a deadline,
+  the rest stay journaled as pending for the next start.
+
+Everything observable goes through ``repro.obs``: ``job_submitted`` /
+``job_started`` / ``job_retry`` / ``job_done`` / ``job_failed`` /
+``breaker_open`` / ``shed`` / ``drain`` events plus
+``service_queue_depth`` / ``service_in_flight`` gauges and per-outcome
+counters on the installed tracer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.spec import SwitchSpec
+from repro.core.synthesizer import SynthesisOptions, synthesize
+from repro.errors import AdmissionError, ServiceError
+from repro.io.spec_json import spec_from_dict, spec_to_dict
+from repro.obs.manifest import case_fingerprint, config_fingerprint
+from repro.obs.trace import current_tracer, obs_event
+from repro.service.backoff import Backoff
+from repro.service.breaker import BreakerBoard
+from repro.service.journal import Journal, JobRecord, TERMINAL_STATES
+from repro.service.queue import JobQueue
+from repro.service.supervisor import Supervisor
+
+
+def options_to_dict(options: SynthesisOptions) -> Dict[str, Any]:
+    """JSON form of the options (the journaled job payload half)."""
+    return {
+        f.name: getattr(options, f.name)
+        for f in dataclasses.fields(options)
+        if f.name != "trace"
+    }
+
+
+def options_from_dict(data: Dict[str, Any]) -> SynthesisOptions:
+    """Rebuild options from their journaled form (unknown keys dropped)."""
+    known = {f.name for f in dataclasses.fields(SynthesisOptions)} - {"trace"}
+    return SynthesisOptions(**{k: v for k, v in data.items() if k in known})
+
+
+def job_id_for(spec: SwitchSpec, options: SynthesisOptions) -> str:
+    """The idempotency key: case fingerprint ⊕ config fingerprint."""
+    return f"{case_fingerprint(spec)}-{config_fingerprint(options)}"
+
+
+class SynthesisService:
+    """A restartable, journaled, supervised queue of synthesis jobs."""
+
+    def __init__(
+        self,
+        journal: Optional[Union[str, Path, Journal]] = None,
+        *,
+        workers: int = 2,
+        queue_size: int = 256,
+        options: Optional[SynthesisOptions] = None,
+        backends: Optional[Sequence[str]] = None,
+        max_attempts: int = 3,
+        backoff: Optional[Backoff] = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.default_options = options or SynthesisOptions()
+        #: The backend degradation ladder, tried in order per attempt.
+        self.backends: List[str] = list(
+            backends or [self.default_options.backend])
+        self.max_attempts = max_attempts
+        self.backoff = backoff or Backoff()
+        self.breakers = BreakerBoard(breaker_threshold, breaker_reset)
+        self.queue = JobQueue(queue_size)
+        self._supervisor = Supervisor(workers, self._work)
+        if journal is None or isinstance(journal, Journal):
+            self._journal = journal
+        else:
+            self._journal = Journal(journal)
+        #: job id -> record; *is* the journal's map once opened, so the
+        #: WAL and the in-memory view can never disagree.
+        self.jobs: Dict[str, JobRecord] = {}
+        self._specs: Dict[str, SwitchSpec] = {}  # parsed-spec cache
+        self._lock = threading.RLock()
+        self._terminal = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._state = "created"
+        self._shutdown_requested = threading.Event()
+        self.shutdown_signal: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "SynthesisService":
+        """Open (and replay) the journal, then start the worker pool.
+
+        Replayed non-terminal jobs — queued or in-flight when the last
+        process died — are re-enqueued immediately; journaled terminal
+        jobs are *not* re-executed (exactly-once completion).
+        """
+        with self._lock:
+            if self._state == "running":
+                return self
+            if self._state == "stopped":
+                raise ServiceError("service cannot be restarted; "
+                                   "create a new one on the same journal")
+            if self._journal is not None:
+                self._journal.open()
+                self.jobs = self._journal.jobs
+                replayed = self._journal.pending()
+                for job in replayed:
+                    self.queue.push(job.id, force=True)
+                    obs_event("job_submitted", job=job.id, replayed=True,
+                              state=job.state)
+                if replayed:
+                    self._counter("service_jobs_replayed", len(replayed))
+            self._state = "running"
+        self._supervisor.start()
+        self._sync_gauges()
+        return self
+
+    def __enter__(self) -> "SynthesisService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: SwitchSpec,
+               options: Optional[SynthesisOptions] = None) -> str:
+        """Accept one job; returns its id (idempotent on re-submission).
+
+        Raises :class:`AdmissionError` when the bounded queue is full
+        (the submission is *shed*: nothing is journaled, the caller owns
+        the retry) or the service is shutting down.
+        """
+        opts = options or self.default_options
+        job_id = job_id_for(spec, opts)
+        with self._lock:
+            if self._state == "created":
+                raise ServiceError(
+                    "service not started; call start() or use it as a "
+                    "context manager")
+            if self._state == "stopped" or self.queue.closed:
+                raise AdmissionError("service is not accepting jobs")
+            existing = self.jobs.get(job_id)
+            if existing is not None:
+                self._counter("service_dedup_hits")
+                obs_event("job_submitted", job=job_id, dedup=True,
+                          state=existing.state)
+                return job_id
+            if len(self.queue) >= self.queue.maxsize:
+                self.queue.shed += 1
+                self._counter("service_shed")
+                obs_event("shed", job=job_id, queue_depth=len(self.queue))
+                raise AdmissionError(
+                    f"queue full ({self.queue.maxsize} jobs); "
+                    f"job {job_id} shed")
+            record = JobRecord(job_id, spec_to_dict(spec),
+                               options_to_dict(opts))
+            # WAL order: journal first, then memory/queue — a crash
+            # between the two re-creates the queue entry from the
+            # journal on restart.
+            if self._journal is not None:
+                self._journal.record_job(record)
+            else:
+                self.jobs[job_id] = record
+            self._specs[job_id] = spec
+            self.queue.push(job_id, force=True)
+            self._counter("service_jobs_submitted")
+            obs_event("job_submitted", job=job_id, case=spec.name)
+        self._sync_gauges()
+        return job_id
+
+    def job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self.jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id}")
+        return record
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> JobRecord:
+        """Block until one job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            while True:
+                record = self.jobs.get(job_id)
+                if record is None:
+                    raise ServiceError(f"unknown job {job_id}")
+                if record.terminal:
+                    return record
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError(
+                        f"timed out waiting for job {job_id} "
+                        f"(state {record.state!r})")
+                self._terminal.wait(remaining)
+
+    def outstanding(self) -> int:
+        """Jobs not yet terminal (queued, backing off, or in flight)."""
+        with self._lock:
+            return sum(1 for job in self.jobs.values() if not job.terminal)
+
+    def run_until_complete(self, poll: float = 0.05,
+                           timeout: Optional[float] = None) -> str:
+        """Process until every job is terminal or shutdown is requested.
+
+        Returns ``"complete"``, ``"interrupted"`` (a signal or
+        :meth:`request_shutdown` arrived) or ``"timeout"``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._shutdown_requested.is_set():
+                return "interrupted"
+            if self.outstanding() == 0:
+                return "complete"
+            if deadline is not None and time.monotonic() >= deadline:
+                return "timeout"
+            self._shutdown_requested.wait(poll)
+
+    # -- shutdown --------------------------------------------------------
+    def request_shutdown(self, signum: Optional[int] = None) -> None:
+        """Signal-safe: flag the shutdown; the control loop drains."""
+        self.shutdown_signal = signum
+        self._shutdown_requested.set()
+
+    def stop(self, drain: Union[bool, str] = True,
+             deadline: Optional[float] = None) -> Dict[str, int]:
+        """Stop the service; returns ``{"completed": ..., "pending": ...}``.
+
+        ``drain`` picks the shutdown discipline:
+
+        * ``True`` / ``"all"`` — keep working until every accepted job
+          is terminal or ``deadline`` seconds pass (the orderly exit).
+        * ``"inflight"`` — the signal-driven graceful shutdown: close
+          the queue immediately, let only the jobs *already on a
+          worker* finish under the deadline; everything still queued
+          stays journaled as pending for the next start.
+        * ``False`` — stop as fast as the workers can be joined.
+
+        Whatever remains is never lost and never silently re-executed
+        once completed — the journal carries it across restarts.
+        """
+        if drain not in (True, False, "all", "inflight"):
+            raise ServiceError(
+                f"drain must be True/'all', 'inflight' or False, "
+                f"got {drain!r}")
+        with self._lock:
+            if self._state == "stopped":
+                return {"completed": 0, "pending": self.outstanding()}
+            self._state = "draining" if drain else "stopping"
+        end = None if deadline is None else time.monotonic() + deadline
+        completed = 0
+        if drain in (True, "all"):
+            while self.outstanding() > 0 and \
+                    (end is None or time.monotonic() < end):
+                time.sleep(0.02)
+        self.queue.close()
+        leftovers = self.queue.drain()
+        if drain == "inflight":
+            while True:
+                with self._lock:
+                    busy = self._in_flight
+                if busy == 0 or (end is not None
+                                 and time.monotonic() >= end):
+                    break
+                time.sleep(0.02)
+        join_timeout = 5.0 if end is None \
+            else max(0.1, end - time.monotonic())
+        self._supervisor.stop(timeout=join_timeout)
+        with self._lock:
+            pending = self.outstanding()
+            completed = sum(1 for j in self.jobs.values() if j.terminal)
+            self._state = "stopped"
+        obs_event("drain", pending=pending, completed=completed,
+                  requeued=len(leftovers))
+        if self._journal is not None:
+            self._journal.close()
+        self._sync_gauges()
+        return {"completed": completed, "pending": pending}
+
+    # -- worker body -----------------------------------------------------
+    def _work(self, worker_id: int) -> bool:
+        job_id = self.queue.pop(timeout=0.1)
+        if job_id is None:
+            # Closed-and-empty means orderly exit; a plain timeout means
+            # keep polling (retry delays may still be maturing).
+            return not (self.queue.closed and len(self.queue) == 0)
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal:
+                return True  # replay/dedup already settled it
+            self._in_flight += 1
+        self._sync_gauges()
+        try:
+            self._execute(job, worker_id)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+            self._sync_gauges()
+        return True
+
+    def _spec_of(self, job: JobRecord) -> SwitchSpec:
+        spec = self._specs.get(job.id)
+        if spec is None:
+            spec = spec_from_dict(job.spec)
+            self._specs[job.id] = spec
+        return spec
+
+    def _pick_backend(self) -> Optional[str]:
+        """First rung of the ladder whose breaker admits a call."""
+        for backend in self.backends:
+            if self.breakers.get(backend).allow():
+                return backend
+        return None
+
+    def _execute(self, job: JobRecord, worker_id: int) -> None:
+        attempt = job.attempts + 1
+        backend = self._pick_backend()
+        if backend is None:
+            self._fail_attempt(
+                job, attempt, None,
+                "no backend available: every circuit breaker is open")
+            return
+        self._transition(job, "running", attempt)
+        obs_event("job_started", job=job.id, attempt=attempt,
+                  backend=backend, worker=worker_id)
+        spec = self._spec_of(job)
+        opts = replace(options_from_dict(job.options),
+                       backend=backend, trace=None)
+        breaker = self.breakers.get(backend)
+        try:
+            result = synthesize(spec, opts)
+        except Exception as exc:
+            breaker.record_failure()
+            self._fail_attempt(job, attempt, backend,
+                               f"{type(exc).__name__}: {exc}")
+            return
+        from repro.experiments.batch import spec_row
+
+        status = result.status.value
+        if result.status.solved or status == "no solution":
+            # Conclusive answers (infeasible included) are terminal.
+            degraded = bool(result.counters.get("degraded"))
+            if degraded or result.error:
+                breaker.record_failure()  # the exact backend did fail
+            else:
+                breaker.record_success()
+            row = spec_row(spec, result)
+            state = "degraded" if degraded else "done"
+            self._finish(job, attempt, state, row, result.error)
+        else:
+            # TIMEOUT without a solution, or a captured ERROR: retryable.
+            breaker.record_failure()
+            self._fail_attempt(job, attempt, backend,
+                               result.error or f"solve ended {status}")
+
+    def _fail_attempt(self, job: JobRecord, attempt: int,
+                      backend: Optional[str], message: str) -> None:
+        if attempt >= self.max_attempts:
+            from repro.experiments.batch import error_row
+
+            row = error_row(self._spec_of(job), message)
+            self._finish(job, attempt, "failed", row, message)
+            return
+        delay = self.backoff.delay(attempt)
+        self._transition(job, "pending", attempt, error=message)
+        self._counter("service_retries")
+        obs_event("job_retry", job=job.id, attempt=attempt,
+                  backend=backend, delay=round(delay, 4), error=message)
+        # Retries of admitted work are exempt from admission control —
+        # shedding them would silently drop an accepted job. A queue
+        # already closed by shutdown refuses even forced pushes; the job
+        # is journaled pending, so the next start replays it.
+        try:
+            self.queue.push(job.id, delay=delay, force=True)
+        except AdmissionError:
+            pass
+
+    def _finish(self, job: JobRecord, attempt: int, state: str,
+                row: Dict[str, Any], error: Optional[str]) -> None:
+        self._transition(job, state, attempt, row=row, error=error)
+        self._counter(f"service_jobs_{state}")
+        event = "job_failed" if state == "failed" else "job_done"
+        obs_event(event, job=job.id, state=state, attempts=attempt,
+                  status=row.get("status"), error=error)
+
+    def _transition(self, job: JobRecord, state: str, attempts: int,
+                    row: Optional[Dict[str, Any]] = None,
+                    error: Optional[str] = None) -> None:
+        with self._terminal:
+            if self._journal is not None:
+                self._journal.record_state(job.id, state, attempts,
+                                           row=row, error=error)
+            else:
+                job.state = state
+                job.attempts = attempts
+                if row is not None:
+                    job.row = row
+                if error is not None:
+                    job.error = error
+            if state in TERMINAL_STATES:
+                self._terminal.notify_all()
+
+    # -- observability ---------------------------------------------------
+    def _counter(self, name: str, amount: int = 1) -> None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter(name).inc(amount)
+
+    def _sync_gauges(self) -> None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.gauge("service_queue_depth").set(len(self.queue))
+            tracer.metrics.gauge("service_in_flight").set(self._in_flight)
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue/retry/breaker counters for dashboards and tests."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "state": self._state,
+                "queue_depth": len(self.queue),
+                "in_flight": self._in_flight,
+                "shed": self.queue.shed,
+                "worker_crashes": self._supervisor.crashes,
+                "jobs": states,
+                "breakers": self.breakers.snapshot(),
+            }
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness/readiness in one dict (the ``/healthz`` shape)."""
+        with self._lock:
+            running = self._state == "running"
+            ready = running and not self.queue.closed \
+                and len(self.queue) < self.queue.maxsize
+            return {
+                "status": self._state,
+                "live": running or self._state == "draining",
+                "ready": ready,
+                "workers_alive": self._supervisor.alive(),
+                "queue_depth": len(self.queue),
+                "outstanding": sum(1 for j in self.jobs.values()
+                                   if not j.terminal),
+            }
+
+
+def install_signal_handlers(
+        service: SynthesisService,
+        signals: Sequence[int] = (signal.SIGINT, signal.SIGTERM)):
+    """Route SIGINT/SIGTERM to ``service.request_shutdown``.
+
+    The handler only sets an event — everything else (drain, journal
+    flush) happens in the normal control flow, which is the only way to
+    stay async-signal-safe in Python. Returns the previous handlers so
+    callers can restore them.
+    """
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(
+            signum, lambda s, frame: service.request_shutdown(s))
+    return previous
+
+
+__all__ = [
+    "SynthesisService",
+    "install_signal_handlers",
+    "job_id_for",
+    "options_to_dict",
+    "options_from_dict",
+]

@@ -1,0 +1,86 @@
+"""Supervised worker pool: threads that are restarted, not mourned.
+
+The execution handler the service installs captures job-level failures
+itself, so a worker thread dying is *always* a bug or an injected
+chaos fault — either way the pool must not silently shrink. The
+supervisor wraps every worker body: an escaped exception emits a
+``worker_crashed`` event, increments the ``service_worker_crashes``
+counter, and a replacement thread is started immediately (unless the
+pool is stopping). The job the worker held is the handler's problem —
+it was journaled ``running`` and will be replayed or retried.
+
+Workers are threads, not processes: a synthesis job is one in-process
+MILP solve, and the batch layer already covers process-pool isolation.
+Threads keep the journal, breakers and metrics in one address space —
+the properties the WAL protects are about *process* death, which is
+exercised end-to-end by the chaos tests (SIGKILL + restart).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.obs.trace import obs_event
+
+
+class Supervisor:
+    """Keeps ``count`` worker threads alive running ``body`` in a loop.
+
+    ``body(worker_id)`` is called repeatedly until it returns False
+    (the worker's orderly exit signal, typically "queue closed and
+    drained"). If ``body`` raises, the crash is recorded and a fresh
+    thread takes over the worker id.
+    """
+
+    def __init__(self, count: int, body: Callable[[int], bool],
+                 name: str = "synth-worker") -> None:
+        self.count = count
+        self.body = body
+        self.name = name
+        self.crashes = 0
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    def start(self) -> None:
+        with self._lock:
+            self._stopping = False
+        for worker_id in range(self.count):
+            self._spawn(worker_id)
+
+    def _spawn(self, worker_id: int) -> None:
+        thread = threading.Thread(
+            target=self._run, args=(worker_id,),
+            name=f"{self.name}-{worker_id}", daemon=True)
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+
+    def _run(self, worker_id: int) -> None:
+        try:
+            while self.body(worker_id):
+                pass
+        except BaseException as exc:  # supervised: restart, don't vanish
+            with self._lock:
+                self.crashes += 1
+                stopping = self._stopping
+            obs_event("worker_crashed", worker=worker_id,
+                      error=f"{type(exc).__name__}: {exc}")
+            if not stopping:
+                self._spawn(worker_id)
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Mark the pool stopping and join every thread."""
+        with self._lock:
+            self._stopping = True
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout)
+
+    def alive(self) -> int:
+        with self._lock:
+            return sum(t.is_alive() for t in self._threads)
+
+
+__all__ = ["Supervisor"]

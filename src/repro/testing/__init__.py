@@ -10,7 +10,9 @@ from repro.testing.faultinject import (
     FaultPlan,
     FaultyBackend,
     corrupt_solution,
+    flaky_backend_plan,
     install_faulty_backend,
+    process_kill_plan,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "FaultyBackend",
     "corrupt_solution",
     "install_faulty_backend",
+    "flaky_backend_plan",
+    "process_kill_plan",
 ]

@@ -33,8 +33,10 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import random
 import re
+import signal
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Union
 
@@ -45,8 +47,10 @@ from repro.opt.model import Model
 from repro.opt.result import Solution, SolveStatus
 from repro.opt.solvers import SolverBackend, get_backend
 
-#: The fault kinds a plan may produce (``None`` = no fault).
-FAULT_KINDS = ("crash", "timeout", "corrupt")
+#: The fault kinds a plan may produce (``None`` = no fault). ``kill``
+#: hard-terminates the *process* (SIGKILL — no cleanup, no atexit), the
+#: fault the service's write-ahead journal exists to survive.
+FAULT_KINDS = ("crash", "timeout", "corrupt", "kill")
 
 
 class FaultPlan:
@@ -168,6 +172,11 @@ class FaultyBackend(SolverBackend):
             # incumbent/deadline events (asserted in test_faultinject).
             obs_event("fault_injected", kind=fault, backend=self.inner.name,
                       solve=len(self.injected), model=model.name)
+        if fault == "kill":
+            # The chaos tests' hard death: SIGKILL cannot be caught, so
+            # nothing below this line — journals included — gets to
+            # clean up. Exactly what a power cut looks like to the WAL.
+            os.kill(os.getpid(), signal.SIGKILL)
         if fault == "crash":
             raise InjectedFaultError(
                 f"injected backend crash (solve #{len(self.injected)})")
@@ -180,6 +189,26 @@ class FaultyBackend(SolverBackend):
             sol = corrupt_solution(sol, self.plan.rng, self.corrupt_vars)
         sol.solver = self.name
         return sol
+
+
+def flaky_backend_plan(seed: int = 0, crash: float = 0.2,
+                       timeout: float = 0.1) -> FaultPlan:
+    """The service chaos tests' default flaky backend: i.i.d. crashes
+    and timeouts at rates high enough to exercise retry + breaker paths
+    but low enough that every job eventually completes."""
+    return FaultPlan(seed=seed, crash=crash, timeout=timeout)
+
+
+def process_kill_plan(after: int) -> FaultPlan:
+    """A plan whose ``after``-th solve (1-based) SIGKILLs the process.
+
+    Everything before it succeeds normally, so a mid-run hard death
+    lands with real completed work in the journal — the interesting
+    case for replay.
+    """
+    if after < 1:
+        raise ReproError(f"kill position must be >= 1, got {after}")
+    return FaultPlan(schedule=[None] * (after - 1) + ["kill"])
 
 
 @contextmanager
@@ -207,4 +236,5 @@ def install_faulty_backend(
 
 
 __all__ = ["FAULT_KINDS", "FaultPlan", "FaultyBackend", "corrupt_solution",
-           "install_faulty_backend"]
+           "install_faulty_backend", "flaky_backend_plan",
+           "process_kill_plan"]

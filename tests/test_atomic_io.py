@@ -1,0 +1,124 @@
+"""Tests for atomic artifact writes (repro.io.atomic).
+
+The contract under test: a reader never observes a torn file. Either
+the complete old content or the complete new content exists at the
+target path — through exceptions mid-write and through a hard process
+death (``os._exit`` with the handle still open).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.io import atomic_write, atomic_write_text, fsync_directory
+
+
+def no_temp_residue(directory):
+    return [p.name for p in directory.iterdir() if p.suffix == ".tmp"] == []
+
+
+def test_atomic_write_replaces_content(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("old")
+    with atomic_write(target) as fh:
+        fh.write("new")
+    assert target.read_text() == "new"
+    assert no_temp_residue(tmp_path)
+
+
+def test_atomic_write_creates_missing_parents(tmp_path):
+    target = tmp_path / "deep" / "er" / "out.txt"
+    atomic_write_text(target, "hello")
+    assert target.read_text() == "hello"
+
+
+def test_exception_mid_write_preserves_old_file(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("precious")
+    with pytest.raises(RuntimeError):
+        with atomic_write(target) as fh:
+            fh.write("half a new fi")
+            raise RuntimeError("writer died")
+    assert target.read_text() == "precious"
+    assert no_temp_residue(tmp_path)
+
+
+def test_exception_before_any_write_leaves_no_target(tmp_path):
+    target = tmp_path / "never.txt"
+    with pytest.raises(RuntimeError):
+        with atomic_write(target):
+            raise RuntimeError("nothing written")
+    assert not target.exists()
+    assert no_temp_residue(tmp_path)
+
+
+def test_hard_crash_mid_write_preserves_old_file(tmp_path):
+    """A process that dies with the temp handle open (no cleanup, no
+    context-manager exit) must leave the old artifact intact."""
+    target = tmp_path / "artifact.json"
+    target.write_text('{"generation": 1}')
+    script = (
+        "import os, sys\n"
+        "sys.path.insert(0, sys.argv[2])\n"
+        "from repro.io import atomic_write\n"
+        "with atomic_write(sys.argv[1]) as fh:\n"
+        "    fh.write('{\"generation\": 2, \"incomp')\n"
+        "    fh.flush()\n"
+        "    os._exit(1)  # simulated crash: no replace, no unlink\n"
+    )
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    proc = subprocess.run([sys.executable, "-c", script, str(target), src],
+                          capture_output=True, text=True)
+    assert proc.returncode == 1
+    assert json.loads(target.read_text()) == {"generation": 1}
+
+
+def test_read_and_append_modes_rejected(tmp_path):
+    for mode in ("r", "a", "r+", "w+"):
+        with pytest.raises(ValueError):
+            with atomic_write(tmp_path / "x", mode=mode):
+                pass
+
+
+def test_binary_mode(tmp_path):
+    target = tmp_path / "blob.bin"
+    with atomic_write(target, mode="wb") as fh:
+        fh.write(b"\x00\x01\x02")
+    assert target.read_bytes() == b"\x00\x01\x02"
+
+
+def test_fsync_variant_and_directory_sync(tmp_path):
+    target = tmp_path / "durable.txt"
+    atomic_write_text(target, "synced", fsync=True)
+    assert target.read_text() == "synced"
+    fsync_directory(tmp_path)  # must not raise
+    fsync_directory(tmp_path / "does-not-exist")  # no-op, not an error
+
+
+def test_result_json_save_is_atomic(tmp_path, monkeypatch):
+    """save_result goes through atomic_write: a serialization failure
+    mid-dump must not clobber the previous result file."""
+    from repro.cases import generate_case
+    from repro.core import BindingPolicy, SynthesisOptions, synthesize
+    from repro.io import save_result
+
+    spec = generate_case(seed=0, switch_size=8, n_flows=2, n_inlets=2,
+                         n_conflicts=0, binding=BindingPolicy.FIXED)
+    result = synthesize(spec, SynthesisOptions(time_limit=30))
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    first = path.read_text()
+    assert json.loads(first)  # a complete, parseable artifact
+
+    import repro.io.result_json as result_json
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("serializer died mid-write")
+
+    monkeypatch.setattr(result_json, "atomic_write_text", explode)
+    with pytest.raises(RuntimeError):
+        save_result(result, path)
+    assert path.read_text() == first

@@ -48,6 +48,8 @@ def test_readme_quickstart_runs():
     "repro.control",
     "repro.chip",
     "repro.experiments",
+    "repro.obs",
+    "repro.service",
 ])
 def test_subpackages_importable_with_all(module):
     mod = importlib.import_module(module)

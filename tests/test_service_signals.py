@@ -1,0 +1,151 @@
+"""Signal handling and interrupt recovery (service + run_batch).
+
+The contract: SIGTERM/SIGINT mid-run produces a *graceful* shutdown —
+the in-flight job finishes, the queue stays journaled as pending, the
+exit status says so — and a restart on the same journal completes the
+remainder with every job terminal exactly once. KeyboardInterrupt
+inside ``run_batch`` leaves a resumable checkpoint the same way.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cases import generate_case
+from repro.core import BindingPolicy, SynthesisOptions
+from repro.experiments import load_csv, run_batch
+from repro.obs import Tracer, use_tracer
+from repro.service import replay_journal, validate_journal
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "src"))
+
+#: A service run driven exactly like ``repro serve``: slow enough per
+#: job that a signal sent after READY lands mid-run deterministically.
+SERVE_SCRIPT = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.cases import generate_case
+from repro.core import BindingPolicy, SynthesisOptions
+from repro.opt.solvers import get_backend, register_backend
+from repro.opt.solvers.base import SolverBackend
+from repro.service import SynthesisService, install_signal_handlers
+
+
+class SlowBackend(SolverBackend):
+    name = "slow"
+
+    def solve(self, model, **kwargs):
+        time.sleep(0.2)
+        return get_backend("auto").solve(model, **kwargs)
+
+
+register_backend("slow", SlowBackend)
+specs = [generate_case(seed=s, switch_size=8, n_flows=2, n_inlets=2,
+                       n_conflicts=0, binding=BindingPolicy.FIXED)
+         for s in range(5)]
+opts = SynthesisOptions(time_limit=30, backend="slow")
+service = SynthesisService(sys.argv[1], workers=1, options=opts)
+install_signal_handlers(service)
+service.start()
+for spec in specs:
+    service.submit(spec)
+print("READY", flush=True)
+outcome = service.run_until_complete(timeout=120)
+drain = "inflight" if outcome == "interrupted" else True
+summary = service.stop(drain=drain, deadline=30.0)
+print("OUTCOME", outcome, summary["completed"], summary["pending"],
+      flush=True)
+sys.exit(3 if summary["pending"] else 0)
+"""
+
+
+def run_serve_script(tmp_path, journal, send_signal=None):
+    script = tmp_path / "serve_script.py"
+    script.write_text(SERVE_SCRIPT.format(src=SRC))
+    proc = subprocess.Popen([sys.executable, str(script), str(journal)],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    assert proc.stdout.readline().strip() == "READY"
+    if send_signal is not None:
+        time.sleep(0.7)  # let at least one job finish first
+        proc.send_signal(send_signal)
+    out, err = proc.communicate(timeout=120)
+    return proc.returncode, out, err
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_journals_and_restart_completes(tmp_path, signum):
+    journal = tmp_path / "journal.jsonl"
+
+    rc, out, err = run_serve_script(tmp_path, journal, send_signal=signum)
+    assert rc == 3, f"expected pending-work exit: {out!r} {err!r}"
+    assert "interrupted" in out
+    counts = validate_journal(journal)  # replayable, schema-valid
+    done_now = counts.get("done", 0)
+    assert done_now >= 1, f"drain should finish the in-flight job: {counts}"
+    assert sum(counts.values()) == 5
+    pending = sum(v for k, v in counts.items() if k != "done")
+    assert pending >= 1, f"a graceful signal must leave work: {counts}"
+
+    # Restart on the same journal: replays pending, dedups done, and
+    # completes everything exactly once.
+    rc2, out2, err2 = run_serve_script(tmp_path, journal)
+    assert rc2 == 0, f"restart should finish the remainder: {out2!r} {err2!r}"
+    final = validate_journal(journal)  # raises on any double completion
+    assert final == {"done": 5}
+    jobs = replay_journal(journal).jobs
+    assert all(job.attempts >= 1 for job in jobs.values())
+
+
+def small_spec(seed):
+    return generate_case(seed=seed, switch_size=8, n_flows=2, n_inlets=2,
+                         n_conflicts=0, binding=BindingPolicy.FIXED)
+
+
+def test_run_batch_interrupt_leaves_resumable_checkpoint(tmp_path):
+    specs = [small_spec(s) for s in range(4)]
+    opts = SynthesisOptions(time_limit=30)
+    ckpt = tmp_path / "checkpoint.csv"
+
+    def interrupt_after_two(done, total, row):
+        if done == 2:
+            raise KeyboardInterrupt
+
+    tracer = Tracer("interrupt")
+    with use_tracer(tracer):
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(specs, opts, checkpoint=ckpt,
+                      on_progress=interrupt_after_two)
+    events = [r["name"] for r in tracer.records() if r["type"] == "event"]
+    assert "interrupt" in events
+
+    rows = load_csv(ckpt)  # closed cleanly: parseable, both rows intact
+    assert len(rows) == 2
+    assert [r["case"] for r in rows] == [s.name for s in specs[:2]]
+
+    computed = []
+    batch = run_batch(specs, opts, checkpoint=ckpt, resume=True,
+                      on_progress=lambda d, t, row: computed.append(row))
+    assert len(batch.rows) == 4
+    assert len(computed) == 2  # only the remainder was executed
+    assert {r["case"] for r in computed} == {s.name for s in specs[2:]}
+    assert len(load_csv(ckpt)) == 4
+
+
+def test_run_batch_resume_tolerates_torn_checkpoint_row(tmp_path):
+    specs = [small_spec(s) for s in range(3)]
+    opts = SynthesisOptions(time_limit=30)
+    ckpt = tmp_path / "checkpoint.csv"
+    run_batch(specs[:2], opts, checkpoint=ckpt)
+    raw = ckpt.read_text()
+    ckpt.write_text(raw[: raw.rstrip("\n").rfind("\n") + 1]
+                    + "torn,partial")  # crash mid-append on the last row
+    batch = run_batch(specs, opts, checkpoint=ckpt, resume=True)
+    assert len(batch.rows) == 3  # the torn row's spec simply re-ran
+    assert sorted(r["case"] for r in batch.rows) == \
+        sorted(s.name for s in specs)
