@@ -103,8 +103,15 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(spec.name)
+    backend = args.backend
+    if getattr(args, "workers", None):
+        if backend != "parallel_bb":
+            print("error: --workers only applies to --backend parallel_bb",
+                  file=sys.stderr)
+            return 2
+        backend = f"parallel_bb:{args.workers}"
     options = SynthesisOptions(
-        backend=args.backend,
+        backend=backend,
         time_limit=args.time_limit,
         pressure_method=args.pressure,
         on_error=args.on_error,
@@ -359,8 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=[b.value for b in BindingPolicy],
                    help="binding policy (registry cases)")
     p.add_argument("--backend", default="auto",
-                   choices=["auto", "highs", "branch_bound", "backtrack",
-                            "portfolio"])
+                   choices=["auto", "highs", "branch_bound", "parallel_bb",
+                            "backtrack", "portfolio"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend parallel_bb "
+                        "(default: CPU count, capped at 4)")
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--pressure", default="ilp", choices=["ilp", "greedy"])
     p.add_argument("--on-error", default="degrade",

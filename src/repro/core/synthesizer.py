@@ -61,8 +61,9 @@ from repro.switches.reduce import reduce_switch
 
 #: Backends that can exploit a warm-start incumbent. HiGHS (scipy's
 #: milp) has no incumbent-injection hook, so computing one for it would
-#: be wasted work.
-_WARM_BACKENDS = {"branch_bound", "portfolio", "backtrack"}
+#: be wasted work. Checked against the *base* name, so worker-count
+#: specs like ``"parallel_bb:4"`` qualify too.
+_WARM_BACKENDS = {"branch_bound", "parallel_bb", "portfolio", "backtrack"}
 
 #: Valid values of :attr:`SynthesisOptions.on_error`.
 ERROR_POLICIES = ("raise", "capture", "degrade")
@@ -276,7 +277,8 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
     memo_hit = (built.model._version, options.backend,
                 float(options.mip_gap)) in built.model._solutions
     if not memo_hit and not deadline.expired() \
-            and resolve_backend_name(options.backend) in _WARM_BACKENDS:
+            and resolve_backend_name(options.backend).partition(":")[0] \
+            in _WARM_BACKENDS:
         if context is not None:
             stored = context.incumbent(key)
             if stored is not None:

@@ -12,6 +12,17 @@ Constructed with ``None`` the deadline is *unbounded*: ``remaining()``
 returns ``None`` (the conventional "no limit" sentinel of the solver
 backends) and ``expired()`` is always ``False``, so callers never need
 to special-case the no-limit path.
+
+**Process boundaries.** A deadline internally anchors to
+``time.perf_counter()``, whose epoch is *per process* — naively
+shipping one to a spawned worker would carry a monotonic-clock reading
+that means nothing there (historically it silently re-granted the full
+original budget). Pickling therefore serializes the *remaining* budget
+at pickle time and the receiving process reconstructs a fresh deadline
+anchored to its own clock, so the wall-clock budget keeps shrinking
+across the hop (minus only the transfer latency, which no clock can
+reclaim). :meth:`to_wire` / :meth:`from_wire` expose the same contract
+explicitly for hand-rolled worker protocols.
 """
 
 from __future__ import annotations
@@ -64,6 +75,27 @@ class Deadline:
     def expired(self) -> bool:
         """Whether the budget is used up (always False when unbounded)."""
         return self.limit is not None and self.elapsed() >= self.limit
+
+    # -- process boundaries --------------------------------------------
+    def to_wire(self) -> Optional[float]:
+        """The budget as absolute remaining seconds (``None`` = unbounded).
+
+        The value is meaningful in any process; pair with
+        :meth:`from_wire` on the receiving side.
+        """
+        return self.remaining()
+
+    @classmethod
+    def from_wire(cls, remaining: Optional[float]) -> "Deadline":
+        """Rebuild a deadline from :meth:`to_wire` output, anchored to
+        the *current* process's monotonic clock."""
+        return cls(remaining)
+
+    def __reduce__(self):
+        # Pickle as the remaining budget, not the raw monotonic anchor:
+        # perf_counter() epochs differ between processes, so the anchor
+        # must never cross a process boundary (see the module docstring).
+        return (Deadline, (self.to_wire(),))
 
     def __repr__(self) -> str:
         if self.limit is None:

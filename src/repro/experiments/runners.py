@@ -39,12 +39,19 @@ from repro.switches import CrossbarSwitch, GRUSwitch, SpineSwitch
 POLICIES = [BindingPolicy.CLOCKWISE, BindingPolicy.FIXED, BindingPolicy.UNFIXED]
 
 
-def _options(time_limit: float) -> SynthesisOptions:
-    return SynthesisOptions(time_limit=time_limit)
+def _options(time_limit: float,
+             backend: Optional[str] = None) -> SynthesisOptions:
+    opts = SynthesisOptions(time_limit=time_limit)
+    if backend:
+        # Free-form spec: plain names and worker-count forms such as
+        # "parallel_bb:4" both resolve through the backend registry.
+        opts.backend = backend
+    return opts
 
 
 def run_table_4_1(time_limit: float = 60,
-                  outdir: Optional[Union[str, Path]] = None) -> ExperimentReport:
+                  outdir: Optional[Union[str, Path]] = None,
+                  backend: Optional[str] = None) -> ExperimentReport:
     """Table 4.1 — contamination-avoidance cases under all policies."""
     report = ExperimentReport("table_4_1", "Table 4.1 — contamination avoidance")
     # One context per report: each case's three policy variants differ
@@ -54,7 +61,8 @@ def run_table_4_1(time_limit: float = 60,
     for factory in (chip_sw1, nucleic_acid, mrna_isolation):
         for policy in POLICIES:
             spec = factory(policy)
-            result = synthesize(spec, _options(time_limit), context=context)
+            result = synthesize(spec, _options(time_limit, backend),
+                                context=context)
             report.rows.append(result.table_row())
             if result.status.solved:
                 check = analyze_contamination(
@@ -69,11 +77,12 @@ def run_table_4_1(time_limit: float = 60,
 
 
 def run_table_4_2(time_limit: float = 300,
-                  outdir: Optional[Union[str, Path]] = None) -> ExperimentReport:
+                  outdir: Optional[Union[str, Path]] = None,
+                  backend: Optional[str] = None) -> ExperimentReport:
     """Table 4.2 / Figure 4.4 — the flow-scheduling example."""
     report = ExperimentReport("table_4_2", "Table 4.2 — scheduling example")
     report.add_row(source="paper", **{"#s": 3, "#v": 15, "L(mm)": 21.2})
-    result = synthesize(example_4_2(), _options(time_limit))
+    result = synthesize(example_4_2(), _options(time_limit, backend))
     if result.status.solved:
         report.add_row(source="measured", **{
             "#s": result.num_flow_sets,
@@ -94,7 +103,8 @@ def run_table_4_2(time_limit: float = 300,
 
 
 def run_table_4_3(time_limit: float = 60, include_heavy: bool = False,
-                  outdir: Optional[Union[str, Path]] = None) -> ExperimentReport:
+                  outdir: Optional[Union[str, Path]] = None,
+                  backend: Optional[str] = None) -> ExperimentReport:
     """Table 4.3 — binding-policy comparison."""
     report = ExperimentReport("table_4_3", "Table 4.3 — binding policies")
     context = SolveContext()
@@ -103,7 +113,7 @@ def run_table_4_3(time_limit: float = 60, include_heavy: bool = False,
             if factory is chip_sw2 and policy is not BindingPolicy.FIXED \
                     and not include_heavy:
                 continue
-            result = synthesize(factory(policy), _options(time_limit),
+            result = synthesize(factory(policy), _options(time_limit, backend),
                                 context=context)
             report.rows.append(result.table_row())
     report.note("paper shape: fixed fastest & longest L; clockwise/unfixed "
@@ -114,15 +124,15 @@ def run_table_4_3(time_limit: float = 60, include_heavy: bool = False,
 
 
 def run_figures_4_1_4_2(time_limit: float = 60,
-                        outdir: Union[str, Path] = "experiment_output"
-                        ) -> ExperimentReport:
+                        outdir: Union[str, Path] = "experiment_output",
+                        backend: Optional[str] = None) -> ExperimentReport:
     """Figures 4.1 and 4.2 — synthesized switches vs. spine baselines."""
     report = ExperimentReport("figures_4_1_4_2",
                               "Figures 4.1/4.2 — proposed vs spine")
     outdir = Path(outdir)
     for factory in (chip_sw1, nucleic_acid, mrna_isolation):
         spec = factory(BindingPolicy.UNFIXED)
-        result = synthesize(spec, _options(time_limit))
+        result = synthesize(spec, _options(time_limit, backend))
         if result.status.solved:
             path = outdir / f"{report.name}_{factory.__name__}.svg"
             outdir.mkdir(parents=True, exist_ok=True)
@@ -162,17 +172,20 @@ def _artificial_one(task):
 
 def run_artificial(count: int = 18, time_limit: float = 20,
                    outdir: Optional[Union[str, Path]] = None,
-                   workers: int = 1) -> ExperimentReport:
+                   workers: int = 1,
+                   backend: Optional[str] = None) -> ExperimentReport:
     """§4.2 — the artificial scheduling suite (subset by default).
 
     The cases are independent, so ``workers > 1`` fans them out over a
-    process pool; rows keep the input order either way.
+    process pool; rows keep the input order either way. ``backend`` can
+    alternatively parallelize *within* each solve (``"parallel_bb:4"``).
     """
     report = ExperimentReport("artificial", "§4.2 — artificial cases")
     specs = suite_90()
     step = max(1, len(specs) // count)
     chosen = specs[::step]
-    tasks = [(i, spec, _options(time_limit)) for i, spec in enumerate(chosen)]
+    tasks = [(i, spec, _options(time_limit, backend))
+             for i, spec in enumerate(chosen)]
     if workers > 1 and len(tasks) > 1:
         import multiprocessing as mp
 
@@ -210,8 +223,8 @@ def run_routing_space(outdir: Optional[Union[str, Path]] = None
 
 
 def run_dynamic_validation(time_limit: float = 60,
-                           outdir: Optional[Union[str, Path]] = None
-                           ) -> ExperimentReport:
+                           outdir: Optional[Union[str, Path]] = None,
+                           backend: Optional[str] = None) -> ExperimentReport:
     """Beyond the paper — execute every solved case in the simulator."""
     report = ExperimentReport("dynamic", "dynamic validation")
     context = SolveContext()
@@ -219,7 +232,8 @@ def run_dynamic_validation(time_limit: float = 60,
                             (nucleic_acid, BindingPolicy.UNFIXED),
                             (mrna_isolation, BindingPolicy.UNFIXED)):
         spec = factory(policy)
-        result = synthesize(spec, _options(time_limit), context=context)
+        result = synthesize(spec, _options(time_limit, backend),
+                            context=context)
         if not result.status.solved:
             report.add_row(case=spec.name, outcome=result.status.value)
             continue

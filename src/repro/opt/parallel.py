@@ -1,0 +1,644 @@
+"""Deterministic multi-process branch-and-bound machinery.
+
+This module is the engine room of the ``parallel_bb`` backend
+(:mod:`repro.opt.solvers.parallel_bb`): a coordinator decomposes the
+branch-and-bound tree into *subtree tasks* and a pool of worker
+processes — each owning a persistent warm
+:class:`~repro.opt.incremental.IncrementalLP` — explores them.
+
+Design invariants (the determinism contract, asserted by
+``tests/test_parallel_bb.py``):
+
+* **Round-synchronized search.** The coordinator keeps the global
+  frontier as a best-first heap keyed ``(bound, seeded path hash,
+  path)``. Each round it pops a *fixed-size* batch (independent of the
+  worker count), ships every subtree with the incumbent known at round
+  start, and merges results at a barrier in sorted-path order. Which
+  nodes get explored therefore depends only on the model and the seed —
+  never on how many workers ran or which finished first.
+* **Node identity is the branch path.** A node is named by the tuple of
+  its branch decisions (``var*2 + is_ub`` per level). Ties in the heap
+  break on a CRC32 of ``(seed, path)`` — a pure function of identity,
+  never of arrival time. The rolling CRC32 over all explored paths is
+  reported as the ``node_order_hash`` counter.
+* **Deterministic side state.** Pseudo-cost branching statistics are
+  snapshotted per round, updated locally inside each task, and merged
+  back in sorted-task order; :class:`~repro.opt.presolve.DeltaTightener`
+  propagation is a pure function of the bound vectors. Re-running a
+  task (after a worker death) reproduces its result bit-for-bit, which
+  is what makes SIGKILL recovery safe.
+
+The shared-incumbent channel (a lock-free ``multiprocessing.Value``) is
+*written* eagerly by every worker, but in the default deterministic
+mode it is only *read* at round boundaries. Passing
+``eager_pruning=True`` lets workers also prune against it mid-task —
+faster on hard trees, at the price of timing-dependent ``nodes`` /
+``lp_calls`` counters (objective and assignment stay exact either way).
+
+Worker IPC is a pair of simplex pipes per worker (no shared queues or
+locks), so a SIGKILLed worker is observed as a plain ``EOFError`` on
+its result pipe; the coordinator re-queues its in-flight task and
+respawns the seat.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import threading
+import traceback
+import zlib
+from collections import deque
+from heapq import heappop, heappush
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.deadline import Deadline
+from repro.errors import SolverError
+from repro.opt.cuts import clique_cuts, cut_rows
+from repro.opt.incremental import IncrementalLP
+from repro.opt.presolve import DeltaTightener
+
+_INT_TOL = 1e-6
+
+#: Nodes the coordinator expands serially before the first round, so the
+#: initial frontier is wide enough to feed every worker.
+ROOT_EXPAND_NODES = 32
+#: Subtrees dispatched per round. Fixed (not scaled by worker count) —
+#: this is what makes the explored node set worker-count independent.
+DISPATCH_BATCH = 8
+#: Node budget per subtree task; leftovers return to the global frontier.
+TASK_NODE_BUDGET = 192
+#: Observations per direction before a pseudo-cost is trusted.
+PC_RELIABILITY = 1
+_PC_EPS = 1e-6
+
+#: Environment override for the multiprocessing start method
+#: ("fork"/"spawn"/"forkserver"); auto-selected when unset.
+CTX_ENV = "REPRO_PARALLEL_BB_CTX"
+
+Delta = Tuple[int, bool, float]
+Path = Tuple[int, ...]
+
+
+def encode_step(var: int, is_ub: bool) -> int:
+    """One branch decision as an int (``var*2 + is_ub``)."""
+    return var * 2 + (1 if is_ub else 0)
+
+
+def path_tie(seed: int, path: Path) -> int:
+    """Seeded heap tie-break for a node — a function of identity only."""
+    data = np.asarray((seed,) + path, dtype=np.int64).tobytes()
+    return zlib.crc32(data)
+
+
+def fold_hash(acc: int, value: int) -> int:
+    """Fold one 32-bit value into a rolling order hash."""
+    return zlib.crc32(int(value).to_bytes(8, "little"), acc) & 0xFFFFFFFF
+
+
+class PseudoCosts:
+    """Per-variable branching statistics (objective degradation rates).
+
+    ``dsum``/``dcnt`` accumulate the down-branch degradation per unit of
+    fractionality; ``usum``/``ucnt`` the up-branch. Instances are plain
+    array quadruples so they snapshot/merge cheaply across processes.
+    """
+
+    __slots__ = ("dsum", "dcnt", "usum", "ucnt")
+
+    def __init__(self, n: int) -> None:
+        self.dsum = np.zeros(n)
+        self.dcnt = np.zeros(n, dtype=np.int64)
+        self.usum = np.zeros(n)
+        self.ucnt = np.zeros(n, dtype=np.int64)
+
+    def snapshot(self) -> Tuple[np.ndarray, ...]:
+        return (self.dsum.copy(), self.dcnt.copy(),
+                self.usum.copy(), self.ucnt.copy())
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "PseudoCosts":
+        pc = cls(len(arrays[0]))
+        pc.dsum, pc.dcnt, pc.usum, pc.ucnt = (np.array(a) for a in arrays)
+        return pc
+
+    def merge(self, arrays: Sequence[np.ndarray]) -> None:
+        """Add another instance's (delta) arrays into this one."""
+        self.dsum += arrays[0]
+        self.dcnt += arrays[1]
+        self.usum += arrays[2]
+        self.ucnt += arrays[3]
+
+    def update(self, j: int, is_up: bool, degradation: float,
+               fraction: float) -> None:
+        rate = max(degradation, 0.0) / max(fraction, _PC_EPS)
+        if is_up:
+            self.usum[j] += rate
+            self.ucnt[j] += 1
+        else:
+            self.dsum[j] += rate
+            self.dcnt[j] += 1
+
+    def pick(self, x: np.ndarray, branch_idx: np.ndarray,
+             extra: Optional["PseudoCosts"] = None) -> Optional[int]:
+        """Branch variable for ``x``, or None when integral.
+
+        Uses the product pseudo-cost score over variables whose
+        statistics are reliable in both directions; falls back to
+        most-fractional otherwise. Ties break on the lowest index (via
+        numpy's first-argmax), so the choice is deterministic.
+        """
+        if branch_idx.size == 0:
+            return None
+        vals = x[branch_idx]
+        frac = np.abs(vals - np.round(vals))
+        cand = frac > _INT_TOL
+        if not cand.any():
+            return None
+        dsum, dcnt = self.dsum[branch_idx], self.dcnt[branch_idx]
+        usum, ucnt = self.usum[branch_idx], self.ucnt[branch_idx]
+        if extra is not None:
+            dsum = dsum + extra.dsum[branch_idx]
+            dcnt = dcnt + extra.dcnt[branch_idx]
+            usum = usum + extra.usum[branch_idx]
+            ucnt = ucnt + extra.ucnt[branch_idx]
+        reliable = cand & (dcnt >= PC_RELIABILITY) & (ucnt >= PC_RELIABILITY)
+        if reliable.any():
+            f_down = vals - np.floor(vals)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                d_avg = np.where(dcnt > 0, dsum / np.maximum(dcnt, 1), 0.0)
+                u_avg = np.where(ucnt > 0, usum / np.maximum(ucnt, 1), 0.0)
+            score = (np.maximum(d_avg * f_down, _PC_EPS)
+                     * np.maximum(u_avg * (1.0 - f_down), _PC_EPS))
+            score = np.where(reliable, score, -np.inf)
+            return int(branch_idx[int(np.argmax(score))])
+        masked = np.where(cand, frac, -np.inf)
+        return int(branch_idx[int(np.argmax(masked))])
+
+
+class SubtreeExplorer:
+    """Best-first exploration of one subtree over a warm persistent LP.
+
+    One instance lives for a whole search (per worker, plus one in the
+    coordinator): the LP matrix is flattened once, clique cuts added
+    once, and every task only replays bound-delta chains.
+    """
+
+    def __init__(self, form, *, use_cuts: bool = True, tighten: bool = True,
+                 seed: int = 0) -> None:
+        self.form = form
+        self.seed = seed
+        self.lp = IncrementalLP(form)
+        self.branch_idx = np.where(form.branch_integrality == 1)[0]
+        self.cuts = 0
+        if use_cuts:
+            cliques = clique_cuts(form)
+            if cliques:
+                self.lp.add_cuts(*cut_rows(form, cliques))
+                self.cuts = len(cliques)
+        self.tightener = DeltaTightener(form) if tighten else None
+
+    def run_task(self, chain: Sequence[Delta], path: Path, *,
+                 incumbent_val: float = math.inf,
+                 node_budget: int = TASK_NODE_BUDGET,
+                 pc_arrays: Optional[Sequence[np.ndarray]] = None,
+                 mip_gap: float = 1e-9,
+                 deadline: Optional[Deadline] = None,
+                 shared_best=None,
+                 eager: bool = False) -> Dict[str, Any]:
+        """Explore the subtree rooted at ``chain``/``path``.
+
+        Deterministic given ``(form, seed, chain, path, incumbent_val,
+        node_budget, pc_arrays)`` — the deadline and the shared value
+        only ever stop the task early or (in eager mode) prune harder,
+        and the default mode ignores both for pruning decisions.
+        """
+        lp = self.lp
+        lp0, it0 = lp.lp_calls, lp.lp_iterations
+        pc_base = (PseudoCosts.from_arrays(pc_arrays)
+                   if pc_arrays is not None else PseudoCosts(self.form.n))
+        pc_delta = PseudoCosts(self.form.n)
+        local_inc = float(incumbent_val)
+        best_val = math.inf
+        best_x: Optional[np.ndarray] = None
+        nodes = 0
+        tight_prunes = 0
+        order = 0
+        hit_deadline = False
+        leftovers: List[Tuple[float, Path, Tuple[Delta, ...]]] = []
+
+        def cutoff() -> float:
+            inc = local_inc
+            if eager and shared_best is not None and shared_best.value < inc:
+                inc = shared_best.value
+            if math.isinf(inc):
+                return math.inf
+            return inc - mip_gap * max(1.0, abs(inc))
+
+        def broadcast(value: float) -> None:
+            # Lock-free write: a lost race only delays pruning, never
+            # changes what the deterministic merge will conclude.
+            if shared_best is not None and value < shared_best.value:
+                shared_best.value = value
+
+        chain = tuple(chain)
+        lp.set_bounds(chain)
+        res = lp.solve()
+        root_status = int(res.status)
+        out: Dict[str, Any] = {
+            "path": path, "root_status": root_status, "nodes": 0,
+            "lp_calls": lp.lp_calls - lp0,
+            "lp_iterations": lp.lp_iterations - it0,
+            "tight_prunes": 0, "order": 0, "best_val": math.inf,
+            "best_x": None, "leftovers": [], "pc": pc_delta.snapshot(),
+            "hit_deadline": False,
+        }
+        if root_status != 0:
+            return out
+
+        heap: List[Tuple[float, int, Path, Tuple[Delta, ...], np.ndarray]] = [
+            (float(res.fun), path_tie(self.seed, path), path, chain, res.x)
+        ]
+        while heap:
+            bound, tie, pth, chn, x = heappop(heap)
+            if bound >= cutoff():
+                continue
+            if nodes >= node_budget or (deadline is not None
+                                        and deadline.expired()):
+                hit_deadline = (deadline is not None and deadline.expired())
+                leftovers.append((bound, pth, chn))
+                leftovers.extend((b, p, c) for b, _, p, c, _ in heap)
+                break
+            nodes += 1
+            order = fold_hash(order, tie)
+
+            j = pc_base.pick(x, self.branch_idx, extra=pc_delta)
+            if j is None:
+                if bound < best_val:
+                    best_val, best_x = bound, x
+                    if best_val < local_inc:
+                        local_inc = best_val
+                        broadcast(best_val)
+                continue
+
+            lp.set_bounds(chn)
+            xj = x[j]
+            f_down = xj - math.floor(xj)
+            for direction in ("down", "up"):
+                if direction == "down":
+                    value, is_ub = float(math.floor(xj)), True
+                    if lp.lb[j] > value:
+                        continue
+                else:
+                    value, is_ub = float(math.ceil(xj)), False
+                    if value > lp.ub[j]:
+                        continue
+                extra: List[Delta] = []
+                if self.tightener is not None:
+                    infeasible, extra = self.tightener.propagate(
+                        lp.lb, lp.ub, j, is_ub, value)
+                    if infeasible:
+                        tight_prunes += 1
+                        continue
+                child_chain = chn + ((j, is_ub, value),) + tuple(extra)
+                lp.set_bounds(child_chain)
+                child = lp.solve()
+                lp.set_bounds(chn)
+                if child.status != 0:
+                    continue
+                child_bound = float(child.fun)
+                pc_delta.update(j, is_ub is False, child_bound - bound,
+                                f_down if direction == "down" else 1.0 - f_down)
+                child_x = child.x
+                if pc_base.pick(child_x, self.branch_idx,
+                                extra=pc_delta) is None:
+                    if child_bound < best_val:
+                        best_val, best_x = child_bound, child_x
+                        if best_val < local_inc:
+                            local_inc = best_val
+                            broadcast(best_val)
+                elif child_bound < cutoff():
+                    child_path = pth + (encode_step(j, is_ub),)
+                    heappush(heap, (child_bound,
+                                    path_tie(self.seed, child_path),
+                                    child_path, child_chain, child_x))
+
+        out.update(
+            nodes=nodes, lp_calls=lp.lp_calls - lp0,
+            lp_iterations=lp.lp_iterations - it0,
+            tight_prunes=tight_prunes, order=order, best_val=best_val,
+            best_x=best_x, leftovers=leftovers, pc=pc_delta.snapshot(),
+            hit_deadline=hit_deadline,
+        )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _worker_main(wid: int, payload: bytes, task_r, res_w, shared_best,
+                 eager: bool) -> None:
+    """Worker entry point: build a warm explorer, then serve tasks."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        cfg = pickle.loads(payload)
+        explorer = SubtreeExplorer(
+            cfg["form"], use_cuts=cfg["use_cuts"],
+            tighten=cfg["tighten"], seed=cfg["seed"])
+        res_w.send(("ready", wid))
+    except Exception:  # pragma: no cover - construction failures
+        try:
+            res_w.send(("error", wid, traceback.format_exc()))
+        except Exception:
+            pass
+        return
+    while True:
+        try:
+            msg = task_r.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        task = msg[1]
+        try:
+            result = explorer.run_task(
+                task["chain"], task["path"],
+                incumbent_val=task["incumbent"],
+                node_budget=task["budget"],
+                pc_arrays=task["pc"],
+                mip_gap=task["mip_gap"],
+                deadline=(Deadline.from_wire(task["deadline"])
+                          if task["deadline"] is not None else None),
+                shared_best=shared_best, eager=eager)
+            res_w.send(("result", wid, result))
+        except Exception:
+            try:
+                res_w.send(("error", wid, traceback.format_exc()))
+            except Exception:
+                break
+
+
+def pick_context(name: Optional[str] = None) -> mp.context.BaseContext:
+    """The multiprocessing context for the worker pool.
+
+    ``fork`` gives by far the cheapest start (the compiled model and
+    scipy are already in memory) but is unsafe under live threads
+    (portfolio races members on threads), so it is only auto-picked in
+    single-threaded processes. ``REPRO_PARALLEL_BB_CTX`` overrides.
+    """
+    name = name or os.environ.get(CTX_ENV)
+    if name:
+        return mp.get_context(name)
+    methods = mp.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return mp.get_context("fork")
+    return mp.get_context("spawn")
+
+
+class _Seat:
+    """One worker seat: process + its two simplex pipes + in-flight task."""
+
+    __slots__ = ("wid", "proc", "task_w", "res_r", "busy")
+
+    def __init__(self, wid: int, proc, task_w, res_r) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.task_w = task_w
+        self.res_r = res_r
+        self.busy: Optional[Dict[str, Any]] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+
+class WorkerPool:
+    """A pool of warm B&B workers with pipe IPC and death recovery.
+
+    ``inline_fn`` is a coordinator-side fallback that runs one dispatch
+    dict locally; it is used when every seat is lost, so a round always
+    completes with the exact results the workers would have produced.
+    """
+
+    def __init__(self, form, workers: int, *, use_cuts: bool = True,
+                 tighten: bool = True, seed: int = 0, eager: bool = False,
+                 inline_fn: Optional[Callable[[Dict[str, Any]],
+                                              Dict[str, Any]]] = None,
+                 mp_context: Optional[str] = None, tracer=None,
+                 start_timeout: float = 60.0) -> None:
+        self.workers = workers
+        self._payload = pickle.dumps(
+            {"form": form, "use_cuts": use_cuts, "tighten": tighten,
+             "seed": seed},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self._eager = eager
+        self._inline_fn = inline_fn
+        self._tracer = tracer
+        self._start_timeout = start_timeout
+        self._ctx = pick_context(mp_context)
+        self.shared_best = self._ctx.Value("d", math.inf, lock=False)
+        self._seats: List[_Seat] = []
+        self.steals = 0
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, wid: int) -> _Seat:
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        res_r, res_w = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self._payload, task_r, res_w, self.shared_best,
+                  self._eager),
+            daemon=True, name=f"bb-worker-{wid}")
+        proc.start()
+        task_r.close()
+        res_w.close()
+        return _Seat(wid, proc, task_w, res_r)
+
+    def _await_ready(self, seat: _Seat, timeout: float) -> bool:
+        if not seat.res_r.poll(timeout):
+            return False
+        try:
+            msg = seat.res_r.recv()
+        except (EOFError, OSError):
+            return False
+        if msg[0] == "error":
+            raise SolverError(f"parallel_bb worker failed to start:\n{msg[2]}")
+        return msg[0] == "ready"
+
+    def start(self) -> bool:
+        """Spawn and warm every seat; False means the pool is unusable."""
+        try:
+            self._seats = [self._spawn(i) for i in range(self.workers)]
+            for seat in self._seats:
+                if not self._await_ready(seat, self._start_timeout):
+                    self.stop()
+                    return False
+        except SolverError:
+            self.stop()
+            raise
+        except Exception:
+            self.stop()
+            return False
+        return True
+
+    def stop(self) -> None:
+        for seat in self._seats:
+            if seat.proc is None:
+                continue
+            try:
+                seat.task_w.send(("stop",))
+            except Exception:
+                pass
+        for seat in self._seats:
+            if seat.proc is None:
+                continue
+            seat.proc.join(timeout=0.5)
+            if seat.proc.is_alive():
+                seat.proc.terminate()
+                seat.proc.join(timeout=0.5)
+                if seat.proc.is_alive():  # pragma: no cover
+                    seat.proc.kill()
+                    seat.proc.join(timeout=0.5)
+            for conn in (seat.task_w, seat.res_r):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            seat.proc = None
+        self._seats = []
+
+    def abort(self) -> None:
+        """Hard-stop every worker (cancelled mid-round)."""
+        for seat in self._seats:
+            if seat.proc is not None and seat.proc.is_alive():
+                seat.proc.terminate()
+        self.stop()
+
+    # -- death handling ------------------------------------------------
+    def _on_death(self, seat: _Seat,
+                  pending: "deque[Dict[str, Any]]") -> None:
+        if self._tracer is not None:
+            self._tracer.event("worker_down", worker=seat.wid,
+                               had_task=seat.busy is not None)
+        if seat.busy is not None:
+            # Re-running a task is deterministic, so re-queueing the
+            # exact dispatch dict reproduces the lost result.
+            pending.appendleft(seat.busy)
+            seat.busy = None
+        if seat.proc is not None:
+            seat.proc.join(timeout=0.5)
+        for conn in (seat.task_w, seat.res_r):
+            try:
+                conn.close()
+            except Exception:
+                pass
+        seat.proc = None
+        try:
+            fresh = self._spawn(seat.wid)
+            if self._await_ready(fresh, self._start_timeout):
+                seat.proc = fresh.proc
+                seat.task_w = fresh.task_w
+                seat.res_r = fresh.res_r
+                self.restarts += 1
+                if self._tracer is not None:
+                    self._tracer.event("worker_respawned", worker=seat.wid)
+        except Exception:  # pragma: no cover - respawn best-effort
+            seat.proc = None
+
+    # -- rounds --------------------------------------------------------
+    def run_round(self, dispatches: Sequence[Dict[str, Any]], *,
+                  kill_wid: Optional[int] = None,
+                  cancel_event=None) -> Optional[List[Dict[str, Any]]]:
+        """Run one round of subtree tasks; None means cancelled.
+
+        ``kill_wid`` (fault injection) SIGKILLs that seat once it holds
+        a task, exercising the re-queue + respawn path deterministically
+        from the caller's fault plan.
+        """
+        pending: "deque[Dict[str, Any]]" = deque(dispatches)
+        results: List[Dict[str, Any]] = []
+        want = len(pending)
+        kill_pending = kill_wid is not None
+        while len(results) < want:
+            if cancel_event is not None and cancel_event.is_set():
+                self.abort()
+                return None
+            alive = [s for s in self._seats if s.alive]
+            if not alive:
+                # Every seat lost and respawn failed: finish the round
+                # in-process — same tasks, same deterministic results.
+                while pending:
+                    task = pending.popleft()
+                    if self._inline_fn is None:  # pragma: no cover
+                        raise SolverError("parallel_bb worker pool lost")
+                    results.append(self._inline_fn(task))
+                break
+            for seat in alive:
+                if not pending:
+                    break
+                if seat.busy is not None:
+                    continue
+                task = pending.popleft()
+                try:
+                    seat.task_w.send(("task", task))
+                except (BrokenPipeError, OSError):
+                    pending.appendleft(task)
+                    self._on_death(seat, pending)
+                    continue
+                seat.busy = task
+                if task.get("home") != seat.wid:
+                    self.steals += 1
+                    if self._tracer is not None:
+                        self._tracer.event(
+                            "steal", worker=seat.wid, home=task.get("home"),
+                            depth=len(task["path"]))
+            if kill_pending:
+                target = kill_wid % max(len(self._seats), 1)
+                victims = [s for s in self._seats
+                           if s.alive and s.busy is not None]
+                exact = [s for s in victims if s.wid == target]
+                if exact:
+                    victims = exact
+                if victims:
+                    os.kill(victims[0].proc.pid, signal.SIGKILL)
+                    kill_pending = False
+            busy = [s for s in self._seats if s.alive and s.busy is not None]
+            if not busy:
+                if pending:
+                    continue
+                break
+            ready = _conn_wait([s.res_r for s in busy], timeout=0.1)
+            for conn in ready:
+                seat = next(s for s in busy if s.res_r is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    self._on_death(seat, pending)
+                    continue
+                if msg[0] == "result":
+                    results.append(msg[2])
+                    seat.busy = None
+                elif msg[0] == "error":
+                    self.stop()
+                    raise SolverError(
+                        f"parallel_bb worker {seat.wid} failed:\n{msg[2]}")
+        return results
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for s in self._seats if s.alive)
+
+
+__all__ = [
+    "ROOT_EXPAND_NODES", "DISPATCH_BATCH", "TASK_NODE_BUDGET",
+    "PC_RELIABILITY", "CTX_ENV", "encode_step", "path_tie", "fold_hash",
+    "PseudoCosts", "SubtreeExplorer", "WorkerPool", "pick_context",
+]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -30,6 +30,27 @@ class SolverBackend:
         warm_start=None,
     ) -> Solution:
         raise NotImplementedError
+
+
+def merge_counters(*counter_dicts: Mapping[str, object]) -> Dict[str, object]:
+    """Sum solver counters from several search loops into one dict.
+
+    Numeric values add; everything else (strings, and identity-like
+    values whose key ends in ``_hash``) keeps the first occurrence. This
+    is the aggregation rule shared by the multi-worker backends (one
+    counter dict per worker/round) and the portfolio's cross-member
+    roll-up — historically each assumed a single solver loop and simply
+    overwrote.
+    """
+    merged: Dict[str, object] = {}
+    for counters in counter_dicts:
+        for key, value in counters.items():
+            if (key.endswith("_hash") or isinstance(value, bool)
+                    or not isinstance(value, (int, float))):
+                merged.setdefault(key, value)
+            else:
+                merged[key] = merged.get(key, 0) + value  # type: ignore
+    return merged
 
 
 class StandardForm:

@@ -1,0 +1,403 @@
+"""Multi-process branch-and-bound backend (``parallel_bb``).
+
+A coordinator/worker split of the serial :mod:`branch_bound` search,
+built on :mod:`repro.opt.parallel`:
+
+* the coordinator expands the root serially until the frontier is wide
+  enough (phase A), then runs *rounds*: pop a fixed best-first batch of
+  subtrees, dispatch them to worker processes (idle workers steal the
+  deepest pending subtree), and merge results at a barrier;
+* every worker owns a persistent warm
+  :class:`~repro.opt.incremental.IncrementalLP` plus the clique-cut
+  pool, so per-node cost stays at the warm re-solve price;
+* a shared ``multiprocessing.Value`` broadcasts incumbent bounds; the
+  default deterministic mode consumes it only at round boundaries (see
+  the determinism contract in :mod:`repro.opt.parallel`), while
+  ``eager_pruning=True`` lets workers prune against it mid-task;
+* pseudo-cost branching statistics are merged by the coordinator each
+  round and shipped with the next round's tasks;
+* a SIGKILLed worker is detected via pipe EOF, its in-flight subtree is
+  re-queued (re-running a task is deterministic) and the seat respawned.
+
+With ``workers=1`` the same round machinery runs fully in-process —
+that run is the determinism reference the multi-worker runs are
+compared against in ``tests/test_parallel_bb.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import ExitStack
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.deadline import Deadline
+from repro.obs.trace import current_tracer
+from repro.opt.incremental import map_back_solution
+from repro.opt.model import Model
+from repro.opt.parallel import (
+    DISPATCH_BATCH,
+    ROOT_EXPAND_NODES,
+    TASK_NODE_BUDGET,
+    PseudoCosts,
+    SubtreeExplorer,
+    WorkerPool,
+    fold_hash,
+    path_tie,
+)
+from repro.opt.result import Solution, SolveStatus
+from repro.opt.solvers.base import SolverBackend
+
+
+def default_workers() -> int:
+    """Worker-count default: the CPU count, clamped to [1, 4]."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class ParallelBranchBoundBackend(SolverBackend):
+    """Deterministic multi-process best-first branch-and-bound."""
+
+    name = "parallel_bb"
+
+    def __init__(self, workers: Optional[int] = None, *,
+                 max_nodes: int = 200_000, use_presolve: bool = True,
+                 use_cuts: bool = True, tighten: bool = True,
+                 eager_pruning: bool = False, seed: int = 0,
+                 root_nodes: int = ROOT_EXPAND_NODES,
+                 batch: int = DISPATCH_BATCH,
+                 task_budget: int = TASK_NODE_BUDGET,
+                 mp_context: Optional[str] = None,
+                 cancel_event=None, fault_plan=None) -> None:
+        self.workers = workers if workers else default_workers()
+        if self.workers < 1:
+            self.workers = 1
+        self.max_nodes = max_nodes
+        self.use_presolve = use_presolve
+        self.use_cuts = use_cuts
+        self.tighten = tighten
+        self.eager_pruning = eager_pruning
+        self.seed = seed
+        self.root_nodes = root_nodes
+        self.batch = batch
+        self.task_budget = task_budget
+        self.mp_context = mp_context
+        #: Optional :class:`threading.Event`; when set, the search stops
+        #: at the next round boundary (used by the portfolio backend).
+        self.cancel_event = cancel_event
+        #: Optional :class:`repro.testing.FaultPlan`; a ``"kill"`` draw
+        #: SIGKILLs one busy worker that round (chaos testing).
+        self.fault_plan = fault_plan
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        model: Model,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-9,
+        verbose: bool = False,
+        warm_start=None,
+    ) -> Solution:
+        deadline = Deadline.start(time_limit)
+
+        if self.use_presolve:
+            from repro.opt.presolve import presolve
+
+            reduction = presolve(model)
+            presolve_s = deadline.elapsed()
+            if reduction.proven_infeasible:
+                sol = Solution(SolveStatus.INFEASIBLE, solver=self.name,
+                               message="presolve proved infeasibility")
+                sol.timings.add("presolve", presolve_s)
+                return sol
+            inner = ParallelBranchBoundBackend(
+                self.workers, max_nodes=self.max_nodes, use_presolve=False,
+                use_cuts=self.use_cuts, tighten=self.tighten,
+                eager_pruning=self.eager_pruning, seed=self.seed,
+                root_nodes=self.root_nodes, batch=self.batch,
+                task_budget=self.task_budget, mp_context=self.mp_context,
+                cancel_event=self.cancel_event, fault_plan=self.fault_plan)
+            sol = inner.solve(reduction.model, deadline.remaining(), mip_gap,
+                              verbose, warm_start=warm_start)
+            sol = map_back_solution(sol, model, reduction, self.name)
+            sol.timings.add("presolve", presolve_s)
+            sol.counters["presolve_fixed"] = len(reduction.fixed)
+            return sol
+
+        if model.num_vars == 0:
+            const = getattr(model.objective, "constant", 0.0)
+            return Solution(SolveStatus.OPTIMAL, const, {}, solver=self.name)
+
+        form = model.compiled()
+        tracer = current_tracer()
+        with ExitStack() as stack:
+            coord_span = None
+            if tracer is not None:
+                coord_span = stack.enter_context(tracer.span(
+                    "parallel_bb", workers=self.workers, batch=self.batch,
+                    task_budget=self.task_budget))
+                tracer.metrics.gauge("bb_workers").set(self.workers)
+
+            explorer = SubtreeExplorer(form, use_cuts=self.use_cuts,
+                                       tighten=self.tighten, seed=self.seed)
+            if tracer is not None and explorer.cuts:
+                tracer.event("cut_round", solver=self.name,
+                             cuts=explorer.cuts, kind="clique")
+
+            # Seed the incumbent from the (already validated) warm start.
+            incumbent_x: Optional[np.ndarray] = None
+            incumbent_val = math.inf
+            incumbent_source = ""
+            if warm_start is not None:
+                x_warm = warm_start.vector(form)
+                if x_warm is not None and explorer.lp.check_feasible(x_warm):
+                    incumbent_x = x_warm
+                    incumbent_val = float(form.c @ x_warm)
+                    incumbent_source = warm_start.source
+                    if tracer is not None:
+                        tracer.event(
+                            "incumbent", solver=self.name, nodes=0,
+                            objective=form.report_objective(incumbent_val),
+                            source=incumbent_source)
+
+            def cutoff() -> float:
+                if math.isinf(incumbent_val):
+                    return math.inf
+                return incumbent_val - mip_gap * max(1.0, abs(incumbent_val))
+
+            def inline_run(task: Dict[str, Any]) -> Dict[str, Any]:
+                wire = task["deadline"]
+                return explorer.run_task(
+                    task["chain"], task["path"],
+                    incumbent_val=task["incumbent"],
+                    node_budget=task["budget"], pc_arrays=task["pc"],
+                    mip_gap=task["mip_gap"],
+                    deadline=(Deadline.from_wire(wire)
+                              if wire is not None else None))
+
+            pool: Optional[WorkerPool] = None
+            if self.workers > 1:
+                pool = WorkerPool(
+                    form, self.workers, use_cuts=self.use_cuts,
+                    tighten=self.tighten, seed=self.seed,
+                    eager=self.eager_pruning, inline_fn=inline_run,
+                    mp_context=self.mp_context, tracer=tracer)
+                if pool.start():
+                    stack.callback(pool.stop)
+                    if tracer is not None:
+                        for wid in range(self.workers):
+                            stack.enter_context(tracer.span(
+                                f"bb_worker:{wid}", parent=coord_span,
+                                worker=wid))
+                else:
+                    pool = None  # pool unusable: degrade to in-process
+
+            pc = PseudoCosts(form.n)
+            frontier: List[Tuple[float, int, tuple, tuple]] = []
+            nodes_total = 0
+            lp_calls = 0
+            lp_iterations = 0
+            tight_prunes = 0
+            order_hash = 0
+            rounds = 0
+            stopped: Optional[str] = None
+            cancelled_mid_round = False
+
+            def merge(results: List[Dict[str, Any]], at_nodes: int) -> None:
+                nonlocal nodes_total, lp_calls, lp_iterations, tight_prunes
+                nonlocal order_hash, incumbent_val, incumbent_x
+                results.sort(key=lambda r: r["path"])
+                for r in results:
+                    nodes_total += r["nodes"]
+                    lp_calls += r["lp_calls"]
+                    lp_iterations += r["lp_iterations"]
+                    tight_prunes += r["tight_prunes"]
+                    order_hash = fold_hash(order_hash, r["order"])
+                    pc.merge(r["pc"])
+                    if r["best_val"] < incumbent_val:
+                        incumbent_val = r["best_val"]
+                        incumbent_x = np.asarray(r["best_x"])
+                        if tracer is not None:
+                            tracer.event(
+                                "incumbent", solver=self.name,
+                                nodes=at_nodes + nodes_total,
+                                objective=form.report_objective(incumbent_val),
+                                source="search")
+                co = cutoff()
+                for r in results:
+                    for bound, path, chain in r["leftovers"]:
+                        if bound < co:
+                            heappush(frontier, (bound,
+                                                path_tie(self.seed, path),
+                                                path, chain))
+                if pool is not None and incumbent_val < pool.shared_best.value:
+                    pool.shared_best.value = incumbent_val
+                    if tracer is not None:
+                        tracer.event(
+                            "incumbent_broadcast", solver=self.name,
+                            objective=form.report_objective(incumbent_val),
+                            round=rounds)
+
+            # Phase A: serial root expansion to build the first frontier.
+            root = explorer.run_task(
+                (), (), incumbent_val=incumbent_val,
+                node_budget=self.root_nodes, pc_arrays=pc.snapshot(),
+                mip_gap=mip_gap, deadline=deadline)
+            root_status = root["root_status"]
+            if root_status == 2:
+                return Solution(SolveStatus.INFEASIBLE, solver=self.name)
+            if root_status == 3:
+                return Solution(SolveStatus.UNBOUNDED, solver=self.name)
+            if root_status != 0:
+                return Solution(SolveStatus.ERROR, solver=self.name,
+                                message=f"root LP status {root_status}")
+            if tracer is not None:
+                tracer.event("bound", solver=self.name,
+                             bound=form.report_objective(
+                                 root["leftovers"][0][0]
+                                 if root["leftovers"] else root["best_val"]),
+                             nodes=0)
+            merge([root], 0)
+
+            # Keep expanding serially until the frontier is wide enough
+            # AND an incumbent exists — rounds prune against the round-
+            # start incumbent only, so starting them with a finite
+            # cutoff is what keeps the parallel tree close to the
+            # serial one. Pure function of the model: deterministic.
+            phase_a_cap = max(4 * self.root_nodes, 64)
+            while (frontier and not deadline.expired()
+                   and not (self.cancel_event is not None
+                            and self.cancel_event.is_set())
+                   and nodes_total < phase_a_cap
+                   and (math.isinf(incumbent_val)
+                        or len(frontier) < self.batch)):
+                bound, _, path, chain = heappop(frontier)
+                if bound >= cutoff():
+                    continue
+                step = explorer.run_task(
+                    chain, path, incumbent_val=incumbent_val,
+                    node_budget=self.root_nodes, pc_arrays=pc.snapshot(),
+                    mip_gap=mip_gap, deadline=deadline)
+                merge([step], nodes_total)
+
+            # Rounds: fixed-size best-first batches, barrier-merged.
+            while frontier:
+                if deadline.expired():
+                    stopped = "deadline"
+                    if tracer is not None:
+                        tracer.event("deadline", where=self.name,
+                                     nodes=nodes_total, budget=time_limit)
+                    break
+                if self.cancel_event is not None and self.cancel_event.is_set():
+                    stopped = "cancelled"
+                    break
+                if nodes_total > self.max_nodes:
+                    stopped = "node_limit"
+                    break
+                co = cutoff()
+                batch: List[Tuple[float, tuple, tuple]] = []
+                while frontier and len(batch) < self.batch:
+                    bound, _, path, chain = heappop(frontier)
+                    if bound >= co:
+                        continue
+                    batch.append((bound, path, chain))
+                if not batch:
+                    break
+                rounds += 1
+                # Deepest-first dispatch order: the seats pull from the
+                # front, so an idle worker "steals" the deepest subtree.
+                batch.sort(key=lambda t: (-len(t[1]), t[1]))
+                wire = deadline.to_wire()
+                snap = pc.snapshot()
+                # Per-round budget ramp: early rounds stay short so the
+                # incumbent (frozen per round for determinism) refreshes
+                # quickly; later rounds amortize coordination. A pure
+                # function of the round index — never of worker count.
+                budget = min(self.task_budget, 8 << (rounds - 1))
+                dispatches = [
+                    {"chain": chain, "path": path, "incumbent": incumbent_val,
+                     "budget": budget, "pc": snap,
+                     "mip_gap": mip_gap, "deadline": wire,
+                     "home": i % self.workers}
+                    for i, (_, path, chain) in enumerate(batch)]
+                if pool is not None:
+                    kill_wid = None
+                    if (self.fault_plan is not None
+                            and self.fault_plan.draw() == "kill"):
+                        kill_wid = rounds - 1
+                    results = pool.run_round(dispatches, kill_wid=kill_wid,
+                                             cancel_event=self.cancel_event)
+                    if results is None:
+                        stopped = "cancelled"
+                        cancelled_mid_round = True
+                        break
+                else:
+                    results = [inline_run(d) for d in dispatches]
+                merge(results, nodes_total)
+                if tracer is not None:
+                    tracer.event("progress", solver=self.name,
+                                 nodes=nodes_total, open=len(frontier),
+                                 round=rounds, lp_calls=lp_calls,
+                                 bound=form.report_objective(
+                                     min(b for b, _, _ in batch)))
+
+            if stopped is not None and tracer is not None:
+                tracer.event("progress", solver=self.name, stop=stopped,
+                             nodes=nodes_total)
+
+            counters = {
+                "nodes": nodes_total,
+                "lp_calls": lp_calls,
+                "lp_iterations": lp_iterations,
+                "cuts": explorer.lp.cuts_added,
+                "tight_prunes": tight_prunes,
+                "node_order_hash": order_hash,
+                "bb_rounds": rounds,
+                "bb_workers": self.workers if pool is not None else 1,
+                "bb_steals": pool.steals if pool is not None else 0,
+                "bb_worker_restarts": pool.restarts if pool is not None else 0,
+            }
+            if incumbent_source:
+                counters["incumbent_seeded"] = 1
+            if tracer is not None and pool is not None:
+                tracer.metrics.counter("bb_steals").inc(pool.steals)
+                if pool.restarts:
+                    tracer.metrics.counter("bb_worker_restarts").inc(
+                        pool.restarts)
+
+            open_left = bool(frontier) or cancelled_mid_round
+            if incumbent_x is None:
+                if stopped is not None:
+                    sol = Solution(
+                        SolveStatus.TIME_LIMIT, solver=self.name,
+                        message=f"stopped ({stopped}) after "
+                                f"{nodes_total} nodes")
+                else:
+                    sol = Solution(SolveStatus.INFEASIBLE, solver=self.name)
+                sol.counters.update(counters)
+                return sol
+
+            int_idx = np.where(form.integrality == 1)[0]
+            x = incumbent_x.copy()
+            x[int_idx] = np.round(x[int_idx])
+            status = (SolveStatus.FEASIBLE
+                      if stopped is not None and open_left
+                      else SolveStatus.OPTIMAL)
+            message = (f"{nodes_total} nodes in {rounds} rounds "
+                       f"({counters['bb_workers']} workers)")
+            if incumbent_source:
+                message += f"; incumbent seeded from {incumbent_source}"
+            sol = Solution(
+                status,
+                form.report_objective(float(form.c @ x)),
+                form.solution_dict(x),
+                solver=self.name,
+                message=message,
+            )
+            sol.counters.update(counters)
+            return sol
+
+
+__all__ = ["ParallelBranchBoundBackend", "default_workers"]

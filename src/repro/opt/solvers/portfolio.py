@@ -19,6 +19,14 @@ GIL, the compiled model is shared read-only, and cancellation is a
 cheap :class:`threading.Event` instead of process kill. On a single
 core the race still helps whenever one member finishes quickly — the
 loser is cancelled after at most one further LP relaxation.
+
+``parallel_bb`` (optionally as a ``"parallel_bb:N"`` worker spec) can
+race too: it gets the same cancellation event, which it checks at every
+round boundary, and its worker pool is torn down when it loses. Search
+effort spent by *every* member that finished is rolled up into the
+winner's ``race_*`` counters via
+:func:`repro.opt.solvers.base.merge_counters`, so multi-loop solves no
+longer under-report their cost.
 """
 
 from __future__ import annotations
@@ -78,6 +86,14 @@ class PortfolioBackend(SolverBackend):
             from repro.opt.solvers.branch_bound import BranchBoundBackend
 
             return BranchBoundBackend(cancel_event=cancel)
+        if member == "parallel_bb" or member.startswith("parallel_bb:"):
+            from repro.opt.solvers import parse_backend_spec
+            from repro.opt.solvers.parallel_bb import (
+                ParallelBranchBoundBackend,
+            )
+
+            _, workers = parse_backend_spec(member)
+            return ParallelBranchBoundBackend(workers, cancel_event=cancel)
         from repro.opt.solvers import get_backend
 
         return get_backend(member)
@@ -149,6 +165,7 @@ class PortfolioBackend(SolverBackend):
 
         winner: Optional[Tuple[str, Solution]] = None
         fallback: Optional[Tuple[str, Solution]] = None
+        completed: List[Tuple[str, Solution]] = []
         failures: List[Tuple[str, str]] = []
         pool = ThreadPoolExecutor(max_workers=len(backends),
                                   thread_name_prefix="portfolio")
@@ -171,6 +188,7 @@ class PortfolioBackend(SolverBackend):
                             tracer.event("member_failed", member=member,
                                          reason=f"{type(exc).__name__}: {exc}")
                         continue
+                    completed.append((name, sol))
                     if sol.status in _CONCLUSIVE:
                         if winner is None:
                             winner = (name, sol)
@@ -200,6 +218,17 @@ class PortfolioBackend(SolverBackend):
         name, sol = chosen
         sol.solver = f"{self.name}({name})"
         sol.runtime = time.perf_counter() - start
+        # Roll the losers' search effort up into the winner so the race's
+        # true cost is visible (summed, not overwritten — see
+        # merge_counters for the aggregation rule).
+        others = [s.counters for n, s in completed if s is not sol]
+        if others:
+            from repro.opt.solvers.base import merge_counters
+
+            total = merge_counters(sol.counters, *others)
+            for key in ("nodes", "lp_calls", "lp_iterations", "cuts"):
+                if total.get(key):
+                    sol.counters[f"race_{key}"] = total[key]
         if tracer is not None:
             tracer.event("race_winner", member=name, status=sol.status.value,
                          conclusive=winner is not None)

@@ -203,3 +203,76 @@ def test_pressure_degradation_recorded_in_counters():
     assert clean.status is SynthesisStatus.OPTIMAL
     assert "pressure_degraded" not in clean.counters
     assert clean.pressure is not None and not clean.pressure.degraded
+
+
+# ---------------------------------------------------------------------------
+# process-boundary serialization
+# ---------------------------------------------------------------------------
+
+def test_deadline_pickle_carries_remaining_not_clock_anchor():
+    """A pickled deadline must re-arm with the *remaining* budget.
+
+    The monotonic anchor is per-process; the historical bug was that a
+    deadline crossing a spawn boundary silently re-granted the full
+    original budget (or worse, a nonsense one from the child's clock
+    epoch). Serializing must therefore capture remaining seconds.
+    """
+    import pickle
+
+    d = Deadline(10.0)
+    time.sleep(0.05)
+    clone = pickle.loads(pickle.dumps(d))
+    assert clone.bounded
+    # The clone's *limit* equals the remaining budget at pickle time —
+    # strictly less than the original limit, never a reset to 10s.
+    assert clone.limit is not None
+    assert clone.limit <= 10.0 - 0.04
+    assert clone.remaining() <= clone.limit
+
+
+def test_deadline_pickle_unbounded_stays_unbounded():
+    import pickle
+
+    clone = pickle.loads(pickle.dumps(Deadline(None)))
+    assert not clone.bounded
+    assert clone.remaining() is None
+    assert not clone.expired()
+
+
+def test_deadline_pickle_expired_stays_expired():
+    import pickle
+
+    d = Deadline(0.0)
+    clone = pickle.loads(pickle.dumps(d))
+    assert clone.expired()
+    assert clone.remaining() == 0.0
+
+
+def test_deadline_wire_round_trip():
+    d = Deadline(5.0)
+    wire = d.to_wire()
+    assert wire is not None and 0.0 < wire <= 5.0
+    rebuilt = Deadline.from_wire(wire)
+    assert rebuilt.bounded and rebuilt.remaining() <= wire
+    assert Deadline.from_wire(Deadline(None).to_wire()).remaining() is None
+
+
+def test_deadline_survives_real_process_hop():
+    """End to end: a child process sees a shrunk, working budget."""
+    import multiprocessing as mp
+    import pickle
+
+    d = Deadline(30.0)
+    time.sleep(0.02)
+    payload = pickle.dumps(d)
+
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        remaining = pool.apply(_remaining_of, (payload,))
+    assert 0.0 < remaining < 30.0
+
+
+def _remaining_of(payload: bytes) -> float:
+    import pickle
+
+    return pickle.loads(payload).remaining()

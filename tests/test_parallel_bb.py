@@ -1,0 +1,351 @@
+"""Parallel branch-and-bound: determinism, faults, integration.
+
+The determinism contract under test (see :mod:`repro.opt.parallel`):
+the same model solved with 1, 2 and 4 workers must return the identical
+objective, variable assignment, ``nodes``/``lp_calls`` counters and
+``node_order_hash`` — parallelism changes wall-clock only. A SIGKILLed
+worker must not change any of that either: its in-flight subtree is
+re-queued and re-run, and re-running a task is deterministic.
+"""
+
+import math
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BindingPolicy, SynthesisOptions, synthesize
+from repro.cases import chip_sw1
+from repro.errors import SolverError
+from repro.opt import DeltaTightener, Model, SolveStatus, quicksum
+from repro.opt.parallel import PseudoCosts, SubtreeExplorer, path_tie
+from repro.opt.solvers import (
+    available_backends,
+    get_backend,
+    merge_counters,
+    parse_backend_spec,
+    register_backend,
+)
+from repro.opt.solvers.parallel_bb import ParallelBranchBoundBackend
+from repro.opt.solvers.portfolio import PortfolioBackend
+from repro.testing import FaultPlan
+
+#: Counters that must be identical across worker counts.
+DETERMINISTIC_COUNTERS = ("nodes", "lp_calls", "lp_iterations",
+                          "node_order_hash", "bb_rounds", "tight_prunes")
+
+
+def knapsack_hard(seed=2, n=18, rows=4, tightness=0.45):
+    """A multi-dimensional knapsack whose LP relaxation is fractional —
+    the search genuinely opens a tree (unlike the scheduling-style
+    models, whose relaxations are often integral at the root)."""
+    rng = random.Random(seed)
+    m = Model(f"mkp{seed}_{n}")
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    weights = [[rng.randint(3, 30) for _ in range(n)] for _ in range(rows)]
+    for r in range(rows):
+        m.add_constr(quicksum(weights[r][i] * xs[i] for i in range(n))
+                     <= int(tightness * sum(weights[r])))
+    values = [rng.randint(5, 40) for _ in range(n)]
+    m.set_objective(quicksum(values[i] * xs[i] for i in range(n)), "max")
+    return m
+
+
+def signature(sol):
+    values = tuple(sorted((v.name, round(val))
+                          for v, val in sol.values.items()))
+    counters = tuple(sol.counters.get(k) for k in DETERMINISTIC_COUNTERS)
+    return (sol.objective, values, counters)
+
+
+# ----------------------------------------------------------------------
+# Determinism + correctness
+# ----------------------------------------------------------------------
+
+def test_identical_results_across_worker_counts():
+    reference = knapsack_hard().solve(backend="highs")
+    signatures = {}
+    for workers in (1, 2, 4):
+        sol = knapsack_hard().solve(backend=f"parallel_bb:{workers}")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(reference.objective)
+        signatures[workers] = signature(sol)
+    assert signatures[1] == signatures[2] == signatures[4]
+    # the search actually ran in rounds (tree was not trivial)
+    sol = knapsack_hard().solve(backend="parallel_bb:1")
+    assert sol.counters["bb_rounds"] >= 1
+    assert sol.counters["node_order_hash"] != 0
+
+
+def test_repeated_runs_bit_identical():
+    a = knapsack_hard(seed=4, n=16).solve(backend="parallel_bb:2")
+    b = knapsack_hard(seed=4, n=16).solve(backend="parallel_bb:2")
+    assert signature(a) == signature(b)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_agrees_with_highs_on_random_models(seed):
+    rng = random.Random(seed)
+    m = Model(f"xcheck{seed}")
+    n = rng.randint(3, 6)
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    z = m.add_integer("z", 0, 4)
+    for _ in range(rng.randint(1, 4)):
+        coeffs = [rng.randint(-2, 2) for _ in range(n)]
+        m.add_constr(quicksum(c * x for c, x in zip(coeffs, xs))
+                     + rng.choice([0, 1]) * z <= rng.randint(-1, 4))
+    m.set_objective(
+        quicksum(rng.randint(-3, 3) * x for x in xs) + z, "min")
+    ref = m.solve(backend="highs")
+    sol = m.solve(backend="parallel_bb:2")
+    assert sol.status is ref.status
+    if ref.status is SolveStatus.OPTIMAL:
+        assert sol.objective == pytest.approx(ref.objective)
+
+
+def test_eager_pruning_same_objective():
+    """Eager mode trades counter determinism for speed — never the
+    optimum."""
+    ref = knapsack_hard().solve(backend="parallel_bb:1")
+    eager = ParallelBranchBoundBackend(2, eager_pruning=True)
+    sol = eager.solve(knapsack_hard())
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(ref.objective)
+
+
+def test_infeasible_detected():
+    m = Model()
+    x = m.add_binary("x")
+    m.add_constr(x >= 1)
+    m.add_constr(x <= 0)
+    assert m.solve(backend="parallel_bb:2").status is SolveStatus.INFEASIBLE
+
+
+def test_continuous_lp_and_equalities():
+    m = Model()
+    x = m.add_integer("x", 0, 10)
+    y = m.add_integer("y", 0, 10)
+    m.add_constr(x + y == 7)
+    m.add_constr(x - y == 1)
+    m.set_objective(x, "min")
+    sol = m.solve(backend="parallel_bb")
+    assert sol.int_value(x) == 4 and sol.int_value(y) == 3
+
+
+def test_time_limit_zero_returns_time_limit():
+    sol = knapsack_hard().solve(backend="parallel_bb:2", time_limit=0.0)
+    assert sol.status is SolveStatus.TIME_LIMIT
+
+
+def test_cancel_event_stops_at_round_boundary():
+    cancel = threading.Event()
+    cancel.set()
+    backend = ParallelBranchBoundBackend(2, cancel_event=cancel)
+    sol = backend.solve(knapsack_hard())
+    # pre-cancelled: the search may keep phase-A findings but must not
+    # claim a completed proof with open subtrees left
+    assert sol.status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE,
+                          SolveStatus.OPTIMAL)
+
+
+def test_warm_start_seeds_incumbent():
+    m = knapsack_hard(seed=9, n=14)
+    ref = m.solve(backend="highs")
+    warm = {v: ref.values[v] for v in m.variables}
+    m2 = knapsack_hard(seed=9, n=14)
+    by_name = {v.name: val for v, val in warm.items()}
+    warm2 = {v: by_name[v.name] for v in m2.variables}
+    sol = m2.solve(backend="parallel_bb:2", warm_start=warm2)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(ref.objective)
+    assert sol.counters.get("incumbent_seeded") == 1
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+
+def test_sigkilled_worker_is_requeued_and_result_unchanged():
+    baseline = knapsack_hard().solve(backend="parallel_bb:2")
+    if baseline.counters["bb_workers"] < 2:  # pragma: no cover
+        pytest.skip("worker pool unavailable in this environment")
+    assert baseline.counters["bb_rounds"] >= 1
+
+    chaotic = ParallelBranchBoundBackend(
+        2, fault_plan=FaultPlan(schedule=["kill"]))
+    sol = chaotic.solve(knapsack_hard())
+    assert sol.status is SolveStatus.OPTIMAL
+    # the kill actually happened and was recovered
+    assert sol.counters["bb_worker_restarts"] >= 1
+    # ... and changed nothing about the search outcome
+    assert signature(sol) == signature(baseline)
+
+
+# ----------------------------------------------------------------------
+# Registry / spec strings / portfolio integration
+# ----------------------------------------------------------------------
+
+def test_backend_registry_and_spec_strings():
+    assert available_backends()["parallel_bb"]
+    assert get_backend("parallel_bb:3").workers == 3
+    assert parse_backend_spec("parallel_bb:4") == ("parallel_bb", 4)
+    assert parse_backend_spec("branch_bound") == ("branch_bound", None)
+    with pytest.raises(SolverError):
+        parse_backend_spec("parallel_bb:zero")
+    with pytest.raises(SolverError):
+        parse_backend_spec("parallel_bb:0")
+    with pytest.raises(SolverError):
+        register_backend("parallel_bb:2", ParallelBranchBoundBackend)
+
+
+def test_portfolio_accepts_parallel_bb_member():
+    portfolio = PortfolioBackend(members=["highs", "parallel_bb:2"])
+    sol = portfolio.solve(knapsack_hard(seed=4, n=16))
+    ref = knapsack_hard(seed=4, n=16).solve(backend="highs")
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(ref.objective)
+    assert sol.solver.startswith("portfolio(")
+
+
+def test_merge_counters_sums_numeric_keeps_identity():
+    merged = merge_counters(
+        {"nodes": 3, "lp_calls": 5, "node_order_hash": 111, "solver": "a"},
+        {"nodes": 4, "lp_calls": 7, "node_order_hash": 222},
+    )
+    assert merged["nodes"] == 7
+    assert merged["lp_calls"] == 12
+    assert merged["node_order_hash"] == 111  # identity, not a sum
+    assert merged["solver"] == "a"
+
+
+# ----------------------------------------------------------------------
+# Engine internals
+# ----------------------------------------------------------------------
+
+def test_path_tie_is_pure_function_of_identity():
+    assert path_tie(0, (1, 2, 3)) == path_tie(0, (1, 2, 3))
+    assert path_tie(0, (1, 2, 3)) != path_tie(1, (1, 2, 3))
+    assert path_tie(0, (1, 2)) != path_tie(0, (2, 1))
+
+
+def test_pseudocosts_merge_and_pick():
+    pc = PseudoCosts(3)
+    pc.update(0, False, degradation=4.0, fraction=0.5)
+    pc.update(0, True, degradation=4.0, fraction=0.5)
+    other = PseudoCosts(3)
+    other.update(1, False, degradation=0.1, fraction=0.5)
+    other.update(1, True, degradation=0.1, fraction=0.5)
+    pc.merge(other.snapshot())
+    branch_idx = np.array([0, 1, 2])
+    # both 0 and 1 are reliable; 0 has far larger degradation per unit
+    x = np.array([0.5, 0.5, 0.0])
+    assert pc.pick(x, branch_idx) == 0
+    # integral vector: nothing to branch on
+    assert pc.pick(np.array([1.0, 0.0, 1.0]), branch_idx) is None
+    # no reliable stats at all: most fractional wins
+    fresh = PseudoCosts(3)
+    assert fresh.pick(np.array([0.2, 0.49, 0.0]), branch_idx) == 1
+
+
+def test_subtree_explorer_task_is_deterministic():
+    form = knapsack_hard().compiled()
+    a = SubtreeExplorer(form, seed=0).run_task((), (), node_budget=40)
+    b = SubtreeExplorer(form, seed=0).run_task((), (), node_budget=40)
+    assert a["nodes"] == b["nodes"] > 0
+    assert a["order"] == b["order"]
+    assert a["lp_calls"] == b["lp_calls"]
+    assert [l[:2] for l in a["leftovers"]] == [l[:2] for l in b["leftovers"]]
+
+
+# ----------------------------------------------------------------------
+# DeltaTightener (per-node vectorized bound propagation)
+# ----------------------------------------------------------------------
+
+def _compiled(builder):
+    m = Model()
+    builder(m)
+    return m, m.compiled()
+
+
+def test_delta_tightener_implied_upper_bound():
+    def build(m):
+        x = m.add_integer("x", 0, 3)
+        y = m.add_integer("y", 0, 3)
+        m.add_constr(x + y <= 3)
+        m.set_objective(x + y, "max")
+
+    _, form = _compiled(build)
+    tight = DeltaTightener(form)
+    # branch x >= 3 forces y <= 0
+    infeasible, extra = tight.propagate(form.lb, form.ub, 0, False, 3.0)
+    assert not infeasible
+    assert (1, True, 0.0) in extra
+
+
+def test_delta_tightener_implied_lower_bound():
+    def build(m):
+        a = m.add_integer("a", 0, 3)
+        b = m.add_integer("b", 0, 3)
+        m.add_constr(a + b >= 5)
+        m.set_objective(a + b, "min")
+
+    _, form = _compiled(build)
+    tight = DeltaTightener(form)
+    # branch a <= 2 forces b >= 3
+    infeasible, extra = tight.propagate(form.lb, form.ub, 0, True, 2.0)
+    assert not infeasible
+    assert (1, False, 3.0) in extra
+
+
+def test_delta_tightener_detects_infeasibility():
+    def build(m):
+        x = m.add_integer("x", 0, 3)
+        y = m.add_integer("y", 0, 3)
+        m.add_constr(x + y >= 5)
+        m.set_objective(x, "min")
+
+    _, form = _compiled(build)
+    tight = DeltaTightener(form)
+    # branch x <= 1: max activity 1 + 3 = 4 < 5
+    infeasible, extra = tight.propagate(form.lb, form.ub, 0, True, 1.0)
+    assert infeasible and extra == []
+
+
+def test_delta_tightener_equality_rows():
+    def build(m):
+        p = m.add_integer("p", 0, 4)
+        q = m.add_integer("q", 0, 2)
+        m.add_constr(p + 2 * q == 4)
+        m.set_objective(p, "min")
+
+    _, form = _compiled(build)
+    tight = DeltaTightener(form)
+    # branch q >= 2 pins p <= 0
+    infeasible, extra = tight.propagate(form.lb, form.ub, 1, False, 2.0)
+    assert not infeasible
+    assert (0, True, 0.0) in extra
+
+
+def test_delta_tightener_never_cuts_the_optimum():
+    """Tightening on vs off must agree on every optimum (exactness)."""
+    for seed in (2, 4, 9):
+        on = ParallelBranchBoundBackend(1, tighten=True).solve(
+            knapsack_hard(seed=seed, n=14))
+        off = ParallelBranchBoundBackend(1, tighten=False).solve(
+            knapsack_hard(seed=seed, n=14))
+        assert on.objective == pytest.approx(off.objective)
+
+
+# ----------------------------------------------------------------------
+# Synthesis integration
+# ----------------------------------------------------------------------
+
+def test_synthesize_with_parallel_backend():
+    spec = chip_sw1(BindingPolicy.FIXED)
+    result = synthesize(
+        spec, SynthesisOptions(backend="parallel_bb:2", time_limit=120.0))
+    assert result.status.solved
+    reference = synthesize(
+        spec, SynthesisOptions(backend="branch_bound", time_limit=120.0))
+    assert result.objective == pytest.approx(reference.objective)
