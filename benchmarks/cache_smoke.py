@@ -1,0 +1,184 @@
+"""Cold/warm smoke driver for the persistent solve cache.
+
+Orchestrates the cross-process cache story end to end, the way CI
+runs it:
+
+1. **Cold pass** — a child process sweeps N generated cases against an
+   empty :class:`repro.store.Store`, exporting every result as JSON
+   and a pass summary (wall clock, Tier-A hit count).
+2. **Warm pass** — a *second* child process repeats the identical
+   sweep against the now-populated store. Nothing in-process survives
+   between the passes, so every hit must come off disk, cross the
+   entry-envelope validation and the independent result
+   re-verification.
+3. **Validation** — the orchestrator gates on a >=90% Tier-A hit rate
+   in the warm pass, byte-identical result JSON between the passes
+   (measurement fields aside), a warm sweep at least
+   :data:`WARM_FLOOR`x faster than cold, and a clean
+   ``repro cache verify`` over the final store.
+
+Usage (the orchestrating entry point CI calls)::
+
+    python benchmarks/cache_smoke.py --out cache-artifacts
+
+Artifacts land in ``--out``: ``cold/`` and ``warm/`` result exports,
+``stats.json`` (the final store inventory) and ``summary.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cases import generate_case  # noqa: E402
+from repro.core import BindingPolicy, SynthesisOptions, synthesize  # noqa: E402
+from repro.io.atomic import atomic_write_text  # noqa: E402
+from repro.io.result_json import result_to_dict  # noqa: E402
+from repro.store import Store  # noqa: E402
+
+#: Warm pass must answer at least this fraction of cases from Tier A.
+HIT_RATE_FLOOR = 0.9
+#: Warm sweep wall-clock must beat cold by at least this factor.
+WARM_FLOOR = 5.0
+#: Fields that legitimately differ between the passes (timers only).
+VOLATILE = ("runtime_s", "timings_s", "counters")
+
+
+def make_specs(n: int):
+    """Small 3-flow cases: a few hundred ms cold, milliseconds warm."""
+    return [generate_case(seed=40 + s, switch_size=8, n_flows=3)
+            for s in range(n)]
+
+
+def sweep(args: argparse.Namespace) -> int:
+    """One pass (child process): solve every case against the store."""
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    store = Store(args.store)
+    options = SynthesisOptions(time_limit=120, store=store)
+    hits = 0
+    start = time.perf_counter()
+    for i, spec in enumerate(make_specs(args.specs)):
+        result = synthesize(spec, options)
+        hits += result.counters.get("store_hit", 0)
+        atomic_write_text(
+            out / f"case_{i:02d}.json",
+            json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+            + "\n")
+    wall = time.perf_counter() - start
+    atomic_write_text(out / "pass.json", json.dumps({
+        "cases": args.specs,
+        "tier_a_hits": hits,
+        "wall_s": round(wall, 6),
+        "store": store.stats(),
+    }, indent=2) + "\n")
+    return 0
+
+
+def _comparable(path: Path) -> str:
+    row = json.loads(path.read_text(encoding="utf-8"))
+    for volatile in VOLATILE:
+        row.pop(volatile, None)
+    return json.dumps(row, sort_keys=True)
+
+
+def _run_child(argv, env) -> None:
+    proc = subprocess.run([sys.executable, *argv], env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"child {' '.join(argv[1:])} failed "
+                         f"(rc {proc.returncode})")
+
+
+def orchestrate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    store_root = out / "store"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+
+    passes = {}
+    for label in ("cold", "warm"):
+        _run_child([__file__, "--sweep", "--specs", str(args.specs),
+                    "--store", str(store_root), "--out", str(out / label)],
+                   env)
+        passes[label] = json.loads(
+            (out / label / "pass.json").read_text(encoding="utf-8"))
+
+    failures = []
+    cold, warm = passes["cold"], passes["warm"]
+    hit_rate = warm["tier_a_hits"] / warm["cases"]
+    if hit_rate < HIT_RATE_FLOOR:
+        failures.append(
+            f"warm Tier-A hit rate {hit_rate:.0%} below "
+            f"{HIT_RATE_FLOOR:.0%} ({warm['tier_a_hits']}/{warm['cases']})")
+    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    if speedup < WARM_FLOOR:
+        failures.append(
+            f"warm sweep only {speedup:.1f}x faster than cold "
+            f"({cold['wall_s']}s -> {warm['wall_s']}s), floor {WARM_FLOOR}x")
+    mismatched = [
+        path.name for path in sorted((out / "cold").glob("case_*.json"))
+        if _comparable(path) != _comparable(out / "warm" / path.name)
+    ]
+    if mismatched:
+        failures.append(f"warm results differ from cold: {mismatched}")
+
+    # The store the two passes shared must survive a strict audit.
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro", "cache", "verify",
+         "--store", str(store_root)], env=env)
+    if verify.returncode != 0:
+        failures.append(f"repro cache verify failed (rc {verify.returncode})")
+
+    atomic_write_text(out / "stats.json", json.dumps(
+        Store(store_root).stats(), indent=2, sort_keys=True) + "\n")
+    summary = {
+        "specs": args.specs,
+        "cold": cold,
+        "warm": warm,
+        "warm_hit_rate": round(hit_rate, 4),
+        "warm_speedup": round(speedup, 3),
+        "mismatched_results": mismatched,
+        "failures": failures,
+        "ok": not failures,
+    }
+    atomic_write_text(out / "summary.json",
+                      json.dumps(summary, indent=2) + "\n")
+    print(json.dumps(summary, indent=2))
+    if failures:
+        print("CACHE SMOKE FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"cache smoke OK: {warm['tier_a_hits']}/{warm['cases']} warm "
+          f"hits, {speedup:.0f}x faster, store verified")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--specs", type=int, default=4,
+                        help="number of generated cases to sweep")
+    parser.add_argument("--out", default="cache-artifacts",
+                        help="artifact directory")
+    parser.add_argument("--store", default=None,
+                        help="(internal) store root for a --sweep child")
+    parser.add_argument("--sweep", action="store_true",
+                        help="(internal) run one sweep pass and exit")
+    args = parser.parse_args(argv)
+    if args.sweep:
+        if not args.store:
+            parser.error("--sweep requires --store")
+        return sweep(args)
+    return orchestrate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

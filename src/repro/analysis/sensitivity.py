@@ -88,6 +88,7 @@ def weight_sweep(
     ),
     options: Optional[SynthesisOptions] = None,
     context: Optional[SolveContext] = None,
+    store=None,
 ) -> WeightSweep:
     """Solve the same case under several objective weightings.
 
@@ -95,10 +96,21 @@ def weight_sweep(
     share beyond the sweep): α/β only re-weight the objective, so every
     point after the first reuses the built model and path catalog and
     starts from the previous optimum as warm incumbent.
+
+    ``store`` attaches a persistent :class:`repro.store.Store`: a
+    repeated sweep answers every point from disk (Tier A — the weights
+    are part of the case, so each weighting is its own entry), and even
+    a *fresh* sweep of a structure the store has seen starts from its
+    stored catalog and incumbent (Tier B). Outcomes are identical with
+    or without a store; only ``runtime_s`` changes.
     """
     if not weights:
         raise ReproError("need at least one weight pair")
     options = options or SynthesisOptions()
+    if store is not None:
+        from dataclasses import replace
+
+        options = replace(options, store=store)
     context = context or SolveContext()
     sweep = WeightSweep()
     for alpha, beta in weights:

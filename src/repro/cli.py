@@ -11,6 +11,10 @@
     python -m repro synthesize chip_sw1 --trace run.jsonl
     python -m repro obs summarize run.jsonl --validate
     python -m repro obs timeline run.jsonl --svg timeline.svg
+    python -m repro synthesize chip_sw1 --store ~/.cache/repro-store
+    python -m repro cache stats --store ~/.cache/repro-store
+    python -m repro cache gc --store ~/.cache/repro-store --max-bytes 100000000
+    python -m repro cache verify --store ~/.cache/repro-store
 """
 
 from __future__ import annotations
@@ -96,6 +100,20 @@ def _export_trace(tracer, spec: SwitchSpec, options: SynthesisOptions,
               "(load in Perfetto / chrome://tracing)")
 
 
+def _cli_store(args: argparse.Namespace, required: bool = False):
+    """The store named by ``--store`` (or ``REPRO_STORE``), or None."""
+    from repro.store import Store, active_store
+
+    path = getattr(args, "store", None)
+    if path:
+        return Store(path)
+    store = active_store()
+    if store is None and required:
+        raise ReproError(
+            "no store given: pass --store PATH or export REPRO_STORE")
+    return store
+
+
 def cmd_synthesize(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.case, args.policy)
     tracer = None
@@ -116,9 +134,13 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         pressure_method=args.pressure,
         on_error=args.on_error,
         trace=tracer,
+        store=_cli_store(args),
+        cache=not args.no_cache,
     )
     print(f"synthesizing {spec.summary()} ...")
     result = synthesize(spec, options)
+    if result.counters.get("store_hit"):
+        print("(answered from the persistent store; re-verified)")
     if tracer is not None:
         _export_trace(tracer, spec, options, args.trace, args.trace_format)
     print(format_table([result.table_row()]))
@@ -235,6 +257,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         options=options,
         backends=args.backends.split(",") if args.backends else None,
         max_attempts=args.max_attempts,
+        store=_cli_store(args),
     )
     install_signal_handlers(service)
 
@@ -300,7 +323,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
                       f"execute it")
         return 0
     with SynthesisService(args.journal, workers=args.workers,
-                          options=options) as service:
+                          options=options,
+                          store=_cli_store(args)) as service:
         service.submit(spec, options)
         record = service.wait(job_id)
     print(f"job {job_id}: {record.state} "
@@ -309,6 +333,41 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(format_table([{k: v for k, v in record.row.items()
                              if v not in (None, "")}]))
     return 0 if record.state in ("done", "degraded") else 1
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    stats = _cli_store(args, required=True).stats()
+    print(f"store {stats['root']}: {stats['entries']} entries, "
+          f"{stats['bytes']} bytes"
+          + (f" (cap {stats['max_bytes']})" if stats["max_bytes"] else ""))
+    print(f"salt: {stats['salt']}")
+    for kind, count in stats["by_kind"].items():
+        print(f"  {kind}: {count}")
+    counters = {k: v for k, v in stats["counters"].items() if v}
+    if counters:
+        print("this process: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _cli_store(args, required=True)
+    report = store.gc(max_bytes=args.max_bytes)
+    print(f"gc: evicted {report['evicted']} entries "
+          f"({report['freed_bytes']} bytes); kept {report['kept']} "
+          f"({report['kept_bytes']} bytes)")
+    if args.max_bytes is None and store.max_bytes is None:
+        print("note: no byte cap given (--max-bytes); nothing to evict")
+    return 0
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> int:
+    report = _cli_store(args, required=True).verify(repair=not args.no_repair)
+    print(f"verify: {report['valid']}/{report['checked']} entries valid")
+    for item in report["invalid"]:
+        action = "kept" if args.no_repair else "removed"
+        print(f"  {item['key'][:16]}...: {item['problem']} ({action})")
+    return 1 if report["invalid"] else 0
 
 
 def cmd_obs_summarize(args: argparse.Namespace) -> int:
@@ -388,6 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace export format: JSONL event stream, Chrome "
                         "trace_event JSON (Perfetto-loadable), or both "
                         "(derives .jsonl / .chrome.json suffixes)")
+    p.add_argument("--store",
+                   help="persistent solve cache directory (also honors "
+                        "the REPRO_STORE environment variable)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore any store (explicit or REPRO_STORE): "
+                        "cold solve, no write-through")
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser("export-case", help="write a registry case as JSON")
@@ -444,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "as pending")
     p.add_argument("--trace",
                    help="record the service's obs trace to this JSONL file")
+    p.add_argument("--store",
+                   help="persistent solve cache shared by the workers "
+                        "(submissions already stored complete at "
+                        "admission; also honors REPRO_STORE)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -459,7 +528,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--on-error", default="degrade",
                    choices=["raise", "capture", "degrade"])
+    p.add_argument("--store",
+                   help="persistent solve cache (used with --wait; "
+                        "also honors REPRO_STORE)")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("cache",
+                       help="inspect and maintain a persistent solve store")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    q = cache_sub.add_parser("stats",
+                             help="entry counts, bytes and kinds of a store")
+    q.add_argument("--store",
+                   help="store directory (default: REPRO_STORE)")
+    q.set_defaults(func=cmd_cache_stats)
+
+    q = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a byte cap")
+    q.add_argument("--store",
+                   help="store directory (default: REPRO_STORE)")
+    q.add_argument("--max-bytes", type=int, default=None,
+                   help="byte cap to enforce now (default: the store's "
+                        "configured cap, if any)")
+    q.set_defaults(func=cmd_cache_gc)
+
+    q = cache_sub.add_parser(
+        "verify",
+        help="validate every entry envelope; removes damaged ones")
+    q.add_argument("--store",
+                   help="store directory (default: REPRO_STORE)")
+    q.add_argument("--no-repair", action="store_true",
+                   help="report damage without deleting the entries")
+    q.set_defaults(func=cmd_cache_verify)
 
     p = sub.add_parser("obs", help="inspect recorded observability traces")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.builder import BuiltModel, SynthesisModelBuilder
 from repro.core.pressure import share_pressure
@@ -95,6 +95,19 @@ class SynthesisOptions:
     #: tracing disabled at zero cost. Excluded from config fingerprints
     #: and equality — a tracer never changes what is computed.
     trace: Optional[Tracer] = field(default=None, compare=False, repr=False)
+    #: Optional :class:`repro.store.Store`: the persistent solve cache
+    #: consulted (Tier A exact results, Tier B warm artifacts) and
+    #: populated by this run. ``None`` falls back to the ambient store
+    #: (:func:`repro.store.active_store`), which is itself None unless
+    #: installed or named by ``REPRO_STORE``. Like ``trace``, excluded
+    #: from config fingerprints and equality — the cache never changes
+    #: what is computed, only how fast (hits are re-verified by the
+    #: independent checker before being trusted).
+    store: Optional[Any] = field(default=None, compare=False, repr=False)
+    #: Master switch for the persistent cache: False makes this run
+    #: ignore any store (explicit or ambient) entirely — cold solve,
+    #: no write-through. Excluded from fingerprints like ``store``.
+    cache: bool = field(default=True, compare=False)
 
 
 def build_catalog(spec: SwitchSpec, options: SynthesisOptions) -> PathCatalog:
@@ -153,6 +166,14 @@ def synthesize(spec: SwitchSpec,
 
     ``options.time_limit`` bounds the *whole* pipeline (see the module
     docstring), and ``options.on_error`` selects the failure policy.
+
+    A persistent :class:`repro.store.Store` (``options.store``, or the
+    ambient one unless ``options.cache`` is False) short-circuits the
+    whole pipeline when it holds this exact case ⊕ config (Tier A —
+    the stored result is re-verified by the independent checker before
+    being returned), warms up near-miss runs (Tier B — path catalogs
+    and incumbents), and receives this run's artifacts for future
+    callers. Results are identical with or without a store.
     """
     options = options or SynthesisOptions()
     if options.on_error not in ERROR_POLICIES:
@@ -160,6 +181,7 @@ def synthesize(spec: SwitchSpec,
             f"unknown on_error policy {options.on_error!r}; "
             f"expected one of {ERROR_POLICIES}"
         )
+    store = _resolve_store(options)
     start = time.perf_counter()
     deadline = Deadline(options.time_limit)
     recorder = PerfRecorder(spec.name)
@@ -173,8 +195,72 @@ def synthesize(spec: SwitchSpec,
                 "synthesize", case=spec.name, backend=options.backend,
                 binding=spec.binding.value, time_limit=options.time_limit,
             ))
+        result = store_key = None
+        if store is not None:
+            from repro.store import load_result, result_key
+
+            store_key = result_key(spec, options)
+            with recorder.phase("store"):
+                result = load_result(store, store_key, spec)
+            if result is not None:
+                recorder.counters["store_hit"] = 1
+                obs_event("cache_hit", kind="result", case=spec.name,
+                          key=store_key[:16])
+        if result is None:
+            result = _run_pipeline(spec, options, context, deadline,
+                                   recorder, store)
+            if store is not None:
+                # Write-through must never fail the solve it records.
+                try:
+                    from repro.store import store_result
+
+                    if store_result(store, store_key, result):
+                        recorder.counters["store_put"] = 1
+                except Exception:
+                    pass
+        result.runtime = time.perf_counter() - start
+        result.timings = recorder.timings
+        result.counters = dict(recorder.counters)
+        if tracer is not None:
+            tracer.event("synthesis_result", case=spec.name,
+                         status=result.status.value,
+                         objective=result.objective,
+                         runtime=round(result.runtime, 6))
+            tracer.metrics.counter("synthesize_runs").inc()
+            tracer.metrics.histogram("synthesize_seconds").observe(result.runtime)
+            for name, value in result.counters.items():
+                tracer.metrics.counter(name).inc(int(value))
+    return result
+
+
+def _resolve_store(options: SynthesisOptions):
+    """The persistent store this run uses (None when caching is off)."""
+    if not options.cache:
+        return None
+    if options.store is not None:
+        return options.store
+    from repro.store import active_store
+
+    return active_store()
+
+
+def _run_pipeline(spec: SwitchSpec, options: SynthesisOptions,
+                  context: Optional[SolveContext], deadline: Deadline,
+                  recorder: PerfRecorder, store) -> SynthesisResult:
+    """The exact pipeline under the degradation ladder.
+
+    ``store`` (None when caching is disabled) is installed as the
+    ambient store for the duration, so Tier-B consumers deeper in the
+    stack — path enumeration, the parallel solver's pseudo-cost
+    snapshots — see the same cache this run was configured with (and,
+    with ``cache=False``, see none even if one is ambient).
+    """
+    from repro.store import use_store
+
+    with use_store(store):
         try:
-            result = _pipeline(spec, options, context, deadline, recorder)
+            result = _pipeline(spec, options, context, deadline,
+                               recorder, store)
         except Exception as exc:  # the ladder: capture / degrade
             if options.on_error == "raise":
                 raise
@@ -192,18 +278,6 @@ def synthesize(spec: SwitchSpec,
                              "budget with no incumbent"),
                     timeout=True,
                 )
-        result.runtime = time.perf_counter() - start
-        result.timings = recorder.timings
-        result.counters = dict(recorder.counters)
-        if tracer is not None:
-            tracer.event("synthesis_result", case=spec.name,
-                         status=result.status.value,
-                         objective=result.objective,
-                         runtime=round(result.runtime, 6))
-            tracer.metrics.counter("synthesize_runs").inc()
-            tracer.metrics.histogram("synthesize_seconds").observe(result.runtime)
-            for name, value in result.counters.items():
-                tracer.metrics.counter(name).inc(int(value))
     return result
 
 
@@ -244,9 +318,10 @@ def _recover(spec: SwitchSpec, options: SynthesisOptions,
 
 def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
               context: Optional[SolveContext], deadline: Deadline,
-              recorder: PerfRecorder) -> SynthesisResult:
+              recorder: PerfRecorder, store=None) -> SynthesisResult:
     """The exact pipeline: every phase runs on the remaining budget."""
-    key = _context_key(spec, options) if context is not None else None
+    key = (_context_key(spec, options)
+           if context is not None or store is not None else None)
 
     def _build() -> BuiltModel:
         with recorder.phase("catalog"):
@@ -285,6 +360,18 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
                 mapped = {v: stored.get(v.name) for v in built.model.variables}
                 if all(val is not None for val in mapped.values()):
                     warm_values, warm_source = mapped, "context"
+        if warm_values is None and store is not None:
+            # Tier B: a persisted optimum for the same structure (the
+            # objective weights are excluded from the key, so weight
+            # sweeps warm-start each other across processes). The
+            # incumbent is validated inside Model.solve like any other
+            # warm start — it can only speed the search up.
+            stored = _load_stored_incumbent(store, key)
+            if stored is not None:
+                mapped = {v: stored.get(v.name) for v in built.model.variables}
+                if all(val is not None for val in mapped.values()):
+                    warm_values, warm_source = mapped, "store"
+                    recorder.counters["store_warm_incumbent"] = 1
         if warm_values is None and options.heuristic_incumbent:
             from repro.core.heuristic import model_assignment, synthesize_greedy
 
@@ -309,11 +396,19 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
     recorder.timings.merge(sol.timings)
     recorder.counters.update(sol.counters)
 
-    if context is not None and sol.status is SolveStatus.OPTIMAL \
-            and sol.values is not None:
-        context.note_solution(
-            key, {v.name: float(val) for v, val in sol.values.items()}
-        )
+    if sol.status is SolveStatus.OPTIMAL and sol.values is not None \
+            and (context is not None or store is not None):
+        values_by_name = {v.name: float(val) for v, val in sol.values.items()}
+        if context is not None:
+            context.note_solution(key, values_by_name)
+        if store is not None:
+            try:
+                from repro.store import artifact_key, encode_incumbent
+
+                store.put(artifact_key("incumbent", key), "incumbent",
+                          encode_incumbent(values_by_name, sol.objective))
+            except Exception:
+                pass
 
     if sol.status is SolveStatus.INFEASIBLE:
         return SynthesisResult(spec, SynthesisStatus.NO_SOLUTION,
@@ -357,6 +452,21 @@ def _pipeline(spec: SwitchSpec, options: SynthesisOptions,
         with recorder.phase("verify"):
             verify_result(result)
     return result
+
+
+def _load_stored_incumbent(store, key: Tuple) -> Optional[Dict[str, float]]:
+    """Tier B read of a persisted incumbent (None on miss/corruption)."""
+    from repro.store import artifact_key, decode_incumbent
+
+    skey = artifact_key("incumbent", key)
+    payload = store.get(skey, "incumbent")
+    if payload is None:
+        return None
+    try:
+        return decode_incumbent(payload)
+    except Exception:
+        store.delete(skey)
+        return None
 
 
 def _extract(built: BuiltModel, sol) -> SynthesisResult:

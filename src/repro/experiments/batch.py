@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.spec import SwitchSpec
 from repro.core.synthesizer import SynthesisOptions, SynthesisResult, synthesize
 from repro.errors import ReproError
+from repro.obs.manifest import case_fingerprint
 from repro.obs.trace import current_tracer, obs_event
 
 CSV_COLUMNS = [
@@ -87,17 +88,11 @@ class BatchResult:
         return {k: sum(vals) / len(vals) for k, vals in groups.items()}
 
 
-def _fingerprint(spec: SwitchSpec) -> str:
-    from repro.obs.manifest import case_fingerprint
-
-    return case_fingerprint(spec)
-
-
 def spec_row(spec: SwitchSpec, result: SynthesisResult) -> Dict[str, object]:
     """One CSV row for one synthesis run."""
     row: Dict[str, object] = {
         "case": spec.name,
-        "fingerprint": _fingerprint(spec),
+        "fingerprint": case_fingerprint(spec),
         "binding": spec.binding.value,
         "switch": spec.switch.size_label,
         "modules": len(spec.modules),
@@ -128,7 +123,7 @@ def error_row(spec: SwitchSpec, message: str) -> Dict[str, object]:
     """
     return {
         "case": spec.name,
-        "fingerprint": _fingerprint(spec),
+        "fingerprint": case_fingerprint(spec),
         "binding": spec.binding.value,
         "switch": spec.switch.size_label,
         "modules": len(spec.modules),
@@ -267,7 +262,7 @@ def _match_checkpoint(rows: List[Dict[str, str]], spec_list: List[SwitchSpec],
     reused: List[Optional[Dict[str, str]]] = []
     todo: List[int] = []
     for index, spec in enumerate(spec_list):
-        bucket = by_fp.get(_fingerprint(spec))
+        bucket = by_fp.get(case_fingerprint(spec))
         if bucket:
             reused.append(bucket.pop(0))
         else:
@@ -293,6 +288,7 @@ def run_batch(
     trace_dir: Optional[Union[str, Path]] = None,
     on_progress: Optional[Callable] = None,
     service=None,
+    store=None,
 ) -> BatchResult:
     """Synthesize every spec and collect one CSV row per run.
 
@@ -329,13 +325,24 @@ def run_batch(
     :class:`repro.obs.Tracer` and write a per-task JSONL trace artifact
     (``NNNN_<case>.jsonl``, manifest included) into that directory —
     worker processes record independently, so this composes with
-    ``workers > 1``. ``on_progress(done, total, row)`` is a live
+    ``workers > 1``.
+
+    ``store`` attaches a persistent :class:`repro.store.Store` to every
+    run (it is set on the options, so ``workers > 1`` workers open the
+    same on-disk cache — stores pickle by configuration): repeated
+    sweeps answer already-solved specs from disk (Tier A) and share
+    warm artifacts across processes (Tier B). Rows are identical with
+    or without a store, cold or warm (only ``runtime_s`` differs).
+
+    ``on_progress(done, total, row)`` is a live
     callback fired after *every* finished row (error rows included), in
     input order. When a tracer is installed in the parent process, the
     batch additionally maintains ``batch_queue_depth`` /
     ``batch_rows_done`` gauges and emits one ``batch_row`` event per row.
     """
     options = options or SynthesisOptions()
+    if store is not None:
+        options = replace(options, store=store)
     spec_list = list(specs)
     batch = BatchResult()
     ckpt = _Checkpoint(checkpoint, resume) if checkpoint is not None else None

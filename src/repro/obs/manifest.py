@@ -36,14 +36,20 @@ def config_fingerprint(options: Any) -> str:
     """Stable hash of a configuration object.
 
     Dataclasses (e.g. :class:`~repro.core.synthesizer.SynthesisOptions`)
-    hash their field dict minus non-reproducible members (an attached
-    tracer does not change what is computed); plain dicts hash as-is.
+    hash their field dict minus the fields declared ``compare=False`` —
+    the dataclass's own marker for members that do not affect what is
+    computed (an attached tracer, the persistent cache handle). Plain
+    dicts hash as-is.
+
+    This digest keys Tier A of the persistent solve cache and the
+    service's job identity, so it must stay stable across releases;
+    ``tests/test_fingerprints.py`` pins known values.
     """
     if dataclasses.is_dataclass(options) and not isinstance(options, type):
         payload = {
             f.name: getattr(options, f.name)
             for f in dataclasses.fields(options)
-            if f.name not in ("trace",)
+            if f.compare
         }
     elif isinstance(options, dict):
         payload = options

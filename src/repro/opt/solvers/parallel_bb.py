@@ -195,6 +195,17 @@ class ParallelBranchBoundBackend(SolverBackend):
                     pool = None  # pool unusable: degrade to in-process
 
             pc = PseudoCosts(form.n)
+            pc_store, pc_key = _pseudocost_store(form, self.seed)
+            pc_seeded = False
+            if pc_store is not None and pc_store.seed_pseudocosts:
+                # Tier B opt-in: seeding external branching statistics
+                # changes which nodes get explored (a different — often
+                # smaller — tree with the same optimum), so it is off
+                # unless the store was built with seed_pseudocosts=True.
+                arrays = _load_pseudocosts(pc_store, pc_key, form.n)
+                if arrays is not None:
+                    pc.merge(arrays)
+                    pc_seeded = True
             frontier: List[Tuple[float, int, tuple, tuple]] = []
             nodes_total = 0
             lp_calls = 0
@@ -361,6 +372,13 @@ class ParallelBranchBoundBackend(SolverBackend):
             }
             if incumbent_source:
                 counters["incumbent_seeded"] = 1
+            if pc_seeded:
+                counters["pc_seeded"] = 1
+            if pc_store is not None and (pc.dcnt.any() or pc.ucnt.any()):
+                # Always write the merged statistics through (first
+                # writer wins) — future runs only *use* them when their
+                # store opts into seeding.
+                _save_pseudocosts(pc_store, pc_key, pc)
             if tracer is not None and pool is not None:
                 tracer.metrics.counter("bb_steals").inc(pool.steals)
                 if pool.restarts:
@@ -398,6 +416,66 @@ class ParallelBranchBoundBackend(SolverBackend):
             )
             sol.counters.update(counters)
             return sol
+
+
+def _form_digest(form) -> str:
+    """Structural identity of a compiled form (constraints and bounds,
+    *not* the objective).
+
+    The objective is deliberately excluded: pseudo-cost statistics are
+    a branching heuristic, and the whole point of persisting them is to
+    warm up re-weighted solves of the same feasible region (a weight
+    sweep). Stats from a different weighting can only reorder the
+    search, never change the optimum.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(f"{form.n}:{form.m}".encode())
+    for arr in (form.a_rows, form.a_cols, form.a_data, form.rhs,
+                form.senses, form.lb, form.ub, form.integrality):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _pseudocost_store(form, seed: int):
+    """The ambient store and this form's pseudo-cost key (or None, None)."""
+    from repro.store import active_store, artifact_key
+
+    store = active_store()
+    if store is None:
+        return None, None
+    return store, artifact_key("pseudocosts", _form_digest(form), seed)
+
+
+def _load_pseudocosts(store, key: str, n: int):
+    """Stored snapshot arrays for :meth:`PseudoCosts.merge`, or None."""
+    payload = store.get(key, "pseudocosts")
+    if payload is None:
+        return None
+    try:
+        dsum = np.asarray(payload["dsum"], dtype=float)
+        dcnt = np.asarray(payload["dcnt"], dtype=np.int64)
+        usum = np.asarray(payload["usum"], dtype=float)
+        ucnt = np.asarray(payload["ucnt"], dtype=np.int64)
+        if not (len(dsum) == len(dcnt) == len(usum) == len(ucnt) == n):
+            raise ValueError("pseudo-cost arrays do not match the form")
+        return (dsum, dcnt, usum, ucnt)
+    except Exception:
+        store.delete(key)
+        return None
+
+
+def _save_pseudocosts(store, key: str, pc: PseudoCosts) -> None:
+    """Write-through of the merged statistics; never fails the solve."""
+    try:
+        snap = pc.snapshot()
+        store.put(key, "pseudocosts", {
+            "dsum": snap[0].tolist(), "dcnt": snap[1].tolist(),
+            "usum": snap[2].tolist(), "ucnt": snap[3].tolist(),
+        })
+    except Exception:
+        pass
 
 
 __all__ = ["ParallelBranchBoundBackend", "default_workers"]

@@ -60,17 +60,23 @@ from repro.service.supervisor import Supervisor
 
 
 def options_to_dict(options: SynthesisOptions) -> Dict[str, Any]:
-    """JSON form of the options (the journaled job payload half)."""
+    """JSON form of the options (the journaled job payload half).
+
+    Journals exactly the ``compare=True`` fields — the same set the
+    config fingerprint hashes — so the journal payload and the job
+    identity can never disagree. Runtime attachments (tracer, store
+    handle, cache toggle) are per-process and never serialized.
+    """
     return {
         f.name: getattr(options, f.name)
         for f in dataclasses.fields(options)
-        if f.name != "trace"
+        if f.compare
     }
 
 
 def options_from_dict(data: Dict[str, Any]) -> SynthesisOptions:
     """Rebuild options from their journaled form (unknown keys dropped)."""
-    known = {f.name for f in dataclasses.fields(SynthesisOptions)} - {"trace"}
+    known = {f.name for f in dataclasses.fields(SynthesisOptions) if f.compare}
     return SynthesisOptions(**{k: v for k, v in data.items() if k in known})
 
 
@@ -94,11 +100,24 @@ class SynthesisService:
         backoff: Optional[Backoff] = None,
         breaker_threshold: int = 3,
         breaker_reset: float = 5.0,
+        store: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if max_attempts < 1:
             raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        #: Optional persistent solve cache shared by every worker: a
+        #: :class:`repro.store.Store` or a path to open one. Submissions
+        #: whose proven-optimal result the store already holds complete
+        #: at admission time (re-verified, journaled as done) without
+        #: ever occupying a worker; everything else executes with the
+        #: store attached, so Tier B warms the solve and the outcome is
+        #: written through for the next tenant.
+        if store is not None and not hasattr(store, "get"):
+            from repro.store import Store
+
+            store = Store(store)
+        self.store = store
         self.default_options = options or SynthesisOptions()
         #: The backend degradation ladder, tried in order per attempt.
         self.backends: List[str] = list(
@@ -181,6 +200,26 @@ class SynthesisService:
                 self._counter("service_dedup_hits")
                 obs_event("job_submitted", job=job_id, dedup=True,
                           state=existing.state)
+                return job_id
+            row = self._store_row(spec, opts)
+            if row is not None:
+                # Tier A at admission: the persistent store already
+                # holds this exact job's proven-optimal result
+                # (re-verified just now). Journal it straight to done —
+                # it never takes a queue slot or a worker, and a
+                # restart replays it as terminal like any other
+                # completion.
+                record = JobRecord(job_id, spec_to_dict(spec),
+                                   options_to_dict(opts))
+                if self._journal is not None:
+                    self._journal.record_job(record)
+                else:
+                    self.jobs[job_id] = record
+                self._specs[job_id] = spec
+                self._counter("service_store_dedup")
+                obs_event("job_submitted", job=job_id, case=spec.name,
+                          store=True)
+                self._finish(record, 0, "done", row, None)
                 return job_id
             if len(self.queue) >= self.queue.maxsize:
                 self.queue.shed += 1
@@ -335,6 +374,26 @@ class SynthesisService:
             self._sync_gauges()
         return True
 
+    def _store_row(self, spec: SwitchSpec,
+                   opts: SynthesisOptions) -> Optional[Dict[str, Any]]:
+        """Tier A admission check: a completed row from the store, or None.
+
+        Never raises — a broken store degrades to normal execution.
+        """
+        if self.store is None or not opts.cache:
+            return None
+        try:
+            from repro.store import load_result, result_key
+
+            result = load_result(self.store, result_key(spec, opts), spec)
+        except Exception:
+            return None
+        if result is None:
+            return None
+        from repro.experiments.batch import spec_row
+
+        return spec_row(spec, result)
+
     def _spec_of(self, job: JobRecord) -> SwitchSpec:
         spec = self._specs.get(job.id)
         if spec is None:
@@ -362,7 +421,7 @@ class SynthesisService:
                   backend=backend, worker=worker_id)
         spec = self._spec_of(job)
         opts = replace(options_from_dict(job.options),
-                       backend=backend, trace=None)
+                       backend=backend, trace=None, store=self.store)
         breaker = self.breakers.get(backend)
         try:
             result = synthesize(spec, opts)

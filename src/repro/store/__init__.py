@@ -1,0 +1,125 @@
+"""Persistent content-addressed solve cache (``repro.store``).
+
+The store is the cross-run, cross-process sibling of the in-memory
+caches that already exist (the path-catalog LRU, compiled-model
+caches, :class:`~repro.opt.incremental.SolveContext`): warm state that
+used to die with the process now lives in a shared directory, so a
+weight sweep, a batch campaign, a second tenant of the service or a
+CI re-run can answer structurally identical work from disk.
+
+Two tiers:
+
+* **Tier A — exact result reuse.** Key = case fingerprint ⊕ config
+  fingerprint ⊕ code-version salt. A hit returns the stored
+  proven-optimal :class:`~repro.core.solution.SynthesisResult`,
+  re-verified by the independent feasibility checker before it is
+  trusted, without touching a solver.
+* **Tier B — warm artifacts.** Structure-only keys store enumerated
+  path catalogs, optimal incumbents and ``parallel_bb`` pseudo-cost
+  snapshots, so near-miss instances (same structure, new weights or
+  budget) start warm instead of cold.
+
+Activation is explicit: pass a :class:`Store` via
+``SynthesisOptions.store`` / ``run_batch(store=...)`` /
+``SynthesisService(store=...)``, install one ambiently with
+:func:`use_store` / :func:`set_active_store`, or export
+``REPRO_STORE=/path/to/cache``. No store, no behaviour change.
+
+See ``docs/caching.md`` for the layout, key derivation and the gc
+runbook; ``repro cache stats|gc|verify`` manages a store from the
+command line.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.store.codec import (
+    decode_catalog,
+    decode_incumbent,
+    decode_result,
+    encodable,
+    encode_catalog,
+    encode_incumbent,
+    encode_result,
+    load_result,
+    store_result,
+)
+from repro.store.keys import (
+    CACHE_EPOCH,
+    artifact_key,
+    code_salt,
+    digest,
+    result_key,
+)
+from repro.store.store import GC_PUT_INTERVAL, STORE_SCHEMA, Store, StoreError
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional[Store] = None
+_ENV_STORE: Optional[Store] = None
+
+
+def active_store() -> Optional[Store]:
+    """The ambient store, if any.
+
+    An explicitly installed store (:func:`set_active_store` /
+    :func:`use_store`) wins; otherwise ``REPRO_STORE`` in the
+    environment names one (opened lazily, reused across calls).
+    """
+    global _ENV_STORE
+    with _LOCK:
+        if _ACTIVE is not None:
+            return _ACTIVE
+        path = os.environ.get("REPRO_STORE")
+        if not path:
+            return None
+        if _ENV_STORE is None or str(_ENV_STORE.root) != path:
+            _ENV_STORE = Store(path)
+        return _ENV_STORE
+
+
+def set_active_store(store: Optional[Store]) -> Optional[Store]:
+    """Install (or with None, remove) the process-wide ambient store."""
+    global _ACTIVE
+    with _LOCK:
+        previous = _ACTIVE
+        _ACTIVE = store
+    return previous
+
+
+@contextmanager
+def use_store(store: Optional[Store]) -> Iterator[Optional[Store]]:
+    """Temporarily install ``store`` as the ambient store."""
+    previous = set_active_store(store)
+    try:
+        yield store
+    finally:
+        set_active_store(previous)
+
+
+__all__ = [
+    "Store",
+    "StoreError",
+    "STORE_SCHEMA",
+    "GC_PUT_INTERVAL",
+    "CACHE_EPOCH",
+    "code_salt",
+    "digest",
+    "result_key",
+    "artifact_key",
+    "active_store",
+    "set_active_store",
+    "use_store",
+    "encodable",
+    "encode_result",
+    "decode_result",
+    "load_result",
+    "store_result",
+    "encode_catalog",
+    "decode_catalog",
+    "encode_incumbent",
+    "decode_incumbent",
+]

@@ -16,6 +16,7 @@ from repro.switches.paths import (
     clear_path_cache,
     enumerate_paths,
     path_cache_info,
+    path_from_vertices,
 )
 from repro.switches.reduce import ReducedSwitch, reduce_switch
 from repro.switches.scalable import ScalableCrossbarSwitch, make_scalable_switch
@@ -41,6 +42,7 @@ __all__ = [
     "clear_path_cache",
     "enumerate_paths",
     "path_cache_info",
+    "path_from_vertices",
     "ReducedSwitch",
     "reduce_switch",
     "validate_switch",

@@ -98,8 +98,15 @@ class PathCatalog:
         return min(p.length for p in paths)
 
 
-def _path_from_vertices(switch: SwitchModel, index: int,
-                        vertices: Sequence[str]) -> Path:
+def path_from_vertices(switch: SwitchModel, index: int,
+                       vertices: Sequence[str]) -> Path:
+    """Rebuild a :class:`Path` from its vertex sequence.
+
+    Segment keys and lengths come from ``switch`` itself, so a vertex
+    pair that is not an actual channel of the switch raises — which is
+    exactly the validation the persistent catalog cache
+    (:mod:`repro.store`) relies on when decoding stored routes.
+    """
     nodes = frozenset(v for v in vertices if not switch.is_pin(v))
     segs = frozenset(segment_key(a, b) for a, b in zip(vertices, vertices[1:]))
     length = sum(switch.segments[k].length for k in segs)
@@ -119,24 +126,61 @@ def _path_from_vertices(switch: SwitchModel, index: int,
 _PATH_CACHE: "OrderedDict[tuple, Tuple[Path, ...]]" = OrderedDict()
 _PATH_CACHE_MAX = 128
 _PATH_CACHE_LOCK = threading.Lock()
-_cache_hits = 0
-_cache_misses = 0
+
+# Counters live in a repro.obs metrics registry (not module-global
+# ints): portfolio members and service workers enumerate from several
+# threads at once, and instruments are the one shared-counter shape
+# the rest of the codebase already uses. All updates happen under
+# _PATH_CACHE_LOCK, so the counts are exact, not merely approximate.
+_METRICS = None
+
+
+def _path_metrics():
+    global _METRICS
+    if _METRICS is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        _METRICS = MetricsRegistry()
+    return _METRICS
+
+
+def _count(name: str) -> None:
+    """Bump a local instrument and mirror it to any installed tracer."""
+    _path_metrics().counter(name).inc()
+    tracer = _current_tracer()
+    if tracer is not None:
+        tracer.metrics.counter(name).inc()
+
+
+def _current_tracer():
+    from repro.obs.trace import current_tracer
+
+    return current_tracer()
 
 
 def path_cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters of the path-enumeration cache."""
+    """Hit/miss/size counters of the path-enumeration cache.
+
+    ``hits``/``misses`` count the in-memory LRU; ``store_hits`` counts
+    enumerations answered by the persistent :mod:`repro.store` catalog
+    cache (those are *not* double-counted as memory hits).
+    """
+    metrics = _path_metrics()
     with _PATH_CACHE_LOCK:
-        return {"hits": _cache_hits, "misses": _cache_misses,
+        return {"hits": metrics.counter("path_cache_hits").value,
+                "misses": metrics.counter("path_cache_misses").value,
+                "store_hits": metrics.counter("path_cache_store_hits").value,
                 "size": len(_PATH_CACHE), "max_size": _PATH_CACHE_MAX}
 
 
 def clear_path_cache() -> None:
     """Drop all memoized enumerations and reset the counters."""
-    global _cache_hits, _cache_misses
+    metrics = _path_metrics()
     with _PATH_CACHE_LOCK:
         _PATH_CACHE.clear()
-        _cache_hits = 0
-        _cache_misses = 0
+        for name in ("path_cache_hits", "path_cache_misses",
+                     "path_cache_store_hits"):
+            metrics.counter(name).value = 0
 
 
 def enumerate_paths(
@@ -154,9 +198,11 @@ def enumerate_paths(
     fixed binding policy to enumerate only the bound pins).
 
     Results are memoized per switch structure; the returned catalog is
-    always a fresh :class:`PathCatalog` bound to ``switch``.
+    always a fresh :class:`PathCatalog` bound to ``switch``. When a
+    persistent :mod:`repro.store` is active, an in-memory miss falls
+    back to the stored catalog for the same structure (Tier B), and a
+    fresh enumeration is written through for future processes.
     """
-    global _cache_hits, _cache_misses
     if slack < 0:
         raise SwitchModelError("path slack cannot be negative")
     cache_key = (switch.structure_key(),
@@ -165,10 +211,20 @@ def enumerate_paths(
     with _PATH_CACHE_LOCK:
         cached = _PATH_CACHE.get(cache_key)
         if cached is not None:
-            _cache_hits += 1
+            _count("path_cache_hits")
             _PATH_CACHE.move_to_end(cache_key)
             return PathCatalog(switch, list(cached))
-        _cache_misses += 1
+    stored = _load_stored_catalog(switch, cache_key)
+    if stored is not None:
+        with _PATH_CACHE_LOCK:
+            _count("path_cache_store_hits")
+            _PATH_CACHE[cache_key] = stored
+            _PATH_CACHE.move_to_end(cache_key)
+            while len(_PATH_CACHE) > _PATH_CACHE_MAX:
+                _PATH_CACHE.popitem(last=False)
+        return PathCatalog(switch, list(stored))
+    with _PATH_CACHE_LOCK:
+        _count("path_cache_misses")
     pin_list = list(pins) if pins is not None else list(switch.pins)
     for p in pin_list:
         if not switch.is_pin(p):
@@ -200,14 +256,53 @@ def enumerate_paths(
             if max_paths_per_pair is not None:
                 found = found[:max_paths_per_pair]
             for vertices in found:
-                paths.append(_path_from_vertices(switch, index, vertices))
+                paths.append(path_from_vertices(switch, index, vertices))
                 index += 1
     with _PATH_CACHE_LOCK:
         _PATH_CACHE[cache_key] = tuple(paths)
         _PATH_CACHE.move_to_end(cache_key)
         while len(_PATH_CACHE) > _PATH_CACHE_MAX:
             _PATH_CACHE.popitem(last=False)
+    _store_catalog(cache_key, paths)
     return PathCatalog(switch, paths)
+
+
+def _load_stored_catalog(switch: SwitchModel,
+                         cache_key: tuple) -> Optional[Tuple[Path, ...]]:
+    """Tier B read of a persistent catalog (None on miss/no store).
+
+    Routes are rebuilt against *this* switch — vertices that do not
+    form real channels raise inside :func:`path_from_vertices`, which
+    quarantines the entry as corrupt instead of ever serving it.
+    """
+    from repro.store import active_store, artifact_key, decode_catalog
+
+    store = active_store()
+    if store is None:
+        return None
+    key = artifact_key("catalog", cache_key)
+    payload = store.get(key, "catalog")
+    if payload is None:
+        return None
+    try:
+        return decode_catalog(switch, payload)
+    except Exception:
+        store.delete(key)
+        return None
+
+
+def _store_catalog(cache_key: tuple, paths: Sequence[Path]) -> None:
+    """Tier B write-through of a fresh enumeration (never fails it)."""
+    from repro.store import active_store, artifact_key, encode_catalog
+
+    store = active_store()
+    if store is None:
+        return
+    try:
+        store.put(artifact_key("catalog", cache_key), "catalog",
+                  encode_catalog(paths))
+    except Exception:
+        pass
 
 
 def _bounded_simple_paths(switch: SwitchModel, src: str, dst: str,
