@@ -24,6 +24,16 @@ Usage (the orchestrating entry point CI calls)::
 
 Artifacts land in ``--out``: ``journal.jsonl`` (the surviving WAL),
 ``trace.jsonl`` (run 2's full event stream) and ``summary.json``.
+
+With ``--shards N`` the chaos moves up a level: the same specs run on
+a :class:`repro.service.ShardCoordinator` and every shard *process*
+is SIGKILLed once, in turn, while work is in flight (a heavy blocker
+spec pins a worker so the kills always land mid-solve). The
+coordinator must respawn each shard on its journal and every job must
+still reach a terminal state exactly once — proven, as always, by
+strict journal replay::
+
+    python benchmarks/chaos_soak.py --specs 8 --shards 2 --out chaos-artifacts
 """
 
 from __future__ import annotations
@@ -132,6 +142,86 @@ def phase_run(args: argparse.Namespace) -> int:
     return 0 if summary["pending"] == 0 else 2
 
 
+def orchestrate_shards(args: argparse.Namespace) -> int:
+    """``--shards`` mode: SIGKILL every shard process once, mid-run."""
+    from repro.io import spec_to_dict
+    from repro.service import ShardCoordinator
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal_dir = out / "platform"
+    specs = make_specs(args.specs)
+    # UNFIXED binding over a 12-way switch runs for the whole time
+    # limit: with one of these per shard there is always in-flight
+    # work for a kill to interrupt.
+    blockers = [
+        generate_case(seed=900 + i, switch_size=12, n_flows=6, n_inlets=4,
+                      n_conflicts=2, binding=BindingPolicy.UNFIXED)
+        for i in range(args.shards)
+    ]
+    failures = []
+    print(f"[chaos] platform: {args.shards} shard(s) x {args.workers} "
+          f"worker(s), killing each shard once ...", flush=True)
+    with ShardCoordinator(str(journal_dir), shards=args.shards,
+                          workers=args.workers,
+                          options={"time_limit": 10.0,
+                                   "on_error": "capture"}) as coord:
+        ids = [coord.submit(spec_to_dict(spec))["id"]
+               for spec in blockers + specs]
+        deadline = time.monotonic() + 600
+        for index in range(args.shards):
+            time.sleep(0.5)  # let the respawned shard pick work back up
+            pid = coord.kill_shard(index)
+            print(f"[chaos] SIGKILL shard {index} (pid {pid})", flush=True)
+            while time.monotonic() < deadline:
+                stats = coord.stats()
+                shard = stats["shards"].get(str(index), {})
+                if shard.get("restarts", 0) >= 1 and "error" not in shard:
+                    break
+                time.sleep(0.2)
+            else:
+                failures.append(f"shard {index} never respawned")
+        finals = {}
+        for job_id in ids:
+            job = coord.wait(job_id, timeout=max(
+                0.0, deadline - time.monotonic()))
+            finals[job["state"]] = finals.get(job["state"], 0) + 1
+        stats = coord.stats()
+    if stats["restarts"] < args.shards:
+        failures.append(f"expected >= {args.shards} restarts, "
+                        f"saw {stats['restarts']}")
+    if set(finals) - TERMINAL:
+        failures.append(f"jobs stuck non-terminal: {finals}")
+    if finals.get("failed"):
+        failures.append(f"jobs failed under kill chaos: {finals}")
+
+    # Exactly-once across every kill, proven from the journals alone.
+    counts: dict = {}
+    for path in sorted(journal_dir.glob("shard-*.jsonl")):
+        try:
+            for state, count in validate_journal(path).items():
+                counts[state] = counts.get(state, 0) + count
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{path.name} failed validation: {exc}")
+    if sum(counts.values()) != len(ids):
+        failures.append(f"journalled jobs {counts} != {len(ids)} submitted")
+
+    report = {
+        "specs": args.specs,
+        "shards": args.shards,
+        "restarts": stats["restarts"],
+        "final_jobs": counts,
+        "failures": failures,
+    }
+    (out / "summary.json").write_text(json.dumps(report, indent=2) + "\n")
+    if failures:
+        print("[chaos] FAIL:\n  - " + "\n  - ".join(failures))
+        return 1
+    print(f"[chaos] PASS: {sum(counts.values())} job(s) terminal exactly "
+          f"once across {stats['restarts']} shard kill(s) ({counts})")
+    return 0
+
+
 def orchestrate(args: argparse.Namespace) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -223,9 +313,14 @@ def main(argv=None) -> int:
     parser.add_argument("--journal", default="chaos-journal.jsonl")
     parser.add_argument("--trace", default="chaos-trace.jsonl")
     parser.add_argument("--kill-after", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="run the sharded platform instead and "
+                             "SIGKILL every shard process once")
     args = parser.parse_args(argv)
     if args.phase == "run":
         return phase_run(args)
+    if args.shards:
+        return orchestrate_shards(args)
     return orchestrate(args)
 
 

@@ -233,15 +233,91 @@ def _service_options(args: argparse.Namespace) -> SynthesisOptions:
                             on_error=args.on_error)
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """``repro serve --http``: the sharded network-facing platform.
+
+    ``--journal`` names a *directory* here — each of the ``--shards``
+    worker processes keeps its own ``shard-<i>.jsonl`` write-ahead
+    journal inside it, so a SIGKILLed shard replays exactly its own
+    work when the coordinator respawns it. The first line printed is
+    ``serving: http://HOST:PORT ...`` (flushed), so scripts can bind
+    port 0 and scrape the ephemeral port.
+    """
+    import signal as _signal
+    import threading
+
+    from repro.io import spec_to_dict
+    from repro.service import (ServiceHTTPServer, ShardCoordinator,
+                               options_to_dict, replay_journal)
+
+    specs = [_resolve_spec(target, args.policy) for target in args.spec]
+    options = _service_options(args)
+    trace_dir = None
+    if args.trace:
+        from pathlib import Path
+
+        trace_dir = str(Path(args.trace).parent) if Path(args.trace).suffix \
+            else args.trace
+    coordinator = ShardCoordinator(
+        args.journal,
+        shards=args.shards,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        options=options_to_dict(options),
+        backends=args.backends.split(",") if args.backends else None,
+        max_attempts=args.max_attempts,
+        store=_cli_store(args),
+        tenant_quota=args.tenant_quota,
+        trace_dir=trace_dir,
+    )
+    stop_requested = threading.Event()
+    for signum in (_signal.SIGINT, _signal.SIGTERM):
+        _signal.signal(signum, lambda *_: stop_requested.set())
+    with coordinator:
+        for spec in specs:
+            coordinator.submit(spec_to_dict(spec))
+        with ServiceHTTPServer(coordinator, port=args.http) as server:
+            print(f"serving: {server.url} ({args.shards} shard(s) x "
+                  f"{args.workers} worker(s), journals in {args.journal})",
+                  flush=True)
+            stop_requested.wait()
+        print(f"shutdown requested; draining in-flight jobs "
+              f"(deadline {args.drain_timeout}s) ...")
+        coordinator.stop(drain="inflight", deadline=args.drain_timeout)
+    # The shards are gone; the journals are the ground truth now.
+    states: dict = {}
+    from pathlib import Path
+
+    for path in sorted(Path(args.journal).glob("shard-*.jsonl")):
+        for job in replay_journal(path).jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+    print("platform stopped: "
+          + (", ".join(f"{k}={v}" for k, v in sorted(states.items()))
+             or "no jobs"))
+    pending = sum(count for state, count in states.items()
+                  if state not in ("done", "degraded", "failed"))
+    if pending:
+        print(f"{pending} job(s) left journaled; re-run "
+              f"`repro serve --http {args.http} --journal {args.journal}` "
+              f"to finish")
+        return 3
+    return 1 if states.get("failed") else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the supervised job service over a write-ahead journal.
 
     Jobs come from the positional specs (if any) plus whatever pending
     work the journal replays from a previous — possibly killed — run.
     SIGINT/SIGTERM drain in-flight jobs under ``--drain-timeout``; the
-    rest stays journaled for the next ``repro serve``.
+    rest stays journaled for the next ``repro serve``. With ``--http``
+    the same core runs sharded across processes behind an HTTP API —
+    see :func:`_serve_http`.
     """
     from repro.service import SynthesisService, install_signal_handlers
+
+    if args.http is not None:
+        return _serve_http(args)
 
     specs = [_resolve_spec(target, args.policy) for target in args.spec]
     tracer = None
@@ -299,13 +375,55 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return run()
 
 
+def _submit_url(args: argparse.Namespace) -> int:
+    """``repro submit --url``: hand the job to a running platform."""
+    from repro.io import spec_to_dict
+    from repro.service import HTTPServiceError, submit_job, wait_job
+    from repro.service.journal import TERMINAL_STATES
+
+    spec = _resolve_spec(args.case, args.policy)
+    try:
+        job = submit_job(args.url, spec_to_dict(spec),
+                         tenant=args.tenant, priority=args.priority)
+    except HTTPServiceError as exc:
+        kind = "shed" if exc.status == 429 else "rejected"
+        print(f"submission {kind} ({exc.status}): {exc}")
+        return 1
+    print(f"job {job['id']}: {job['state']} (shard {job.get('shard')})")
+    if not args.wait:
+        return 0
+    if job["state"] not in TERMINAL_STATES:
+        job = wait_job(args.url, job["id"], timeout=args.timeout)
+    print(f"job {job['id']}: {job['state']} "
+          f"(attempts {job.get('attempts', 0)})")
+    if job.get("row"):
+        print(format_table([{k: v for k, v in job["row"].items()
+                             if v not in (None, "")}]))
+    if job["state"] not in TERMINAL_STATES:
+        print(f"job {job['id']} still {job['state']} after "
+              f"{args.timeout}s; it stays journaled on the platform")
+        return 3
+    return 0 if job["state"] in ("done", "degraded") else 1
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     """Journal one job; with ``--wait``, also drain the journal and
-    print the job's terminal row."""
+    print the job's terminal row.
+
+    Exit codes mirror ``repro serve``: 0 done/degraded, 1 failed,
+    3 when the job is left journaled but not terminal (interrupted
+    while waiting, or ``--url --wait`` timed out).
+    """
     from repro.io import spec_to_dict
     from repro.service import (Journal, JobRecord, SynthesisService,
-                               job_id_for, options_to_dict)
+                               install_signal_handlers, job_id_for,
+                               options_to_dict)
 
+    if (args.url is None) == (args.journal is None):
+        print("submit needs exactly one of --journal or --url")
+        return 2
+    if args.url is not None:
+        return _submit_url(args)
     spec = _resolve_spec(args.case, args.policy)
     options = _service_options(args)
     job_id = job_id_for(spec, options)
@@ -322,16 +440,33 @@ def cmd_submit(args: argparse.Namespace) -> int:
                       f"run `repro serve --journal {args.journal}` to "
                       f"execute it")
         return 0
-    with SynthesisService(args.journal, workers=args.workers,
-                          options=options,
-                          store=_cli_store(args)) as service:
-        service.submit(spec, options)
-        record = service.wait(job_id)
+    # Signal-aware wait: an interrupt drains in-flight work and leaves
+    # the rest journaled — exit 3 says "pending, resumable", the same
+    # contract as `repro serve` (see docs/service.md).
+    service = SynthesisService(args.journal, workers=args.workers,
+                               options=options, store=_cli_store(args))
+    install_signal_handlers(service)
+    service.start()
+    service.submit(spec, options, tenant=args.tenant,
+                   priority=args.priority)
+    print(f"waiting: job {job_id} (journal {args.journal})", flush=True)
+    outcome = service.run_until_complete()
+    if outcome == "interrupted":
+        print("interrupt: draining in-flight jobs; the rest stays "
+              f"journaled in {args.journal}")
+    service.stop(drain="inflight" if outcome == "interrupted" else True,
+                 deadline=args.drain_timeout)
+    record = service.job(job_id)
     print(f"job {job_id}: {record.state} "
           f"(attempts {record.attempts})")
     if record.row:
         print(format_table([{k: v for k, v in record.row.items()
                              if v not in (None, "")}]))
+    if not record.terminal:
+        print(f"job {job_id} left journaled as {record.state}; re-run "
+              f"`repro submit {args.case} --journal {args.journal} --wait` "
+              f"or `repro serve --journal {args.journal}` to finish")
+        return 3
     return 0 if record.state in ("done", "degraded") else 1
 
 
@@ -513,17 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent solve cache shared by the workers "
                         "(submissions already stored complete at "
                         "admission; also honors REPRO_STORE)")
+    p.add_argument("--http", type=int, metavar="PORT",
+                   help="serve the sharded HTTP/JSON platform on this "
+                        "port (0 = ephemeral; --journal becomes a "
+                        "directory of per-shard journals)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker processes behind --http, each with its "
+                        "own journal and a share of the job space")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="per-tenant cap on queued jobs per shard "
+                        "(beyond it submissions are shed with a "
+                        "tenant-quota reason)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "submit",
         help="journal one synthesis job (optionally wait for its result)")
     p.add_argument("case", help="registry case name or path to a JSON spec")
-    p.add_argument("--journal", required=True)
+    p.add_argument("--journal",
+                   help="write-ahead journal for local submission "
+                        "(exactly one of --journal/--url)")
+    p.add_argument("--url",
+                   help="base URL of a running `repro serve --http` "
+                        "platform to submit to instead of a local journal")
     p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
     p.add_argument("--wait", action="store_true",
                    help="start an in-process service on the journal, drain "
-                        "it (this job included) and print the result")
+                        "it (this job included) and print the result; "
+                        "with --url, long-poll the platform instead")
+    p.add_argument("--tenant", default=None,
+                   help="tenant label for quotas and per-tenant metrics")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (higher pops first; default 0)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="with --url --wait: give up (exit 3) after this "
+                        "many seconds; default waits indefinitely")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="with --wait: seconds granted to the in-flight "
+                        "job on SIGINT/SIGTERM before exiting 3 with "
+                        "the journal still pending")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--time-limit", type=float, default=120.0)
     p.add_argument("--on-error", default="degrade",

@@ -19,6 +19,21 @@ Quickstart::
 
 Kill the process at any point and a new service on the same journal
 resumes with no job lost and no journaled completion re-executed.
+
+For multi-process scale, the same core runs sharded: a
+:class:`ShardCoordinator` spreads submissions across N shard processes
+(one journaled service each, all sharing one content-addressed store)
+and a :class:`ServiceHTTPServer` puts a stdlib HTTP/JSON API in front::
+
+    from repro.service import ServiceHTTPServer, ShardCoordinator
+
+    with ShardCoordinator("runs/platform", shards=4) as coord:
+        with ServiceHTTPServer(coord) as server:
+            print(server.url)  # POST /jobs, GET /jobs/<id>, /health, /stats
+            ...
+
+SIGKILL a shard and the coordinator respawns it on its journal;
+``repro serve --http`` is the CLI form.
 """
 
 from repro.service.backoff import Backoff
@@ -32,6 +47,14 @@ from repro.service.journal import (
     replay_journal,
     validate_journal,
 )
+from repro.service.coordinator import ShardCoordinator, ShardError
+from repro.service.http import (
+    HTTPServiceError,
+    ServiceHTTPServer,
+    fetch_job,
+    submit_job,
+    wait_job,
+)
 from repro.service.queue import JobQueue
 from repro.service.service import (
     SynthesisService,
@@ -40,6 +63,7 @@ from repro.service.service import (
     options_from_dict,
     options_to_dict,
 )
+from repro.service.shard import ShardConfig
 from repro.service.supervisor import Supervisor
 
 __all__ = [
@@ -60,4 +84,12 @@ __all__ = [
     "job_id_for",
     "options_to_dict",
     "options_from_dict",
+    "ShardConfig",
+    "ShardCoordinator",
+    "ShardError",
+    "ServiceHTTPServer",
+    "HTTPServiceError",
+    "submit_job",
+    "fetch_job",
+    "wait_job",
 ]

@@ -58,5 +58,24 @@ class Backoff:
         r = (rng or self.rng).random()
         return cap * (1.0 - self.jitter * r)
 
+    def delay_for(self, attempt: int, key: str) -> float:
+        """The jittered delay for one ``(key, attempt)`` pair.
+
+        Unlike :meth:`delay`, the draw depends only on the policy seed,
+        the key and the attempt number — not on how many delays this
+        process has drawn before. That makes the schedule *replayable*:
+        a restarted service that finds a job journaled pending at
+        attempt ``n`` recomputes the exact ready-time the dead process
+        had assigned, instead of restarting the backoff sequence at
+        attempt 0 and releasing every replayed retry at once (the
+        silent post-restart thundering herd). Different keys draw
+        decorrelated jitter from the same seed, so a fleet of jobs
+        failing together still spreads out.
+        """
+        # random.Random seeds strings via SHA-512 (seeding version 2),
+        # so the draw is stable across processes and PYTHONHASHSEED.
+        rng = random.Random(f"{self.seed}\x1f{key}\x1f{attempt}")
+        return self.delay(attempt, rng)
+
 
 __all__ = ["Backoff"]

@@ -118,6 +118,29 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._probing = False
 
+    def release_probe(self) -> None:
+        """The caller holding the half-open probe slot died reporting
+        nothing.
+
+        A worker crash between :meth:`allow` and the verdict call would
+        otherwise leave the breaker half-open with ``_probing`` stuck
+        True — every later ``allow`` refused, the backend permanently
+        fenced off by a slot nobody holds. A vanished probe is treated
+        as a failed one: re-open and restart the cooldown so the next
+        matured probe gets a fresh slot. Outside a held half-open probe
+        (the call was admitted through a *closed* breaker) there is
+        nothing to release — the crash was not the backend's answer,
+        and the retry path owns the job.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._probing:
+                self.opens += 1
+                obs_event("breaker_open", backend=self.name,
+                          failures=self._failures, probe_crashed=True)
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             return {

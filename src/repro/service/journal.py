@@ -58,6 +58,11 @@ class JobRecord:
     row: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     submitted_at: float = field(default_factory=time.time)
+    #: Multi-tenant accounting labels (quota admission, shed events,
+    #: queue priority). Absent from pre-platform journals; replay
+    #: defaults them, so old segments stay readable.
+    tenant: Optional[str] = None
+    priority: int = 0
 
     @property
     def terminal(self) -> bool:
@@ -73,6 +78,10 @@ class JobRecord:
             record["row"] = self.row
         if self.error is not None:
             record["error"] = self.error
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        if self.priority:
+            record["priority"] = self.priority
         return record
 
     @classmethod
@@ -85,6 +94,8 @@ class JobRecord:
                 attempts=int(record.get("attempts", 0)),
                 row=record.get("row"), error=record.get("error"),
                 submitted_at=float(record.get("submitted_at", 0.0)),
+                tenant=record.get("tenant"),
+                priority=int(record.get("priority", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(f"malformed job record: {exc}") from exc

@@ -1,17 +1,23 @@
-"""Bounded job queue with retry scheduling and load shedding.
+"""Bounded job queue with priorities, tenant quotas and retry delays.
 
 A service that accepts unboundedly eventually dies of memory instead of
 refusing work — admission control converts overload into an explicit,
 retryable signal at the edge. :class:`JobQueue` holds at most
 ``maxsize`` queued jobs; a push past that raises
 :class:`~repro.errors.AdmissionError` (the service turns it into a
-``shed`` event and counter).
+``shed`` event and counter). On a multi-tenant queue each tenant may
+additionally be capped (``tenant_quota``), so one noisy tenant fills
+its own slice, not the whole queue.
 
-Entries carry a *ready time*: a retrying job is re-queued with its
-backoff delay and stays invisible to :meth:`pop` until the delay has
-passed, so a worker never busy-spins on a job that is deliberately
-waiting. Ties break by insertion order (a monotone sequence number), so
-the queue is FIFO among ready jobs.
+Entries carry a *ready time* and a *priority*. A retrying job is
+re-queued with its backoff delay and stays invisible to :meth:`pop`
+until the delay has passed, so a worker never busy-spins on a job that
+is deliberately waiting. Among **ready** entries, higher priority pops
+first; ties break by insertion order (a monotone sequence number), so
+the queue is FIFO within a priority band. Internally that is two
+heaps: a not-yet-ready heap ordered by ready time, drained into a
+ready heap ordered by ``(-priority, seq)`` as delays mature — a
+high-priority job never waits behind a ready low-priority backlog.
 """
 
 from __future__ import annotations
@@ -20,19 +26,29 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import AdmissionError, ReproError
 
 
 class JobQueue:
-    """Thread-safe bounded priority queue ordered by ready time."""
+    """Thread-safe bounded priority queue with ready-time gating."""
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256,
+                 tenant_quota: Optional[int] = None) -> None:
         if maxsize < 1:
             raise ReproError(f"queue maxsize must be >= 1, got {maxsize}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ReproError(
+                f"tenant_quota must be >= 1, got {tenant_quota}")
         self.maxsize = maxsize
-        self._heap: List[Tuple[float, int, Any]] = []
+        #: Per-tenant cap on queued entries (None = tenants uncapped).
+        self.tenant_quota = tenant_quota
+        # (ready_at, seq, item, priority, tenant) — not yet ready
+        self._delayed: List[Tuple[float, int, Any, int, Optional[str]]] = []
+        # (-priority, seq, item, tenant) — ready to pop
+        self._ready: List[Tuple[int, int, Any, Optional[str]]] = []
+        self._tenants: Dict[str, int] = {}
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -40,12 +56,33 @@ class JobQueue:
         #: Cumulative number of rejected pushes (exported as ``shed``).
         self.shed = 0
 
-    def push(self, item: Any, delay: float = 0.0, *,
-             force: bool = False) -> None:
+    # -- admission -------------------------------------------------------
+    def shed_reason(self, tenant: Optional[str] = None) -> Optional[str]:
+        """Why a non-forced push would be refused right now, or None.
+
+        ``"full"`` when the queue is at its bound, ``"tenant-quota"``
+        when this tenant's slice is. Lets the service decide admission
+        *before* journaling the job (WAL order: nothing shed is ever
+        journaled).
+        """
+        with self._lock:
+            return self._shed_reason(tenant)
+
+    def _shed_reason(self, tenant: Optional[str]) -> Optional[str]:
+        if len(self._delayed) + len(self._ready) >= self.maxsize:
+            return "full"
+        if tenant is not None and self.tenant_quota is not None \
+                and self._tenants.get(tenant, 0) >= self.tenant_quota:
+            return "tenant-quota"
+        return None
+
+    def push(self, item: Any, delay: float = 0.0, *, priority: int = 0,
+             tenant: Optional[str] = None, force: bool = False) -> None:
         """Enqueue ``item``, visible to ``pop`` after ``delay`` seconds.
 
-        Raises :class:`AdmissionError` when the queue is full or closed.
-        ``force=True`` bypasses the size bound (never the closed check):
+        Raises :class:`AdmissionError` when the queue is full, the
+        tenant is at quota, or the queue is closed. ``force=True``
+        bypasses the size bound and the quota (never the closed check):
         a *retry* of an already-admitted job must not be sheddable, or
         load could silently discard accepted work.
         """
@@ -53,15 +90,37 @@ class JobQueue:
         with self._not_empty:
             if self._closed:
                 raise AdmissionError("queue is closed to new work")
-            if not force and len(self._heap) >= self.maxsize:
-                self.shed += 1
-                raise AdmissionError(
-                    f"queue full ({self.maxsize} jobs); shedding")
-            heapq.heappush(self._heap, (ready_at, next(self._seq), item))
+            if not force:
+                reason = self._shed_reason(tenant)
+                if reason == "full":
+                    self.shed += 1
+                    raise AdmissionError(
+                        f"queue full ({self.maxsize} jobs); shedding")
+                if reason == "tenant-quota":
+                    self.shed += 1
+                    raise AdmissionError(
+                        f"tenant {tenant!r} at quota "
+                        f"({self.tenant_quota} queued jobs); shedding")
+            seq = next(self._seq)
+            if tenant is not None:
+                self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
+            if delay <= 0.0:
+                heapq.heappush(self._ready, (-priority, seq, item, tenant))
+            else:
+                heapq.heappush(self._delayed,
+                               (ready_at, seq, item, priority, tenant))
             self._not_empty.notify()
 
+    # -- consumption -----------------------------------------------------
+    def _mature(self, now: float) -> None:
+        """Move every matured delayed entry onto the ready heap."""
+        while self._delayed and self._delayed[0][0] <= now:
+            _, seq, item, priority, tenant = heapq.heappop(self._delayed)
+            heapq.heappush(self._ready, (-priority, seq, item, tenant))
+
     def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
-        """The earliest *ready* item, or None on timeout / closed-empty.
+        """The highest-priority *ready* item, or None on timeout /
+        closed-empty.
 
         Blocks until an item becomes ready, the timeout expires, or the
         queue is closed while empty.
@@ -70,11 +129,18 @@ class JobQueue:
         with self._not_empty:
             while True:
                 now = time.monotonic()
-                if self._heap:
-                    ready_at = self._heap[0][0]
-                    if ready_at <= now:
-                        return heapq.heappop(self._heap)[2]
-                    wait = ready_at - now
+                self._mature(now)
+                if self._ready:
+                    _, _, item, tenant = heapq.heappop(self._ready)
+                    if tenant is not None:
+                        count = self._tenants.get(tenant, 1) - 1
+                        if count > 0:
+                            self._tenants[tenant] = count
+                        else:
+                            self._tenants.pop(tenant, None)
+                    return item
+                if self._delayed:
+                    wait = self._delayed[0][0] - now
                 elif self._closed:
                     return None
                 else:
@@ -93,15 +159,26 @@ class JobQueue:
             self._not_empty.notify_all()
 
     def drain(self) -> List[Any]:
-        """Remove and return everything still queued (ready or not)."""
+        """Remove and return everything still queued (ready or not),
+        in pop order: ready items by priority, then delayed items by
+        ready time."""
         with self._not_empty:
-            items = [entry[2] for entry in sorted(self._heap)]
-            self._heap.clear()
+            items = [entry[2] for entry in sorted(self._ready)]
+            items += [entry[2] for entry in sorted(self._delayed)]
+            self._ready.clear()
+            self._delayed.clear()
+            self._tenants.clear()
             return items
+
+    # -- introspection ---------------------------------------------------
+    def tenant_depths(self) -> Dict[str, int]:
+        """Queued entries per tenant (tenants with none are absent)."""
+        with self._lock:
+            return dict(self._tenants)
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._heap)
+            return len(self._delayed) + len(self._ready)
 
     @property
     def closed(self) -> bool:

@@ -101,6 +101,7 @@ class SynthesisService:
         breaker_threshold: int = 3,
         breaker_reset: float = 5.0,
         store: Optional[Any] = None,
+        tenant_quota: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -125,7 +126,7 @@ class SynthesisService:
         self.max_attempts = max_attempts
         self.backoff = backoff or Backoff()
         self.breakers = BreakerBoard(breaker_threshold, breaker_reset)
-        self.queue = JobQueue(queue_size)
+        self.queue = JobQueue(queue_size, tenant_quota=tenant_quota)
         self._supervisor = Supervisor(workers, self._work)
         if journal is None or isinstance(journal, Journal):
             self._journal = journal
@@ -161,7 +162,17 @@ class SynthesisService:
                 self.jobs = self._journal.jobs
                 replayed = self._journal.pending()
                 for job in replayed:
-                    self.queue.push(job.id, force=True)
+                    # A job journaled pending mid-backoff re-enters at
+                    # the ready-time its *persisted* attempt count
+                    # implies — keyed jitter, so the schedule survives
+                    # the restart instead of releasing every replayed
+                    # retry at attempt-0 delays all at once.
+                    delay = 0.0
+                    if job.state == "pending" and job.attempts > 0:
+                        delay = self.backoff.delay_for(job.attempts, job.id)
+                    self.queue.push(job.id, delay=delay,
+                                    priority=job.priority,
+                                    tenant=job.tenant, force=True)
                     obs_event("job_submitted", job=job.id, replayed=True,
                               state=job.state)
                 if replayed:
@@ -179,12 +190,17 @@ class SynthesisService:
 
     # -- submission ------------------------------------------------------
     def submit(self, spec: SwitchSpec,
-               options: Optional[SynthesisOptions] = None) -> str:
+               options: Optional[SynthesisOptions] = None, *,
+               tenant: Optional[str] = None, priority: int = 0) -> str:
         """Accept one job; returns its id (idempotent on re-submission).
 
-        Raises :class:`AdmissionError` when the bounded queue is full
-        (the submission is *shed*: nothing is journaled, the caller owns
-        the retry) or the service is shutting down.
+        ``tenant`` labels the submission for quota accounting and
+        per-tenant observability; ``priority`` orders ready jobs in the
+        queue (higher pops first, FIFO within a band). Raises
+        :class:`AdmissionError` when the bounded queue is full or the
+        tenant is at quota (the submission is *shed*: nothing is
+        journaled, the caller owns the retry) or the service is
+        shutting down.
         """
         opts = options or self.default_options
         job_id = job_id_for(spec, opts)
@@ -199,7 +215,8 @@ class SynthesisService:
             if existing is not None:
                 self._counter("service_dedup_hits")
                 obs_event("job_submitted", job=job_id, dedup=True,
-                          state=existing.state)
+                          state=existing.state,
+                          **({"tenant": tenant} if tenant else {}))
                 return job_id
             row = self._store_row(spec, opts)
             if row is not None:
@@ -210,7 +227,8 @@ class SynthesisService:
                 # restart replays it as terminal like any other
                 # completion.
                 record = JobRecord(job_id, spec_to_dict(spec),
-                                   options_to_dict(opts))
+                                   options_to_dict(opts), tenant=tenant,
+                                   priority=priority)
                 if self._journal is not None:
                     self._journal.record_job(record)
                 else:
@@ -218,18 +236,28 @@ class SynthesisService:
                 self._specs[job_id] = spec
                 self._counter("service_store_dedup")
                 obs_event("job_submitted", job=job_id, case=spec.name,
-                          store=True)
+                          store=True,
+                          **({"tenant": tenant} if tenant else {}))
                 self._finish(record, 0, "done", row, None)
                 return job_id
-            if len(self.queue) >= self.queue.maxsize:
+            reason = self.queue.shed_reason(tenant)
+            if reason is not None:
                 self.queue.shed += 1
                 self._counter("service_shed")
-                obs_event("shed", job=job_id, queue_depth=len(self.queue))
+                obs_event("shed", job=job_id, reason=reason,
+                          queue_depth=len(self.queue),
+                          **({"tenant": tenant} if tenant else {}))
+                if reason == "tenant-quota":
+                    raise AdmissionError(
+                        f"tenant {tenant!r} at quota "
+                        f"({self.queue.tenant_quota} queued jobs); "
+                        f"job {job_id} shed")
                 raise AdmissionError(
                     f"queue full ({self.queue.maxsize} jobs); "
                     f"job {job_id} shed")
             record = JobRecord(job_id, spec_to_dict(spec),
-                               options_to_dict(opts))
+                               options_to_dict(opts), tenant=tenant,
+                               priority=priority)
             # WAL order: journal first, then memory/queue — a crash
             # between the two re-creates the queue entry from the
             # journal on restart.
@@ -238,9 +266,11 @@ class SynthesisService:
             else:
                 self.jobs[job_id] = record
             self._specs[job_id] = spec
-            self.queue.push(job_id, force=True)
+            self.queue.push(job_id, priority=priority, tenant=tenant,
+                            force=True)
             self._counter("service_jobs_submitted")
-            obs_event("job_submitted", job=job_id, case=spec.name)
+            obs_event("job_submitted", job=job_id, case=spec.name,
+                      **({"tenant": tenant} if tenant else {}))
         self._sync_gauges()
         return job_id
 
@@ -368,11 +398,33 @@ class SynthesisService:
         self._sync_gauges()
         try:
             self._execute(job, worker_id)
+        except BaseException as exc:
+            # The worker thread is crashing (the supervisor will log it
+            # and respawn). Without this rescue the job would be
+            # stranded "running" in memory until the next *process*
+            # restart replayed it — requeue it through the normal retry
+            # accounting instead, so a thread crash costs one attempt,
+            # not the rest of the session.
+            self._rescue_crashed(job, exc)
+            raise
         finally:
             with self._lock:
                 self._in_flight -= 1
             self._sync_gauges()
         return True
+
+    def _rescue_crashed(self, job: JobRecord, exc: BaseException) -> None:
+        try:
+            with self._lock:
+                stranded = not job.terminal and job.state == "running"
+            if stranded:
+                self._fail_attempt(job, max(1, job.attempts), None,
+                                   f"worker crashed: "
+                                   f"{type(exc).__name__}: {exc}")
+        except Exception:
+            # Journaling itself is broken; the WAL still holds the job
+            # as running, so the next start replays it.
+            pass
 
     def _store_row(self, spec: SwitchSpec,
                    opts: SynthesisOptions) -> Optional[Dict[str, Any]]:
@@ -416,13 +468,21 @@ class SynthesisService:
                 job, attempt, None,
                 "no backend available: every circuit breaker is open")
             return
-        self._transition(job, "running", attempt)
-        obs_event("job_started", job=job.id, attempt=attempt,
-                  backend=backend, worker=worker_id)
-        spec = self._spec_of(job)
-        opts = replace(options_from_dict(job.options),
-                       backend=backend, trace=None, store=self.store)
         breaker = self.breakers.get(backend)
+        try:
+            self._transition(job, "running", attempt)
+            obs_event("job_started", job=job.id, attempt=attempt,
+                      backend=backend, worker=worker_id)
+            spec = self._spec_of(job)
+            opts = replace(options_from_dict(job.options),
+                           backend=backend, trace=None, store=self.store)
+        except BaseException:
+            # Crash between the breaker's allow() and any verdict: the
+            # half-open probe slot must not leak with the worker, or
+            # the breaker stays stuck half-open refusing every later
+            # probe. A vanished probe counts as a failed one.
+            breaker.release_probe()
+            raise
         try:
             result = synthesize(spec, opts)
         except Exception as exc:
@@ -430,24 +490,32 @@ class SynthesisService:
             self._fail_attempt(job, attempt, backend,
                                f"{type(exc).__name__}: {exc}")
             return
-        from repro.experiments.batch import spec_row
+        except BaseException:
+            breaker.release_probe()
+            raise
+        try:
+            from repro.experiments.batch import spec_row
 
-        status = result.status.value
-        if result.status.solved or status == "no solution":
-            # Conclusive answers (infeasible included) are terminal.
-            degraded = bool(result.counters.get("degraded"))
-            if degraded or result.error:
-                breaker.record_failure()  # the exact backend did fail
+            status = result.status.value
+            if result.status.solved or status == "no solution":
+                # Conclusive answers (infeasible included) are terminal.
+                degraded = bool(result.counters.get("degraded"))
+                if degraded or result.error:
+                    breaker.record_failure()  # the exact backend did fail
+                else:
+                    breaker.record_success()
+                row = spec_row(spec, result)
+                state = "degraded" if degraded else "done"
+                self._finish(job, attempt, state, row, result.error)
             else:
-                breaker.record_success()
-            row = spec_row(spec, result)
-            state = "degraded" if degraded else "done"
-            self._finish(job, attempt, state, row, result.error)
-        else:
-            # TIMEOUT without a solution, or a captured ERROR: retryable.
-            breaker.record_failure()
-            self._fail_attempt(job, attempt, backend,
-                               result.error or f"solve ended {status}")
+                # TIMEOUT without a solution, or a captured ERROR:
+                # retryable.
+                breaker.record_failure()
+                self._fail_attempt(job, attempt, backend,
+                                   result.error or f"solve ended {status}")
+        except BaseException:
+            breaker.release_probe()  # no-op once a verdict was recorded
+            raise
 
     def _fail_attempt(self, job: JobRecord, attempt: int,
                       backend: Optional[str], message: str) -> None:
@@ -457,7 +525,10 @@ class SynthesisService:
             row = error_row(self._spec_of(job), message)
             self._finish(job, attempt, "failed", row, message)
             return
-        delay = self.backoff.delay(attempt)
+        # Keyed jitter: the delay is a pure function of (policy seed,
+        # job id, attempt), so a restart that replays this job pending
+        # recomputes the same ready-time instead of resetting the herd.
+        delay = self.backoff.delay_for(attempt, job.id)
         self._transition(job, "pending", attempt, error=message)
         self._counter("service_retries")
         obs_event("job_retry", job=job.id, attempt=attempt,
@@ -467,7 +538,8 @@ class SynthesisService:
         # already closed by shutdown refuses even forced pushes; the job
         # is journaled pending, so the next start replays it.
         try:
-            self.queue.push(job.id, delay=delay, force=True)
+            self.queue.push(job.id, delay=delay, priority=job.priority,
+                            tenant=job.tenant, force=True)
         except AdmissionError:
             pass
 
@@ -514,6 +586,12 @@ class SynthesisService:
             states: Dict[str, int] = {}
             for job in self.jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            tenants: Dict[str, Dict[str, int]] = {}
+            for job in self.jobs.values():
+                if job.tenant is None:
+                    continue
+                per = tenants.setdefault(job.tenant, {})
+                per[job.state] = per.get(job.state, 0) + 1
             return {
                 "state": self._state,
                 "queue_depth": len(self.queue),
@@ -521,6 +599,8 @@ class SynthesisService:
                 "shed": self.queue.shed,
                 "worker_crashes": self._supervisor.crashes,
                 "jobs": states,
+                "tenants": tenants,
+                "tenant_queue_depths": self.queue.tenant_depths(),
                 "breakers": self.breakers.snapshot(),
             }
 

@@ -164,7 +164,10 @@ class Store:
             return None
         self._count("hits")
         obs_event("cache_hit", kind=kind, key=key[:16])
-        with contextlib.suppress(OSError):  # LRU recency bump
+        # LRU recency bump, lock-free. A concurrent gc may unlink the
+        # file between our read and this utime — ENOENT is then fine
+        # (the payload is already in hand; the next writer repopulates).
+        with contextlib.suppress(OSError):
             os.utime(path)
         return entry["payload"]
 
@@ -301,11 +304,25 @@ class Store:
         total = sum(size for _, _, size in entries)
         evicted = freed = 0
         if cap is not None:
-            for path, _, size in sorted(entries, key=lambda e: (e[1], e[0])):
+            for path, scanned_mtime, size in sorted(
+                    entries, key=lambda e: (e[1], e[0])):
                 if total <= cap:
                     break
                 key = f"{path.parent.name}{path.stem}"
                 with self._shard_lock(key):
+                    # Readers bump mtime lock-free, so the recency this
+                    # scan saw may be stale by the time we get here.
+                    # Re-stat under the shard lock: an entry hit since
+                    # the scan is *recently used* and must survive; one
+                    # already gone (concurrent gc/repair) frees its
+                    # bytes without counting as our eviction.
+                    try:
+                        current_mtime = path.stat().st_mtime
+                    except OSError:
+                        total -= size
+                        continue
+                    if current_mtime > scanned_mtime:
+                        continue
                     with contextlib.suppress(OSError):
                         path.unlink()
                     with contextlib.suppress(OSError):

@@ -731,3 +731,259 @@ def _spec_dict(spec):
     from repro.io import spec_to_dict
 
     return spec_to_dict(spec)
+
+
+# ----------------------------------------------------------------------
+# keyed backoff (replay-stable jitter)
+# ----------------------------------------------------------------------
+def test_backoff_delay_for_is_key_deterministic():
+    b = Backoff(base=0.2, factor=2.0, max_delay=10.0, jitter=0.5, seed=7)
+    for attempt in (1, 2, 5):
+        first = b.delay_for(attempt, "job-a")
+        assert first == b.delay_for(attempt, "job-a")  # replay-stable
+        cap = b.cap(attempt)
+        assert cap * 0.5 <= first <= cap  # inside the equal-jitter band
+    # different jobs decorrelate
+    assert b.delay_for(3, "job-a") != b.delay_for(3, "job-b")
+
+
+def test_backoff_delay_for_matches_across_instances():
+    """Two processes (here: two instances) with the same policy must
+    compute the same ready-time for the same (job, attempt) — that is
+    what makes journal replay reproduce the original schedule."""
+    a = Backoff(base=0.1, factor=2.0, max_delay=5.0, jitter=0.5, seed=3)
+    b = Backoff(base=0.1, factor=2.0, max_delay=5.0, jitter=0.5, seed=3)
+    assert [a.delay_for(n, "j") for n in range(1, 6)] \
+        == [b.delay_for(n, "j") for n in range(1, 6)]
+
+
+def test_replay_recomputes_backoff_from_persisted_attempts(tmp_path):
+    """A replayed pending job re-enters the queue with the delay of its
+    *recorded* attempt count, not attempt zero — restart must not turn
+    a backed-off herd into a stampede."""
+    spec = small_spec()
+    opts = SynthesisOptions(time_limit=30, on_error="capture")
+    backoff = Backoff(base=30.0, factor=2.0, max_delay=120.0,
+                      jitter=0.5, seed=11)
+    with install_faulty_backend("doomed", plan=FaultPlan(crash=1.0)):
+        service = SynthesisService(tmp_path / "j.jsonl", workers=1,
+                                   options=opts, backends=["doomed"],
+                                   max_attempts=5, backoff=backoff,
+                                   breaker_threshold=100)
+        service.start()
+        job_id = service.submit(spec)
+        deadline = time.monotonic() + 60
+        while service.job(job_id).attempts < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.stop(drain=False)
+    attempts = service.job(job_id).attempts
+    assert attempts >= 1
+
+    restarted = SynthesisService(tmp_path / "j.jsonl", workers=1,
+                                 options=opts, backends=["doomed"],
+                                 max_attempts=5, backoff=backoff,
+                                 breaker_threshold=100)
+    restarted._supervisor.start = lambda: None  # freeze the queue
+    restarted.start()
+    entry = restarted.queue._delayed[0]
+    remaining = entry[0] - time.monotonic()
+    expected = backoff.delay_for(attempts, job_id)
+    # the keyed draw reproduces the exact delay (minus test elapsed)
+    assert expected - 2.0 <= remaining <= expected + 0.1
+    restarted.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# breaker probe-crash accounting
+# ----------------------------------------------------------------------
+def test_breaker_probe_crash_releases_slot_and_reopens():
+    """A half-open probe whose worker dies never reports back; the
+    crash path must release the probe slot as a *failed* probe or the
+    breaker wedges half-open with the slot consumed forever."""
+    clock = FakeClock()
+    b = CircuitBreaker("cbc", failure_threshold=1, reset_timeout=5,
+                       clock=clock)
+    b.record_failure()
+    clock.t = 5.0
+    assert b.allow()          # the probe is dispatched...
+    b.release_probe()         # ...and its worker crashes
+    assert b.state == OPEN    # counted as a failed probe
+    clock.t = 9.9             # cooldown restarted at t=5
+    assert not b.allow()
+    clock.t = 10.0
+    assert b.allow()          # next probe admitted normally
+    b.record_success()
+    assert b.state == CLOSED
+
+
+def test_breaker_release_probe_is_noop_outside_half_open():
+    clock = FakeClock()
+    b = CircuitBreaker("cbc", failure_threshold=2, reset_timeout=5,
+                       clock=clock)
+    b.release_probe()                  # closed: nothing to release
+    assert b.state == CLOSED and b.opens == 0
+    b.record_failure()
+    b.record_failure()
+    b.release_probe()                  # open, no probe outstanding
+    assert b.state == OPEN and b.opens == 1
+    clock.t = 5.0
+    assert b.allow()
+    b.record_success()                 # probe reported before any crash
+    b.release_probe()                  # late release after verdict
+    assert b.state == CLOSED and b.opens == 1
+
+
+def test_breaker_probe_crash_emits_probe_crashed_event():
+    clock = FakeClock()
+    tracer = Tracer("probe")
+    with use_tracer(tracer):
+        b = CircuitBreaker("cbc", failure_threshold=1, reset_timeout=1,
+                           clock=clock)
+        b.record_failure()
+        clock.t = 1.0
+        assert b.allow()
+        b.release_probe()
+    opens = [r for r in tracer.records()
+             if r["type"] == "event" and r["name"] == "breaker_open"]
+    assert opens[-1]["attrs"]["probe_crashed"] is True
+
+
+def test_service_probe_crash_does_not_wedge_breaker(tmp_path):
+    """End to end: attempt 1 fails (opens the breaker), the half-open
+    probe crashes its *worker thread*, and the job still completes —
+    the crash path re-opened the breaker instead of leaking the slot."""
+    from repro.opt.model import Model
+    from repro.opt.solvers import (SolverBackend, get_backend,
+                                   register_backend, unregister_backend)
+
+    class WorkerDeath(BaseException):
+        """Escapes the retry path's `except Exception` like a real
+        thread-killing defect would."""
+
+    class ProbeCrashBackend(SolverBackend):
+        name = "probecrash"
+
+        def __init__(self):
+            self.inner = get_backend("auto")
+            self.calls = 0
+
+        def solve(self, model, **kwargs):
+            self.calls += 1
+            if self.calls == 1:
+                raise ReproError("planned failure: open the breaker")
+            if self.calls == 2:
+                raise WorkerDeath("probe worker dies")
+            return self.inner.solve(model, **kwargs)
+
+    backend = ProbeCrashBackend()
+    register_backend("probecrash", lambda: backend, replace=True)
+    tracer = Tracer("probecrash")
+    try:
+        with use_tracer(tracer):
+            with SynthesisService(
+                    tmp_path / "j.jsonl", workers=1,
+                    options=SynthesisOptions(time_limit=30,
+                                             on_error="capture"),
+                    backends=["probecrash"], max_attempts=6,
+                    backoff=Backoff(base=0.4, factor=1.5, max_delay=1.0,
+                                    jitter=0.0),
+                    breaker_threshold=1, breaker_reset=0.1) as service:
+                job_id = service.submit(small_spec())
+                record = service.wait(job_id, timeout=120)
+    finally:
+        unregister_backend("probecrash")
+    assert record.state == "done"
+    assert backend.calls >= 3
+    snapshot = {r["name"]: r for r in tracer.records()
+                if r["type"] == "event"}
+    assert "worker_crashed" in snapshot          # the supervisor saw it
+    opens = [r["attrs"] for r in tracer.records()
+             if r["type"] == "event" and r["name"] == "breaker_open"]
+    assert any(a.get("probe_crashed") for a in opens)
+    assert validate_journal(tmp_path / "j.jsonl") == {"done": 1}
+
+
+# ----------------------------------------------------------------------
+# priorities and tenant quotas
+# ----------------------------------------------------------------------
+def test_queue_priority_orders_ready_items_fifo_within_band():
+    q = JobQueue(maxsize=8)
+    q.push("low-1", priority=0)
+    q.push("high", priority=5)
+    q.push("low-2", priority=0)
+    q.push("mid", priority=2)
+    assert [q.pop(0.1) for _ in range(4)] == ["high", "mid",
+                                              "low-1", "low-2"]
+
+
+def test_queue_full_of_low_priority_cannot_starve_exempt_retry():
+    """Satellite regression: a queue at its bound with low-priority
+    work must neither shed nor delay an exempt (forced) retry."""
+    q = JobQueue(maxsize=4)
+    for i in range(4):
+        q.push(f"bulk-{i}", priority=0)
+    assert q.shed_reason() == "full"
+    # the retry is exempt from the bound...
+    q.push("retry", delay=0.05, priority=3, force=True)
+    assert len(q) == 5
+    # ...and once its backoff matures it pops before the entire backlog
+    time.sleep(0.08)
+    assert q.pop(0.5) == "retry"
+    assert q.shed == 0
+
+
+def test_queue_tenant_quota_caps_one_tenant_not_the_queue():
+    q = JobQueue(maxsize=8, tenant_quota=2)
+    q.push("a1", tenant="alice")
+    q.push("a2", tenant="alice")
+    assert q.shed_reason("alice") == "tenant-quota"
+    assert q.shed_reason("bob") is None
+    with pytest.raises(AdmissionError, match="tenant"):
+        q.push("a3", tenant="alice")
+    q.push("b1", tenant="bob")               # other tenants unaffected
+    q.push("a3-retry", tenant="alice", force=True)  # retries exempt
+    assert q.tenant_depths() == {"alice": 3, "bob": 1}
+    q.pop(0.1)
+    assert q.tenant_depths()["alice"] == 2   # pop releases the slot
+
+
+def test_service_tenant_quota_shed_event_carries_tenant(tmp_path):
+    """Satellite regression: a per-tenant rejection must be observable
+    as a `shed` event labelled with the tenant, not an anonymous one."""
+    specs = [small_spec(s) for s in range(3)]
+    tracer = Tracer("quota")
+    service = SynthesisService(tmp_path / "j.jsonl", workers=1,
+                               queue_size=8, options=OPTS,
+                               tenant_quota=1)
+    service._supervisor.start = lambda: None  # keep depth deterministic
+    with use_tracer(tracer):
+        service.start()
+        service.submit(specs[0], tenant="alice")
+        with pytest.raises(AdmissionError, match="tenant"):
+            service.submit(specs[1], tenant="alice")
+        service.submit(specs[2], tenant="bob")  # bob is not throttled
+        service.stop(drain=False)
+    sheds = [r["attrs"] for r in tracer.records()
+             if r["type"] == "event" and r["name"] == "shed"]
+    assert len(sheds) == 1
+    assert sheds[0]["tenant"] == "alice"
+    assert sheds[0]["reason"] == "tenant-quota"
+    # nothing journaled for the shed job; the others were accepted
+    assert validate_journal(tmp_path / "j.jsonl") == {"submitted": 2}
+
+
+def test_service_stats_break_down_tenants(tmp_path):
+    specs = [small_spec(s) for s in range(2)]
+    with SynthesisService(tmp_path / "j.jsonl", workers=1,
+                          options=OPTS) as service:
+        ids = [service.submit(specs[0], tenant="alice"),
+               service.submit(specs[1], tenant="bob", priority=1)]
+        for job_id in ids:
+            service.wait(job_id, timeout=120)
+        stats = service.stats()
+    assert stats["tenants"]["alice"] == {"done": 1}
+    assert stats["tenants"]["bob"] == {"done": 1}
+    replayed = replay_journal(tmp_path / "j.jsonl").jobs
+    assert replayed[ids[0]].tenant == "alice"
+    assert replayed[ids[1]].priority == 1

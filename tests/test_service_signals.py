@@ -149,3 +149,70 @@ def test_run_batch_resume_tolerates_torn_checkpoint_row(tmp_path):
     assert len(batch.rows) == 3  # the torn row's spec simply re-ran
     assert sorted(r["case"] for r in batch.rows) == \
         sorted(s.name for s in specs)
+
+
+# ----------------------------------------------------------------------
+# `repro submit --wait` exit codes (shared contract with `repro serve`)
+# ----------------------------------------------------------------------
+def _write_small_spec(tmp_path, seed=0):
+    import json
+
+    from repro.io import spec_to_dict
+
+    path = tmp_path / f"spec-{seed}.json"
+    path.write_text(json.dumps(spec_to_dict(small_spec(seed))))
+    return path
+
+
+def _run_cli(args, timeout=180, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=timeout,
+                          env=env)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def test_submit_wait_exits_zero_on_done(tmp_path):
+    spec = _write_small_spec(tmp_path)
+    journal = tmp_path / "j.jsonl"
+    rc, out, err = _run_cli(["submit", str(spec), "--journal", str(journal),
+                             "--wait", "--time-limit", "30"])
+    assert rc == 0, f"{out!r} {err!r}"
+    assert ": done" in out
+    assert validate_journal(journal) == {"done": 1}
+
+
+def test_submit_wait_interrupt_exits_three_with_job_journaled(tmp_path):
+    """Satellite regression: the documented exit-3 ('pending work stays
+    journaled') contract must hold for `repro submit --wait`, not just
+    `repro serve` — a scheduler retrying on 3 re-runs either command."""
+    journal = tmp_path / "j.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "submit", "example_4_2",
+         "--journal", str(journal), "--wait",
+         "--time-limit", "120", "--drain-timeout", "3"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    assert line.startswith("waiting:"), line
+    time.sleep(1.0)  # land mid-solve (the case runs for ~30s)
+    proc.send_signal(signal.SIGINT)
+    out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 3, f"{line!r} {out!r} {err!r}"
+    assert "left journaled" in out
+    jobs = replay_journal(journal).jobs
+    assert len(jobs) == 1
+    assert all(not j.terminal for j in jobs.values())
+    validate_journal(journal)  # still schema-valid and exactly-once
+
+
+def test_submit_rejects_neither_and_both_transports(tmp_path):
+    spec = _write_small_spec(tmp_path)
+    rc, out, _ = _run_cli(["submit", str(spec)])
+    assert rc == 2 and "--journal or --url" in out
+    rc, out, _ = _run_cli(["submit", str(spec),
+                           "--journal", str(tmp_path / "j.jsonl"),
+                           "--url", "http://127.0.0.1:1"])
+    assert rc == 2 and "--journal or --url" in out

@@ -211,6 +211,128 @@ def test_hit_bumps_recency(tmp_path):
     assert not store.contains(b, "catalog")
 
 
+def test_gc_spares_entry_hit_between_scan_and_lock(tmp_path):
+    """A reader bumping recency after gc's scan but before its lock
+    must win: gc re-stats under the shard lock and skips the entry."""
+    import contextlib
+    import os
+
+    store = Store(tmp_path)
+    keys = [some_key(str(i)) for i in range(3)]
+    for i, key in enumerate(keys):
+        store.put(key, "catalog", {"routes": [["n", str(i)]]})
+        os.utime(store._object_path(key), (1000 + i, 1000 + i))
+    victim = keys[0]  # oldest: first on gc's eviction list
+    original_lock = store._shard_lock
+    raced = []
+
+    def lock_after_racing_reader(key):
+        @contextlib.contextmanager
+        def cm():
+            if key == victim and not raced:
+                raced.append(key)
+                os.utime(store._object_path(victim))  # the reader's bump
+            with original_lock(key):
+                yield
+        return cm()
+
+    store._shard_lock = lock_after_racing_reader
+    entries = sum(size for _, _, size in store._entries())
+    report = store.gc(max_bytes=entries - 1)
+    assert raced, "the injected reader never fired"
+    # the just-hit entry survived; gc moved on to the next-oldest
+    assert store.contains(victim, "catalog")
+    assert not store.contains(keys[1], "catalog")
+    assert report["evicted"] == 1
+
+
+def test_gc_tolerates_entry_vanishing_before_lock(tmp_path):
+    """An entry unlinked between scan and lock (concurrent gc/repair)
+    frees its bytes without crashing or counting as an eviction."""
+    import contextlib
+    import os
+
+    store = Store(tmp_path)
+    keys = [some_key(str(i)) for i in range(3)]
+    for i, key in enumerate(keys):
+        store.put(key, "catalog", {"routes": [["n", str(i)]]})
+        os.utime(store._object_path(key), (1000 + i, 1000 + i))
+    victim = keys[0]
+    original_lock = store._shard_lock
+    vanished = []
+
+    def lock_after_concurrent_unlink(key):
+        @contextlib.contextmanager
+        def cm():
+            if not vanished:
+                vanished.append(key)
+                store._object_path(victim).unlink()
+            with original_lock(key):
+                yield
+        return cm()
+
+    store._shard_lock = lock_after_concurrent_unlink
+    report = store.gc(max_bytes=0)
+    assert vanished
+    # the vanished entry is not *our* eviction; the other two are
+    assert report["evicted"] == 2
+    assert store.counters["evictions"] == 2
+
+
+def test_get_tolerates_eviction_between_read_and_bump(tmp_path,
+                                                     monkeypatch):
+    """gc unlinking a file after a reader loaded it but before the
+    LRU utime bump must not break the read (payload already in hand)."""
+    import os as _os
+
+    from repro.store import store as store_module
+
+    store = Store(tmp_path)
+    key = some_key("racy")
+    store.put(key, "catalog", {"routes": [["a", "b"]]})
+    real_utime = _os.utime
+
+    def unlink_then_bump(path, *args, **kwargs):
+        _os.unlink(path)  # the concurrent gc wins the race
+        return real_utime(path, *args, **kwargs)  # ENOENT
+
+    monkeypatch.setattr(store_module.os, "utime", unlink_then_bump)
+    assert store.get(key, "catalog") == {"routes": [["a", "b"]]}
+    monkeypatch.undo()
+    assert store.get(key, "catalog") is None  # really evicted
+
+
+def test_gc_and_readers_race_without_losing_hot_entries(tmp_path):
+    """Thread-level smoke: hammer get() against gc() and require the
+    hot key (re-put on miss, as real callers do) always readable."""
+    store = Store(tmp_path)
+    hot = some_key("hot")
+    payload = {"routes": [["h", "h"]]}
+    store.put(hot, "catalog", payload)
+    for i in range(6):
+        store.put(some_key(f"cold{i}"), "catalog", {"routes": [["c", str(i)]]})
+    stop = threading.Event()
+    failures = []
+
+    def reader():
+        while not stop.is_set():
+            got = store.get(hot, "catalog")
+            if got is None:
+                store.put(hot, "catalog", payload)
+            elif got != payload:
+                failures.append(got)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for _ in range(25):
+        store.gc(max_bytes=256)
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert not failures
+
+
 def test_verify_reports_and_repairs(tmp_path):
     store = Store(tmp_path)
     good, bad = some_key("good"), some_key("bad")
