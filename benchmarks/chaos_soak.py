@@ -31,7 +31,12 @@ is SIGKILLed once, in turn, while work is in flight (a heavy blocker
 spec pins a worker so the kills always land mid-solve). The
 coordinator must respawn each shard on its journal and every job must
 still reach a terminal state exactly once — proven, as always, by
-strict journal replay::
+strict journal replay. The telemetry plane must stay continuous across
+the kills too: aggregated counters are checked monotonic before and
+after every SIGKILL (a respawned shard is a new stream, never a
+rollback), the final merged stream must validate as one
+``repro-obs-v1`` trace with no duplicated completion events, and it is
+saved as ``merged-trace.jsonl``::
 
     python benchmarks/chaos_soak.py --specs 8 --shards 2 --out chaos-artifacts
 """
@@ -162,6 +167,27 @@ def orchestrate_shards(args: argparse.Namespace) -> int:
     failures = []
     print(f"[chaos] platform: {args.shards} shard(s) x {args.workers} "
           f"worker(s), killing each shard once ...", flush=True)
+
+    def counter_totals(coord) -> dict:
+        """Aggregated counter values across every telemetry stream."""
+        coord.pull_telemetry()
+        return {key: snap.get("value", 0)
+                for key, snap in coord.collector.aggregated_metrics().items()
+                if snap.get("kind") == "counter"}
+
+    last_counters: dict = {}
+
+    def check_monotonic(coord, where: str) -> None:
+        """Aggregated counters must never go backwards — a respawned
+        shard is a new stream, not a rollback of the old one."""
+        totals = counter_totals(coord)
+        for key, value in totals.items():
+            if value < last_counters.get(key, 0):
+                failures.append(
+                    f"counter {key} went backwards {where}: "
+                    f"{last_counters[key]} -> {value}")
+        last_counters.update(totals)
+
     with ShardCoordinator(str(journal_dir), shards=args.shards,
                           workers=args.workers,
                           options={"time_limit": 10.0,
@@ -171,6 +197,7 @@ def orchestrate_shards(args: argparse.Namespace) -> int:
         deadline = time.monotonic() + 600
         for index in range(args.shards):
             time.sleep(0.5)  # let the respawned shard pick work back up
+            check_monotonic(coord, f"before killing shard {index}")
             pid = coord.kill_shard(index)
             print(f"[chaos] SIGKILL shard {index} (pid {pid})", flush=True)
             while time.monotonic() < deadline:
@@ -181,12 +208,49 @@ def orchestrate_shards(args: argparse.Namespace) -> int:
                 time.sleep(0.2)
             else:
                 failures.append(f"shard {index} never respawned")
+            check_monotonic(coord, f"after shard {index} respawned")
         finals = {}
         for job_id in ids:
             job = coord.wait(job_id, timeout=max(
                 0.0, deadline - time.monotonic()))
             finals[job["state"]] = finals.get(job["state"], 0) + 1
         stats = coord.stats()
+
+        # Telemetry continuity across every kill: the merged stream is
+        # one valid repro-obs-v1 trace, counters never went backwards
+        # (checked at each kill above and once more here), and no job
+        # completed twice — a torn batch from a killed incarnation is
+        # dropped whole, and replay never re-executes journaled
+        # terminal work, so duplicate job_done events cannot appear.
+        check_monotonic(coord, "after all jobs terminal")
+        merged = coord.telemetry_records()
+        try:
+            validate_trace_records(merged)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"merged telemetry failed validation: {exc}")
+        completions: dict = {}
+        for record in merged:
+            if record.get("type") == "event" and record.get("name") in (
+                    "job_done", "job_failed"):
+                job = (record.get("attrs") or {}).get("job")
+                completions[job] = completions.get(job, 0) + 1
+        doubled = {job: n for job, n in completions.items() if n > 1}
+        if doubled:
+            failures.append(
+                f"duplicate completion events across kills: {doubled}")
+        telemetry = {
+            "streams": len(coord.collector.sources()),
+            "rejected_batches": coord.collector.rejected,
+            "dropped_records": coord.collector.dropped_total(),
+            "merged_records": len(merged),
+            "completion_events": sum(completions.values()),
+        }
+        write_trace_jsonl(merged, str(out / "merged-trace.jsonl"))
+        print(f"[chaos] telemetry continuous: {telemetry}", flush=True)
+        if telemetry["streams"] < 2 * args.shards:
+            failures.append(
+                f"expected >= {2 * args.shards} telemetry streams "
+                f"(each shard killed once), saw {telemetry['streams']}")
     if stats["restarts"] < args.shards:
         failures.append(f"expected >= {args.shards} restarts, "
                         f"saw {stats['restarts']}")
@@ -211,6 +275,7 @@ def orchestrate_shards(args: argparse.Namespace) -> int:
         "shards": args.shards,
         "restarts": stats["restarts"],
         "final_jobs": counts,
+        "telemetry": telemetry,
         "failures": failures,
     }
     (out / "summary.json").write_text(json.dumps(report, indent=2) + "\n")

@@ -18,6 +18,12 @@ network boundary:
    re-solving; SIGINT drains the platform (exit 0); and
    :func:`repro.service.validate_journal` replays every shard journal
    with strict checks, proving exactly-once completion across the kill.
+5. **Telemetry**: scrape ``GET /metrics`` and gate it with
+   :func:`repro.obs.telemetry.validate_prometheus_text`; fetch a
+   completed job's flight-recorder trace from ``GET /jobs/<id>/trace``
+   and schema-check it; after shutdown, validate the merged
+   ``repro-obs-v1`` artifact the coordinator wrote. All three land in
+   ``--out`` for CI upload.
 
 Usage (the entry point CI's ``http-smoke`` job calls)::
 
@@ -45,6 +51,8 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.cases import generate_case  # noqa: E402
 from repro.core import BindingPolicy  # noqa: E402
 from repro.io import spec_to_dict  # noqa: E402
+from repro.obs import read_trace_jsonl, validate_trace_records  # noqa: E402
+from repro.obs.telemetry import validate_prometheus_text  # noqa: E402
 from repro.service import validate_journal  # noqa: E402
 from repro.service.journal import TERMINAL_STATES  # noqa: E402
 
@@ -122,6 +130,7 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     journal_dir = out / "journal"
+    trace_dir = out / "traces"
     spec_paths = write_specs(out, args.specs)
     failures = []
 
@@ -131,6 +140,7 @@ def main(argv=None) -> int:
         [sys.executable, "-m", "repro", "serve", "--http", "0",
          "--shards", str(args.shards), "--workers", str(args.workers),
          "--journal", str(journal_dir),
+         "--trace", str(trace_dir),
          "--time-limit", str(args.time_limit)],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env=cli_env())
@@ -205,6 +215,39 @@ def main(argv=None) -> int:
         if not health.get("ok"):
             failures.append(f"health not ok after recovery: {health}")
 
+        # Telemetry: /metrics must be valid Prometheus exposition
+        # carrying the platform rollups even across the SIGKILL ...
+        try:
+            with urllib.request.urlopen(f"{url}/metrics",
+                                        timeout=30) as response:
+                metrics_text = response.read().decode("utf-8")
+            (out / "metrics.txt").write_text(metrics_text)
+            samples = validate_prometheus_text(metrics_text)
+            if "platform_jobs" not in metrics_text:
+                failures.append("/metrics missing platform_jobs rollup")
+            print(f"[smoke] /metrics valid ({samples} samples)",
+                  flush=True)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"/metrics failed validation: {exc}")
+
+        # ... and a completed job's flight-recorder trace must come
+        # back schema-valid with the job's correlation ID intact.
+        try:
+            done_id = jobs.get(spec_paths[0].name)
+            body = get_json(f"{url}/jobs/{done_id}/trace")
+            (out / "job-trace.json").write_text(
+                json.dumps(body, indent=2) + "\n")
+            validate_trace_records(body["records"])
+            corrs = {r.get("corr") for r in body["records"]}
+            if not body["records"] or len(corrs) != 1 \
+                    or not corrs.pop().startswith(f"{done_id}#"):
+                failures.append(
+                    f"job trace correlation mismatch: {corrs}")
+            print(f"[smoke] job trace valid "
+                  f"({len(body['records'])} records)", flush=True)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"job trace failed validation: {exc}")
+
         serve.send_signal(signal.SIGINT)
         code = serve.wait(timeout=args.time_limit + 120)
         if code != 0:
@@ -228,10 +271,31 @@ def main(argv=None) -> int:
     if set(totals) - set(TERMINAL_STATES):
         failures.append(f"non-terminal jobs left in journals: {totals}")
 
+    # The coordinator writes the whole platform's merged telemetry as
+    # one repro-obs-v1 stream on shutdown; it must validate standalone.
+    merged_path = trace_dir / "merged-trace.jsonl"
+    merged_records = 0
+    if not merged_path.exists():
+        failures.append(f"merged trace missing: {merged_path}")
+    else:
+        try:
+            data = read_trace_jsonl(merged_path)
+            validate_trace_records(data.records)
+            merged_records = len(data.records)
+            sources = {r.get("src") for r in data.records} - {None}
+            if not any(s.startswith("shard-") for s in sources):
+                failures.append(
+                    f"merged trace has no shard streams: {sources}")
+            print(f"[smoke] merged trace valid ({merged_records} "
+                  f"records from {sorted(sources)})", flush=True)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"merged trace failed validation: {exc}")
+
     report = {
         "specs": expected,
         "shards": args.shards,
         "jobs": totals,
+        "merged_trace_records": merged_records,
         "failures": failures,
     }
     (out / "summary.json").write_text(json.dumps(report, indent=2) + "\n")

@@ -518,6 +518,83 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top --url``: live view of a running HTTP platform.
+
+    Polls ``GET /stats`` and ``GET /metrics`` and renders a compact
+    refresh-in-place dashboard.  ``--iterations`` bounds the loop (0
+    means run until interrupted), so scripts and tests can take a
+    single snapshot with ``--iterations 1``.
+    """
+    import json as _json
+    import time as _time
+    from urllib.request import urlopen
+
+    from repro.service import fetch_metrics
+
+    base = args.url.rstrip("/")
+
+    def snapshot() -> str:
+        with urlopen(f"{base}/stats", timeout=30.0) as resp:
+            stats = _json.loads(resp.read().decode("utf-8"))
+        lines = [f"platform {base}"]
+        jobs = stats.get("jobs") or {}
+        lines.append("  jobs:    "
+                     + (", ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+                        or "none"))
+        lines.append(f"  queue:   depth={stats.get('queue_depth', 0)} "
+                     f"high-water={stats.get('queue_depth_max', 0)} "
+                     f"in-flight={stats.get('in_flight', 0)} "
+                     f"shed={stats.get('shed', 0)}")
+        shards = stats.get("shards") or {}
+        running = sum(1 for s in shards.values()
+                      if s.get("state") == "running")
+        lines.append(f"  shards:  {running}/{len(shards)} running "
+                     f"restarts={stats.get('restarts', 0)} "
+                     f"worker-crashes={stats.get('worker_crashes', 0)}")
+        tele = stats.get("telemetry") or {}
+        lines.append(f"  streams: {tele.get('sources', 0)} source(s), "
+                     f"dropped={tele.get('dropped', 0)}, "
+                     f"rejected={tele.get('rejected', 0)}")
+        for name, hist in sorted((stats.get("latency") or {}).items()):
+            count = hist.get("count", 0)
+            mean = hist.get("sum", 0.0) / count if count else 0.0
+            lines.append(f"  {name}: n={count} mean={mean:.3f}s "
+                         f"max={hist.get('max', 0.0):.3f}s")
+        counters = []
+        for line in fetch_metrics(base).splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            if name.startswith(("solver_", "store_", "service_jobs_")):
+                counters.append(line)
+        if counters:
+            lines.append("  metrics:")
+            lines.extend(f"    {line}" for line in counters[:args.rows])
+            if len(counters) > args.rows:
+                lines.append(f"    ... {len(counters) - args.rows} more "
+                             f"(see GET /metrics)")
+        return "\n".join(lines)
+
+    iteration = 0
+    prev_lines = 0
+    try:
+        while True:
+            text = snapshot()
+            if prev_lines and sys.stdout.isatty():
+                # Crawl back over the previous frame so the dashboard
+                # refreshes in place instead of scrolling.
+                print(f"\x1b[{prev_lines}A\x1b[J", end="")
+            print(text, flush=True)
+            prev_lines = text.count("\n") + 1
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_obs_compare(args: argparse.Namespace) -> int:
     from repro.obs import format_comparison, read_trace_jsonl
 
@@ -734,6 +811,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check the trace against the repro-obs-v1 schema "
                         "invariants first")
     q.set_defaults(func=cmd_obs_summarize)
+
+    q = obs_sub.add_parser("top",
+                           help="live stats/metrics view of a running "
+                                "`repro serve --http` platform")
+    q.add_argument("--url", required=True,
+                   help="base URL printed by `repro serve --http`")
+    q.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    q.add_argument("--iterations", type=int, default=0,
+                   help="stop after this many frames (0 = until Ctrl-C)")
+    q.add_argument("--rows", type=int, default=12,
+                   help="max metric lines shown per frame (default 12)")
+    q.set_defaults(func=cmd_obs_top)
 
     q = obs_sub.add_parser("compare",
                            help="span-level diff between two traces")

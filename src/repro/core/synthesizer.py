@@ -229,7 +229,15 @@ def synthesize(spec: SwitchSpec,
             tracer.metrics.counter("synthesize_runs").inc()
             tracer.metrics.histogram("synthesize_seconds").observe(result.runtime)
             for name, value in result.counters.items():
-                tracer.metrics.counter(name).inc(int(value))
+                try:
+                    tracer.metrics.counter(name).inc(int(value))
+                except TypeError:
+                    # The name is already registered as a gauge or
+                    # histogram by a solver. A registry collision must
+                    # never fail the synthesis that produced the
+                    # result; the raw value is still in
+                    # result.counters.
+                    tracer.event("metric_kind_collision", name=name)
     return result
 
 

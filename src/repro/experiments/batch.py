@@ -31,7 +31,7 @@ from repro.core.spec import SwitchSpec
 from repro.core.synthesizer import SynthesisOptions, SynthesisResult, synthesize
 from repro.errors import ReproError
 from repro.obs.manifest import case_fingerprint
-from repro.obs.trace import current_tracer, obs_event
+from repro.obs.trace import current_correlation, current_tracer, obs_event
 
 CSV_COLUMNS = [
     "case", "fingerprint", "binding", "switch", "modules", "flows",
@@ -138,8 +138,13 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions, Optional[str]]
-             ) -> Tuple[int, Dict[str, object], Optional[SynthesisResult]]:
+_BatchTask = Tuple[int, SwitchSpec, SynthesisOptions, Optional[str],
+                   bool, Optional[str]]
+
+
+def _run_one(task: _BatchTask) -> Tuple[int, Dict[str, object],
+                                        Optional[SynthesisResult],
+                                        Optional[Dict[str, object]]]:
     """Worker body; module-level so multiprocessing can pickle it.
 
     Exceptions are captured *inside* the worker: one crashing spec must
@@ -148,22 +153,37 @@ def _run_one(task: Tuple[int, SwitchSpec, SynthesisOptions, Optional[str]]
     records its own :class:`repro.obs.Tracer` (a worker process never
     shares the parent's) and leaves a per-task JSONL artifact behind —
     even when the synthesis inside it crashed.
+
+    ``ship`` (set when the parent process traces a parallel batch) makes
+    the task record a tracer regardless of ``trace_dir`` and return its
+    telemetry batch as the fourth element, so worker spans/events land
+    in the parent's merged stream; ``corr`` stamps them with the
+    parent's correlation ID.
     """
-    index, spec, options, trace_dir = task
+    index, spec, options, trace_dir, ship, corr = task
     tracer = None
-    if trace_dir is not None:
+    if trace_dir is not None or ship:
         from repro.obs import Tracer
 
         tracer = Tracer(spec.name)
         options = replace(options, trace=tracer)
     try:
-        result = synthesize(spec, options)
+        if tracer is not None and corr is not None:
+            with tracer.correlate(corr):
+                result = synthesize(spec, options)
+        else:
+            result = synthesize(spec, options)
         row = spec_row(spec, result)
     except Exception as exc:
         row, result = error_row(spec, _describe(exc)), None
-    if tracer is not None:
+    if tracer is not None and trace_dir is not None:
         _write_task_trace(tracer, trace_dir, index, spec, options)
-    return index, row, result
+    batch = None
+    if ship and tracer is not None:
+        from repro.obs.telemetry import TelemetryShipper
+
+        batch = TelemetryShipper(tracer, source=f"batch-{index}").collect()
+    return index, row, result, batch
 
 
 def _write_task_trace(tracer, trace_dir, index: int, spec: SwitchSpec,
@@ -325,7 +345,11 @@ def run_batch(
     :class:`repro.obs.Tracer` and write a per-task JSONL trace artifact
     (``NNNN_<case>.jsonl``, manifest included) into that directory —
     worker processes record independently, so this composes with
-    ``workers > 1``.
+    ``workers > 1``. Independently of ``trace_dir``: when a tracer is
+    installed in the parent and the batch runs parallel, each task
+    ships its telemetry batch back with its row and the parent absorbs
+    it, so ``tracer.records()`` yields one merged stream covering every
+    worker (see :mod:`repro.obs.telemetry`).
 
     ``store`` attaches a persistent :class:`repro.store.Store` to every
     run (it is set on the options, so ``workers > 1`` workers open the
@@ -365,13 +389,23 @@ def run_batch(
             ckpt.close()
             raise
         batch.rows.extend(row for row in reused if row is not None)
-    tasks = [(i, spec_list[i], options, trace_dir) for i in todo_indices]
-    todo = tasks
     total = len(spec_list)
     tracer = current_tracer()
+    # Spawned batch workers never share the parent's tracer; when the
+    # parent traces a parallel batch, each task ships its telemetry
+    # back with its row (stamped with the parent's correlation ID).
+    ship = (tracer is not None and service is None
+            and workers > 1 and len(todo_indices) > 1)
+    corr = current_correlation()
+    tasks = [(i, spec_list[i], options, trace_dir, ship, corr)
+             for i in todo_indices]
+    todo = tasks
 
     def emit(index: int, row: Dict[str, object],
-             result: Optional[SynthesisResult]) -> None:
+             result: Optional[SynthesisResult],
+             shipped: Optional[Dict[str, object]] = None) -> None:
+        if shipped is not None and tracer is not None:
+            tracer.absorb_batch(shipped)
         batch.rows.append(row)
         if ckpt is not None:
             ckpt.write(row)
@@ -392,8 +426,8 @@ def run_batch(
         elif workers > 1 and len(todo) > 1:
             _run_parallel(todo, workers, emit)
         else:
-            for index, row, result in map(_run_one, todo):
-                emit(index, row, result)
+            for index, row, result, shipped in map(_run_one, todo):
+                emit(index, row, result, shipped)
     except KeyboardInterrupt:
         # The checkpoint (closed below) already holds every finished
         # row, so interrupt + resume=True completes the remainder.
@@ -406,8 +440,7 @@ def run_batch(
     return batch
 
 
-def _run_via_service(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
-                                       Optional[str]]],
+def _run_via_service(tasks: List[_BatchTask],
                      service, emit: Callable) -> None:
     """Delegate execution to a :class:`repro.service.SynthesisService`.
 
@@ -422,8 +455,7 @@ def _run_via_service(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
         emit(index, dict(record.row or {}), None)
 
 
-def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
-                                    Optional[str]]],
+def _run_parallel(tasks: List[_BatchTask],
                   workers: int, emit: Callable) -> None:
     """Fan tasks out over processes; emit rows in input order.
 
@@ -446,10 +478,10 @@ def _run_parallel(tasks: List[Tuple[int, SwitchSpec, SynthesisOptions,
             for task in tasks:
                 index = task[0]
                 try:
-                    _, row, result = futures[index].result()
+                    _, row, result, shipped = futures[index].result()
                 except Exception:  # pool-level crash: one serial retry
-                    _, row, result = _run_one(task)
-                emit(index, row, result)
+                    _, row, result, shipped = _run_one(task)
+                emit(index, row, result, shipped)
         except KeyboardInterrupt:
             # Don't let __exit__ wait for specs that haven't started.
             pool.shutdown(wait=False, cancel_futures=True)

@@ -39,11 +39,25 @@ from repro.obs.manifest import (
     save_manifest,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    FlightRecorder,
+    TelemetryCollector,
+    TelemetryShipper,
+    correlation_id,
+    correlation_job,
+    merge_streams,
+    render_prometheus,
+    series_from_sources,
+    validate_batch,
+    validate_prometheus_text,
+)
 from repro.obs.timeline import ascii_timeline, incumbent_trajectory, timeline_points
 from repro.obs.trace import (
     KNOWN_EVENTS,
     OBS_SCHEMA,
     Tracer,
+    correlate,
+    current_correlation,
     current_tracer,
     obs_event,
     obs_span,
@@ -58,6 +72,18 @@ __all__ = [
     "use_tracer",
     "obs_event",
     "obs_span",
+    "correlate",
+    "current_correlation",
+    "TelemetryShipper",
+    "TelemetryCollector",
+    "FlightRecorder",
+    "correlation_id",
+    "correlation_job",
+    "merge_streams",
+    "validate_batch",
+    "render_prometheus",
+    "series_from_sources",
+    "validate_prometheus_text",
     "Counter",
     "Gauge",
     "Histogram",

@@ -270,8 +270,12 @@ def format_summary(data: TraceData, indent: str = "  ") -> str:
                    "case_fingerprint", "config_fingerprint")
                   if k in manifest]
         lines.append(f"{indent}manifest: " + "  ".join(fields))
-    if data.header.get("dropped"):
-        lines.append(f"{indent}dropped events: {data.header['dropped']}")
+    dropped = data.header.get("dropped") or next(
+        (r.get("value", 0) for r in data.records
+         if r["type"] == "metric" and r["name"] == "trace_dropped"), 0)
+    if dropped:
+        lines.append(f"{indent}WARNING: {dropped} event(s) dropped at the "
+                     f"bounded buffer — this trace is incomplete")
 
     totals = _span_totals(data.records)
     if totals:

@@ -26,10 +26,11 @@ Number = Union[int, float]
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "instance", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, instance: "str | None" = None) -> None:
         self.name = name
+        self.instance = instance
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -42,10 +43,11 @@ class Counter:
 class Gauge:
     """A value that goes up and down (queue depth, open nodes, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "instance", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, instance: "str | None" = None) -> None:
         self.name = name
+        self.instance = instance
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
@@ -69,13 +71,15 @@ class Histogram:
     many observations arrive.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "instance", "count", "total", "min", "max",
+                 "buckets")
 
     #: Bucket upper bounds; one overflow bucket follows implicitly.
     BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, instance: "str | None" = None) -> None:
         self.name = name
+        self.instance = instance
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -115,47 +119,89 @@ class Histogram:
         return out
 
 
+def metric_key(name: str, instance: "str | None" = None) -> str:
+    """The registry key for an instrument (``name`` or ``name[inst]``)."""
+    return name if instance is None else f"{name}[{instance}]"
+
+
+def split_metric_key(key: str) -> "tuple[str, str | None]":
+    """Invert :func:`metric_key`: ``name[inst]`` → ``(name, inst)``."""
+    if key.endswith("]") and "[" in key:
+        name, _, instance = key[:-1].partition("[")
+        return name, instance
+    return key, None
+
+
 class MetricsRegistry:
-    """Name-keyed instruments with typed lookup and snapshot export."""
+    """Name-keyed instruments with typed lookup and snapshot export.
+
+    Instruments optionally carry an ``instance`` — the component that
+    owns them (``shard-0``, a store path, ...). Instances namespace the
+    registry key, so two services sharing one process (and therefore
+    one tracer registry) keep separate ``service_*`` gauges instead of
+    overwriting each other; exports surface the instance as a label.
+    Without ``instance`` everything behaves exactly as before.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls, instance: "str | None" = None):
+        key = metric_key(name, instance)
         with self._lock:
-            instrument = self._instruments.get(name)
+            instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = self._instruments[name] = cls(name)
+                instrument = self._instruments[key] = cls(name, instance)
         if not isinstance(instrument, cls):
             raise TypeError(
-                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"metric {key!r} is a {type(instrument).__name__}, "
                 f"not a {cls.__name__}")
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, instance: "str | None" = None) -> Counter:
+        return self._get(name, Counter, instance)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, instance: "str | None" = None) -> Gauge:
+        return self._get(name, Gauge, instance)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str,
+                  instance: "str | None" = None) -> Histogram:
+        return self._get(name, Histogram, instance)
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """``name -> {kind, value/count/...}`` for every instrument."""
+        """``key -> {kind, value/count/...}`` for every instrument.
+
+        Keys are plain names for un-instanced instruments and
+        ``name[instance]`` otherwise; instanced snapshots also carry
+        the instance inline for label-aware consumers.
+        """
         with self._lock:
             instruments = list(self._instruments.items())
-        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+        out: Dict[str, Dict[str, Any]] = {}
+        for key, inst in sorted(instruments):
+            snap = inst.snapshot()
+            if inst.instance is not None:
+                snap["instance"] = inst.instance
+            out[key] = snap
+        return out
 
     def records(self) -> List[Dict[str, Any]]:
         """The snapshot as ``metric`` records for the event stream."""
-        return [{"type": "metric", "name": name, **snap}
-                for name, snap in self.snapshot().items()]
+        with self._lock:
+            instruments = list(self._instruments.items())
+        out: List[Dict[str, Any]] = []
+        for _, inst in sorted(instruments, key=lambda item: item[0]):
+            record = {"type": "metric", "name": inst.name, **inst.snapshot()}
+            if inst.instance is not None:
+                record["instance"] = inst.instance
+            out.append(record)
+        return out
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._instruments)
 
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "metric_key", "split_metric_key"]

@@ -1,0 +1,635 @@
+"""Cross-process telemetry shipping and deterministic merge.
+
+The `repro.obs` tracer is strictly per-process: spans, events and
+metrics recorded inside a shard child, a ``parallel_bb`` worker or a
+spawn-mode batch worker never reach the parent on their own. This
+module is the plane that moves them:
+
+* :class:`TelemetryShipper` — child side. Wraps the process-local
+  :class:`~repro.obs.trace.Tracer` and cuts bounded, *framed* batches
+  of everything recorded since the previous cut (records are shipped
+  exactly once; metric snapshots are cumulative).
+* :class:`TelemetryCollector` — parent side. Validates each batch's
+  framing (a batch from a SIGKILLed child that was torn mid-build is
+  dropped whole — never half-absorbed), keys state by
+  ``(source, pid)`` so a respawned shard is a *new* stream rather than
+  a rollback of the old one, and merges everything into one
+  schema-valid ``repro-obs-v1`` record stream.
+* :func:`merge_streams` — the deterministic merge itself. Records are
+  ordered by ``(logical_clock, pid, seq)`` and re-identified (span
+  ids, thread ids and sequence numbers are reassigned in merge order),
+  so the output is a pure function of the input batches: the same
+  batches produce byte-identical output no matter how many processes
+  produced them or in what order they arrived.
+* :func:`render_prometheus` / :func:`validate_prometheus_text` — text
+  exposition of aggregated metric snapshots (no client library
+  required), plus the validator CI uses to gate the format.
+* :class:`FlightRecorder` — a bounded per-job ring of the spans and
+  events carrying a job's correlation ID, retained after completion so
+  ``GET /jobs/<id>/trace`` can answer for recently finished work.
+
+Wire format (``TELEMETRY_VERSION = 1``)::
+
+    {"v": 1, "source": "shard-0", "pid": 4242, "clock": 57,
+     "n": 12, "complete": true,          # framing: count + end marker
+     "records": [...],                   # repro-obs-v1 records
+     "metrics": {"name": {...}, ...},    # cumulative registry snapshot
+     "dropped": 0,                       # cumulative tracer drop count
+     "foreign": [...]}                   # optional: relayed child batches
+
+Everything here is stdlib-only and JSON-compatible, so batches travel
+over the existing pickled-pipe RPC seams unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import OBS_SCHEMA, Tracer
+
+#: Bump on any incompatible change to the batch envelope above.
+TELEMETRY_VERSION = 1
+
+#: Default per-batch record bound: a shipper never puts more than this
+#: many records in one batch (the remainder ships on the next cut), so
+#: a chatty child cannot wedge the RPC pipe with one giant message.
+MAX_BATCH_RECORDS = 10_000
+
+
+# ---------------------------------------------------------------------------
+# correlation ids
+# ---------------------------------------------------------------------------
+def correlation_id(job_id: str, submission: int) -> str:
+    """The correlation ID for one accepted submission of one job.
+
+    ``job_id`` is already the ``case_fingerprint-config_fingerprint``
+    pair, so the pair plus a per-service submission ordinal uniquely
+    names "this acceptance of this work" across the whole platform.
+    """
+    return f"{job_id}#{submission}"
+
+
+def correlation_job(corr: str) -> str:
+    """The job id a correlation ID belongs to."""
+    return corr.split("#", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# child side: cut framed batches off a live tracer
+# ---------------------------------------------------------------------------
+class TelemetryShipper:
+    """Cuts incremental, framed batches off a process-local tracer."""
+
+    def __init__(self, tracer: Tracer, source: str = "",
+                 max_batch: int = MAX_BATCH_RECORDS) -> None:
+        self.tracer = tracer
+        self.source = source or tracer.name or "proc"
+        self.max_batch = max_batch
+        self._sent = 0
+        self._sent_foreign = 0
+        self._lock = threading.Lock()
+
+    def collect(self) -> Dict[str, Any]:
+        """One batch of everything recorded since the previous cut.
+
+        Buffer records ship exactly once (the shipper remembers its
+        high-water mark); the metric snapshot and drop count are
+        cumulative, so the parent always holds the child's latest
+        totals even if an intermediate batch is lost with the child.
+        """
+        tracer = self.tracer
+        with self._lock:
+            with tracer._lock:
+                records = tracer._records[self._sent:self._sent + self.max_batch]
+                self._sent += len(records)
+                foreign = list(tracer._foreign[self._sent_foreign:])
+                self._sent_foreign += len(foreign)
+                dropped = tracer.dropped
+                clock = getattr(tracer, "clock", 0)
+            batch = {
+                "v": TELEMETRY_VERSION,
+                "source": self.source,
+                "pid": os.getpid(),
+                "clock": clock,
+                "records": [dict(r) for r in records],
+                "metrics": tracer.metrics.snapshot(),
+                "dropped": dropped,
+            }
+            if foreign:
+                # Batches this tracer absorbed from *its own* children
+                # (B&B workers under a shard) ride along, so grandchild
+                # telemetry reaches the top-level collector intact.
+                batch["foreign"] = foreign
+            # Framing written last: a dict built by a process that dies
+            # mid-way never carries a matching count + end marker.
+            batch["n"] = len(batch["records"])
+            batch["complete"] = True
+            return batch
+
+
+def validate_batch(batch: Any) -> bool:
+    """True when ``batch`` is a whole, well-framed telemetry batch."""
+    if not isinstance(batch, dict):
+        return False
+    if batch.get("v") != TELEMETRY_VERSION or not batch.get("complete"):
+        return False
+    records = batch.get("records")
+    if not isinstance(records, list) or batch.get("n") != len(records):
+        return False
+    if not isinstance(batch.get("pid"), int):
+        return False
+    if not isinstance(batch.get("metrics"), dict):
+        return False
+    return all(isinstance(r, dict) and "type" in r for r in records)
+
+
+# ---------------------------------------------------------------------------
+# the deterministic merge
+# ---------------------------------------------------------------------------
+def _sanitize_source(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Repair one source's concatenated batches into a balanced stream.
+
+    A child sampled mid-run (or killed) leaves dangling structure: a
+    ``span_begin`` whose end never shipped, a ``span_end`` whose begin
+    was dropped by the bounded buffer, an event pointing at a span we
+    never saw. Torn *batches* are rejected whole upstream; this pass
+    repairs torn *spans* so the merged stream always validates.
+    """
+    begun: Dict[int, Dict[str, Any]] = {}
+    ended: set = set()
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        record = dict(record)
+        rtype = record.get("type")
+        if rtype == "span_begin":
+            span = record["span"]
+            if span in begun or span in ended:
+                continue  # duplicate shipment; keep the first
+            if record.get("parent") not in begun:
+                record.pop("parent", None)
+            begun[span] = record
+        elif rtype == "span_end":
+            span = record.get("span")
+            if span not in begun or span in ended:
+                continue  # end without a begin (or doubled): drop
+            ended.add(span)
+        elif rtype == "event":
+            if record.get("span") is not None and record["span"] not in begun:
+                record.pop("span", None)
+        out.append(record)
+    # Close anything still open, innermost (largest span id) first, so
+    # the merged stream is balanced like a live tracer snapshot.
+    last_t = out[-1].get("t", 0.0) if out else 0.0
+    last_clock = out[-1].get("clock", 0) if out else 0
+    last_seq = out[-1].get("seq", 0) if out else 0
+    for span in sorted(set(begun) - ended, reverse=True):
+        begin = begun[span]
+        last_seq += 1
+        out.append({
+            "type": "span_end",
+            "t": max(last_t, begin.get("t", 0.0)),
+            "seq": last_seq,
+            "clock": last_clock,
+            "span": span,
+            "name": begin.get("name", ""),
+            "dur": round(max(0.0, last_t - begin.get("t", 0.0)), 7),
+            "tid": begin.get("tid", 0),
+            "truncated": True,
+        })
+    return out
+
+
+def merge_streams(
+        sources: Iterable[Tuple[str, int, List[Dict[str, Any]]]],
+) -> List[Dict[str, Any]]:
+    """Merge per-process record streams into one valid obs stream.
+
+    ``sources`` is an iterable of ``(source_name, pid, records)``. The
+    merge is deterministic: records are ordered by
+    ``(logical_clock, pid, seq, source_name)``, then re-identified —
+    span ids, thread ids and sequence numbers are reassigned in merge
+    order so the output passes
+    :func:`~repro.obs.export.validate_trace_records` as one stream.
+    Each record is annotated with its origin (``src``/``pid``) so a
+    merged trace stays attributable per process.
+    """
+    keyed: List[Tuple[Tuple[int, int, int, str], str, int, Dict[str, Any]]] = []
+    for name, pid, records in sorted(sources, key=lambda s: (s[0], s[1])):
+        for record in _sanitize_source(records):
+            key = (record.get("clock", 0), pid, record.get("seq", 0), name)
+            keyed.append((key, name, pid, record))
+    keyed.sort(key=lambda item: item[0])
+
+    out: List[Dict[str, Any]] = []
+    span_map: Dict[Tuple[str, int, int], int] = {}
+    tid_map: Dict[Tuple[str, int, int], int] = {}
+    next_span = 1
+    clock_floor: Dict[int, float] = {}  # merged tid -> last t seen
+    for seq, (_, name, pid, record) in enumerate(keyed):
+        record = dict(record)
+        record["seq"] = seq
+        record["src"] = name
+        record["pid"] = pid
+        tkey = (name, pid, record.get("tid", 0))
+        tid = tid_map.get(tkey)
+        if tid is None:
+            tid = tid_map[tkey] = len(tid_map)
+        record["tid"] = tid
+        # Clamp per-merged-tid timestamps monotonic: t is relative to
+        # each source tracer's birth, so it is only meaningful within a
+        # source — which is exactly the per-tid granularity after the
+        # tid remap above.
+        t = record.get("t", 0.0)
+        floor = clock_floor.get(tid, 0.0)
+        if t < floor:
+            t = record["t"] = floor
+        clock_floor[tid] = t
+        for field in ("span", "parent"):
+            if field in record:
+                skey = (name, pid, record[field])
+                mapped = span_map.get(skey)
+                if mapped is None:
+                    mapped = span_map[skey] = next_span
+                    next_span += 1
+                record[field] = mapped
+        out.append(record)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# parent side: accumulate batches, aggregate metrics, merge on demand
+# ---------------------------------------------------------------------------
+class TelemetryCollector:
+    """Accumulates child batches and answers merged views.
+
+    State is keyed by ``(source, pid)``: a respawned shard reports
+    under a fresh pid, so its counters restart from zero *as a new
+    stream* and aggregation (which sums across streams) stays
+    monotonic across the kill — nothing the dead incarnation already
+    shipped is ever un-counted.
+    """
+
+    def __init__(self, flight_jobs: int = 64,
+                 flight_records: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._records: "OrderedDict[Tuple[str, int], List[Dict[str, Any]]]" \
+            = OrderedDict()
+        self._metrics: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        self._dropped: Dict[Tuple[str, int], int] = {}
+        self.rejected = 0
+        self.flight = FlightRecorder(max_jobs=flight_jobs,
+                                     max_records=flight_records)
+
+    def absorb(self, batch: Any) -> bool:
+        """Absorb one batch; False (and counted) when torn/invalid."""
+        if not validate_batch(batch):
+            with self._lock:
+                self.rejected += 1
+            return False
+        key = (batch["source"], batch["pid"])
+        with self._lock:
+            self._records.setdefault(key, []).extend(batch["records"])
+            self._metrics[key] = batch["metrics"]
+            self._dropped[key] = batch.get("dropped", 0)
+        # The flight ring mixes records from every process, so stamp
+        # each record's origin now — the per-job merge groups on it.
+        self.flight.observe(
+            dict(r, src=batch["source"], pid=batch["pid"])
+            for r in batch["records"])
+        # Relayed grandchild batches (a shard forwarding its own B&B
+        # workers' telemetry) are full batches themselves: recurse, so
+        # torn relays are rejected individually without tearing the
+        # relaying batch.
+        for sub in batch.get("foreign") or []:
+            self.absorb(sub)
+        return True
+
+    def sources(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return list(self._records)
+
+    def dropped_total(self) -> int:
+        """Tracer-side drops summed across every absorbed stream."""
+        with self._lock:
+            return sum(self._dropped.values())
+
+    def merged(self,
+               extra: Optional[Iterable[Tuple[str, int, List[Dict[str, Any]]]]]
+               = None) -> List[Dict[str, Any]]:
+        """One merged ``repro-obs-v1`` stream over every absorbed batch.
+
+        ``extra`` adds streams that never went through :meth:`absorb`
+        (typically the parent process's own tracer records).
+        """
+        with self._lock:
+            sources = [(name, pid, list(records))
+                       for (name, pid), records in self._records.items()]
+        if extra:
+            sources.extend((name, pid, list(records))
+                           for name, pid, records in extra)
+        return merge_streams(sources)
+
+    def metrics_by_source(self) -> Dict[str, Dict[str, Any]]:
+        """Latest metric snapshot per stream, keyed ``source@pid``."""
+        with self._lock:
+            return {f"{name}@{pid}": dict(snap)
+                    for (name, pid), snap in sorted(self._metrics.items())}
+
+    def aggregated_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Sum counters/histograms and last-write gauges across streams.
+
+        Sums run across *all* incarnations of a source, so aggregate
+        counters are monotonic across a kill+respawn; gauges take the
+        newest incarnation's value (the old process no longer has a
+        queue depth).
+        """
+        with self._lock:
+            snaps = sorted(self._metrics.items())
+        out: Dict[str, Dict[str, Any]] = {}
+        for (_, _), snapshot in snaps:
+            for name, snap in snapshot.items():
+                merged = out.get(name)
+                if merged is None:
+                    out[name] = json.loads(json.dumps(snap))
+                    continue
+                kind = snap.get("kind")
+                if kind == "counter":
+                    merged["value"] += snap.get("value", 0)
+                elif kind == "gauge":
+                    merged["value"] = snap.get("value", 0)
+                elif kind == "histogram":
+                    _merge_histogram(merged, snap)
+        return dict(sorted(out.items()))
+
+
+def _merge_histogram(into: Dict[str, Any], snap: Dict[str, Any]) -> None:
+    into["count"] += snap.get("count", 0)
+    into["sum"] = round(into.get("sum", 0.0) + snap.get("sum", 0.0), 9)
+    if snap.get("count"):
+        into["min"] = min(into.get("min", snap["min"]), snap["min"])
+        into["max"] = max(into.get("max", snap["max"]), snap["max"])
+        into["mean"] = round(into["sum"] / into["count"], 9) \
+            if into["count"] else 0.0
+        buckets = into.setdefault("buckets", {})
+        for le, count in snap.get("buckets", {}).items():
+            buckets[le] = buckets.get(le, 0) + count
+
+
+# ---------------------------------------------------------------------------
+# per-job flight recorder
+# ---------------------------------------------------------------------------
+class FlightRecorder:
+    """Bounded ring of recent records per correlation ID.
+
+    Retains up to ``max_jobs`` jobs (LRU) with up to ``max_records``
+    records each, *after* completion, so an operator can pull the trace
+    of a job that just finished without having configured tracing up
+    front. Lookup works by full correlation ID or by the job id it
+    embeds.
+    """
+
+    def __init__(self, max_jobs: int = 64, max_records: int = 512) -> None:
+        self.max_jobs = max_jobs
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        self._rings: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        self._by_job: Dict[str, str] = {}
+
+    def observe(self, records: Iterable[Dict[str, Any]]) -> None:
+        with self._lock:
+            for record in records:
+                corr = record.get("corr")
+                if not corr:
+                    continue
+                ring = self._rings.get(corr)
+                if ring is None:
+                    ring = self._rings[corr] = []
+                    self._by_job[correlation_job(corr)] = corr
+                    while len(self._rings) > self.max_jobs:
+                        evicted, _ = self._rings.popitem(last=False)
+                        self._by_job.pop(correlation_job(evicted), None)
+                ring.append(dict(record))
+                if len(ring) > self.max_records:
+                    del ring[0]
+                self._rings.move_to_end(corr)
+
+    def correlations(self) -> List[str]:
+        with self._lock:
+            return list(self._rings)
+
+    def trace(self, key: str) -> Optional[List[Dict[str, Any]]]:
+        """The job's records as one small schema-valid stream.
+
+        ``key`` may be a correlation ID or a bare job id. Records are
+        re-sequenced and ring-torn span structure is repaired, so the
+        result passes ``validate_trace_records`` on its own.
+        """
+        with self._lock:
+            corr = key if key in self._rings else self._by_job.get(key)
+            if corr is None:
+                return None
+            records = [dict(r) for r in self._rings[corr]]
+        return merge_streams(_group_by_origin(records))
+
+
+def _group_by_origin(
+        records: List[Dict[str, Any]],
+) -> List[Tuple[str, int, List[Dict[str, Any]]]]:
+    """Split flight-ring records back into their per-process streams."""
+    groups: "OrderedDict[Tuple[str, int], List[Dict[str, Any]]]" = OrderedDict()
+    for record in records:
+        key = (record.get("src", "flight"), record.get("pid", 0))
+        groups.setdefault(key, []).append(record)
+    return [(name, pid, recs) for (name, pid), recs in groups.items()]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{[^{}]*\})?"
+    r" (?:[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)|NaN|[+-]?Inf)"
+    r"(?: [0-9]+)?$")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize an instrument name into a legal Prometheus name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    pairs = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", r"\\").replace(
+            '"', r'\"').replace("\n", r"\n")
+        pairs.append(f'{key}="{value}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(
+        series: Iterable[Tuple[str, Dict[str, str], Dict[str, Any]]],
+) -> str:
+    """Render ``(name, labels, snapshot)`` series as text exposition.
+
+    Snapshots are the :class:`~repro.obs.metrics.MetricsRegistry` shape
+    (``{"kind": "counter"|"gauge"|"histogram", ...}``). Histograms emit
+    cumulative ``_bucket{le=...}`` samples plus ``_sum``/``_count``,
+    per the exposition format. Series sharing a name are grouped under
+    one ``# TYPE`` header; a name seen with two different kinds raises
+    ``ValueError`` (that is the collision this layer exists to
+    prevent).
+    """
+    grouped: "OrderedDict[str, List[Tuple[Dict[str, str], Dict[str, Any]]]]" \
+        = OrderedDict()
+    kinds: Dict[str, str] = {}
+    for name, labels, snap in series:
+        name = _metric_name(name)
+        kind = snap.get("kind", "gauge")
+        if kinds.setdefault(name, kind) != kind:
+            raise ValueError(f"metric {name!r} exported as both "
+                             f"{kinds[name]} and {kind}")
+        grouped.setdefault(name, []).append((dict(labels), snap))
+    lines: List[str] = []
+    for name in sorted(grouped):
+        kind = kinds[name]
+        prom_kind = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "histogram"}[kind]
+        lines.append(f"# HELP {name} repro {kind}")
+        lines.append(f"# TYPE {name} {prom_kind}")
+        for labels, snap in grouped[name]:
+            if kind == "histogram":
+                cumulative = 0
+                buckets = snap.get("buckets", {})
+                bounds = sorted((float(le), le) for le in buckets
+                                if le != "inf")
+                for _, le in bounds:
+                    cumulative += buckets[le]
+                    sample_labels = dict(labels, le=le)
+                    lines.append(f"{name}_bucket{_labels(sample_labels)} "
+                                 f"{cumulative}")
+                cumulative += buckets.get("inf", 0)
+                lines.append(f"{name}_bucket"
+                             f"{_labels(dict(labels, le='+Inf'))} "
+                             f"{cumulative}")
+                lines.append(f"{name}_sum{_labels(labels)} "
+                             f"{_fmt(snap.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_labels(labels)} "
+                             f"{snap.get('count', 0)}")
+            else:
+                lines.append(f"{name}{_labels(labels)} "
+                             f"{_fmt(snap.get('value', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def series_from_sources(
+        metrics_by_source: Dict[str, Dict[str, Any]],
+) -> List[Tuple[str, Dict[str, str], Dict[str, Any]]]:
+    """Per-source snapshots → labelled series (``instance`` label).
+
+    A snapshot key of the ``name[instance]`` form (an instanced
+    instrument, see :class:`~repro.obs.metrics.MetricsRegistry`) wins
+    over the stream's source name for the ``instance`` label.
+    """
+    from repro.obs.metrics import split_metric_key
+    series: List[Tuple[str, Dict[str, str], Dict[str, Any]]] = []
+    for source, snapshot in sorted(metrics_by_source.items()):
+        stream = source.split("@", 1)[0]
+        for key, snap in sorted(snapshot.items()):
+            name, instance = split_metric_key(key)
+            labels = {"instance": snap.get("instance") or instance or stream}
+            snap = {k: v for k, v in snap.items() if k != "instance"}
+            series.append((name, labels, snap))
+    return series
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate exposition text; returns the sample count or raises."""
+    samples = 0
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment: {line!r}")
+            if not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {lineno}: bad metric name "
+                                 f"{parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    raise ValueError(f"line {lineno}: bad TYPE: {line!r}")
+                if parts[2] in typed:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for "
+                                     f"{parts[2]!r}")
+                typed[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name, labelstr = match.group(1), match.group(2)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if typed and name not in typed and base not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        if labelstr:
+            body = labelstr[1:-1]
+            if body:
+                for pair in re.findall(
+                        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                        body):
+                    if not _LABEL_OK.match(pair[0]):
+                        raise ValueError(
+                            f"line {lineno}: bad label {pair[0]!r}")
+                rebuilt = ",".join(
+                    f'{k}="{v}"' for k, v in re.findall(
+                        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                        body))
+                if rebuilt != body.rstrip(","):
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {labelstr!r}")
+        samples += 1
+    if not samples:
+        raise ValueError("no samples in exposition output")
+    return samples
+
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "MAX_BATCH_RECORDS",
+    "OBS_SCHEMA",
+    "TelemetryShipper",
+    "TelemetryCollector",
+    "FlightRecorder",
+    "correlation_id",
+    "correlation_job",
+    "validate_batch",
+    "merge_streams",
+    "render_prometheus",
+    "series_from_sources",
+    "validate_prometheus_text",
+]

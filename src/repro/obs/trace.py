@@ -40,6 +40,7 @@ visible from worker threads, never inherited by worker *processes*
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -94,11 +95,19 @@ class Tracer:
         self.max_events = max_events
         self.metrics = MetricsRegistry()
         self.dropped = 0
+        #: Lamport-style logical clock: every record gets the next tick,
+        #: and :meth:`witness` advances past any remote clock seen over
+        #: an RPC — so a deterministic cross-process merge can order
+        #: causally-related records without trusting wall clocks.
+        self.clock = 0
         self._records: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._t0 = time.perf_counter()
         self._local = threading.local()
         self._tids: Dict[int, int] = {}
+        # Telemetry batches absorbed from child processes (shards, B&B
+        # workers, spawn batch workers); merged in at snapshot time.
+        self._foreign: List[Dict[str, Any]] = []
         # Spans begun but not yet ended (any thread); lets a snapshot
         # taken mid-run close them synthetically so every exported
         # stream is balanced (a cancelled portfolio loser may still be
@@ -125,14 +134,67 @@ class Tracer:
         return tid
 
     def _append(self, record: Dict[str, Any], *, droppable: bool = True) -> None:
+        corr = getattr(self._local, "corr", None)
+        if corr is not None and "corr" not in record:
+            record["corr"] = corr
         # seq is assigned under the same lock that orders the append, so
-        # buffer order and seq order always agree across threads.
+        # buffer order and seq order always agree across threads; the
+        # logical clock ticks under the same lock for the same reason.
         with self._lock:
             if droppable and len(self._records) >= self.max_events:
                 self.dropped += 1
                 return
             record["seq"] = next(_seq_counter)
+            self.clock += 1
+            record["clock"] = self.clock
             self._records.append(record)
+
+    # -- cross-process plumbing ------------------------------------------
+    def witness(self, remote_clock: int) -> int:
+        """Advance the logical clock past a remote one (RPC receipt)."""
+        with self._lock:
+            self.clock = max(self.clock, int(remote_clock)) + 1
+            return self.clock
+
+    @contextmanager
+    def correlate(self, corr: Optional[str]) -> Iterator[Optional[str]]:
+        """Stamp every record this thread appends with ``corr``.
+
+        The correlation ID attributes spans/events/metric samples to one
+        accepted job submission across process boundaries; ``None``
+        leaves the current context untouched.
+        """
+        if corr is None:
+            yield None
+            return
+        previous = getattr(self._local, "corr", None)
+        self._local.corr = corr
+        try:
+            yield corr
+        finally:
+            self._local.corr = previous
+
+    def current_correlation(self) -> Optional[str]:
+        """This thread's active correlation ID, or None."""
+        return getattr(self._local, "corr", None)
+
+    def absorb_batch(self, batch: Dict[str, Any]) -> bool:
+        """Adopt a telemetry batch shipped by a child process.
+
+        The batch's records are merged into :meth:`records` snapshots
+        (deterministically, via :mod:`repro.obs.telemetry`); its metric
+        snapshot is *not* folded into this registry — callers that want
+        aggregated metrics use a `TelemetryCollector`. Torn batches are
+        rejected (returns False) and counted as ``telemetry_rejected``.
+        """
+        from repro.obs.telemetry import validate_batch
+        if not validate_batch(batch):
+            self.metrics.counter("telemetry_rejected").inc()
+            return False
+        with self._lock:
+            self._foreign.append(batch)
+            self.clock = max(self.clock, int(batch.get("clock", 0))) + 1
+        return True
 
     # -- spans ---------------------------------------------------------
     def current_span_id(self) -> Optional[int]:
@@ -216,11 +278,15 @@ class Tracer:
         with self._lock:
             out = list(self._records)
             still_open = sorted(self._open.items(), reverse=True)
+            foreign = list(self._foreign)
+            clock = self.clock
         for span_id, begin in still_open:
+            clock += 1
             out.append({
                 "type": "span_end",
                 "t": now,
                 "seq": next(_seq_counter),
+                "clock": clock,
                 "span": span_id,
                 "name": begin["name"],
                 "dur": round(now - begin["t"], 7),
@@ -228,9 +294,23 @@ class Tracer:
                 "truncated": True,
             })
         if with_metrics:
+            if self.dropped:
+                # Surface buffer overflow in the stream itself so a
+                # truncated trace never silently looks complete.
+                self.metrics.counter("trace_dropped").value = self.dropped
             for record in self.metrics.records():
-                record.update(t=now, seq=next(_seq_counter))
+                clock += 1
+                record.update(t=now, seq=next(_seq_counter), clock=clock)
                 out.append(record)
+        if foreign:
+            from repro.obs.telemetry import merge_streams
+            streams: Dict[Any, List[Dict[str, Any]]] = {}
+            streams[(self.name or "main", os.getpid())] = out
+            for batch in foreign:
+                key = (batch["source"], batch["pid"])
+                streams.setdefault(key, []).extend(batch["records"])
+            return merge_streams(
+                [(name, pid, recs) for (name, pid), recs in streams.items()])
         return out
 
     def __len__(self) -> int:
@@ -288,6 +368,23 @@ def obs_span(name: str, **attrs: Any) -> Iterator[Optional[int]]:
         yield span_id
 
 
+@contextmanager
+def correlate(corr: Optional[str]) -> Iterator[Optional[str]]:
+    """Correlation context on the installed tracer; no-op when disabled."""
+    tracer = _current
+    if tracer is None or corr is None:
+        yield corr
+        return
+    with tracer.correlate(corr):
+        yield corr
+
+
+def current_correlation() -> Optional[str]:
+    """The installed tracer's active correlation ID, or None."""
+    tracer = _current
+    return tracer.current_correlation() if tracer is not None else None
+
+
 __all__ = [
     "OBS_SCHEMA",
     "KNOWN_EVENTS",
@@ -296,4 +393,6 @@ __all__ = [
     "use_tracer",
     "obs_event",
     "obs_span",
+    "correlate",
+    "current_correlation",
 ]

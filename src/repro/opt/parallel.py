@@ -345,13 +345,32 @@ class SubtreeExplorer:
 
 def _worker_main(wid: int, payload: bytes, task_r, res_w, shared_best,
                  eager: bool) -> None:
-    """Worker entry point: build a warm explorer, then serve tasks."""
+    """Worker entry point: build a warm explorer, then serve tasks.
+
+    When the coordinating process traces, ``cfg["telemetry"]`` turns on
+    a worker-local tracer: each task runs inside a ``bb_task`` span
+    (stamped with the job's correlation ID) and the resulting telemetry
+    batch rides back on the ``result`` message — telemetry never adds
+    pipe traffic of its own, and a SIGKILLed worker simply loses its
+    unsent batch, never tears one.
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    shipper = None
     try:
         cfg = pickle.loads(payload)
         explorer = SubtreeExplorer(
             cfg["form"], use_cuts=cfg["use_cuts"],
             tighten=cfg["tighten"], seed=cfg["seed"])
+        if cfg.get("telemetry"):
+            from repro.obs.telemetry import TelemetryShipper
+            from repro.obs.trace import Tracer, use_tracer
+
+            tracer = Tracer(f"bb-worker-{wid}")
+            shipper = TelemetryShipper(tracer, source=f"bb-worker-{wid}")
+            install = use_tracer(tracer)
+            install.__enter__()  # worker-lifetime install; process exits with it
+            if cfg.get("clock"):
+                tracer.witness(cfg["clock"])
         res_w.send(("ready", wid))
     except Exception:  # pragma: no cover - construction failures
         try:
@@ -359,6 +378,8 @@ def _worker_main(wid: int, payload: bytes, task_r, res_w, shared_best,
         except Exception:
             pass
         return
+    from repro.obs.trace import correlate, obs_span
+
     while True:
         try:
             msg = task_r.recv()
@@ -368,16 +389,22 @@ def _worker_main(wid: int, payload: bytes, task_r, res_w, shared_best,
             break
         task = msg[1]
         try:
-            result = explorer.run_task(
-                task["chain"], task["path"],
-                incumbent_val=task["incumbent"],
-                node_budget=task["budget"],
-                pc_arrays=task["pc"],
-                mip_gap=task["mip_gap"],
-                deadline=(Deadline.from_wire(task["deadline"])
-                          if task["deadline"] is not None else None),
-                shared_best=shared_best, eager=eager)
-            res_w.send(("result", wid, result))
+            with correlate(task.get("corr")), \
+                    obs_span("bb_task", worker=wid,
+                             depth=len(task["path"])):
+                result = explorer.run_task(
+                    task["chain"], task["path"],
+                    incumbent_val=task["incumbent"],
+                    node_budget=task["budget"],
+                    pc_arrays=task["pc"],
+                    mip_gap=task["mip_gap"],
+                    deadline=(Deadline.from_wire(task["deadline"])
+                              if task["deadline"] is not None else None),
+                    shared_best=shared_best, eager=eager)
+            if shipper is not None:
+                res_w.send(("result", wid, result, shipper.collect()))
+            else:
+                res_w.send(("result", wid, result))
         except Exception:
             try:
                 res_w.send(("error", wid, traceback.format_exc()))
@@ -436,7 +463,13 @@ class WorkerPool:
         self.workers = workers
         self._payload = pickle.dumps(
             {"form": form, "use_cuts": use_cuts, "tighten": tighten,
-             "seed": seed},
+             "seed": seed,
+             # Workers trace iff the coordinating process does; their
+             # batches ride back on result messages and are absorbed
+             # into this tracer (never touching search determinism).
+             "telemetry": tracer is not None,
+             "clock": getattr(tracer, "clock", 0) if tracer is not None
+             else 0},
             protocol=pickle.HIGHEST_PROTOCOL)
         self._eager = eager
         self._inline_fn = inline_fn
@@ -625,6 +658,8 @@ class WorkerPool:
                     continue
                 if msg[0] == "result":
                     results.append(msg[2])
+                    if len(msg) > 3 and self._tracer is not None:
+                        self._tracer.absorb_batch(msg[3])
                     seat.busy = None
                 elif msg[0] == "error":
                     self.stop()

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.deadline import Deadline
-from repro.obs.trace import current_tracer
+from repro.obs.trace import current_correlation, current_tracer
 from repro.opt.incremental import map_back_solution
 from repro.opt.model import Model
 from repro.opt.parallel import (
@@ -132,13 +132,17 @@ class ParallelBranchBoundBackend(SolverBackend):
 
         form = model.compiled()
         tracer = current_tracer()
+        corr = current_correlation()
         with ExitStack() as stack:
             coord_span = None
             if tracer is not None:
                 coord_span = stack.enter_context(tracer.span(
                     "parallel_bb", workers=self.workers, batch=self.batch,
                     task_budget=self.task_budget))
-                tracer.metrics.gauge("bb_workers").set(self.workers)
+                # Named distinctly from the "bb_workers" *result
+                # counter*: synthesize() folds result counters into the
+                # registry as Counters, and one name cannot be both.
+                tracer.metrics.gauge("bb_pool_workers").set(self.workers)
 
             explorer = SubtreeExplorer(form, use_cuts=self.use_cuts,
                                        tighten=self.tighten, seed=self.seed)
@@ -192,7 +196,14 @@ class ParallelBranchBoundBackend(SolverBackend):
                                 f"bb_worker:{wid}", parent=coord_span,
                                 worker=wid))
                 else:
-                    pool = None  # pool unusable: degrade to in-process
+                    # Pool unusable (e.g. spawn blocked or workers died
+                    # warming up): degrade to in-process rounds — and
+                    # say so, because the degradation is otherwise
+                    # invisible from the merged trace.
+                    pool = None
+                    if tracer is not None:
+                        tracer.event("pool_unavailable", solver=self.name,
+                                     workers=self.workers)
 
             pc = PseudoCosts(form.n)
             pc_store, pc_key = _pseudocost_store(form, self.seed)
@@ -331,7 +342,7 @@ class ParallelBranchBoundBackend(SolverBackend):
                     {"chain": chain, "path": path, "incumbent": incumbent_val,
                      "budget": budget, "pc": snap,
                      "mip_gap": mip_gap, "deadline": wire,
-                     "home": i % self.workers}
+                     "home": i % self.workers, "corr": corr}
                     for i, (_, path, chain) in enumerate(batch)]
                 if pool is not None:
                     kill_wid = None

@@ -52,6 +52,8 @@ from repro.service.http import (
     HTTPServiceError,
     ServiceHTTPServer,
     fetch_job,
+    fetch_metrics,
+    fetch_trace,
     submit_job,
     wait_job,
 )
@@ -91,5 +93,7 @@ __all__ = [
     "HTTPServiceError",
     "submit_job",
     "fetch_job",
+    "fetch_metrics",
+    "fetch_trace",
     "wait_job",
 ]

@@ -28,6 +28,15 @@ retry is safe.
 coordinator-level facts (pids, restart counts, routing table), which is
 what ``GET /stats`` and ``GET /health`` serve.
 
+**Telemetry.** The monitor thread doubles as the telemetry pump: about
+once a second it pulls an incremental batch (``telemetry`` verb) from
+every live shard into a :class:`~repro.obs.telemetry.TelemetryCollector`,
+whose merged stream, aggregated metric snapshots and per-job flight
+recorder back ``GET /metrics``, ``GET /jobs/<id>/trace`` and the merged
+trace artifact written on :meth:`stop`. Logical clocks piggyback on
+every RPC in both directions (``_clock`` in payload and reply), so the
+deterministic merge orders causally-related records consistently.
+
 Pipes are not thread-safe, so every shard has its own lock serializing
 request/response pairs; the HTTP tier's many threads contend only when
 they target the same shard.
@@ -45,7 +54,8 @@ import zlib
 from typing import Any, Dict, List, Optional
 
 from repro.errors import AdmissionError, ServiceError
-from repro.obs.trace import obs_event
+from repro.obs.telemetry import TelemetryCollector, _merge_histogram
+from repro.obs.trace import current_tracer, obs_event
 from repro.service.journal import TERMINAL_STATES
 from repro.service.shard import CTX_ENV, ShardConfig, shard_main
 
@@ -54,6 +64,8 @@ SPAWN_DEADLINE = 60.0
 #: Poll slice while waiting on an RPC reply; liveness is checked
 #: between slices so a killed shard fails the call quickly.
 RPC_SLICE = 0.1
+#: How often the monitor thread pulls telemetry batches from shards.
+TELEMETRY_INTERVAL = 1.0
 
 
 class ShardError(ServiceError):
@@ -109,6 +121,7 @@ class ShardCoordinator:
         store: Optional[Any] = None,
         tenant_quota: Optional[int] = None,
         trace_dir: Optional[str] = None,
+        telemetry: bool = True,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"shards must be >= 1, got {shards}")
@@ -116,6 +129,10 @@ class ShardCoordinator:
 
         self.journal_dir = Path(journal_dir)
         self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.telemetry = telemetry
+        #: Parent-side accumulator for every shard's telemetry batches.
+        self.collector = TelemetryCollector()
         if store is not None and not hasattr(store, "get"):
             from repro.store import Store
 
@@ -141,10 +158,12 @@ class ShardCoordinator:
                 store=store,
                 tenant_quota=tenant_quota,
                 trace=trace,
+                telemetry=telemetry,
             )))
         self._stopping = threading.Event()
         self._monitor: Optional[threading.Thread] = None
         self._started = False
+        self._tracer_ctx: Optional[Any] = None
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "ShardCoordinator":
@@ -161,6 +180,14 @@ class ShardCoordinator:
     def start(self) -> None:
         if self._started:
             return
+        if self.telemetry and current_tracer() is None:
+            # No ambient tracer (e.g. embedded use without --trace):
+            # install our own so coordinator-side spans/events (submit,
+            # shard_up, restarts) still appear in the merged stream.
+            from repro.obs.trace import Tracer, use_tracer
+
+            self._tracer_ctx = use_tracer(Tracer("coordinator"))
+            self._tracer_ctx.__enter__()
         for shard in self._shards:
             self._spawn(shard, reason="start")
         self._monitor = threading.Thread(
@@ -206,7 +233,8 @@ class ShardCoordinator:
                   reason=reason, replayed=hello.get("replayed", 0))
 
     def _watch(self) -> None:
-        """Monitor thread: respawn any shard that died unexpectedly."""
+        """Monitor thread: respawn dead shards, pump telemetry batches."""
+        last_pull = time.monotonic()
         while not self._stopping.is_set():
             for shard in self._shards:
                 if self._stopping.is_set():
@@ -220,7 +248,33 @@ class ShardCoordinator:
                                 self._recover(shard)
                         finally:
                             shard.lock.release()
+            if self.telemetry and \
+                    time.monotonic() - last_pull >= TELEMETRY_INTERVAL:
+                last_pull = time.monotonic()
+                self.pull_telemetry()
             self._stopping.wait(0.2)
+
+    def pull_telemetry(self) -> int:
+        """Pull one incremental telemetry batch from every live shard.
+
+        Returns the number of batches absorbed. Normally driven by the
+        monitor thread; callable directly (tests, ``stop``, chaos
+        harnesses) to flush without waiting an interval.
+        """
+        if not self.telemetry:
+            return 0
+        absorbed = 0
+        for shard in self._shards:
+            if self._stopping.is_set() or not shard.alive:
+                continue
+            try:
+                reply = self._call(shard.config.index, "telemetry", {})
+            except (ShardError, AdmissionError):
+                continue  # dead/respawning shard: its final batch is lost
+            batch = reply.get("batch")
+            if batch is not None and self.collector.absorb(batch):
+                absorbed += 1
+        return absorbed
 
     def _recover(self, shard: _Shard) -> None:
         """Respawn a dead shard on its journal. Caller holds the lock."""
@@ -244,6 +298,7 @@ class ShardCoordinator:
     def stop(self, drain: Any = True,
              deadline: Optional[float] = None) -> Dict[str, Any]:
         """Stop every shard (RPC first, escalating to terminate)."""
+        was_started = self._started
         self._stopping.set()
         if self._monitor is not None:
             self._monitor.join(timeout=5.0)
@@ -265,6 +320,10 @@ class ShardCoordinator:
                             reply = shard.conn.recv()
                             if reply.get("ok"):
                                 summary = reply.get("summary")
+                                if reply.get("batch") is not None:
+                                    # The shard's final increment rides
+                                    # on its last message.
+                                    self.collector.absorb(reply["batch"])
                     except (BrokenPipeError, EOFError, OSError):
                         pass
                 if shard.process is not None:
@@ -276,6 +335,22 @@ class ShardCoordinator:
                     with contextlib.suppress(Exception):
                         shard.conn.close()
                 summaries["shards"][str(shard.config.index)] = summary
+        if self.trace_dir is not None and self.telemetry and was_started:
+            # One merged artifact next to the per-shard traces: the
+            # whole platform's record stream as a single valid trace.
+            # (Guarded on was_started so a second stop() — e.g. the
+            # context manager exiting after an explicit stop — cannot
+            # rewrite it after the coordinator tracer is gone.)
+            from repro.obs import write_trace_jsonl
+
+            with contextlib.suppress(Exception):
+                self.trace_dir.mkdir(parents=True, exist_ok=True)
+                write_trace_jsonl(
+                    self.telemetry_records(),
+                    str(self.trace_dir / "merged-trace.jsonl"))
+        if self._tracer_ctx is not None:
+            self._tracer_ctx.__exit__(None, None, None)
+            self._tracer_ctx = None
         self._started = False
         return summaries
 
@@ -306,6 +381,7 @@ class ShardCoordinator:
         an idempotent submission, so at-least-once delivery is sound.
         """
         shard = self._shards[index]
+        tracer = current_tracer() if self.telemetry else None
         reply: Optional[Dict[str, Any]] = None
         with shard.lock:
             for attempt in (0, 1):
@@ -315,6 +391,8 @@ class ShardCoordinator:
                             f"shard {index} unavailable (stopping)")
                     self._recover(shard)
                 try:
+                    if tracer is not None:
+                        payload["_clock"] = tracer.clock
                     shard.conn.send((verb, payload))
                     while not shard.conn.poll(RPC_SLICE):
                         if not shard.alive:
@@ -335,6 +413,8 @@ class ShardCoordinator:
                         f"failover failed") from None
         if reply is None:  # pragma: no cover - loop always breaks/raises
             raise ShardError(f"shard {index} unreachable")
+        if tracer is not None and "_clock" in reply:
+            tracer.witness(reply.pop("_clock"))
         if reply.get("ok"):
             return reply
         if reply.get("error") == "AdmissionError":
@@ -347,7 +427,8 @@ class ShardCoordinator:
     def submit(self, spec_dict: Dict[str, Any],
                options_dict: Optional[Dict[str, Any]] = None, *,
                tenant: Optional[str] = None,
-               priority: int = 0) -> Dict[str, Any]:
+               priority: int = 0,
+               corr: Optional[str] = None) -> Dict[str, Any]:
         """Route a submission to its shard; returns the job line."""
         from repro.core.synthesizer import SynthesisOptions
         from repro.io.spec_json import spec_from_dict
@@ -367,6 +448,8 @@ class ShardCoordinator:
             payload["options"] = options_dict
         if tenant is not None:
             payload["tenant"] = tenant
+        if corr is not None:
+            payload["corr"] = corr
         reply = self._call(index, "submit", payload)
         job = dict(reply["job"])
         job["shard"] = index
@@ -410,6 +493,8 @@ class ShardCoordinator:
         totals: Dict[str, int] = {name: 0 for name in self._SUMMED}
         states: Dict[str, int] = {}
         tenants: Dict[str, Dict[str, int]] = {}
+        depth_high_water = 0
+        latency: Dict[str, Dict[str, Any]] = {}
         for shard in self._shards:
             key = str(shard.config.index)
             try:
@@ -426,19 +511,82 @@ class ShardCoordinator:
             }
             for name in self._SUMMED:
                 totals[name] += int(stats.get(name, 0))
+            depth_high_water = max(depth_high_water,
+                                   int(stats.get("queue_depth_max", 0)))
+            for name, snap in (stats.get("latency") or {}).items():
+                merged = latency.get(name)
+                if merged is None:
+                    latency[name] = dict(snap)
+                else:
+                    _merge_histogram(merged, snap)
             for state, count in stats.get("jobs", {}).items():
                 states[state] = states.get(state, 0) + int(count)
             for tenant, per in stats.get("tenants", {}).items():
                 merged = tenants.setdefault(tenant, {})
                 for state, count in per.items():
                     merged[state] = merged.get(state, 0) + int(count)
-        return {
+        out = {
             "shards": per_shard,
             "jobs": states,
             "tenants": tenants,
             "restarts": sum(s.restarts for s in self._shards),
+            "queue_depth_max": depth_high_water,
             **totals,
         }
+        if latency:
+            out["latency"] = latency
+        if self.telemetry:
+            out["telemetry"] = {
+                "sources": len(self.collector.sources()),
+                "dropped": self.collector.dropped_total(),
+                "rejected": self.collector.rejected,
+            }
+        return out
+
+    # -- telemetry surface ------------------------------------------------
+    def telemetry_records(self) -> List[Dict[str, Any]]:
+        """One merged ``repro-obs-v1`` stream over every shard batch.
+
+        Includes the coordinator process's own tracer records (when one
+        is installed) as a peer stream, so a merged trace shows the
+        coordinator's routing/restart events alongside shard spans.
+        """
+        extra = None
+        tracer = current_tracer()
+        if tracer is not None:
+            extra = [(tracer.name or "coordinator", os.getpid(),
+                      tracer.records())]
+        return self.collector.merged(extra=extra)
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Latest per-stream metric snapshots, keyed ``source@pid``.
+
+        The coordinator's own registry (when a tracer is installed)
+        appears as one more stream, so ``/metrics`` exposes parent-side
+        counters next to shard-side ones. Pulls a fresh batch first so
+        a scrape always reflects the shards' current totals rather
+        than the last monitor-interval snapshot.
+        """
+        self.pull_telemetry()
+        sources = self.collector.metrics_by_source()
+        tracer = current_tracer()
+        if tracer is not None:
+            name = tracer.name or "coordinator"
+            sources[f"{name}@{os.getpid()}"] = tracer.metrics.snapshot()
+        return sources
+
+    def job_trace(self, job_id: str) -> List[Dict[str, Any]]:
+        """Flight-recorder trace for a recent job (KeyError if absent).
+
+        ``job_id`` may be a bare job id or a full correlation ID. Pulls
+        a fresh batch first so a job that just finished is visible
+        without waiting out the telemetry interval.
+        """
+        self.pull_telemetry()
+        records = self.collector.flight.trace(job_id)
+        if records is None:
+            raise KeyError(job_id)
+        return records
 
     def health(self) -> Dict[str, Any]:
         """Rolled-up liveness: ok iff every shard is live and ready."""
@@ -462,4 +610,4 @@ class ShardCoordinator:
 
 
 __all__ = ["ShardCoordinator", "ShardError", "pick_context",
-           "SPAWN_DEADLINE"]
+           "SPAWN_DEADLINE", "TELEMETRY_INTERVAL"]

@@ -20,9 +20,20 @@ into a reproduction repo:
                           terminal or the wait (capped at
                           ``MAX_WAIT``) expires — the response is the
                           job's state either way; callers re-poll.
+``GET /jobs/<id>/trace``  ``200`` + the job's flight-recorder trace
+                          (``{"job", "records": [...]}``, a standalone
+                          schema-valid ``repro-obs-v1`` stream), ``404``
+                          when the job was never seen or has aged out
+                          of the bounded ring.
 ``GET /health``           ``200`` when every shard is live+ready,
                           else ``503``; body is the rolled-up dict.
-``GET /stats``            ``200`` + aggregated coordinator stats.
+``GET /stats``            ``200`` + aggregated coordinator stats
+                          (queue depth high-water, latency histograms,
+                          telemetry plane counters).
+``GET /metrics``          ``200`` + Prometheus text exposition of every
+                          stream's metrics (per-shard ``instance``
+                          labels) plus platform rollups with per-tenant
+                          and per-state labels.
 ========================  ============================================
 
 Requests are served by :class:`ThreadingHTTPServer` — one thread per
@@ -74,6 +85,16 @@ class _Handler(BaseHTTPRequestHandler):
         with contextlib.suppress(BrokenPipeError, ConnectionResetError):
             self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        with contextlib.suppress(BrokenPipeError, ConnectionResetError):
+            self.wfile.write(body)
+
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
@@ -102,6 +123,35 @@ class _Handler(BaseHTTPRequestHandler):
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
         return parts.path.rstrip("/") or "/", query
 
+    def _metrics_text(self) -> str:
+        """Prometheus exposition: per-stream series + platform rollups."""
+        from repro.obs.telemetry import render_prometheus, series_from_sources
+
+        coordinator = self.coordinator
+        series = series_from_sources(coordinator.metrics_snapshot())
+        stats = coordinator.stats()
+        for state, count in sorted(stats.get("jobs", {}).items()):
+            series.append(("platform_jobs", {"state": state},
+                           {"kind": "gauge", "value": count}))
+        for tenant, per in sorted(stats.get("tenants", {}).items()):
+            for state, count in sorted(per.items()):
+                series.append(("platform_tenant_jobs",
+                               {"tenant": tenant, "state": state},
+                               {"kind": "gauge", "value": count}))
+        for name, kind in (("queue_depth", "gauge"), ("in_flight", "gauge"),
+                           ("queue_depth_max", "gauge"), ("shed", "counter"),
+                           ("restarts", "counter"),
+                           ("worker_crashes", "counter")):
+            series.append((f"platform_{name}", {},
+                           {"kind": kind, "value": stats.get(name, 0)}))
+        for name, value in sorted(stats.get("telemetry", {}).items()):
+            series.append((f"platform_telemetry_{name}", {},
+                           {"kind": "gauge", "value": value}))
+        for name, snap in sorted(stats.get("latency", {}).items()):
+            series.append((f"platform_{name}", {},
+                           dict(snap, kind="histogram")))
+        return render_prometheus(series)
+
     # -- verbs -----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path, _ = self._route()
@@ -128,9 +178,14 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError):
             self._error(400, '"priority" must be an integer')
             return
+        corr = payload.get("corr")
+        if corr is not None and not isinstance(corr, str):
+            self._error(400, '"corr" must be a string when given')
+            return
         try:
             job = self.coordinator.submit(spec, options,
-                                          tenant=tenant, priority=priority)
+                                          tenant=tenant, priority=priority,
+                                          corr=corr)
         except AdmissionError as exc:
             self._send_json(429, {"error": str(exc), "shed": True})
             return
@@ -153,6 +208,27 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._send_json(200, self.coordinator.stats())
+            return
+        if path == "/metrics":
+            try:
+                self._send_text(200, self._metrics_text())
+            except ShardError as exc:
+                self._error(503, str(exc))
+            return
+        if path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/"):-len("/trace")]
+            if not job_id or "/" in job_id:
+                self._error(404, f"no such resource: {path}")
+                return
+            try:
+                records = self.coordinator.job_trace(job_id)
+            except KeyError:
+                self._error(404, f"no retained trace for job {job_id}")
+                return
+            except ShardError as exc:
+                self._error(503, str(exc))
+                return
+            self._send_json(200, {"job": job_id, "records": records})
             return
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
@@ -304,6 +380,32 @@ def fetch_job(base_url: str, job_id: str, *,
     return payload
 
 
+def fetch_metrics(base_url: str, *, timeout: float = 60.0) -> str:
+    """GET ``/metrics``; returns the raw Prometheus exposition text."""
+    import urllib.error
+    import urllib.request
+
+    url = f"{base_url.rstrip('/')}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        raise HTTPServiceError(exc.code, f"metrics failed ({exc.code})") \
+            from exc
+
+
+def fetch_trace(base_url: str, job_id: str, *,
+                timeout: float = 60.0) -> Dict[str, Any]:
+    """GET a job's flight-recorder trace (``{"job", "records"}``)."""
+    status, payload = _request(
+        "GET", f"{base_url.rstrip('/')}/jobs/{job_id}/trace",
+        timeout=timeout)
+    if status != 200:
+        raise HTTPServiceError(
+            status, payload.get("error", f"trace failed ({status})"))
+    return payload
+
+
 def wait_job(base_url: str, job_id: str, *,
              timeout: Optional[float] = None) -> Dict[str, Any]:
     """Long-poll (re-polling past the server's per-request cap) until
@@ -324,4 +426,5 @@ def wait_job(base_url: str, job_id: str, *,
 
 
 __all__ = ["MAX_WAIT", "MAX_BODY", "ServiceHTTPServer", "HTTPServiceError",
-           "submit_job", "fetch_job", "wait_job"]
+           "submit_job", "fetch_job", "fetch_metrics", "fetch_trace",
+           "wait_job"]

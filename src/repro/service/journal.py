@@ -63,6 +63,11 @@ class JobRecord:
     #: defaults them, so old segments stay readable.
     tenant: Optional[str] = None
     priority: int = 0
+    #: Correlation ID (job fingerprint ⊕ submission ordinal) stamped on
+    #: every span/event this job produces anywhere in the platform.
+    #: Persisted so a replayed job keeps its original identity in the
+    #: telemetry stream; absent from pre-telemetry journals.
+    corr: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -82,6 +87,8 @@ class JobRecord:
             record["tenant"] = self.tenant
         if self.priority:
             record["priority"] = self.priority
+        if self.corr is not None:
+            record["corr"] = self.corr
         return record
 
     @classmethod
@@ -96,6 +103,7 @@ class JobRecord:
                 submitted_at=float(record.get("submitted_at", 0.0)),
                 tenant=record.get("tenant"),
                 priority=int(record.get("priority", 0)),
+                corr=record.get("corr"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(f"malformed job record: {exc}") from exc

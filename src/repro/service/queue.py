@@ -55,6 +55,10 @@ class JobQueue:
         self._closed = False
         #: Cumulative number of rejected pushes (exported as ``shed``).
         self.shed = 0
+        #: Deepest the queue has ever been — the saturation signal
+        #: ``/stats`` reports alongside the live depth, so a spike that
+        #: drained before anyone looked still shows.
+        self.depth_high_water = 0
 
     # -- admission -------------------------------------------------------
     def shed_reason(self, tenant: Optional[str] = None) -> Optional[str]:
@@ -109,6 +113,9 @@ class JobQueue:
             else:
                 heapq.heappush(self._delayed,
                                (ready_at, seq, item, priority, tenant))
+            depth = len(self._delayed) + len(self._ready)
+            if depth > self.depth_high_water:
+                self.depth_high_water = depth
             self._not_empty.notify()
 
     # -- consumption -----------------------------------------------------

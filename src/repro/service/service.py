@@ -51,7 +51,8 @@ from repro.core.synthesizer import SynthesisOptions, synthesize
 from repro.errors import AdmissionError, ServiceError
 from repro.io.spec_json import spec_from_dict, spec_to_dict
 from repro.obs.manifest import case_fingerprint, config_fingerprint
-from repro.obs.trace import current_tracer, obs_event
+from repro.obs.telemetry import correlation_id
+from repro.obs.trace import correlate, current_tracer, obs_event
 from repro.service.backoff import Backoff
 from repro.service.breaker import BreakerBoard
 from repro.service.journal import Journal, JobRecord, TERMINAL_STATES
@@ -102,6 +103,7 @@ class SynthesisService:
         breaker_reset: float = 5.0,
         store: Optional[Any] = None,
         tenant_quota: Optional[int] = None,
+        instance: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -142,6 +144,14 @@ class SynthesisService:
         self._state = "created"
         self._shutdown_requested = threading.Event()
         self.shutdown_signal: Optional[int] = None
+        #: Telemetry namespace: with several services (or stores) in one
+        #: process — every shard test, any embedded deployment — each
+        #: instance keeps its own ``service_*`` instruments instead of
+        #: overwriting a process-global gauge. None = plain flat names.
+        self.instance = instance
+        #: Submission ordinal; with the job fingerprint it forms the
+        #: correlation ID stamped on everything the job produces.
+        self._submissions = 0
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "SynthesisService":
@@ -191,12 +201,15 @@ class SynthesisService:
     # -- submission ------------------------------------------------------
     def submit(self, spec: SwitchSpec,
                options: Optional[SynthesisOptions] = None, *,
-               tenant: Optional[str] = None, priority: int = 0) -> str:
+               tenant: Optional[str] = None, priority: int = 0,
+               corr: Optional[str] = None) -> str:
         """Accept one job; returns its id (idempotent on re-submission).
 
         ``tenant`` labels the submission for quota accounting and
         per-tenant observability; ``priority`` orders ready jobs in the
-        queue (higher pops first, FIFO within a band). Raises
+        queue (higher pops first, FIFO within a band); ``corr``
+        overrides the generated correlation ID (the coordinator passes
+        one threaded down from ``POST /jobs``). Raises
         :class:`AdmissionError` when the bounded queue is full or the
         tenant is at quota (the submission is *shed*: nothing is
         journaled, the caller owns the retry) or the service is
@@ -218,59 +231,62 @@ class SynthesisService:
                           state=existing.state,
                           **({"tenant": tenant} if tenant else {}))
                 return job_id
-            row = self._store_row(spec, opts)
-            if row is not None:
-                # Tier A at admission: the persistent store already
-                # holds this exact job's proven-optimal result
-                # (re-verified just now). Journal it straight to done —
-                # it never takes a queue slot or a worker, and a
-                # restart replays it as terminal like any other
-                # completion.
+            self._submissions += 1
+            corr = corr or correlation_id(job_id, self._submissions)
+            with correlate(corr):
+                row = self._store_row(spec, opts)
+                if row is not None:
+                    # Tier A at admission: the persistent store already
+                    # holds this exact job's proven-optimal result
+                    # (re-verified just now). Journal it straight to
+                    # done — it never takes a queue slot or a worker,
+                    # and a restart replays it as terminal like any
+                    # other completion.
+                    record = JobRecord(job_id, spec_to_dict(spec),
+                                       options_to_dict(opts), tenant=tenant,
+                                       priority=priority, corr=corr)
+                    if self._journal is not None:
+                        self._journal.record_job(record)
+                    else:
+                        self.jobs[job_id] = record
+                    self._specs[job_id] = spec
+                    self._counter("service_store_dedup")
+                    obs_event("job_submitted", job=job_id, case=spec.name,
+                              store=True,
+                              **({"tenant": tenant} if tenant else {}))
+                    self._finish(record, 0, "done", row, None)
+                    return job_id
+                reason = self.queue.shed_reason(tenant)
+                if reason is not None:
+                    self.queue.shed += 1
+                    self._counter("service_shed")
+                    obs_event("shed", job=job_id, reason=reason,
+                              queue_depth=len(self.queue),
+                              **({"tenant": tenant} if tenant else {}))
+                    if reason == "tenant-quota":
+                        raise AdmissionError(
+                            f"tenant {tenant!r} at quota "
+                            f"({self.queue.tenant_quota} queued jobs); "
+                            f"job {job_id} shed")
+                    raise AdmissionError(
+                        f"queue full ({self.queue.maxsize} jobs); "
+                        f"job {job_id} shed")
                 record = JobRecord(job_id, spec_to_dict(spec),
                                    options_to_dict(opts), tenant=tenant,
-                                   priority=priority)
+                                   priority=priority, corr=corr)
+                # WAL order: journal first, then memory/queue — a crash
+                # between the two re-creates the queue entry from the
+                # journal on restart.
                 if self._journal is not None:
                     self._journal.record_job(record)
                 else:
                     self.jobs[job_id] = record
                 self._specs[job_id] = spec
-                self._counter("service_store_dedup")
+                self.queue.push(job_id, priority=priority, tenant=tenant,
+                                force=True)
+                self._counter("service_jobs_submitted")
                 obs_event("job_submitted", job=job_id, case=spec.name,
-                          store=True,
                           **({"tenant": tenant} if tenant else {}))
-                self._finish(record, 0, "done", row, None)
-                return job_id
-            reason = self.queue.shed_reason(tenant)
-            if reason is not None:
-                self.queue.shed += 1
-                self._counter("service_shed")
-                obs_event("shed", job=job_id, reason=reason,
-                          queue_depth=len(self.queue),
-                          **({"tenant": tenant} if tenant else {}))
-                if reason == "tenant-quota":
-                    raise AdmissionError(
-                        f"tenant {tenant!r} at quota "
-                        f"({self.queue.tenant_quota} queued jobs); "
-                        f"job {job_id} shed")
-                raise AdmissionError(
-                    f"queue full ({self.queue.maxsize} jobs); "
-                    f"job {job_id} shed")
-            record = JobRecord(job_id, spec_to_dict(spec),
-                               options_to_dict(opts), tenant=tenant,
-                               priority=priority)
-            # WAL order: journal first, then memory/queue — a crash
-            # between the two re-creates the queue entry from the
-            # journal on restart.
-            if self._journal is not None:
-                self._journal.record_job(record)
-            else:
-                self.jobs[job_id] = record
-            self._specs[job_id] = spec
-            self.queue.push(job_id, priority=priority, tenant=tenant,
-                            force=True)
-            self._counter("service_jobs_submitted")
-            obs_event("job_submitted", job=job_id, case=spec.name,
-                      **({"tenant": tenant} if tenant else {}))
         self._sync_gauges()
         return job_id
 
@@ -461,6 +477,13 @@ class SynthesisService:
         return None
 
     def _execute(self, job: JobRecord, worker_id: int) -> None:
+        # Everything the attempt records — the solve's spans, solver
+        # events, store events, even B&B worker telemetry shipped back
+        # across process boundaries — carries the job's correlation ID.
+        with correlate(job.corr):
+            self._execute_attempt(job, worker_id)
+
+    def _execute_attempt(self, job: JobRecord, worker_id: int) -> None:
         attempt = job.attempts + 1
         backend = self._pick_backend()
         if backend is None:
@@ -471,6 +494,8 @@ class SynthesisService:
         breaker = self.breakers.get(backend)
         try:
             self._transition(job, "running", attempt)
+            self._observe("service_queue_wait",
+                          max(0.0, time.time() - job.submitted_at))
             obs_event("job_started", job=job.id, attempt=attempt,
                       backend=backend, worker=worker_id)
             spec = self._spec_of(job)
@@ -547,6 +572,8 @@ class SynthesisService:
                 row: Dict[str, Any], error: Optional[str]) -> None:
         self._transition(job, state, attempt, row=row, error=error)
         self._counter(f"service_jobs_{state}")
+        self._observe("service_job_latency",
+                      max(0.0, time.time() - job.submitted_at))
         event = "job_failed" if state == "failed" else "job_done"
         obs_event(event, job=job.id, state=state, attempts=attempt,
                   status=row.get("status"), error=error)
@@ -572,13 +599,23 @@ class SynthesisService:
     def _counter(self, name: str, amount: int = 1) -> None:
         tracer = current_tracer()
         if tracer is not None:
-            tracer.metrics.counter(name).inc(amount)
+            tracer.metrics.counter(name, instance=self.instance).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.histogram(
+                name, instance=self.instance).observe(value)
 
     def _sync_gauges(self) -> None:
         tracer = current_tracer()
         if tracer is not None:
-            tracer.metrics.gauge("service_queue_depth").set(len(self.queue))
-            tracer.metrics.gauge("service_in_flight").set(self._in_flight)
+            tracer.metrics.gauge(
+                "service_queue_depth",
+                instance=self.instance).set(len(self.queue))
+            tracer.metrics.gauge(
+                "service_in_flight",
+                instance=self.instance).set(self._in_flight)
 
     def stats(self) -> Dict[str, Any]:
         """Queue/retry/breaker counters for dashboards and tests."""
@@ -592,7 +629,7 @@ class SynthesisService:
                     continue
                 per = tenants.setdefault(job.tenant, {})
                 per[job.state] = per.get(job.state, 0) + 1
-            return {
+            out = {
                 "state": self._state,
                 "queue_depth": len(self.queue),
                 "in_flight": self._in_flight,
@@ -601,8 +638,17 @@ class SynthesisService:
                 "jobs": states,
                 "tenants": tenants,
                 "tenant_queue_depths": self.queue.tenant_depths(),
+                "queue_depth_max": self.queue.depth_high_water,
                 "breakers": self.breakers.snapshot(),
             }
+        tracer = current_tracer()
+        if tracer is not None:
+            out["latency"] = {
+                name: tracer.metrics.histogram(
+                    name, instance=self.instance).snapshot()
+                for name in ("service_queue_wait", "service_job_latency")
+            }
+        return out
 
     def health(self) -> Dict[str, Any]:
         """Liveness/readiness in one dict (the ``/healthz`` shape)."""

@@ -17,14 +17,22 @@ actual solving, so the RPC loop stays responsive while jobs run):
 =========  =======================================================
 verb       payload → reply
 =========  =======================================================
-submit     ``{"spec", "options"?, "tenant"?, "priority"?}`` →
-           ``{"ok": True, "job": <job line>}``
+submit     ``{"spec", "options"?, "tenant"?, "priority"?, "corr"?}``
+           → ``{"ok": True, "job": <job line>}``
 job        ``{"id"}`` → ``{"ok": True, "job": <job line>}``
 stats      ``{}`` → ``{"ok": True, "stats", "pid"}``
 health     ``{}`` → ``{"ok": True, "health", "pid"}``
-stop       ``{"drain", "deadline"?}`` → ``{"ok": True, "summary"}``
-           (the reply is the shard's last message; it then exits)
+telemetry  ``{}`` → ``{"ok": True, "batch": <telemetry batch>}``
+           (incremental: records since the previous pull)
+stop       ``{"drain", "deadline"?}`` → ``{"ok": True, "summary",
+           "batch"?}`` (the reply is the shard's last message,
+           carrying its final telemetry batch; it then exits)
 =========  =======================================================
+
+Every payload may carry a ``_clock`` key — the coordinator's logical
+clock, witnessed by the shard's tracer so merged cross-process traces
+order causally-related records consistently (see
+:mod:`repro.obs.telemetry`).
 
 Failures inside a handler never kill the loop: they come back as
 ``{"ok": False, "error": <type name>, "message": ...}`` and the
@@ -42,6 +50,7 @@ as ``fork`` (``REPRO_SERVICE_CTX=fork`` for faster starts where safe).
 from __future__ import annotations
 
 import contextlib
+import multiprocessing as mp
 import os
 import signal
 from dataclasses import dataclass, field
@@ -81,6 +90,11 @@ class ShardConfig:
     tenant_quota: Optional[int] = None
     #: Where to write this shard's obs trace on stop (None = no trace).
     trace: Optional[str] = None
+    #: Ship spans/events/metrics to the coordinator over the pipe.
+    #: Default-on: the shard tracer is bounded, so an idle telemetry
+    #: plane costs a few KB, and turning it off would silently blind
+    #: ``/metrics`` and per-job flight recorders for this shard.
+    telemetry: bool = True
 
 
 def build_service(config: ShardConfig):
@@ -99,6 +113,7 @@ def build_service(config: ShardConfig):
         breaker_reset=config.breaker_reset,
         store=config.store,
         tenant_quota=config.tenant_quota,
+        instance=f"shard-{config.index}",
     )
 
 
@@ -114,7 +129,8 @@ def _handle(service, verb: str, payload: Dict[str, Any]) -> Dict[str, Any]:
             options = options_from_dict(payload["options"])
         job_id = service.submit(spec, options,
                                 tenant=payload.get("tenant"),
-                                priority=int(payload.get("priority", 0)))
+                                priority=int(payload.get("priority", 0)),
+                                corr=payload.get("corr"))
         return {"ok": True, "job": service.job(job_id).to_line()}
     if verb == "job":
         return {"ok": True, "job": service.job(payload["id"]).to_line()}
@@ -135,11 +151,26 @@ def shard_main(config: ShardConfig, conn) -> None:
     with contextlib.suppress(ValueError, OSError):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
 
+    # The coordinator starts shards daemonic so an abandoned platform
+    # can't outlive its parent — but daemonic processes are forbidden
+    # from having children, which would silently knock out every
+    # multi-process solver backend (parallel_bb's worker pool would
+    # fail to start and degrade to in-process). Clearing the inherited
+    # flag restores spawning; grandchildren still can't leak, because
+    # B&B workers exit on pipe EOF when their shard dies.
+    with contextlib.suppress(Exception):
+        mp.current_process()._config["daemon"] = False
+
     tracer = None
-    if config.trace:
+    shipper = None
+    if config.trace or config.telemetry:
         from repro.obs import Tracer
 
         tracer = Tracer(f"shard-{config.index}")
+        if config.telemetry:
+            from repro.obs.telemetry import TelemetryShipper
+
+            shipper = TelemetryShipper(tracer, source=f"shard-{config.index}")
 
     from repro.obs.trace import use_tracer
 
@@ -162,19 +193,38 @@ def shard_main(config: ShardConfig, conn) -> None:
                 except (EOFError, OSError):
                     break  # coordinator died; drain and exit
                 verb, payload = message
+                if tracer is not None and isinstance(payload, dict) \
+                        and "_clock" in payload:
+                    tracer.witness(payload.pop("_clock"))
+                if verb == "telemetry":
+                    reply: Dict[str, Any] = {"ok": True}
+                    if shipper is not None:
+                        reply["batch"] = shipper.collect()
+                    try:
+                        conn.send(reply)
+                    except (BrokenPipeError, OSError):
+                        break
+                    continue
                 if verb == "stop":
                     summary = service.stop(
                         drain=payload.get("drain", True),
                         deadline=payload.get("deadline"))
                     stopped = True
+                    reply = {"ok": True, "summary": summary}
+                    if shipper is not None:
+                        # Final incremental batch: spans/events emitted
+                        # since the last periodic pull (drain included).
+                        reply["batch"] = shipper.collect()
                     with contextlib.suppress(OSError):
-                        conn.send({"ok": True, "summary": summary})
+                        conn.send(reply)
                     break
                 try:
                     reply = _handle(service, verb, payload)
                 except Exception as exc:
                     reply = {"ok": False, "error": type(exc).__name__,
                              "message": str(exc)}
+                if tracer is not None:
+                    reply["_clock"] = tracer.clock
                 try:
                     conn.send(reply)
                 except (BrokenPipeError, OSError):

@@ -85,8 +85,14 @@ class Store:
 
     def __init__(self, root: Union[str, Path],
                  max_bytes: Optional[int] = None,
-                 seed_pseudocosts: bool = False) -> None:
+                 seed_pseudocosts: bool = False,
+                 instance: Optional[str] = None) -> None:
         self.root = Path(root)
+        #: Metric namespace for this store's tracer counters. Defaults
+        #: to the root directory's name so two stores in one process
+        #: (a test fixture's cache next to a service's) never add into
+        #: the same ``store_*`` registry instruments.
+        self.instance = instance if instance is not None else self.root.name
         #: Byte cap enforced by :meth:`gc` (None = unbounded).
         self.max_bytes = max_bytes
         #: Whether ``parallel_bb`` may *seed* branching statistics from
@@ -101,11 +107,13 @@ class Store:
     # -- pickling (configuration only; counters are per-process) -------
     def __getstate__(self) -> Dict[str, Any]:
         return {"root": str(self.root), "max_bytes": self.max_bytes,
-                "seed_pseudocosts": self.seed_pseudocosts}
+                "seed_pseudocosts": self.seed_pseudocosts,
+                "instance": self.instance}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__init__(state["root"], max_bytes=state["max_bytes"],
-                      seed_pseudocosts=state["seed_pseudocosts"])
+                      seed_pseudocosts=state["seed_pseudocosts"],
+                      instance=state.get("instance"))
 
     def __repr__(self) -> str:
         return f"Store({str(self.root)!r}, max_bytes={self.max_bytes})"
@@ -145,7 +153,8 @@ class Store:
         self.counters[name] += amount
         tracer = current_tracer()
         if tracer is not None:
-            tracer.metrics.counter(f"store_{name}").inc(amount)
+            tracer.metrics.counter(f"store_{name}",
+                                   instance=self.instance).inc(amount)
 
     # -- read path -----------------------------------------------------
     def get(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
