@@ -39,6 +39,18 @@ rollback), the final merged stream must validate as one
 saved as ``merged-trace.jsonl``::
 
     python benchmarks/chaos_soak.py --specs 8 --shards 2 --out chaos-artifacts
+
+With ``--valve-faults`` the chaos is in the *hardware*: a campaign is
+synthesized on the platform, a valve sticks closed mid-campaign (the
+tick engine detects it striking a routed segment), the detection turns
+into a journaled repair job on the coordinator — submitted twice to
+prove fingerprint dedup — and the repair's shard is SIGKILLed while
+the job is in flight. The repair must complete exactly once (strict
+journal replay), its routing must match an independent local
+:func:`repro.repair.repair` run (determinism across the kill), and the
+``repair_*`` counters must be present and monotonic::
+
+    python benchmarks/chaos_soak.py --valve-faults --out chaos-artifacts
 """
 
 from __future__ import annotations
@@ -287,6 +299,159 @@ def orchestrate_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def orchestrate_valve_faults(args: argparse.Namespace) -> int:
+    """``--valve-faults`` mode: a mid-campaign hardware fault becomes a
+    journaled repair job that survives a shard SIGKILL exactly once."""
+    from repro.core import synthesize
+    from repro.core.verify import verify_result
+    from repro.io import spec_to_dict
+    from repro.repair import detect_faults, repair
+    from repro.service import ShardCoordinator
+    from repro.sim.faults import FaultKind, ValveFault
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal_dir = out / "platform"
+    failures = []
+    options = SynthesisOptions(time_limit=30)
+    spec = make_specs(1)[0]
+
+    # The campaign baseline, solved locally so the tick engine can
+    # replay it under the fault plan: a valve on a *routed* junction
+    # segment sticks closed at step 1, mid-campaign.
+    prior = synthesize(make_specs(1)[0], options)
+    verify_result(prior)
+    seg = next(k for k in sorted(prior.used_segments)
+               if not prior.spec.switch.is_pin(k[0])
+               and not prior.spec.switch.is_pin(k[1]))
+    fault = ValveFault(seg, FaultKind.STUCK_CLOSED, onset=1)
+    detection = detect_faults(prior, [fault])
+    print(f"[chaos] fault {seg[0]}-{seg[1]} stuck_closed@1: "
+          f"{detection.summary()}", flush=True)
+    if not detection.detected:
+        failures.append("mid-campaign fault was not detected by the sim")
+
+    def repair_counters(coord) -> dict:
+        coord.pull_telemetry()
+        return {key: snap.get("value", 0)
+                for key, snap in coord.collector.aggregated_metrics().items()
+                if snap.get("kind") == "counter" and "repair_" in key}
+
+    last: dict = {}
+
+    def check_monotonic(coord, where: str) -> dict:
+        totals = repair_counters(coord)
+        for key, value in totals.items():
+            if value < last.get(key, 0):
+                failures.append(f"counter {key} went backwards {where}: "
+                                f"{last[key]} -> {value}")
+        last.update(totals)
+        return totals
+
+    triples = [(seg[0], seg[1], "stuck_closed")]
+    with ShardCoordinator(str(journal_dir), shards=2, workers=1,
+                          options={"time_limit": 30.0}) as coord:
+        job = coord.submit(spec_to_dict(spec))
+        done = coord.wait(job["id"], timeout=300)
+        if done["state"] != "done":
+            failures.append(f"campaign job ended {done['state']}")
+        check_monotonic(coord, "before the repair")
+
+        first = coord.submit_repair(job["id"], triples)
+        again = coord.submit_repair(job["id"], triples)
+        if again["id"] != first["id"]:
+            failures.append("repair resubmission was not deduplicated: "
+                            f"{first['id']} vs {again['id']}")
+        if first.get("corr") != done.get("corr"):
+            failures.append("repair job lost the campaign correlation ID")
+        # capture the submission-side counters before the kill can tear
+        # the shard's stream batch (torn batches are dropped whole)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if any("repair_submitted" in key
+                   for key in check_monotonic(coord, "before the kill")):
+                break
+            time.sleep(0.2)
+        pid = coord.kill_shard(first["shard"])
+        print(f"[chaos] SIGKILL shard {first['shard']} (pid {pid}) with "
+              f"repair {first['id']} journaled", flush=True)
+        final = coord.wait(first["id"], timeout=300)
+        if final["state"] != "done":
+            failures.append(f"repair job ended {final['state']}: "
+                            f"{final.get('error')}")
+
+        # repair_* counters must surface on the telemetry plane and
+        # never go backwards across the kill (streamed; poll briefly).
+        deadline = time.monotonic() + 30
+        totals: dict = {}
+        while time.monotonic() < deadline:
+            totals = check_monotonic(coord, "after the kill")
+            if any("repair_submitted" in k for k in totals) and \
+                    any("repair_completed" in k for k in totals):
+                break
+            time.sleep(0.5)
+        for name in ("repair_submitted", "repair_completed",
+                     "repair_faults_detected"):
+            if not any(name in key for key in totals):
+                failures.append(f"counter {name} missing from /metrics "
+                                f"aggregation: {sorted(totals)}")
+        stats = coord.stats()
+        if stats["restarts"] < 1:
+            failures.append("killed shard never respawned")
+
+    # Exactly-once across the kill, proven from the journals alone.
+    counts: dict = {}
+    for path in sorted(journal_dir.glob("shard-*.jsonl")):
+        try:
+            for state, count in validate_journal(path).items():
+                counts[state] = counts.get(state, 0) + count
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{path.name} failed validation: {exc}")
+    if counts != {"done": 2}:
+        failures.append(f"expected exactly the campaign + its repair "
+                        f"done, got {counts}")
+
+    # Determinism across the kill: an independent local repair of the
+    # same prior under the same fault must verify and agree with the
+    # platform's journaled row.
+    local = repair(prior, [fault], options)
+    if not local.solved:
+        failures.append(f"local repair did not solve: {local.status.value}")
+    else:
+        verify_result(local.repaired)
+        if any(seg in p.segments
+               for p in local.repaired.flow_paths.values()):
+            failures.append("local repaired routing rides the dead segment")
+        from repro.experiments.batch import spec_row
+
+        local_row = spec_row(local.repaired.spec, local.repaired)
+        platform_row = final.get("row") or {}
+        for key in ("status", "objective", "length_mm", "num_sets",
+                    "num_valves"):
+            if platform_row.get(key) != local_row.get(key):
+                failures.append(
+                    f"repair row diverged across the kill on {key!r}: "
+                    f"platform {platform_row.get(key)} vs local "
+                    f"{local_row.get(key)}")
+
+    report = {
+        "fault": {"segment": list(seg), "kind": "stuck_closed", "onset": 1},
+        "detection": detection.summary(),
+        "repair_job": first["id"],
+        "final_jobs": counts,
+        "repair_counters": {k: v for k, v in sorted(last.items())},
+        "failures": failures,
+    }
+    (out / "summary.json").write_text(json.dumps(report, indent=2) + "\n")
+    if failures:
+        print("[chaos] FAIL:\n  - " + "\n  - ".join(failures))
+        return 1
+    print(f"[chaos] PASS: mid-campaign valve fault detected, repaired "
+          f"exactly once across a shard SIGKILL ({counts}), routing "
+          f"deterministic and verified")
+    return 0
+
+
 def orchestrate(args: argparse.Namespace) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -381,9 +546,15 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=0,
                         help="run the sharded platform instead and "
                              "SIGKILL every shard process once")
+    parser.add_argument("--valve-faults", action="store_true",
+                        help="inject a mid-campaign valve fault, repair "
+                             "through the platform and SIGKILL the "
+                             "repair's shard")
     args = parser.parse_args(argv)
     if args.phase == "run":
         return phase_run(args)
+    if args.valve_faults:
+        return orchestrate_valve_faults(args)
     if args.shards:
         return orchestrate_shards(args)
     return orchestrate(args)

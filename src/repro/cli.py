@@ -69,7 +69,23 @@ def cmd_cases(args: argparse.Namespace) -> int:
 
 
 def cmd_show_switch(args: argparse.Namespace) -> int:
-    switch = CrossbarSwitch(args.pins)
+    if args.fpva:
+        from repro.switches import make_fpva
+
+        rows_text, sep, cols_text = args.fpva.partition("x")
+        if not sep:
+            raise ReproError(
+                f"bad --fpva {args.fpva!r}: expected ROWSxCOLS, e.g. 3x4")
+        try:
+            switch = make_fpva(int(rows_text), int(cols_text))
+        except ValueError:
+            raise ReproError(
+                f"bad --fpva {args.fpva!r}: expected ROWSxCOLS, "
+                f"e.g. 3x4") from None
+    elif args.pins is None:
+        raise ReproError("show-switch needs a pin count or --fpva ROWSxCOLS")
+    else:
+        switch = CrossbarSwitch(args.pins)
     print(f"{switch.name}: {switch.n_pins} pins, {len(switch.nodes)} nodes, "
           f"{len(switch.segments)} segments, "
           f"total L={switch.total_length():.1f} mm")
@@ -116,6 +132,12 @@ def _cli_store(args: argparse.Namespace, required: bool = False):
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.case, args.policy)
+    if args.faults:
+        from repro.repair import mask_spec, parse_faults
+
+        spec = mask_spec(spec, parse_faults(args.faults))
+        print(f"masked {len(spec.switch.health.dead_segments)} faulty "
+              f"segment(s); synthesizing on the degraded switch")
     tracer = None
     if args.trace:
         from repro.obs import Tracer
@@ -172,6 +194,67 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         save_result(result, args.json)
         print(f"result written to {args.json}")
     return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """Synthesize, strike the given faults mid-campaign, self-heal.
+
+    The full closed loop on one chip: healthy synthesis, a simulated
+    campaign under the fault plan (detection), then incremental
+    re-synthesis on the masked switch seeded from the surviving paths.
+    Exit 0 when the repair re-solves exactly, 3 when it fell down the
+    degradation ladder to the greedy rung, 1 when it failed outright.
+    """
+    from repro.repair import detect_faults, parse_faults, repair
+
+    spec = _resolve_spec(args.case, args.policy)
+    faults = parse_faults(args.faults)
+    backend = args.backend
+    if getattr(args, "workers", None):
+        if backend != "parallel_bb":
+            print("error: --workers only applies to --backend parallel_bb",
+                  file=sys.stderr)
+            return 2
+        backend = f"parallel_bb:{args.workers}"
+    options = SynthesisOptions(
+        backend=backend,
+        time_limit=args.time_limit,
+        on_error=args.on_error,
+        store=_cli_store(args),
+    )
+    print(f"synthesizing healthy baseline for {spec.summary()} ...")
+    prior = synthesize(spec, options)
+    if not prior.status.solved:
+        print(f"{spec.name}: healthy synthesis {prior.status.value}; "
+              "nothing to repair")
+        return 1
+    detection = detect_faults(prior, faults)
+    print(f"detection: {detection.summary()}")
+    if not detection.detected:
+        print("note: faults are benign for this routing; masking them "
+              "out of the catalog anyway")
+    outcome = repair(prior, faults, options)
+    print(outcome.summary())
+    if outcome.reachability.dead_pins:
+        print("note: mask strands pin(s) "
+              + ", ".join(outcome.reachability.dead_pins))
+    rows = [dict(prior.table_row(), case=f"{spec.name} (healthy)"),
+            dict(outcome.repaired.table_row(),
+                 case=f"{spec.name} (repaired)")]
+    print(format_table(rows))
+    if not outcome.solved:
+        print(f"repair failed: {outcome.repaired.error}")
+        return 1
+    for fid, path in sorted(outcome.repaired.flow_paths.items()):
+        marker = "=" if fid in outcome.surviving_flows else "~"
+        print(f"  flow {fid} {marker} {path}")
+    if args.json:
+        save_result(outcome.repaired, args.json)
+        print(f"repaired result written to {args.json}")
+    if args.svg:
+        save_svg(render_result(outcome.repaired), args.svg)
+        print(f"repaired layout rendered to {args.svg}")
+    return 3 if outcome.degraded else 0
 
 
 def cmd_export_case(args: argparse.Namespace) -> int:
@@ -628,7 +711,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_cases)
 
     p = sub.add_parser("show-switch", help="describe a switch model")
-    p.add_argument("pins", type=int, choices=[8, 12, 16])
+    p.add_argument("pins", type=int, nargs="?",
+                   choices=[8, 12, 16, 24, 32],
+                   help="crossbar pin count (omit with --fpva)")
+    p.add_argument("--fpva", metavar="ROWSxCOLS",
+                   help="describe a fully-programmable valve-array grid "
+                        "instead (e.g. 3x4)")
     p.add_argument("--svg", help="render the structure to this SVG file")
     p.set_defaults(func=cmd_show_switch)
 
@@ -665,7 +753,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="ignore any store (explicit or REPRO_STORE): "
                         "cold solve, no write-through")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="synthesize on a degraded switch: semicolon-"
+                        "separated 'a-b:kind' valve faults (kinds "
+                        "stuck_open/stuck_closed/blocked_segment, "
+                        "short open/closed/blocked) masked out of the "
+                        "path catalog before solving")
     p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser(
+        "repair",
+        help="synthesize, inject valve faults, and self-heal the routing")
+    p.add_argument("case", help="registry case name or path to a JSON spec")
+    p.add_argument("--faults", required=True, metavar="SPEC",
+                   help="semicolon-separated 'a-b:kind[@step]' valve "
+                        "faults to strike (kinds stuck_open/stuck_closed/"
+                        "blocked_segment, short open/closed/blocked; "
+                        "@step delays the onset mid-campaign)")
+    p.add_argument("--policy", choices=[b.value for b in BindingPolicy])
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "highs", "branch_bound", "parallel_bb",
+                            "backtrack", "portfolio"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend parallel_bb")
+    p.add_argument("--time-limit", type=float, default=120.0)
+    p.add_argument("--on-error", default="degrade",
+                   choices=["raise", "capture", "degrade"])
+    p.add_argument("--store",
+                   help="persistent solve cache (fault-salted keys keep "
+                        "degraded results apart; also honors REPRO_STORE)")
+    p.add_argument("--svg", help="render the repaired layout to this file")
+    p.add_argument("--json", help="write the repaired result to this file")
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("export-case", help="write a registry case as JSON")
     p.add_argument("case")

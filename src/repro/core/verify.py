@@ -90,8 +90,16 @@ def verify_paths(spec: SwitchSpec, binding: Dict[str, str],
                 f"{f}: path ends at {path.target_pin}, but {f.target!r} "
                 f"is bound to {binding[f.target]}"
             )
-        # path integrity: consecutive vertices joined by real segments
+        # path integrity: consecutive vertices joined by real, healthy
+        # segments — a masked valve/segment must never be routed over,
+        # even if the path object predates the fault
+        mask = spec.switch.health
         for a, b in zip(path.vertices, path.vertices[1:]):
+            if mask is not None and segment_key(a, b) in mask.dead_segments:
+                raise VerificationError(
+                    f"{f}: path uses masked segment {a}-{b} "
+                    f"({mask.kind_of(a, b)})"
+                )
             if segment_key(a, b) not in spec.switch.segments:
                 raise VerificationError(f"{f}: path uses non-existent segment {a}-{b}")
         if len(set(path.vertices)) != len(path.vertices):

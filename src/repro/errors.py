@@ -77,6 +77,13 @@ class JournalError(ServiceError):
     """
 
 
+class RepairError(ReproError):
+    """A degraded-hardware repair could not even be attempted (the
+    prior result is unusable, or the fault set is malformed). A repair
+    that *runs* but finds no routing reports through its result's
+    status, not through this exception."""
+
+
 class SwitchModelError(ReproError):
     """A switch structure was specified or queried incorrectly."""
 

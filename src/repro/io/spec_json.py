@@ -38,7 +38,9 @@ from repro.core.spec import (
 from repro.errors import SpecError
 from repro.switches import (
     CrossbarSwitch,
+    FPVAGrid,
     GRUSwitch,
+    HealthMask,
     ScalableCrossbarSwitch,
     SpineSwitch,
     SwitchModel,
@@ -53,7 +55,7 @@ _FAMILIES = {
 
 
 def switch_to_dict(switch: SwitchModel) -> Dict[str, Any]:
-    """Describe a switch model by family and size."""
+    """Describe a switch model by family, size and (if any) faults."""
     if isinstance(switch, ScalableCrossbarSwitch):
         family = "scalable-crossbar"
     elif isinstance(switch, CrossbarSwitch):
@@ -62,17 +64,35 @@ def switch_to_dict(switch: SwitchModel) -> Dict[str, Any]:
         family = "spine"
     elif isinstance(switch, GRUSwitch):
         family = "gru"
+    elif isinstance(switch, FPVAGrid):
+        family = "fpva"
     else:
         raise SpecError(f"cannot serialize switch type {type(switch).__name__}")
-    return {"family": family, "pins": switch.n_pins}
+    data: Dict[str, Any] = {"family": family, "pins": switch.n_pins}
+    if family == "fpva":
+        data["rows"] = switch.rows
+        data["cols"] = switch.cols
+    if switch.health is not None and not switch.health.is_empty:
+        # Canonical (a, b, kind) triples: journaled repair jobs rebuild
+        # the degraded switch exactly, and case fingerprints differ
+        # from the healthy chip's.
+        data["faults"] = [list(t) for t in switch.health.triples()]
+    return data
 
 
 def switch_from_dict(data: Dict[str, Any]) -> SwitchModel:
     family = data.get("family", "crossbar")
-    if family not in _FAMILIES:
+    if family == "fpva":
+        switch: SwitchModel = FPVAGrid(int(data.get("rows", 3)),
+                                       int(data.get("cols", 3)))
+    elif family in _FAMILIES:
+        switch = _FAMILIES[family](int(data.get("pins", 8)))
+    else:
         raise SpecError(f"unknown switch family {family!r}")
-    pins = int(data.get("pins", 8))
-    return _FAMILIES[family](pins)
+    faults = data.get("faults")
+    if faults:
+        switch = switch.with_health(HealthMask.from_triples(faults))
+    return switch
 
 
 def spec_to_dict(spec: SwitchSpec) -> Dict[str, Any]:

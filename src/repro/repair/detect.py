@@ -1,0 +1,91 @@
+"""Mid-campaign fault detection through the tick engine.
+
+The :mod:`repro.sim` simulator executes a synthesized schedule step by
+step; a :class:`~repro.sim.faults.ValveFault` with a non-zero ``onset``
+strikes partway through the campaign. :func:`detect_faults` replays the
+campaign under the fault plan and turns what the chip would actually
+exhibit — contamination, misroutes, undelivered flows — into a
+structured detection verdict plus ``fault_detected`` obs events, the
+input the service layer converts into a journaled repair job.
+
+A fault is *detected* when it is observable: it touches a segment the
+routing uses, or the simulation stops being clean. A fault on an
+unused segment is recorded but flagged benign — repairing around
+hardware the routing never touches would be wasted work (though the
+mask still removes it from future syntheses if a repair does run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.solution import SynthesisResult
+from repro.errors import RepairError
+from repro.obs.trace import obs_event
+from repro.sim.engine import SimulationReport, simulate
+from repro.sim.faults import ValveFault
+
+
+@dataclass(frozen=True)
+class FaultDetection:
+    """What a faulty campaign execution revealed."""
+
+    faults: Tuple[ValveFault, ...]
+    report: SimulationReport
+    #: Flow ids whose routed path traverses a faulty segment.
+    impacted_flows: Tuple[int, ...]
+    #: Faults on segments the routing never uses (benign for this
+    #: routing; still worth masking on the next synthesis).
+    benign_faults: Tuple[ValveFault, ...]
+
+    @property
+    def detected(self) -> bool:
+        """At least one fault is observable in this campaign."""
+        return bool(self.impacted_flows) or not self.report.is_clean
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.faults)} fault(s), "
+            f"{len(self.impacted_flows)} impacted flow(s), "
+            f"{len(self.benign_faults)} benign; sim: {self.report.summary()}"
+        )
+
+
+def detect_faults(result: SynthesisResult,
+                  faults: Sequence[ValveFault],
+                  dont_care_open: bool = False) -> FaultDetection:
+    """Replay ``result``'s campaign under ``faults`` and classify them."""
+    if not faults:
+        raise RepairError("no faults to detect")
+    if not result.status.solved:
+        raise RepairError("cannot replay an unsolved synthesis result")
+    report = simulate(result, faults=faults, dont_care_open=dont_care_open)
+
+    used = {k for p in result.flow_paths.values() for k in p.segments}
+    impacted: List[int] = []
+    benign: List[ValveFault] = []
+    for fault in faults:
+        touched = sorted(
+            fid for fid, p in result.flow_paths.items()
+            if any(fault.applies_to(k) for k in p.segments)
+        )
+        impacted.extend(fid for fid in touched if fid not in impacted)
+        if fault.segment not in used:
+            benign.append(fault)
+        obs_event("fault_detected",
+                  case=result.spec.name,
+                  segment=f"{fault.segment[0]}-{fault.segment[1]}",
+                  kind=fault.kind.value,
+                  onset=fault.onset,
+                  impacted=len(touched),
+                  benign=fault.segment not in used)
+    return FaultDetection(
+        faults=tuple(faults),
+        report=report,
+        impacted_flows=tuple(sorted(impacted)),
+        benign_faults=tuple(benign),
+    )
+
+
+__all__ = ["FaultDetection", "detect_faults"]

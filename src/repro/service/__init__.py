@@ -55,12 +55,14 @@ from repro.service.http import (
     fetch_metrics,
     fetch_trace,
     submit_job,
+    submit_repair,
     wait_job,
 )
 from repro.service.queue import JobQueue
 from repro.service.service import (
     SynthesisService,
     install_signal_handlers,
+    is_repair_job,
     job_id_for,
     options_from_dict,
     options_to_dict,
@@ -83,6 +85,7 @@ __all__ = [
     "validate_journal",
     "SynthesisService",
     "install_signal_handlers",
+    "is_repair_job",
     "job_id_for",
     "options_to_dict",
     "options_from_dict",
@@ -92,6 +95,7 @@ __all__ = [
     "ServiceHTTPServer",
     "HTTPServiceError",
     "submit_job",
+    "submit_repair",
     "fetch_job",
     "fetch_metrics",
     "fetch_trace",

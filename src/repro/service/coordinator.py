@@ -455,6 +455,44 @@ class ShardCoordinator:
         job["shard"] = index
         return job
 
+    def submit_repair(self, job_id: str, faults) -> Dict[str, Any]:
+        """Turn observed faults on a completed job into a repair job.
+
+        Coordinator-side on purpose: the original job line (spec,
+        options, corr) is fetched from its owning shard, the spec is
+        masked here, and the degraded spec goes through the normal
+        :meth:`submit` — so the repair job hashes to its *own* id and
+        lands on whichever shard the crc32 ring assigns it, keeping the
+        routing invariant (resubmissions and journal replays find the
+        same shard). ``faults`` is a list of
+        :class:`~repro.sim.faults.ValveFault`s, ``(a, b, kind)``
+        triples, or a :class:`~repro.switches.health.HealthMask`. The
+        repair inherits the original's correlation ID, tenant and
+        priority.
+        """
+        from repro.io.spec_json import spec_from_dict, switch_to_dict
+        from repro.repair.engine import as_mask, mask_spec
+        from repro.sim.faults import ValveFault
+        from repro.switches.health import HealthMask
+
+        if isinstance(faults, HealthMask):
+            mask = faults
+        elif faults and isinstance(faults[0], ValveFault):
+            mask = as_mask(faults)
+        else:
+            mask = HealthMask.from_triples(faults)
+        original = self.job(job_id)
+        spec = mask_spec(spec_from_dict(original["spec"]), mask)
+        spec_dict = dict(original["spec"])
+        spec_dict["switch"] = switch_to_dict(spec.switch)
+        return self.submit(
+            spec_dict,
+            original.get("options") or None,
+            tenant=original.get("tenant"),
+            priority=int(original.get("priority") or 0),
+            corr=original.get("corr"),
+        )
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """The job line from its owning shard (KeyError if unknown)."""
         index = self.route(job_id)

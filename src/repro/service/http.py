@@ -155,6 +155,9 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs -----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path, _ = self._route()
+        if path.startswith("/jobs/") and path.endswith("/repair"):
+            self._post_repair(path[len("/jobs/"):-len("/repair")])
+            return
         if path != "/jobs":
             self._error(404, f"no such resource: {path}")
             return
@@ -194,6 +197,44 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             self._error(400, f"invalid submission: {exc}")
+            return
+        from repro.service.journal import TERMINAL_STATES
+
+        status = 200 if job.get("state") in TERMINAL_STATES else 202
+        self._send_json(status, job)
+
+    def _post_repair(self, job_id: str) -> None:
+        """``POST /jobs/<id>/repair`` — journal a repair of a prior job.
+
+        Body: ``{"faults": [[a, b, kind], ...]}`` using the canonical
+        health-mask triples (kinds ``stuck_open``/``stuck_closed``/
+        ``blocked_segment``). Dedup follows the normal submission path:
+        the same fault set against the same job yields the same repair
+        job id, so retries are exactly-once.
+        """
+        if not job_id or "/" in job_id:
+            self._error(404, f"no such resource: /jobs/{job_id}/repair")
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        faults = payload.get("faults")
+        if not isinstance(faults, list) or not faults:
+            self._error(400, 'body must carry a non-empty "faults" array')
+            return
+        try:
+            job = self.coordinator.submit_repair(job_id, faults)
+        except KeyError:
+            self._error(404, f"unknown job {job_id}")
+            return
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc), "shed": True})
+            return
+        except ShardError as exc:
+            self._error(503, str(exc))
+            return
+        except (ReproError, TypeError, ValueError) as exc:
+            self._error(400, f"invalid repair request: {exc}")
             return
         from repro.service.journal import TERMINAL_STATES
 
@@ -366,6 +407,20 @@ def submit_job(base_url: str, spec_dict: Dict[str, Any],
     return payload
 
 
+def submit_repair(base_url: str, job_id: str, faults: Any, *,
+                  timeout: float = 60.0) -> Dict[str, Any]:
+    """POST a repair of ``job_id`` with fault triples ``[[a, b, kind]]``;
+    returns the repair job JSON or raises :class:`HTTPServiceError`."""
+    triples = [list(t) for t in faults]
+    status, payload = _request(
+        "POST", f"{base_url.rstrip('/')}/jobs/{job_id}/repair",
+        {"faults": triples}, timeout=timeout)
+    if status not in (200, 202):
+        raise HTTPServiceError(
+            status, payload.get("error", f"repair failed ({status})"))
+    return payload
+
+
 def fetch_job(base_url: str, job_id: str, *,
               wait: Optional[float] = None,
               timeout: float = 60.0) -> Dict[str, Any]:
@@ -426,5 +481,5 @@ def wait_job(base_url: str, job_id: str, *,
 
 
 __all__ = ["MAX_WAIT", "MAX_BODY", "ServiceHTTPServer", "HTTPServiceError",
-           "submit_job", "fetch_job", "fetch_metrics", "fetch_trace",
-           "wait_job"]
+           "submit_job", "submit_repair", "fetch_job", "fetch_metrics",
+           "fetch_trace", "wait_job"]

@@ -81,6 +81,17 @@ def options_from_dict(data: Dict[str, Any]) -> SynthesisOptions:
     return SynthesisOptions(**{k: v for k, v in data.items() if k in known})
 
 
+def is_repair_job(record: "JobRecord") -> bool:
+    """A job is a repair when its journaled switch carries a fault mask.
+
+    Recognized from the serialized spec (not a schema flag), so repair
+    jobs replay from any ``repro-service-v1`` journal unchanged and the
+    ``repair_*`` metrics survive restarts.
+    """
+    switch = (record.spec or {}).get("switch") or {}
+    return bool(switch.get("faults"))
+
+
 def job_id_for(spec: SwitchSpec, options: SynthesisOptions) -> str:
     """The idempotency key: case fingerprint ⊕ config fingerprint."""
     return f"{case_fingerprint(spec)}-{config_fingerprint(options)}"
@@ -254,6 +265,8 @@ class SynthesisService:
                     obs_event("job_submitted", job=job_id, case=spec.name,
                               store=True,
                               **({"tenant": tenant} if tenant else {}))
+                    if is_repair_job(record):
+                        self._note_repair_submitted(record, spec)
                     self._finish(record, 0, "done", row, None)
                     return job_id
                 reason = self.queue.shed_reason(tenant)
@@ -287,8 +300,50 @@ class SynthesisService:
                 self._counter("service_jobs_submitted")
                 obs_event("job_submitted", job=job_id, case=spec.name,
                           **({"tenant": tenant} if tenant else {}))
+                if is_repair_job(record):
+                    self._note_repair_submitted(record, spec)
         self._sync_gauges()
         return job_id
+
+    def submit_repair(self, original_id: str, faults, *,
+                      tenant: Optional[str] = None,
+                      priority: Optional[int] = None) -> str:
+        """Turn observed faults on a completed job into a repair job.
+
+        Builds the degraded spec from the original job's journaled spec
+        plus ``faults`` (:class:`~repro.sim.faults.ValveFault`s or a
+        :class:`~repro.switches.health.HealthMask`) and submits it under
+        the original job's correlation ID, so the repair's whole
+        lifecycle lands in the original campaign's flight-recorder
+        trace. The repair job's id is a pure function of the masked
+        spec and options — resubmitting the same fault set dedups onto
+        the same journaled job (exactly-once), and a restart replays it
+        like any other.
+        """
+        from repro.repair.engine import mask_spec
+
+        original = self.job(original_id)
+        spec = mask_spec(self._spec_of(original), faults)
+        opts = (options_from_dict(original.options)
+                if original.options else None)
+        return self.submit(
+            spec, opts,
+            tenant=original.tenant if tenant is None else tenant,
+            priority=original.priority if priority is None else priority,
+            corr=original.corr)
+
+    def _note_repair_submitted(self, record: JobRecord, spec: SwitchSpec) -> None:
+        # Fires on every admission path (queued, store-dedup, and
+        # coordinator-forwarded), so repair_* counters and per-fault
+        # fault_detected events always reach this shard's stream.
+        mask = spec.switch.health
+        self._counter("repair_submitted")
+        obs_event("repair_submitted", job=record.id, case=spec.name,
+                  masked=len(mask.dead_segments))
+        for a, b, kind in mask.triples():
+            self._counter("repair_faults_detected")
+            obs_event("fault_detected", job=record.id,
+                      segment=f"{a}-{b}", kind=kind)
 
     def job(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -577,6 +632,15 @@ class SynthesisService:
         event = "job_failed" if state == "failed" else "job_done"
         obs_event(event, job=job.id, state=state, attempts=attempt,
                   status=row.get("status"), error=error)
+        if is_repair_job(job):
+            if state == "failed":
+                self._counter("repair_failed")
+                obs_event("repair_failed", job=job.id, attempts=attempt,
+                          error=error)
+            else:
+                self._counter("repair_completed")
+                obs_event("repair_done", job=job.id, state=state,
+                          status=row.get("status"))
 
     def _transition(self, job: JobRecord, state: str, attempts: int,
                     row: Optional[Dict[str, Any]] = None,
@@ -687,6 +751,7 @@ def install_signal_handlers(
 __all__ = [
     "SynthesisService",
     "install_signal_handlers",
+    "is_repair_job",
     "job_id_for",
     "options_to_dict",
     "options_from_dict",

@@ -8,7 +8,13 @@ from repro.sim.engine import (
     simulate_program,
 )
 from repro.sim.events import EventKind, SimEvent
-from repro.sim.faults import FaultKind, ValveFault, stuck_closed, stuck_open
+from repro.sim.faults import (
+    FaultKind,
+    ValveFault,
+    blocked_segment,
+    stuck_closed,
+    stuck_open,
+)
 from repro.sim.timing import (
     ExecutionTimeEstimate,
     TimingModel,
@@ -30,4 +36,5 @@ __all__ = [
     "FaultKind",
     "stuck_open",
     "stuck_closed",
+    "blocked_segment",
 ]

@@ -166,7 +166,9 @@ class SwitchSimulator:
                     EventKind.VALVE_SET, step, site=key,
                     fluid="open" if is_open else "closed"))
             for fault in self.faults:
-                if fault.applies_to(key):
+                if fault.active_at(step) and fault.applies_to(key):
+                    # Stuck-open leaks; stuck-closed and a blocked
+                    # channel both stop flow on the segment.
                     is_open = fault.kind is FaultKind.STUCK_OPEN
             if is_open:
                 open_segments.add(key)

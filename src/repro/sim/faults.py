@@ -5,41 +5,72 @@ are never needed, while the kept ones are load-bearing. Fault injection
 makes that claim falsifiable: a valve stuck open where the schedule
 demands *closed* should produce misroutes or contamination, while a
 fault on an unnecessary valve's segment should change nothing.
+
+Faults also drive the self-healing loop (:mod:`repro.repair`): a fault
+with a non-zero ``onset`` strikes mid-campaign — the tick engine
+applies it only from that flow-set step onward, so the execution trace
+shows a healthy prefix followed by the failure the repair pipeline must
+route around.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
+from repro.errors import ReproError
 from repro.switches.base import segment_key
 
 
 class FaultKind(enum.Enum):
+    #: The valve can no longer close: the segment leaks every step.
     STUCK_OPEN = "stuck_open"
+    #: The valve can no longer open: the segment never carries flow.
     STUCK_CLOSED = "stuck_closed"
+    #: The channel itself is obstructed (debris, collapse): no flow,
+    #: regardless of any valve on it.
+    BLOCKED_SEGMENT = "blocked_segment"
 
 
 @dataclass(frozen=True)
 class ValveFault:
-    """A persistent valve failure on one segment."""
+    """A persistent valve/segment failure, active from step ``onset``.
+
+    The endpoint pair is normalized to the canonical
+    :func:`~repro.switches.base.segment_key` order at construction, so
+    ``ValveFault(("b", "a"), k)`` and ``ValveFault(("a", "b"), k)``
+    compare equal and match the same segment.
+    """
 
     segment: Tuple[str, str]
     kind: FaultKind
+    #: First flow-set step the fault is active in (0 = from the start).
+    onset: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segment", segment_key(*self.segment))
+        if self.onset < 0:
+            raise ReproError(f"fault onset must be >= 0, got {self.onset}")
 
     def applies_to(self, segment: Tuple[str, str]) -> bool:
+        """Symmetric endpoint match: (a, b) and (b, a) are the same."""
         return segment_key(*segment) == self.segment
 
+    def active_at(self, step: int) -> bool:
+        return step >= self.onset
 
-def stuck_open(a: str, b: str) -> ValveFault:
+
+def stuck_open(a: str, b: str, onset: int = 0) -> ValveFault:
     """The valve on segment a-b can no longer close."""
-    return ValveFault((a, b), FaultKind.STUCK_OPEN)
+    return ValveFault((a, b), FaultKind.STUCK_OPEN, onset)
 
 
-def stuck_closed(a: str, b: str) -> ValveFault:
+def stuck_closed(a: str, b: str, onset: int = 0) -> ValveFault:
     """The valve on segment a-b can no longer open."""
-    return ValveFault((a, b), FaultKind.STUCK_CLOSED)
+    return ValveFault((a, b), FaultKind.STUCK_CLOSED, onset)
+
+
+def blocked_segment(a: str, b: str, onset: int = 0) -> ValveFault:
+    """The channel a-b is physically obstructed."""
+    return ValveFault((a, b), FaultKind.BLOCKED_SEGMENT, onset)

@@ -53,6 +53,7 @@ from repro.store.keys import (
     artifact_key,
     code_salt,
     digest,
+    fault_salt,
     result_key,
 )
 from repro.store.store import GC_PUT_INTERVAL, STORE_SCHEMA, Store, StoreError
@@ -108,6 +109,7 @@ __all__ = [
     "CACHE_EPOCH",
     "code_salt",
     "digest",
+    "fault_salt",
     "result_key",
     "artifact_key",
     "active_store",

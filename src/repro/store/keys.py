@@ -83,9 +83,25 @@ def _canonical(part: Any) -> Any:
 
 
 def result_key(spec: Any, options: Any) -> str:
-    """Tier A key: case fingerprint ⊕ config fingerprint ⊕ salt."""
+    """Tier A key: case ⊕ config fingerprint ⊕ fault mask ⊕ salt.
+
+    The fault-mask component makes degraded hardware a different
+    address: a cached healthy-chip result can never be served for a
+    chip with masked valves/segments, and two different fault sets
+    never share an entry. (The case fingerprint also sees the faults
+    via the spec's switch serialization — the explicit component keeps
+    the guarantee even for spec types that bypass it.)
+    """
     return digest("result", case_fingerprint(spec),
-                  config_fingerprint(options))
+                  config_fingerprint(options), fault_salt(spec))
+
+
+def fault_salt(spec: Any) -> str:
+    """Canonical digest of the spec's active fault mask."""
+    mask = getattr(getattr(spec, "switch", None), "health", None)
+    if mask is None or mask.is_empty:
+        return "healthy"
+    return mask.digest()
 
 
 def artifact_key(kind: str, *parts: Any) -> str:
@@ -94,4 +110,4 @@ def artifact_key(kind: str, *parts: Any) -> str:
 
 
 __all__ = ["CACHE_EPOCH", "KNOWN_KINDS", "code_salt", "digest",
-           "result_key", "artifact_key"]
+           "fault_salt", "result_key", "artifact_key"]

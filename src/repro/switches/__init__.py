@@ -9,7 +9,14 @@ from repro.switches.base import (
     segment_key,
 )
 from repro.switches.crossbar import CrossbarSwitch, make_switch, smallest_switch_for
+from repro.switches.fpva import FPVAGrid, make_fpva
 from repro.switches.gru import GRUSwitch
+from repro.switches.health import (
+    HealthMask,
+    ReachabilityReport,
+    apply_health_mask,
+    reachability_report,
+)
 from repro.switches.paths import (
     Path,
     PathCatalog,
@@ -33,6 +40,12 @@ __all__ = [
     "CrossbarSwitch",
     "make_switch",
     "smallest_switch_for",
+    "FPVAGrid",
+    "make_fpva",
+    "HealthMask",
+    "ReachabilityReport",
+    "apply_health_mask",
+    "reachability_report",
     "ScalableCrossbarSwitch",
     "make_scalable_switch",
     "SpineSwitch",

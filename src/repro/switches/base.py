@@ -118,6 +118,11 @@ class SwitchModel:
     #: in the synthesis model; 1 means "no usable symmetry".
     rotation_order: int = 1
 
+    #: The active :class:`repro.switches.health.HealthMask`, or ``None``
+    #: for pristine hardware. Set only on copies made by
+    #: :meth:`with_health`; construction always yields healthy switches.
+    health = None
+
     def __init__(self, name: str, rules: DesignRules = STANFORD_FOUNDRY) -> None:
         self.name = name
         self.rules = rules
@@ -226,6 +231,18 @@ class SwitchModel:
                 (k[0], k[1], self.segments[k].length) for k in self.segments))
             self._structure_key = (type(self).__qualname__, tuple(self.pins), segs)
         return self._structure_key
+
+    def with_health(self, mask) -> "SwitchModel":
+        """A degraded copy with the mask's dead segments removed.
+
+        See :func:`repro.switches.health.apply_health_mask` (this is a
+        convenience forwarder). Masking an already-masked switch merges
+        the masks against the pristine structure, so the operation is
+        idempotent and order-independent.
+        """
+        from repro.switches.health import apply_health_mask
+
+        return apply_health_mask(self, mask)
 
     def segment(self, a: str, b: str) -> Segment:
         try:

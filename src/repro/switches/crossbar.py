@@ -38,12 +38,15 @@ PIN_STUB = 0.7
 #: Lateral offset of the twin pins on a middle (TM/BM) corner, mm.
 MID_PIN_OFFSET = 0.3
 
-#: Supported switch sizes → number of crossbar centers.
-SIZES: Dict[int, int] = {8: 1, 12: 2, 16: 3}
+#: Supported switch sizes → number of crossbar centers. The thesis
+#: ships 8/12/16-pin (m = 1, 2, 3); the 24- and 32-pin entries scale
+#: the same parametric family past the paper's ceiling (m = 5, 7) for
+#: large valve-array workloads.
+SIZES: Dict[int, int] = {8: 1, 12: 2, 16: 3, 24: 5, 32: 7}
 
 
 class CrossbarSwitch(SwitchModel):
-    """The proposed reconfigurable switch, sizes 8-, 12- and 16-pin."""
+    """The proposed reconfigurable switch, 8- through 32-pin."""
 
     def __init__(self, n_pins: int = 8, rules: DesignRules = STANFORD_FOUNDRY,
                  _centers: Optional[int] = None) -> None:
@@ -195,5 +198,6 @@ def smallest_switch_for(n_modules: int) -> CrossbarSwitch:
         if size >= n_modules:
             return CrossbarSwitch(size)
     raise SwitchModelError(
-        f"no switch model supports {n_modules} connected modules (max 16)"
+        f"no switch model supports {n_modules} connected modules "
+        f"(max {max(SIZES)})"
     )

@@ -1,0 +1,98 @@
+"""Fully Programmable Valve Array (FPVA) grid switch model.
+
+The paper's crossbar family hand-places a small set of internal nodes;
+an FPVA is the opposite extreme — a regular ``rows x cols`` lattice of
+junctions with a valve on *every* channel edge, the architecture the
+FPVA testing literature targets. Modeling it as a
+:class:`~repro.switches.base.SwitchModel` lets the whole synthesis
+pipeline (path catalogs, the IQP, verification, simulation, health
+masks) run unchanged on generalized valve-array hardware.
+
+Geometry: junction ``g{r}_{c}`` sits at ``(c, -r)`` millimetres (row 0
+on top, matching the clockwise pin order starting top-left); adjacent
+junctions are connected by unit-length segments. Every border junction
+carries exactly one pin on a 0.7 mm stub pointing outward, so a
+``rows x cols`` grid has ``2*rows + 2*cols - 4`` pins.
+
+The lattice has rich symmetry, but its automorphisms permute pins in
+ways the synthesis model's rotation constraint (a cyclic shift of the
+pin order) only captures for square grids; ``rotation_order`` stays 1 —
+correct, merely conservative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SwitchModelError
+from repro.geometry import DesignRules, Point, STANFORD_FOUNDRY
+from repro.switches.base import NodeKind, SwitchModel
+
+#: Lattice pitch between adjacent junctions, in millimetres.
+GRID_PITCH = 1.0
+#: Length of a pin stub leaving a border junction, in millimetres.
+PIN_STUB = 0.7
+
+
+class FPVAGrid(SwitchModel):
+    """A rows x cols fully programmable valve-array lattice."""
+
+    def __init__(self, rows: int = 3, cols: int = 3,
+                 rules: DesignRules = STANFORD_FOUNDRY) -> None:
+        if rows < 2 or cols < 2:
+            raise SwitchModelError(
+                f"an FPVA grid needs at least 2x2 junctions, got {rows}x{cols}"
+            )
+        super().__init__(f"fpva-{rows}x{cols}", rules)
+        self.rows = rows
+        self.cols = cols
+        self._build(rows, cols)
+        self._finalize()
+
+    # ------------------------------------------------------------------
+    def _build(self, rows: int, cols: int) -> None:
+        def junction(r: int, c: int) -> str:
+            return f"g{r}_{c}"
+
+        for r in range(rows):
+            for c in range(cols):
+                self._add_node(junction(r, c), NodeKind.JUNCTION,
+                               Point(GRID_PITCH * c, -GRID_PITCH * r))
+
+        # Pins: one per border junction, registered clockwise from the
+        # top-left corner. Corners take the outward normal of the side
+        # the clockwise walk reaches them on.
+        border: List[Tuple[int, int, Tuple[float, float]]] = []
+        for c in range(cols):                      # top, left -> right
+            border.append((0, c, (0.0, PIN_STUB)))
+        for r in range(1, rows):                   # right, top -> bottom
+            border.append((r, cols - 1, (PIN_STUB, 0.0)))
+        for c in range(cols - 2, -1, -1):          # bottom, right -> left
+            border.append((rows - 1, c, (0.0, -PIN_STUB)))
+        for r in range(rows - 2, 0, -1):           # left, bottom -> top
+            border.append((r, 0, (-PIN_STUB, 0.0)))
+
+        for idx, (r, c, (dx, dy)) in enumerate(border):
+            pin = f"P{idx + 1}"
+            anchor = self.coords[junction(r, c)]
+            self._add_pin(pin, Point(anchor.x + dx, anchor.y + dy))
+            self._add_segment(pin, junction(r, c))
+        self.pin_anchor = {f"P{i + 1}": junction(r, c)
+                           for i, (r, c, _) in enumerate(border)}
+
+        # Lattice edges, one valve each (the "fully programmable" part).
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    self._add_segment(junction(r, c), junction(r, c + 1))
+                if r + 1 < rows:
+                    self._add_segment(junction(r, c), junction(r + 1, c))
+
+
+def make_fpva(rows: int, cols: int,
+              rules: DesignRules = STANFORD_FOUNDRY) -> FPVAGrid:
+    """Convenience constructor mirroring :func:`make_switch`."""
+    return FPVAGrid(rows, cols, rules)
+
+
+__all__ = ["FPVAGrid", "GRID_PITCH", "PIN_STUB", "make_fpva"]

@@ -171,6 +171,36 @@ def test_used_segments_mismatch_detected(solved):
         verify_used_segments(bad)
 
 
+def test_path_over_masked_segment_rejected(solved):
+    """A routing that rides a health-masked segment must not verify."""
+    from repro.repair import mask_spec
+    from repro.sim.faults import stuck_closed
+
+    seg = next(k for k in sorted(solved.used_segments)
+               if not solved.spec.switch.is_pin(k[0])
+               and not solved.spec.switch.is_pin(k[1]))
+    degraded_spec = mask_spec(solved.spec, [stuck_closed(*seg)])
+    with pytest.raises(VerificationError, match="masked segment"):
+        verify_paths(degraded_spec, solved.binding, solved.flow_paths)
+
+
+def test_masked_catalog_result_verifies_clean(solved):
+    """Re-synthesis on the degraded spec yields a verifiable result
+    that never touches the dead segment."""
+    from repro.repair import mask_spec
+    from repro.sim.faults import stuck_closed
+
+    seg = next(k for k in sorted(solved.used_segments)
+               if not solved.spec.switch.is_pin(k[0])
+               and not solved.spec.switch.is_pin(k[1]))
+    degraded_spec = mask_spec(solved.spec, [stuck_closed(*seg)])
+    repaired = synthesize(degraded_spec)
+    assert repaired.status.solved
+    verify_result(repaired)
+    for path in repaired.flow_paths.values():
+        assert seg not in path.segments
+
+
 def test_tampered_valve_table_detected(solved):
     bad = copy.copy(solved)
     bad.valves = copy.deepcopy(solved.valves)

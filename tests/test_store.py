@@ -69,6 +69,52 @@ def test_result_key_separates_case_and_config():
     assert result_key(spec, SynthesisOptions(cache=False)) == base
 
 
+def test_result_key_is_fault_salted():
+    """A degraded chip must never address a healthy chip's entry."""
+    from repro.repair import mask_spec
+    from repro.sim import stuck_closed
+    from repro.store import fault_salt
+
+    spec = small_spec()
+    assert fault_salt(spec) == "healthy"
+    seg = next(k for k in sorted(spec.switch.segments)
+               if not spec.switch.is_pin(k[0])
+               and not spec.switch.is_pin(k[1]))
+    degraded = mask_spec(small_spec(), [stuck_closed(*seg)])
+    assert fault_salt(degraded) == degraded.switch.health.digest()
+    assert result_key(degraded, SynthesisOptions()) != \
+        result_key(spec, SynthesisOptions())
+    # the salt is canonical: re-deriving the same mask gives the same key
+    assert result_key(mask_spec(small_spec(), [stuck_closed(*seg)]),
+                      SynthesisOptions()) == \
+        result_key(degraded, SynthesisOptions())
+
+
+def test_cached_healthy_result_never_serves_a_degraded_chip(tmp_path):
+    from repro.repair import mask_spec
+    from repro.sim import stuck_closed
+
+    store = Store(tmp_path)
+    opts = SynthesisOptions(store=store, time_limit=60)
+    healthy = synthesize(small_spec(), opts)
+    assert healthy.status is SynthesisStatus.OPTIMAL
+    assert healthy.counters.get("store_put") == 1
+    # strike a junction-junction segment the healthy routing uses
+    seg = next(k for k in sorted(healthy.used_segments)
+               if not healthy.spec.switch.is_pin(k[0])
+               and not healthy.spec.switch.is_pin(k[1]))
+    degraded_spec = mask_spec(small_spec(), [stuck_closed(*seg)])
+    degraded = synthesize(degraded_spec, opts)
+    assert "store_hit" not in degraded.counters  # no healthy-entry hit
+    assert degraded.status.solved
+    for path in degraded.flow_paths.values():
+        assert seg not in path.segments
+    # the degraded result got its own fault-salted entry
+    warm = synthesize(mask_spec(small_spec(), [stuck_closed(*seg)]), opts)
+    assert warm.counters.get("store_hit") == 1
+    assert warm.objective == degraded.objective
+
+
 def test_artifact_key_canonicalizes_tuples_and_floats():
     assert artifact_key("catalog", ("a", 1, 0.5)) == \
         artifact_key("catalog", ["a", 1, 0.5])

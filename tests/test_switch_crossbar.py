@@ -144,8 +144,10 @@ def test_make_switch_and_smallest_for():
     assert smallest_switch_for(7).n_pins == 8
     assert smallest_switch_for(9).n_pins == 12
     assert smallest_switch_for(13).n_pins == 16
+    assert smallest_switch_for(17).n_pins == 24
+    assert smallest_switch_for(25).n_pins == 32
     with pytest.raises(SwitchModelError):
-        smallest_switch_for(17)
+        smallest_switch_for(33)
 
 
 def test_rotation_order():

@@ -7,7 +7,10 @@ verdicts must stay consistent under random mutation of a valid result:
   must simulate cleanly after re-analysis) or rejected;
 * swapping two flows' paths breaks the binding coupling and must be
   rejected;
-* dropping a flow from the schedule must be rejected.
+* dropping a flow from the schedule must be rejected;
+* overlaying a health mask on a segment the routing uses must make the
+  verifier reject the stale routing, while a repair on the masked spec
+  verifies clean and avoids the dead segment.
 """
 
 import copy
@@ -77,6 +80,36 @@ def test_path_swap_mutation_rejected(seed):
     mutant.flow_paths[a], mutant.flow_paths[b] = pb, pa
     with pytest.raises(VerificationError):
         verify_result(mutant)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_fault_overlay_mutation(seed):
+    """Masking a used junction-junction segment invalidates the stale
+    routing; the self-healed routing verifies and avoids the fault."""
+    from repro.repair import mask_spec, repair
+    from repro.sim.faults import stuck_closed
+
+    res = _solved(seed)
+    if res is None:
+        return
+    switch = res.spec.switch
+    candidates = [k for k in sorted(res.used_segments)
+                  if not switch.is_pin(k[0]) and not switch.is_pin(k[1])]
+    if not candidates:
+        return
+    seg = candidates[seed % len(candidates)]
+    degraded_spec = mask_spec(res.spec, [stuck_closed(*seg)])
+    stale = copy.copy(res)
+    stale.spec = degraded_spec
+    with pytest.raises(VerificationError):
+        verify_result(stale)
+    outcome = repair(res, [stuck_closed(*seg)], OPTS)
+    if outcome.solved:
+        verify_result(outcome.repaired)
+        assert all(seg not in p.segments
+                   for p in outcome.repaired.flow_paths.values())
 
 
 @settings(max_examples=10, deadline=None,
